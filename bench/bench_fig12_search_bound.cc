@@ -1,0 +1,44 @@
+// Exp-1 / Figure 12: average star-query runtime vs the search bound d,
+// for stark / stard / graphTA / BP on (a) a DBpedia-like and (b) a
+// YAGO2-like graph. k = 20. The paper's shape: stark/stard beat graphTA
+// and BP by ~an order of magnitude; stard == stark at d = 1 and pulls
+// ahead for d >= 2 where stark pays a d-hop traversal per pivot.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace star;
+  using namespace star::bench;
+
+  const size_t n = EnvSize("STAR_BENCH_NODES", 20000);
+  const size_t num_queries = EnvSize("STAR_BENCH_QUERIES", 10);
+
+  for (const auto& config : {graph::DBpediaLike(n), graph::Yago2Like(n)}) {
+    const auto d = MakeDataset(config);
+    query::WorkloadGenerator wg(d.graph, 2016);
+    const auto queries = wg.StarWorkload(static_cast<int>(num_queries), 3, 5,
+                                         BenchWorkloadOptions());
+
+    PrintTitle("Figure 12 (" + d.name + "): avg runtime [ms] vs d, k=20, " +
+               std::to_string(num_queries) + " star queries");
+    std::printf("%-9s %12s %12s %12s %12s\n", "d", "stark", "stard",
+                "graphTA", "BP");
+    RunOptions opts;
+    opts.k = 20;
+    for (int bound = 1; bound <= 3; ++bound) {
+      const auto match = BenchConfig(bound);
+      std::printf("%-9d", bound);
+      for (const Engine engine :
+           {Engine::kStark, Engine::kStard, Engine::kGraphTa, Engine::kBp}) {
+        const auto ws = RunWorkload(engine, d, match, queries, opts);
+        std::printf(" %11.1f%s", ws.per_query_ms.Mean(),
+                    ws.timeouts > 0 ? "*" : " ");
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("(* = some queries hit the %.0f ms per-query budget)\n\n",
+                opts.budget_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Exp-2 / Figure 13(c,d): average star-query runtime vs query size
+// (2..6 nodes), d = 2, k = 20. Paper shape: BP and graphTA grow
+// exponentially with query size; stark/stard stay flat-ish, and stard
+// beats graphTA even on single-edge queries.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace star;
+  using namespace star::bench;
+
+  const size_t n = EnvSize("STAR_BENCH_NODES", 20000);
+  const size_t num_queries = EnvSize("STAR_BENCH_QUERIES", 8);
+
+  for (const auto& config : {graph::DBpediaLike(n), graph::Yago2Like(n)}) {
+    const auto d = MakeDataset(config);
+    const auto match = BenchConfig(/*d=*/2);
+
+    PrintTitle("Figure 13(c,d) (" + d.name +
+               "): avg runtime [ms] vs star query size, d=2, k=20");
+    std::printf("%-9s %12s %12s %12s %12s\n", "nodes", "stark", "stard",
+                "graphTA", "BP");
+    RunOptions opts;
+    opts.k = 20;
+    for (int size = 2; size <= 6; ++size) {
+      query::WorkloadGenerator wg(d.graph, 1000 + size);
+      const auto queries = wg.StarWorkload(static_cast<int>(num_queries),
+                                           size, size, BenchWorkloadOptions());
+      std::printf("%-9d", size);
+      for (const Engine engine :
+           {Engine::kStark, Engine::kStard, Engine::kGraphTa, Engine::kBp}) {
+        const auto ws = RunWorkload(engine, d, match, queries, opts);
+        std::printf(" %11.1f%s", ws.per_query_ms.Mean(),
+                    ws.timeouts > 0 ? "*" : " ");
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("(* = budget hits at %.0f ms/query)\n\n", opts.budget_ms);
+  }
+  return 0;
+}

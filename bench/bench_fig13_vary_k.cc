@@ -1,0 +1,46 @@
+// Exp-2 / Figure 13(a,b): average star-query runtime vs k (d = 2).
+// Paper shape: BP and graphTA degrade sharply as k grows; stark and stard
+// are nearly insensitive to k.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace star;
+  using namespace star::bench;
+
+  const size_t n = EnvSize("STAR_BENCH_NODES", 20000);
+  const size_t num_queries = EnvSize("STAR_BENCH_QUERIES", 10);
+
+  for (const auto& config : {graph::DBpediaLike(n), graph::Yago2Like(n)}) {
+    const auto d = MakeDataset(config);
+    query::WorkloadGenerator wg(d.graph, 2016);
+    // k only matters when queries have many competing matches; crank the
+    // ambiguity so the match lists are deep (the paper's keyword queries).
+    auto wo = BenchWorkloadOptions();
+    wo.partial_label = 0.8;
+    wo.keep_type = 0.25;
+    const auto queries =
+        wg.StarWorkload(static_cast<int>(num_queries), 3, 5, wo);
+    const auto match = BenchConfig(/*d=*/2);
+
+    PrintTitle("Figure 13(a,b) (" + d.name + "): avg runtime [ms] vs k, d=2");
+    std::printf("%-9s %12s %12s %12s %12s\n", "k", "stark", "stard",
+                "graphTA", "BP");
+    for (const size_t k : {size_t{1}, size_t{10}, size_t{20}, size_t{50},
+                           size_t{100}}) {
+      RunOptions opts;
+      opts.k = k;
+      std::printf("%-9zu", k);
+      for (const Engine engine :
+           {Engine::kStark, Engine::kStard, Engine::kGraphTa, Engine::kBp}) {
+        const auto ws = RunWorkload(engine, d, match, queries, opts);
+        std::printf(" %11.1f%s", ws.per_query_ms.Mean(),
+                    ws.timeouts > 0 ? "*" : " ");
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("(* = budget hits at %.0f ms/query)\n\n", RunOptions{}.budget_ms);
+  }
+  return 0;
+}

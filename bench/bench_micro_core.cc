@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the core primitives, including
+// the ablation DESIGN.md calls out: Prop. 3 pruning vs sorting whole leaf
+// lists before per-pivot enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/pivot_enumerator.h"
+#include "core/star_search.h"
+#include "core/topk_utils.h"
+#include "text/similarity.h"
+
+namespace {
+
+using namespace star;
+using namespace star::bench;
+
+std::vector<std::vector<core::ListEntry>> RandomLists(size_t s, size_t m,
+                                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<core::ListEntry>> lists(s);
+  for (auto& l : lists) {
+    l.reserve(m);
+    for (size_t j = 0; j < m; ++j) l.push_back({j, rng.NextDouble()});
+  }
+  return lists;
+}
+
+// Ablation: Prop. 3 pruning then sorting the survivors ...
+void BM_Prop3PruneThenSort(benchmark::State& state) {
+  const size_t s = 4;
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = 20;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto lists = RandomLists(s, m, 42);
+    state.ResumeTiming();
+    core::PruneListsProp3(lists, k);
+    for (auto& l : lists) {
+      std::sort(l.begin(), l.end(),
+                [](const core::ListEntry& a, const core::ListEntry& b) {
+                  return a.value > b.value;
+                });
+    }
+    benchmark::DoNotOptimize(lists);
+  }
+}
+BENCHMARK(BM_Prop3PruneThenSort)->Arg(64)->Arg(512)->Arg(4096);
+
+// ... vs sorting the full lists (what a naive stark would do).
+void BM_FullSort(benchmark::State& state) {
+  const size_t s = 4;
+  const size_t m = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto lists = RandomLists(s, m, 42);
+    state.ResumeTiming();
+    for (auto& l : lists) {
+      std::sort(l.begin(), l.end(),
+                [](const core::ListEntry& a, const core::ListEntry& b) {
+                  return a.value > b.value;
+                });
+    }
+    benchmark::DoNotOptimize(lists);
+  }
+}
+BENCHMARK(BM_FullSort)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_TopKValues(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (auto& v : values) v = rng.NextDouble();
+  for (auto _ : state) {
+    auto copy = values;
+    benchmark::DoNotOptimize(core::TopKValues(std::move(copy), 20));
+  }
+}
+BENCHMARK(BM_TopKValues)->Arg(1024)->Arg(65536);
+
+void BM_EnsembleScore(benchmark::State& state) {
+  const text::SimilarityEnsemble ensemble;
+  const char* a = "Richard Linklater";
+  const char* b = "Richard Linkletter";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ensemble.Score(a, b));
+  }
+}
+BENCHMARK(BM_EnsembleScore);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::LevenshteinSimilarity("Jeffrey Jacob Abrams", "J.J. Abrams"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+// One full stard star query, end to end, at small scale.
+void BM_StardStarQuery(benchmark::State& state) {
+  static const Dataset* dataset = [] {
+    auto cfg = graph::DBpediaLike(5000);
+    return new Dataset(MakeDataset(cfg));
+  }();
+  const auto match = BenchConfig(/*d=*/2);
+  query::WorkloadGenerator wg(dataset->graph, 5);
+  const auto q = wg.RandomStarQuery(4, BenchWorkloadOptions());
+  for (auto _ : state) {
+    scoring::QueryScorer scorer(dataset->graph, q, *dataset->ensemble, match,
+                                dataset->index.get());
+    core::StarSearch::Options so;
+    so.strategy = core::StarStrategy::kStard;
+    so.k_hint = 20;
+    core::StarSearch search(scorer, core::MakeStarQuery(q), so);
+    benchmark::DoNotOptimize(search.TopK(20));
+  }
+}
+BENCHMARK(BM_StardStarQuery)->Unit(benchmark::kMillisecond);
+
+// Message-passing initialization alone (the stard-specific cost).
+void BM_StardInitialization(benchmark::State& state) {
+  static const Dataset* dataset = [] {
+    auto cfg = graph::DBpediaLike(5000);
+    cfg.seed = 99;
+    return new Dataset(MakeDataset(cfg));
+  }();
+  const auto match = BenchConfig(static_cast<int>(state.range(0)));
+  query::WorkloadGenerator wg(dataset->graph, 5);
+  const auto q = wg.RandomStarQuery(4, BenchWorkloadOptions());
+  for (auto _ : state) {
+    scoring::QueryScorer scorer(dataset->graph, q, *dataset->ensemble, match,
+                                dataset->index.get());
+    core::StarSearch::Options so;
+    so.strategy = core::StarStrategy::kStard;
+    core::StarSearch search(scorer, core::MakeStarQuery(q), so);
+    benchmark::DoNotOptimize(search.UpperBound());  // forces Initialize()
+  }
+}
+BENCHMARK(BM_StardInitialization)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Quickstart: build a small knowledge graph, pose the paper's Figure-1
+// style query, and print the top-k matches.
+//
+//   $ ./quickstart
+//
+// Walks through the three public-API layers:
+//   1. graph::KnowledgeGraph::Builder  — construct the data graph
+//   2. query::QueryGraph               — describe what you search for
+//   3. core::StarFramework             — run top-k search
+
+#include <cstdio>
+
+#include "core/explain.h"
+#include "core/framework.h"
+#include "graph/knowledge_graph.h"
+#include "graph/label_index.h"
+#include "query/query_graph.h"
+#include "text/ensemble.h"
+
+using star::core::GraphMatch;
+using star::core::StarFramework;
+using star::core::StarOptions;
+using star::graph::KnowledgeGraph;
+using star::graph::LabelIndex;
+using star::query::QueryGraph;
+using star::text::SimilarityEnsemble;
+using star::text::SynonymDictionary;
+
+namespace {
+
+KnowledgeGraph BuildMovieGraph() {
+  KnowledgeGraph::Builder b;
+  const auto brad_pitt = b.AddNode("Brad Pitt", "Actor");
+  const auto brad_garrett = b.AddNode("Brad Garrett", "Actor");
+  const auto richard = b.AddNode("Richard Linklater", "Director");
+  const auto troy = b.AddNode("Troy", "Film");
+  const auto boyhood = b.AddNode("Boyhood", "Film");
+  const auto oscar = b.AddNode("Academy Award", "Award");
+  const auto globe = b.AddNode("Golden Globe Award", "Award");
+  b.AddEdge(brad_pitt, troy, "actedIn");
+  b.AddEdge(brad_garrett, troy, "actedIn");
+  b.AddEdge(brad_pitt, boyhood, "actedIn");
+  b.AddEdge(richard, boyhood, "directed");
+  b.AddEdge(boyhood, oscar, "won");
+  b.AddEdge(richard, globe, "won");
+  b.AddEdge(troy, globe, "nominatedFor");
+  return std::move(b).Build();
+}
+
+void PrintMatches(const KnowledgeGraph& g, const QueryGraph& q,
+                  const std::vector<GraphMatch>& matches) {
+  for (size_t rank = 0; rank < matches.size(); ++rank) {
+    std::printf("  #%zu  score=%.3f  ", rank + 1, matches[rank].score);
+    for (int u = 0; u < q.node_count(); ++u) {
+      const auto v = matches[rank].mapping[u];
+      std::printf("%s%s -> %s", u > 0 ? ", " : "",
+                  q.node(u).wildcard ? "?" : q.node(u).label.c_str(),
+                  v == star::graph::kInvalidNode ? "(unmapped)"
+                                                 : g.NodeLabel(v).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const KnowledgeGraph g = BuildMovieGraph();
+  const LabelIndex index(g);
+
+  // The matching function (Eq. 1): string measures + a synonym thesaurus,
+  // so "movie maker" can match a node typed Director.
+  const SynonymDictionary synonyms = SynonymDictionary::BuiltIn();
+  SimilarityEnsemble::Context ctx;
+  ctx.synonyms = &synonyms;
+  const SimilarityEnsemble ensemble(ctx);
+
+  StarOptions options;
+  options.match.d = 2;          // edges may match paths up to 2 hops
+  options.match.lambda = 0.5;   // geometric path decay
+  options.match.node_threshold = 0.3;
+
+  StarFramework framework(g, ensemble, &index, options);
+
+  // --- Query 1: the Figure-1 query --------------------------------------
+  // "movie makers who worked with Brad and won awards": a 3-node path,
+  // where (maker -- award) may be satisfied through an intermediate movie.
+  QueryGraph q1;
+  const int brad = q1.AddNode("Brad");
+  const int maker = q1.AddWildcardNode("Director");
+  const int award = q1.AddNode("Award");
+  q1.AddEdge(brad, maker);
+  q1.AddEdge(maker, award);
+
+  std::printf("Query 1 (%s):\n", q1.ToString().c_str());
+  PrintMatches(g, q1, framework.TopK(q1, 3));
+
+  // --- Query 2: a pure star query ---------------------------------------
+  QueryGraph q2;
+  const int film = q2.AddWildcardNode("Film");
+  q2.AddEdge(film, q2.AddNode("Brad Pitt"), "actedIn");
+  q2.AddEdge(film, q2.AddNode("Academy Award"), "won");
+
+  std::printf("\nQuery 2 (%s):\n", q2.ToString().c_str());
+  PrintMatches(g, q2, framework.TopK(q2, 3));
+
+  // --- Query 3: approximate labels --------------------------------------
+  // Typos and partial names are resolved by the similarity ensemble.
+  QueryGraph q3;
+  const int a = q3.AddNode("Bradd Pit");
+  const int b = q3.AddNode("Troya");
+  q3.AddEdge(a, b);
+
+  std::printf("\nQuery 3 (%s):\n", q3.ToString().c_str());
+  PrintMatches(g, q3, framework.TopK(q3, 2));
+
+  // --- Why did query 1's best match win? ---------------------------------
+  // core/explain.h reconstructs the score breakdown, including the
+  // intermediate node that realizes the 2-hop (maker -- award) edge.
+  const auto top1 = framework.TopK(q1, 1);
+  if (!top1.empty()) {
+    star::scoring::QueryScorer scorer(g, q1, ensemble, options.match, &index);
+    const auto explanation = star::core::ExplainMatch(scorer, top1[0]);
+    if (explanation.ok()) {
+      std::printf("\nExplanation of query 1's top match:\n%s",
+                  star::core::FormatExplanation(scorer, *explanation).c_str());
+    }
+  }
+  return 0;
+}

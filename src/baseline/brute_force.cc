@@ -1,0 +1,93 @@
+#include "baseline/brute_force.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace star::baseline {
+
+using core::GraphMatch;
+using graph::NodeId;
+using scoring::QueryScorer;
+
+namespace {
+
+/// Shared enumeration core: calls `emit` for every valid complete match.
+void Enumerate(QueryScorer& scorer,
+               const std::function<void(const GraphMatch&)>& emit) {
+  const query::QueryGraph& q = scorer.query();
+  const scoring::MatchConfig& cfg = scorer.config();
+  const int n = q.node_count();
+  GraphMatch current;
+  current.mapping.assign(n, graph::kInvalidNode);
+
+  std::function<void(int, double)> recurse = [&](int u, double score) {
+    if (u == n) {
+      current.score = score;
+      emit(current);
+      return;
+    }
+    for (const auto& cand : scorer.Candidates(u)) {
+      if (cfg.enforce_injective) {
+        bool taken = false;
+        for (int prev = 0; prev < u; ++prev) {
+          if (current.mapping[prev] == cand.node) {
+            taken = true;
+            break;
+          }
+        }
+        if (taken) continue;
+      }
+      // All query edges into already-assigned nodes must connect.
+      double delta = cand.score;
+      bool ok = true;
+      for (const int e : q.IncidentEdges(u)) {
+        const int other = q.OtherEnd(e, u);
+        if (other >= u) continue;  // not assigned yet
+        const double fe =
+            scorer.PairEdgeScore(e, current.mapping[other], cand.node);
+        if (fe < 0.0) {
+          ok = false;
+          break;
+        }
+        delta += fe;
+      }
+      if (!ok) continue;
+      current.mapping[u] = cand.node;
+      recurse(u + 1, score + delta);
+      current.mapping[u] = graph::kInvalidNode;
+    }
+  };
+  recurse(0, 0.0);
+}
+
+}  // namespace
+
+std::vector<GraphMatch> BruteForceTopK(QueryScorer& scorer, size_t k) {
+  std::vector<GraphMatch> heap;  // min-heap by score
+  const auto cmp = [](const GraphMatch& a, const GraphMatch& b) {
+    return a.score > b.score;
+  };
+  Enumerate(scorer, [&](const GraphMatch& m) {
+    if (heap.size() < k) {
+      heap.push_back(m);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (!heap.empty() && m.score > heap.front().score) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = m;
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  });
+  std::sort(heap.begin(), heap.end(),
+            [](const GraphMatch& a, const GraphMatch& b) {
+              return a.score > b.score;
+            });
+  return heap;
+}
+
+size_t BruteForceCountMatches(QueryScorer& scorer) {
+  size_t count = 0;
+  Enumerate(scorer, [&](const GraphMatch&) { ++count; });
+  return count;
+}
+
+}  // namespace star::baseline

@@ -1,0 +1,29 @@
+#ifndef STAR_BASELINE_BRUTE_FORCE_H_
+#define STAR_BASELINE_BRUTE_FORCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/match.h"
+#include "scoring/query_scorer.h"
+
+namespace star::baseline {
+
+/// Exhaustive top-k reference: enumerates every (optionally injective)
+/// mapping of query nodes to their candidate sets, scores it with the
+/// exact Eq. 2 semantics (QueryScorer::PairEdgeScore for edges), and keeps
+/// the k best. Exponential — the correctness oracle for tests on small
+/// graphs, never a competitor in benchmarks.
+///
+/// A mapping is valid iff every node score passes node_threshold (wildcards
+/// always pass) and every query edge has a connection with F_E >=
+/// edge_threshold within d.
+std::vector<core::GraphMatch> BruteForceTopK(scoring::QueryScorer& scorer,
+                                             size_t k);
+
+/// Number of valid matches in total (diagnostics for tests).
+size_t BruteForceCountMatches(scoring::QueryScorer& scorer);
+
+}  // namespace star::baseline
+
+#endif  // STAR_BASELINE_BRUTE_FORCE_H_

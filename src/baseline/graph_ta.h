@@ -1,0 +1,83 @@
+#ifndef STAR_BASELINE_GRAPH_TA_H_
+#define STAR_BASELINE_GRAPH_TA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/match.h"
+#include "scoring/query_scorer.h"
+
+namespace star::baseline {
+
+/// Counters for the benchmark harness.
+struct GraphTaStats {
+  size_t cursor_steps = 0;
+  size_t expansions = 0;
+  size_t partial_states = 0;
+  size_t matches_generated = 0;
+  /// True if the search was cut short by the time budget; the returned
+  /// top-k is then best-effort rather than exact.
+  bool timed_out = false;
+};
+
+/// The TA-style top-k subgraph matcher of §III (Fig. 2), the paper's main
+/// baseline, with both optimizations of §VII-A applied:
+///  (a) neighbor caching — d-bounded neighborhood balls and pairwise edge
+///      scores are memoized in the shared QueryScorer;
+///  (b) score-sorted exploration — expansion extends partial matches along
+///      query edges in descending candidate-score order (the "BFS instead
+///      of DFS" ordering optimization).
+///
+/// One candidate list per query node is sorted by F_N. Cursors advance in
+/// lock step; each newly seen (query node, candidate) pair seeds an
+/// exploration-based subgraph search that enumerates complete matches
+/// containing it (pruned against the current threshold θ). The algorithm
+/// stops when k matches are found and θ >= U, with
+///   U = sum_u score(L_u[cursor]) + sum_e maxEdge(e)
+/// the upper bound on any match formed solely from unseen candidates.
+///
+/// Produces exactly the same top-k as STAR under identical MatchConfig.
+class GraphTa {
+ public:
+  /// `budget_ms` > 0 caps wall-clock time (benchmark harness safety; the
+  /// search then returns its best-effort top-k and sets stats().timed_out).
+  explicit GraphTa(scoring::QueryScorer& scorer, double budget_ms = 0.0)
+      : scorer_(scorer), budget_ms_(budget_ms) {}
+
+  /// Top-k matches in descending score order.
+  std::vector<core::GraphMatch> TopK(size_t k);
+
+  const GraphTaStats& stats() const { return stats_; }
+
+ private:
+  /// Enumerates all complete matches that map query node `u` to `v` and
+  /// score above the running threshold; updates the result heap.
+  void Expand(int u, graph::NodeId v, size_t k);
+
+  /// Recursive best-first completion over the query BFS order.
+  void Complete(const std::vector<int>& order, size_t depth,
+                std::vector<graph::NodeId>& mapping, double score,
+                double optimistic_rest, size_t k);
+
+  double Threshold(size_t k) const;
+  void Offer(const std::vector<graph::NodeId>& mapping, double score,
+             size_t k);
+
+  bool OverBudget();
+
+  scoring::QueryScorer& scorer_;
+  double budget_ms_;
+  WallTimer timer_;
+  GraphTaStats stats_;
+  // Min-heap of current best k (by score).
+  std::vector<core::GraphMatch> heap_;
+  // Dedup of emitted complete mappings across seed expansions.
+  std::unordered_set<std::string> seen_matches_;
+};
+
+}  // namespace star::baseline
+
+#endif  // STAR_BASELINE_GRAPH_TA_H_

@@ -1,0 +1,108 @@
+#ifndef STAR_COMMON_STATUS_H_
+#define STAR_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace star {
+
+/// Error categories used across the library. Kept deliberately small: the
+/// library is exception-free, so fallible entry points (parsers, loaders,
+/// configuration validation) report through Status / Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruptData,
+};
+
+/// A lightweight success-or-error value. Cheap to copy on the success path
+/// (no allocation), carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status CorruptData(std::string msg) {
+    return Status(StatusCode::kCorruptData, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad k".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// absl::StatusOr but minimal: value access is undefined unless ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; mirrors StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status (must not be OK).
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "Unknown";
+  switch (code_) {
+    case StatusCode::kOk: name = "OK"; break;
+    case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+    case StatusCode::kNotFound: name = "NotFound"; break;
+    case StatusCode::kOutOfRange: name = "OutOfRange"; break;
+    case StatusCode::kFailedPrecondition: name = "FailedPrecondition"; break;
+    case StatusCode::kIoError: name = "IoError"; break;
+    case StatusCode::kCorruptData: name = "CorruptData"; break;
+  }
+  return std::string(name) + ": " + message_;
+}
+
+}  // namespace star
+
+#endif  // STAR_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef STAR_COMMON_STRING_UTIL_H_
+#define STAR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace star {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on any of the given delimiter characters; empty pieces dropped.
+std::vector<std::string> SplitTokens(std::string_view s,
+                                     std::string_view delims = " \t_-./,");
+
+/// Splits on a single character, keeping empty fields (TSV parsing).
+std::vector<std::string> SplitFields(std::string_view s, char delim);
+
+/// Joins pieces with the separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if every character is an ASCII digit (and s non-empty).
+bool IsNumeric(std::string_view s);
+
+}  // namespace star
+
+#endif  // STAR_COMMON_STRING_UTIL_H_

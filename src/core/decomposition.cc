@@ -1,0 +1,303 @@
+#include "core/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace star::core {
+
+using query::QueryGraph;
+using query::StarQuery;
+
+namespace {
+
+/// Partitions the query edges among the chosen pivots: edges covered by a
+/// single pivot are forced; edges with both endpoints chosen go to the
+/// currently smaller star (balance). Guarantees no empty star by stealing
+/// a shared edge when possible.
+std::vector<StarQuery> AssignEdges(const QueryGraph& q,
+                                   const std::vector<int>& pivots) {
+  std::vector<int> star_of_pivot(q.node_count(), -1);
+  std::vector<StarQuery> stars(pivots.size());
+  for (size_t i = 0; i < pivots.size(); ++i) {
+    stars[i].pivot = pivots[i];
+    star_of_pivot[pivots[i]] = static_cast<int>(i);
+  }
+  std::vector<int> shared_edges;
+  for (int e = 0; e < q.edge_count(); ++e) {
+    const int su = star_of_pivot[q.edge(e).u];
+    const int sv = star_of_pivot[q.edge(e).v];
+    if (su >= 0 && sv >= 0) {
+      shared_edges.push_back(e);
+    } else if (su >= 0) {
+      stars[su].edges.push_back(e);
+    } else if (sv >= 0) {
+      stars[sv].edges.push_back(e);
+    }
+    // Uncovered edges are the caller's bug; IsValidDecomposition catches it.
+  }
+  for (const int e : shared_edges) {
+    const int su = star_of_pivot[q.edge(e).u];
+    const int sv = star_of_pivot[q.edge(e).v];
+    const int target =
+        stars[su].edges.size() <= stars[sv].edges.size() ? su : sv;
+    stars[target].edges.push_back(e);
+  }
+  // Repair empty stars (a pivot all of whose edges went to neighbors):
+  // move back one shared edge incident to it from a star with >= 2 edges.
+  for (auto& s : stars) {
+    if (!s.edges.empty()) continue;
+    for (auto& donor : stars) {
+      if (donor.edges.size() < 2) continue;
+      const auto it = std::find_if(
+          donor.edges.begin(), donor.edges.end(), [&](int e) {
+            return q.edge(e).u == s.pivot || q.edge(e).v == s.pivot;
+          });
+      if (it != donor.edges.end()) {
+        s.edges.push_back(*it);
+        donor.edges.erase(it);
+        break;
+      }
+    }
+  }
+  // Drop stars that are still empty (redundant pivots in non-minimal
+  // covers).
+  std::erase_if(stars, [](const StarQuery& s) { return s.edges.empty(); });
+  return stars;
+}
+
+std::vector<StarQuery> GreedyCover(const QueryGraph& q, bool randomize,
+                                   Rng& rng) {
+  std::vector<bool> covered(q.edge_count(), false);
+  int remaining = q.edge_count();
+  std::vector<int> pivots;
+  std::vector<bool> is_pivot(q.node_count(), false);
+  while (remaining > 0) {
+    int best = -1;
+    int best_uncovered = -1;
+    if (randomize) {
+      // Random node among those with uncovered incident edges.
+      std::vector<int> eligible;
+      for (int u = 0; u < q.node_count(); ++u) {
+        if (is_pivot[u]) continue;
+        for (const int e : q.IncidentEdges(u)) {
+          if (!covered[e]) {
+            eligible.push_back(u);
+            break;
+          }
+        }
+      }
+      best = eligible[rng.Below(eligible.size())];
+    } else {
+      for (int u = 0; u < q.node_count(); ++u) {
+        if (is_pivot[u]) continue;
+        int uncovered = 0;
+        for (const int e : q.IncidentEdges(u)) uncovered += !covered[e];
+        if (uncovered > best_uncovered) {
+          best_uncovered = uncovered;
+          best = u;
+        }
+      }
+    }
+    is_pivot[best] = true;
+    pivots.push_back(best);
+    for (const int e : q.IncidentEdges(best)) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --remaining;
+      }
+    }
+  }
+  return AssignEdges(q, pivots);
+}
+
+/// Per-query-node candidate statistics used by SimTop / SimDec. The
+/// scorer's (memoized) candidate lists double as the paper's samples.
+struct NodeStats {
+  double top1 = 0.0;
+  size_t count = 0;
+};
+
+NodeStats StatsFor(const QueryGraph& q, int u, scoring::QueryScorer* scorer) {
+  NodeStats st;
+  if (scorer == nullptr) return st;
+  if (q.node(u).wildcard) {
+    st.top1 = scorer->config().wildcard_node_score;
+    st.count = scorer->graph().node_count();
+    return st;
+  }
+  const auto& cands = scorer->Candidates(u);
+  st.count = cands.size();
+  st.top1 = cands.empty() ? 0.0 : cands[0].score;
+  return st;
+}
+
+/// Feature and decrement values of one star under a strategy (§VI-B).
+struct StarFeatures {
+  double feature = 0.0;
+  double decrement = 0.0;
+};
+
+StarFeatures FeaturesFor(const QueryGraph& q, const StarQuery& s,
+                         DecompositionStrategy strategy,
+                         const DecompositionOptions& options,
+                         scoring::QueryScorer* scorer,
+                         const std::vector<NodeStats>& stats) {
+  StarFeatures out;
+  switch (strategy) {
+    case DecompositionStrategy::kSimSize:
+      out.feature = static_cast<double>(s.edges.size());
+      break;
+    case DecompositionStrategy::kSimTop:
+      out.feature = stats[s.pivot].top1;
+      break;
+    case DecompositionStrategy::kSimDec: {
+      if (scorer == nullptr) break;
+      // n_i ~= p^(|V*|-1) * prod_v n_v, capped by the pivot's sample size;
+      // delta = (F(top1) - F(top n_i)) / n_i over the pivot's sampled
+      // candidate scores.
+      double expected = 1.0;
+      for (const int e : s.edges) {
+        const int leaf = q.OtherEnd(e, s.pivot);
+        expected *= options.connectivity_p *
+                    std::max<double>(1.0, static_cast<double>(stats[leaf].count));
+      }
+      expected *= std::max<double>(1.0, static_cast<double>(stats[s.pivot].count));
+      const auto& cands = scorer->Candidates(s.pivot);
+      if (!q.node(s.pivot).wildcard && !cands.empty()) {
+        const size_t n_i = std::clamp<size_t>(
+            static_cast<size_t>(expected), 1, cands.size());
+        out.decrement = (cands[0].score - cands[n_i - 1].score) /
+                        static_cast<double>(n_i);
+      }
+      out.feature = out.decrement;
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+/// Eq. 5 objective: sum of decrements minus lambda * total feature spread.
+double ObjectiveFor(const QueryGraph& q, const std::vector<StarQuery>& stars,
+                    DecompositionStrategy strategy,
+                    const DecompositionOptions& options,
+                    scoring::QueryScorer* scorer,
+                    const std::vector<NodeStats>& stats) {
+  std::vector<StarFeatures> f;
+  f.reserve(stars.size());
+  for (const auto& s : stars) {
+    f.push_back(FeaturesFor(q, s, strategy, options, scorer, stats));
+  }
+  double mean = 0.0;
+  for (const auto& x : f) mean += x.feature;
+  mean /= std::max<size_t>(1, f.size());
+  double objective = 0.0;
+  for (const auto& x : f) {
+    objective += x.decrement - options.lambda_tradeoff * std::abs(x.feature - mean);
+  }
+  return objective;
+}
+
+}  // namespace
+
+std::vector<StarQuery> DecomposeQuery(const QueryGraph& q,
+                                      const DecompositionOptions& options,
+                                      scoring::QueryScorer* scorer) {
+  if (q.edge_count() == 0) {
+    return {StarQuery{0, {}}};
+  }
+  if (q.IsStar()) {
+    StarQuery s;
+    s.pivot = q.StarPivot();
+    s.edges = q.IncidentEdges(s.pivot);
+    return {s};
+  }
+
+  Rng rng(options.seed);
+  switch (options.strategy) {
+    case DecompositionStrategy::kRand:
+      return GreedyCover(q, /*randomize=*/true, rng);
+    case DecompositionStrategy::kMaxDeg:
+      return GreedyCover(q, /*randomize=*/false, rng);
+    default:
+      break;
+  }
+
+  const int n = q.node_count();
+  if (n > options.max_enumeration_nodes) {
+    return GreedyCover(q, /*randomize=*/false, rng);
+  }
+
+  // Shared candidate statistics (the paper's sampled node-match scores).
+  std::vector<NodeStats> stats(n);
+  if (options.strategy != DecompositionStrategy::kSimSize) {
+    for (int u = 0; u < n; ++u) stats[u] = StatsFor(q, u, scorer);
+  }
+
+  // Enumerate vertex covers by increasing size m (the "minimum m"
+  // constraint of Eq. 5); among the minimum-size covers pick the best
+  // Eq. 5 objective.
+  for (int m = 1; m <= n; ++m) {
+    std::vector<StarQuery> best;
+    double best_objective = -std::numeric_limits<double>::infinity();
+    // Enumerate all (n choose m) subsets via combination walking.
+    std::vector<int> pick(m);
+    std::iota(pick.begin(), pick.end(), 0);
+    while (true) {
+      // Cover check.
+      uint64_t mask = 0;
+      for (const int u : pick) mask |= uint64_t{1} << u;
+      bool covers = true;
+      for (int e = 0; e < q.edge_count(); ++e) {
+        if (!((mask >> q.edge(e).u) & 1) && !((mask >> q.edge(e).v) & 1)) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers) {
+        std::vector<StarQuery> stars = AssignEdges(q, pick);
+        const double obj = ObjectiveFor(q, stars, options.strategy, options,
+                                        scorer, stats);
+        if (obj > best_objective) {
+          best_objective = obj;
+          best = std::move(stars);
+        }
+      }
+      // Next combination.
+      int i = m - 1;
+      while (i >= 0 && pick[i] == n - m + i) --i;
+      if (i < 0) break;
+      ++pick[i];
+      for (int j = i + 1; j < m; ++j) pick[j] = pick[j - 1] + 1;
+    }
+    if (!best.empty()) return best;
+  }
+  // Unreachable for connected graphs (the all-nodes set always covers).
+  return GreedyCover(q, /*randomize=*/false, rng);
+}
+
+bool IsValidDecomposition(const QueryGraph& q,
+                          const std::vector<query::StarQuery>& stars) {
+  if (q.edge_count() == 0) {
+    return stars.size() == 1 && stars[0].edges.empty() &&
+           stars[0].pivot >= 0 && stars[0].pivot < q.node_count();
+  }
+  std::vector<int> cover_count(q.edge_count(), 0);
+  for (const auto& s : stars) {
+    if (s.pivot < 0 || s.pivot >= q.node_count()) return false;
+    if (s.edges.empty()) return false;
+    for (const int e : s.edges) {
+      if (e < 0 || e >= q.edge_count()) return false;
+      if (q.edge(e).u != s.pivot && q.edge(e).v != s.pivot) return false;
+      ++cover_count[e];
+    }
+  }
+  return std::all_of(cover_count.begin(), cover_count.end(),
+                     [](int c) { return c == 1; });
+}
+
+}  // namespace star::core

@@ -1,0 +1,58 @@
+#ifndef STAR_CORE_DECOMPOSITION_H_
+#define STAR_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query_graph.h"
+#include "scoring/query_scorer.h"
+
+namespace star::core {
+
+/// Query-decomposition heuristics of §VI-B. A decomposition is a set of
+/// star subqueries whose pivots form a vertex cover of the query graph and
+/// whose edge sets partition E_Q.
+enum class DecompositionStrategy {
+  /// Baseline: random pivots until all edges are covered.
+  kRand,
+  /// Baseline: greedily pick the pivot with the most uncovered edges.
+  kMaxDeg,
+  /// Eq. 5 with f(Q*_i) = |E*_i| (star size) — balanced edge partition.
+  kSimSize,
+  /// Eq. 5 with f(Q*_i) = sampled top-1 pivot match score.
+  kSimTop,
+  /// Eq. 5 with the sampled average score-decrement feature.
+  kSimDec,
+};
+
+struct DecompositionOptions {
+  DecompositionStrategy strategy = DecompositionStrategy::kSimDec;
+  /// Eq. 5's trade-off λ between score decrement and feature spread.
+  double lambda_tradeoff = 1.0;
+  /// Node matches sampled per pivot for SimTop/SimDec (§VII: 200).
+  size_t sample_size = 200;
+  /// Edge-connectivity probability p used by SimDec's n_i estimate
+  /// (estimated offline in the paper; 4.5e-4 there).
+  double connectivity_p = 4.5e-4;
+  uint64_t seed = 7;
+  /// Queries with more nodes than this fall back from exhaustive
+  /// vertex-cover enumeration to the greedy cover (stars stay valid).
+  int max_enumeration_nodes = 16;
+};
+
+/// Decomposes q into star subqueries. `scorer` is required for kSimTop and
+/// kSimDec (it provides sampled candidate scores); other strategies ignore
+/// it. Star queries (q.IsStar()) always decompose into the single star.
+std::vector<query::StarQuery> DecomposeQuery(const query::QueryGraph& q,
+                                             const DecompositionOptions& options,
+                                             scoring::QueryScorer* scorer);
+
+/// True if `stars` is a valid decomposition of q: every star's edges are
+/// incident to its pivot, every query edge is covered exactly once, and no
+/// star is empty (except a single pivot-only star for edgeless queries).
+bool IsValidDecomposition(const query::QueryGraph& q,
+                          const std::vector<query::StarQuery>& stars);
+
+}  // namespace star::core
+
+#endif  // STAR_CORE_DECOMPOSITION_H_

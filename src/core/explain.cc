@@ -1,0 +1,120 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace star::core {
+
+using graph::KnowledgeGraph;
+using graph::Neighbor;
+using graph::NodeId;
+
+namespace {
+
+/// Finds a walk of exactly `hops` steps from a to b (guaranteed to exist
+/// when FirstWalkLength reported it): forward walk-layer sets, then a
+/// backward trace picking any predecessor in the previous layer.
+std::vector<NodeId> ReconstructWalk(const KnowledgeGraph& g, NodeId a,
+                                    NodeId b, int hops) {
+  // layers[h] = nodes reachable by a walk of exactly h steps.
+  std::vector<std::unordered_set<NodeId>> layers(hops + 1);
+  layers[0].insert(a);
+  for (int h = 1; h <= hops; ++h) {
+    for (const NodeId x : layers[h - 1]) {
+      for (const Neighbor& nb : g.Neighbors(x)) layers[h].insert(nb.node);
+    }
+  }
+  std::vector<NodeId> path(hops + 1, graph::kInvalidNode);
+  path[hops] = b;
+  for (int h = hops; h > 0; --h) {
+    // Any neighbor of path[h] inside layers[h-1] works.
+    for (const Neighbor& nb : g.Neighbors(path[h])) {
+      if (layers[h - 1].count(nb.node)) {
+        path[h - 1] = nb.node;
+        break;
+      }
+    }
+    if (path[h - 1] == graph::kInvalidNode) return {};  // defensive
+  }
+  return path;
+}
+
+}  // namespace
+
+Result<MatchExplanation> ExplainMatch(scoring::QueryScorer& scorer,
+                                      const GraphMatch& match) {
+  const auto& q = scorer.query();
+  const KnowledgeGraph& g = scorer.graph();
+  if (static_cast<int>(match.mapping.size()) != q.node_count() ||
+      !match.Complete()) {
+    return Status::FailedPrecondition("match does not map every query node");
+  }
+  MatchExplanation out;
+  for (int u = 0; u < q.node_count(); ++u) {
+    const double fn = scorer.NodeScore(u, match.mapping[u]);
+    out.nodes.push_back({u, match.mapping[u], fn});
+    out.total += fn;
+  }
+  for (int e = 0; e < q.edge_count(); ++e) {
+    const NodeId a = match.mapping[q.edge(e).u];
+    const NodeId b = match.mapping[q.edge(e).v];
+    const double fe = scorer.PairEdgeScore(e, a, b);
+    if (fe < 0.0) {
+      return Status::FailedPrecondition(
+          "query edge " + std::to_string(e) +
+          " has no valid connection between the mapped nodes");
+    }
+    EdgeExplanation ee;
+    ee.query_edge = e;
+    ee.score = fe;
+    // Which option achieved the max: the direct edge or a multi-hop walk?
+    double direct = -1.0;
+    for (const Neighbor& nb : g.Neighbors(a)) {
+      if (nb.node != b) continue;
+      direct = std::max(direct, scorer.RelationScore(e, nb.relation));
+    }
+    if (direct >= fe - 1e-12 && direct >= 0.0) {
+      ee.path = {a, b};
+    } else {
+      const int hops = scorer.FirstWalkLength(a, b);
+      ee.path = ReconstructWalk(g, a, b, hops);
+    }
+    out.total += fe;
+    out.edges.push_back(std::move(ee));
+  }
+  return out;
+}
+
+std::string FormatExplanation(const scoring::QueryScorer& scorer,
+                              const MatchExplanation& explanation) {
+  const auto& q = scorer.query();
+  const KnowledgeGraph& g = scorer.graph();
+  std::string out;
+  char buf[256];
+  for (const auto& n : explanation.nodes) {
+    const auto& qn = q.node(n.query_node);
+    std::snprintf(buf, sizeof(buf), "  node %-14s -> %-24s F_N=%.3f\n",
+                  qn.wildcard ? "?" : qn.label.c_str(),
+                  g.NodeLabel(n.node).c_str(), n.score);
+    out += buf;
+  }
+  for (const auto& e : explanation.edges) {
+    out += "  edge";
+    if (!q.edge(e.query_edge).wildcard_relation) {
+      out += " [" + q.edge(e.query_edge).relation + "]";
+    }
+    out += " ";
+    for (size_t i = 0; i < e.path.size(); ++i) {
+      if (i > 0) out += " ~ ";
+      out += g.NodeLabel(e.path[i]);
+    }
+    std::snprintf(buf, sizeof(buf), "  (%zu hop%s, F_E=%.3f)\n",
+                  e.path.size() - 1, e.path.size() == 2 ? "" : "s", e.score);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  total %.3f\n", explanation.total);
+  out += buf;
+  return out;
+}
+
+}  // namespace star::core

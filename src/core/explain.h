@@ -1,0 +1,51 @@
+#ifndef STAR_CORE_EXPLAIN_H_
+#define STAR_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/match.h"
+#include "scoring/query_scorer.h"
+
+namespace star::core {
+
+/// How one query node was matched.
+struct NodeExplanation {
+  int query_node = -1;
+  graph::NodeId node = graph::kInvalidNode;
+  double score = 0.0;  // F_N
+};
+
+/// How one query edge was matched: the witness walk in the data graph
+/// (endpoint matches inclusive, so path.size() - 1 == hops) and its F_E.
+struct EdgeExplanation {
+  int query_edge = -1;
+  std::vector<graph::NodeId> path;
+  double score = 0.0;  // F_E
+};
+
+/// A complete score breakdown of a match — the "why" behind Eq. 2.
+/// total always equals the sum of the parts.
+struct MatchExplanation {
+  std::vector<NodeExplanation> nodes;
+  std::vector<EdgeExplanation> edges;
+  double total = 0.0;
+};
+
+/// Reconstructs the full breakdown of a (complete) match under the
+/// scorer's semantics: per-node F_N and, per query edge, a shortest
+/// witness walk achieving the edge's F_E (a single data edge when the
+/// direct relation match is at least as good as any multi-hop decay).
+/// Fails with FailedPrecondition if the match is incomplete or an edge
+/// has no valid connection within d.
+Result<MatchExplanation> ExplainMatch(scoring::QueryScorer& scorer,
+                                      const GraphMatch& match);
+
+/// Human-readable multi-line rendering with entity labels.
+std::string FormatExplanation(const scoring::QueryScorer& scorer,
+                              const MatchExplanation& explanation);
+
+}  // namespace star::core
+
+#endif  // STAR_CORE_EXPLAIN_H_

@@ -1,0 +1,125 @@
+#include "core/framework.h"
+
+#include <algorithm>
+
+namespace star::core {
+
+using graph::KnowledgeGraph;
+using graph::LabelIndex;
+using query::QueryGraph;
+using query::StarQuery;
+using scoring::QueryScorer;
+using text::SimilarityEnsemble;
+
+StarFramework::StarFramework(const KnowledgeGraph& g,
+                             const SimilarityEnsemble& ensemble,
+                             const LabelIndex* index, StarOptions options)
+    : graph_(g), ensemble_(ensemble), index_(index), options_(options) {}
+
+std::vector<double> StarFramework::NodeWeights(
+    const QueryGraph& q, const std::vector<StarQuery>& stars,
+    size_t star_index) const {
+  // Which stars touch each query node (pivot or leaf of an owned edge).
+  std::vector<std::vector<size_t>> stars_of_node(q.node_count());
+  for (size_t i = 0; i < stars.size(); ++i) {
+    std::vector<bool> in_star(q.node_count(), false);
+    in_star[stars[i].pivot] = true;
+    for (const int e : stars[i].edges) {
+      in_star[q.edge(e).u] = true;
+      in_star[q.edge(e).v] = true;
+    }
+    for (int u = 0; u < q.node_count(); ++u) {
+      if (in_star[u]) stars_of_node[u].push_back(i);
+    }
+  }
+  std::vector<double> weights(q.node_count(), 1.0);
+  for (int u = 0; u < q.node_count(); ++u) {
+    const auto& owners = stars_of_node[u];
+    const auto it = std::find(owners.begin(), owners.end(), star_index);
+    if (it == owners.end()) {
+      weights[u] = 0.0;  // node not in this star; unused
+      continue;
+    }
+    if (owners.size() == 1) {
+      weights[u] = 1.0;
+    } else if (*owners.begin() == star_index) {
+      weights[u] = options_.alpha;  // the first (left) owner gets α
+    } else {
+      weights[u] = (1.0 - options_.alpha) /
+                   static_cast<double>(owners.size() - 1);
+    }
+  }
+  return weights;
+}
+
+std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
+  stats_ = FrameworkStats{};
+  std::vector<GraphMatch> out;
+  if (q.node_count() == 0 || k == 0) return out;
+
+  // Scorer shared by decomposition sampling and all star searches, so
+  // candidate lists and score memos are computed once per query.
+  QueryScorer scorer(graph_, q, ensemble_, options_.match, index_);
+
+  const std::vector<StarQuery> stars =
+      DecomposeQuery(q, options_.decomposition, &scorer);
+  stats_.num_stars = stars.size();
+
+  if (stars.size() == 1) {
+    // Pure star query: the engine output is final (Fig. 4 step 2 only).
+    StarSearch::Options so;
+    so.strategy = options_.strategy;
+    so.k_hint = k;
+    StarSearch search(scorer, stars[0], so);
+    const auto matches = search.TopK(k);
+    out.reserve(matches.size());
+    for (const auto& m : matches) out.push_back(search.ToGraphMatch(m));
+    stats_.star_depths = {matches.size()};
+    stats_.total_depth = matches.size();
+    stats_.search = search.stats();
+    return out;
+  }
+
+  // General query: build one monotone stream per star and fold them with
+  // left-deep α-scheme rank joins (§VI-A).
+  std::vector<StarMatchStream*> stream_ptrs;
+  std::unique_ptr<CoveredMatchIterator> pipeline;
+  // Keep the searches' scorer alive: all streams reference `scorer`.
+  for (size_t i = 0; i < stars.size(); ++i) {
+    StarSearch::Options so;
+    so.strategy = options_.strategy;
+    so.k_hint = 0;  // joins may need arbitrarily deep star streams
+    so.node_weights = NodeWeights(q, stars, i);
+    auto stream = std::make_unique<StarMatchStream>(
+        std::make_unique<StarSearch>(scorer, stars[i], so));
+    stream_ptrs.push_back(stream.get());
+    if (pipeline == nullptr) {
+      pipeline = std::move(stream);
+    } else {
+      pipeline = std::make_unique<RankJoin>(std::move(pipeline),
+                                            std::move(stream),
+                                            options_.match.enforce_injective);
+    }
+  }
+
+  while (out.size() < k) {
+    auto m = pipeline->Next();
+    if (!m.has_value()) break;
+    out.push_back(std::move(*m));
+  }
+
+  stats_.star_depths.clear();
+  for (StarMatchStream* s : stream_ptrs) {
+    stats_.star_depths.push_back(s->depth());
+    stats_.total_depth += s->depth();
+    const StarSearchStats& st = s->search().stats();
+    stats_.search.pivot_candidates += st.pivot_candidates;
+    stats_.search.enumerators_built += st.enumerators_built;
+    stats_.search.messages_sent += st.messages_sent;
+    stats_.search.nodes_expanded += st.nodes_expanded;
+    stats_.search.matches_emitted += st.matches_emitted;
+  }
+  return out;
+}
+
+}  // namespace star::core

@@ -1,0 +1,82 @@
+#ifndef STAR_CORE_FRAMEWORK_H_
+#define STAR_CORE_FRAMEWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/decomposition.h"
+#include "core/match.h"
+#include "core/rank_join.h"
+#include "core/star_search.h"
+#include "graph/knowledge_graph.h"
+#include "graph/label_index.h"
+#include "query/query_graph.h"
+#include "scoring/match_config.h"
+#include "scoring/query_scorer.h"
+#include "text/ensemble.h"
+
+namespace star::core {
+
+/// End-to-end configuration of the STAR framework (Fig. 4).
+struct StarOptions {
+  /// Star-query engine: stark or stard.
+  StarStrategy strategy = StarStrategy::kStard;
+  /// Matching semantics (thresholds, lambda, d, injectivity).
+  scoring::MatchConfig match;
+  /// Decomposition heuristic for general queries.
+  DecompositionOptions decomposition;
+  /// α of the two-way rank-join score split (§VI-A). The first star of a
+  /// shared node owns α of its F_N; with > 2 stars the remainder is split
+  /// evenly.
+  double alpha = 0.5;
+};
+
+/// Per-query execution diagnostics.
+struct FrameworkStats {
+  size_t num_stars = 0;
+  /// Matches pulled from each star stream (the search depths |L_i|).
+  std::vector<size_t> star_depths;
+  /// Total depth D = sum |L_i| (§VI-A's effectiveness metric).
+  size_t total_depth = 0;
+  /// Aggregated star-engine counters.
+  StarSearchStats search;
+};
+
+/// The STAR top-k query engine (Fig. 4): decomposes a general graph query
+/// into stars, evaluates each star with stark/stard, and assembles
+/// complete matches with the α-scheme rank join. Star queries bypass the
+/// join entirely.
+class StarFramework {
+ public:
+  /// All referenced objects must outlive the framework. `index` may be
+  /// null (candidates then scan all of V).
+  StarFramework(const graph::KnowledgeGraph& g,
+                const text::SimilarityEnsemble& ensemble,
+                const graph::LabelIndex* index, StarOptions options);
+
+  /// Top-k matches of q in descending score order. Exact under the
+  /// configured matching semantics (ties broken arbitrarily).
+  std::vector<GraphMatch> TopK(const query::QueryGraph& q, size_t k);
+
+  /// Diagnostics of the most recent TopK call.
+  const FrameworkStats& last_stats() const { return stats_; }
+
+  const StarOptions& options() const { return options_; }
+  StarOptions& mutable_options() { return options_; }
+
+ private:
+  /// α-scheme ownership weights for star i of `stars` (§VI-A).
+  std::vector<double> NodeWeights(const query::QueryGraph& q,
+                                  const std::vector<query::StarQuery>& stars,
+                                  size_t star_index) const;
+
+  const graph::KnowledgeGraph& graph_;
+  const text::SimilarityEnsemble& ensemble_;
+  const graph::LabelIndex* index_;
+  StarOptions options_;
+  FrameworkStats stats_;
+};
+
+}  // namespace star::core
+
+#endif  // STAR_CORE_FRAMEWORK_H_

@@ -1,0 +1,132 @@
+#include "core/pivot_enumerator.h"
+
+#include <algorithm>
+
+#include "core/topk_utils.h"
+
+namespace star::core {
+
+PivotEnumerator::PivotEnumerator(graph::NodeId pivot, double pivot_score,
+                                 std::vector<std::vector<LeafCandidate>> lists,
+                                 bool enforce_injective, size_t k_hint)
+    : pivot_(pivot),
+      pivot_score_(pivot_score),
+      lists_(std::move(lists)),
+      enforce_injective_(enforce_injective) {
+  if (k_hint > 0) {
+    // Prop. 3 (or its injective per-list variant) bounds how deep into the
+    // unsorted lists a top-k workload can reach; prune before sorting.
+    std::vector<std::vector<ListEntry>> entries(lists_.size());
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      entries[i].reserve(lists_[i].size());
+      for (size_t j = 0; j < lists_[i].size(); ++j) {
+        entries[i].push_back({j, lists_[i][j].total});
+      }
+    }
+    if (enforce_injective_) {
+      PruneListsPerList(entries, k_hint);
+    } else {
+      PruneListsProp3(entries, k_hint);
+    }
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      std::vector<LeafCandidate> kept;
+      kept.reserve(entries[i].size());
+      for (const ListEntry& e : entries[i]) kept.push_back(lists_[i][e.index]);
+      lists_[i] = std::move(kept);
+    }
+  }
+  for (auto& list : lists_) {
+    std::sort(list.begin(), list.end(),
+              [](const LeafCandidate& a, const LeafCandidate& b) {
+                return a.total > b.total ||
+                       (a.total == b.total && a.node < b.node);
+              });
+    if (list.empty()) {
+      exhausted_ = true;  // a leaf with no candidate: no match at this pivot
+      return;
+    }
+  }
+  if (!lists_.empty()) {
+    PushState(std::vector<int>(lists_.size(), 0));
+  }
+}
+
+double PivotEnumerator::StateScore(const std::vector<int>& cursor) const {
+  double s = pivot_score_;
+  for (size_t i = 0; i < cursor.size(); ++i) {
+    s += lists_[i][cursor[i]].total;
+  }
+  return s;
+}
+
+bool PivotEnumerator::StateInjective(const std::vector<int>& cursor) const {
+  for (size_t i = 0; i < cursor.size(); ++i) {
+    const graph::NodeId a = lists_[i][cursor[i]].node;
+    if (a == pivot_) return false;
+    for (size_t j = i + 1; j < cursor.size(); ++j) {
+      if (a == lists_[j][cursor[j]].node) return false;
+    }
+  }
+  return true;
+}
+
+void PivotEnumerator::PushState(std::vector<int> cursor) {
+  if (!visited_.insert(cursor).second) return;
+  const double score = StateScore(cursor);
+  frontier_.push(State{score, std::move(cursor)});
+}
+
+void PivotEnumerator::Stage() {
+  if (staged_.has_value() || exhausted_) return;
+  if (lists_.empty()) {
+    // Zero-leaf star: the pivot alone is the single match.
+    if (!zero_leaf_emitted_) {
+      staged_ = State{pivot_score_, {}};
+      zero_leaf_emitted_ = true;
+    } else {
+      exhausted_ = true;
+    }
+    return;
+  }
+  while (!frontier_.empty()) {
+    State top = frontier_.top();
+    frontier_.pop();
+    ++states_explored_;
+    // Expand successors regardless of validity: an invalid state's
+    // children may be valid and cheaper states are never skipped.
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      if (top.cursor[i] + 1 < static_cast<int>(lists_[i].size())) {
+        std::vector<int> next = top.cursor;
+        ++next[i];
+        PushState(std::move(next));
+      }
+    }
+    if (!enforce_injective_ || StateInjective(top.cursor)) {
+      staged_ = std::move(top);
+      return;
+    }
+  }
+  exhausted_ = true;
+}
+
+std::optional<double> PivotEnumerator::PeekScore() {
+  Stage();
+  if (!staged_.has_value()) return std::nullopt;
+  return staged_->score;
+}
+
+std::optional<StarMatch> PivotEnumerator::Next() {
+  Stage();
+  if (!staged_.has_value()) return std::nullopt;
+  StarMatch m;
+  m.pivot = pivot_;
+  m.score = staged_->score;
+  m.leaves.reserve(staged_->cursor.size());
+  for (size_t i = 0; i < staged_->cursor.size(); ++i) {
+    m.leaves.push_back(lists_[i][staged_->cursor[i]].node);
+  }
+  staged_.reset();
+  return m;
+}
+
+}  // namespace star::core

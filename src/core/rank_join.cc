@@ -1,0 +1,171 @@
+#include "core/rank_join.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace star::core {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StarMatchStream
+// ---------------------------------------------------------------------------
+
+StarMatchStream::StarMatchStream(std::unique_ptr<StarSearch> search)
+    : search_(std::move(search)) {
+  // Derive the covered-node mask by converting a placeholder star match:
+  // exactly the pivot's and the leaves' query-node slots get mapped.
+  StarMatch probe;
+  probe.pivot = 0;
+  probe.leaves.assign(search_->star().edges.size(), 0);
+  const GraphMatch gm = search_->ToGraphMatch(probe);
+  for (size_t u = 0; u < gm.mapping.size(); ++u) {
+    if (gm.mapping[u] != graph::kInvalidNode) covered_ |= uint64_t{1} << u;
+  }
+}
+
+std::optional<GraphMatch> StarMatchStream::Next() {
+  auto m = search_->Next();
+  if (!m.has_value()) return std::nullopt;
+  ++depth_;
+  return search_->ToGraphMatch(*m);
+}
+
+double StarMatchStream::UpperBound() const { return search_->UpperBound(); }
+
+// ---------------------------------------------------------------------------
+// RankJoin
+// ---------------------------------------------------------------------------
+
+RankJoin::RankJoin(std::unique_ptr<CoveredMatchIterator> left,
+                   std::unique_ptr<CoveredMatchIterator> right,
+                   bool enforce_injective)
+    : enforce_injective_(enforce_injective) {
+  left_.input = std::move(left);
+  right_.input = std::move(right);
+  covered_ = left_.input->covered_mask() | right_.input->covered_mask();
+  const uint64_t shared =
+      left_.input->covered_mask() & right_.input->covered_mask();
+  for (int u = 0; u < 64; ++u) {
+    if (shared & (uint64_t{1} << u)) shared_nodes_.push_back(u);
+  }
+}
+
+std::string RankJoin::JoinKey(const GraphMatch& m) const {
+  std::string key;
+  key.reserve(shared_nodes_.size() * sizeof(graph::NodeId));
+  for (const int u : shared_nodes_) {
+    const graph::NodeId v = m.mapping[u];
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  return key;
+}
+
+std::optional<GraphMatch> RankJoin::Combine(const GraphMatch& a,
+                                            const GraphMatch& b) const {
+  GraphMatch out;
+  out.mapping.assign(std::max(a.mapping.size(), b.mapping.size()),
+                     graph::kInvalidNode);
+  for (size_t u = 0; u < out.mapping.size(); ++u) {
+    const graph::NodeId va =
+        u < a.mapping.size() ? a.mapping[u] : graph::kInvalidNode;
+    const graph::NodeId vb =
+        u < b.mapping.size() ? b.mapping[u] : graph::kInvalidNode;
+    if (va != graph::kInvalidNode && vb != graph::kInvalidNode && va != vb) {
+      return std::nullopt;  // conflicting shared assignment (key mismatch)
+    }
+    out.mapping[u] = va != graph::kInvalidNode ? va : vb;
+  }
+  if (enforce_injective_ && !out.Injective()) return std::nullopt;
+  out.score = a.score + b.score;
+  return out;
+}
+
+bool RankJoin::Pull(Side& self, Side& other) {
+  if (self.exhausted) return false;
+  auto m = self.input->Next();
+  if (!m.has_value()) {
+    self.exhausted = true;
+    return false;
+  }
+  ++self.pulled;
+  if (!self.top_seen) {
+    self.top_seen = true;
+    self.top_score = m->score;
+  }
+  const std::string key = JoinKey(*m);
+  // Probe the other side's table.
+  const auto it = other.table.find(key);
+  if (it != other.table.end()) {
+    for (const GraphMatch& partner : it->second) {
+      ++stats_.pairs_probed;
+      auto joined = Combine(*m, partner);
+      if (joined.has_value()) {
+        ++stats_.results_formed;
+        results_.push(std::move(*joined));
+      }
+    }
+  }
+  self.table[key].push_back(std::move(*m));
+  return true;
+}
+
+double RankJoin::Threshold() const {
+  // Eq. 4: an unseen join result pairs an unseen match from one side with
+  // any (seen or unseen) match from the other. Before a side produced its
+  // first match, its top is bounded by its UpperBound.
+  const double left_ub = left_.exhausted ? kNegInf : left_.input->UpperBound();
+  const double right_ub =
+      right_.exhausted ? kNegInf : right_.input->UpperBound();
+  const double left_top = left_.top_seen ? left_.top_score : left_ub;
+  const double right_top = right_.top_seen ? right_.top_score : right_ub;
+  double t = kNegInf;
+  if (left_ub != kNegInf && right_top != kNegInf) {
+    t = std::max(t, left_ub + right_top);
+  }
+  if (right_ub != kNegInf && left_top != kNegInf) {
+    t = std::max(t, left_top + right_ub);
+  }
+  return t;
+}
+
+std::optional<GraphMatch> RankJoin::Next() {
+  while (true) {
+    const double threshold = Threshold();
+    if (!results_.empty() && results_.top().score >= threshold) {
+      GraphMatch out = results_.top();
+      results_.pop();
+      return out;
+    }
+    if (threshold == kNegInf) {
+      // Both inputs exhausted; drain remaining buffered results.
+      if (results_.empty()) return std::nullopt;
+      GraphMatch out = results_.top();
+      results_.pop();
+      return out;
+    }
+    // Pull from the side that currently determines the larger part of the
+    // threshold (the classic HRJN strategy), falling back to the other.
+    const double left_ub = left_.exhausted ? kNegInf : left_.input->UpperBound();
+    const double right_ub =
+        right_.exhausted ? kNegInf : right_.input->UpperBound();
+    const bool prefer_left = left_ub >= right_ub;
+    if (prefer_left) {
+      if (!Pull(left_, right_) && !Pull(right_, left_)) continue;
+    } else {
+      if (!Pull(right_, left_) && !Pull(left_, right_)) continue;
+    }
+    stats_.left_pulled = left_.pulled;
+    stats_.right_pulled = right_.pulled;
+  }
+}
+
+double RankJoin::UpperBound() const {
+  double ub = Threshold();
+  if (!results_.empty()) ub = std::max(ub, results_.top().score);
+  return ub;
+}
+
+}  // namespace star::core

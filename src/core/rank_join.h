@@ -1,0 +1,124 @@
+#ifndef STAR_CORE_RANK_JOIN_H_
+#define STAR_CORE_RANK_JOIN_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/match.h"
+#include "core/star_search.h"
+
+namespace star::core {
+
+/// A RankedMatchIterator with a declared set of covered query nodes; rank
+/// joins use the cover masks to find the joint nodes U shared by two
+/// inputs (§VI-A). Query graphs are limited to 64 nodes by the mask width,
+/// far beyond any query the paper considers.
+class CoveredMatchIterator : public RankedMatchIterator {
+ public:
+  /// Bit u set <=> query node u is mapped by every match of this stream.
+  virtual uint64_t covered_mask() const = 0;
+};
+
+/// Adapts a StarSearch into a CoveredMatchIterator producing partial
+/// GraphMatches. The stream's scores are the α-weighted star scores
+/// (StarSearch::Options::node_weights), so they are monotone and sum
+/// exactly to Eq. 2 across a decomposition.
+class StarMatchStream : public CoveredMatchIterator {
+ public:
+  explicit StarMatchStream(std::unique_ptr<StarSearch> search);
+
+  std::optional<GraphMatch> Next() override;
+  double UpperBound() const override;
+  uint64_t covered_mask() const override { return covered_; }
+
+  /// Matches pulled so far — the star's search depth |L_i| (Fig. 14(d)).
+  size_t depth() const { return depth_; }
+
+  StarSearch& search() { return *search_; }
+
+ private:
+  std::unique_ptr<StarSearch> search_;
+  uint64_t covered_ = 0;
+  size_t depth_ = 0;
+};
+
+/// Hash rank join of two monotone match streams (starjoin, Fig. 9; HRJN
+/// [21] with the α-scheme upper bounds of Eq. 4).
+///
+/// Pulls alternately from the side with the larger bound contribution,
+/// maintains a hash table per input keyed by the joint-node assignment,
+/// and emits joined matches once their score is at least the threshold
+///   T = max(U_left + top_right, top_left + U_right),
+/// which Eq. 4 shows is a valid upper bound on any unseen join result when
+/// the two inputs' ranking functions split shared-node scores by α.
+///
+/// The output is itself a CoveredMatchIterator, enabling the left-deep
+/// multiway pipeline of §VI-A.
+class RankJoin : public CoveredMatchIterator {
+ public:
+  struct Stats {
+    size_t left_pulled = 0;
+    size_t right_pulled = 0;
+    size_t pairs_probed = 0;
+    size_t results_formed = 0;
+  };
+
+  RankJoin(std::unique_ptr<CoveredMatchIterator> left,
+           std::unique_ptr<CoveredMatchIterator> right,
+           bool enforce_injective);
+
+  std::optional<GraphMatch> Next() override;
+  double UpperBound() const override;
+  uint64_t covered_mask() const override { return covered_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Side {
+    std::unique_ptr<CoveredMatchIterator> input;
+    std::unordered_map<std::string, std::vector<GraphMatch>> table;
+    double top_score = 0.0;  // score of the first match pulled
+    bool top_seen = false;
+    bool exhausted = false;
+    size_t pulled = 0;
+  };
+
+  /// Joint-node signature of a match (data nodes at shared query nodes).
+  std::string JoinKey(const GraphMatch& m) const;
+
+  /// Unseen-result threshold T (Eq. 4 composition); -inf when both inputs
+  /// are exhausted.
+  double Threshold() const;
+
+  /// Pulls one match from the chosen side, probes, pushes join results.
+  /// Returns false if the side was exhausted.
+  bool Pull(Side& self, Side& other);
+
+  /// Combines two compatible partial matches.
+  std::optional<GraphMatch> Combine(const GraphMatch& a,
+                                    const GraphMatch& b) const;
+
+  Side left_, right_;
+  uint64_t covered_ = 0;
+  std::vector<int> shared_nodes_;
+  bool enforce_injective_;
+
+  struct ResultOrder {
+    bool operator()(const GraphMatch& a, const GraphMatch& b) const {
+      return a.score < b.score;
+    }
+  };
+  std::priority_queue<GraphMatch, std::vector<GraphMatch>, ResultOrder>
+      results_;
+  Stats stats_;
+};
+
+}  // namespace star::core
+
+#endif  // STAR_CORE_RANK_JOIN_H_

@@ -1,0 +1,536 @@
+#include "core/star_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace star::core {
+
+using graph::KnowledgeGraph;
+using graph::Neighbor;
+using graph::NodeId;
+using query::QueryGraph;
+using query::StarQuery;
+using scoring::QueryScorer;
+using scoring::ScoredCandidate;
+
+StarQuery MakeStarQuery(const QueryGraph& q) {
+  StarQuery s;
+  s.pivot = q.StarPivot();
+  if (s.pivot >= 0) s.edges = q.IncidentEdges(s.pivot);
+  return s;
+}
+
+StarSearch::StarSearch(QueryScorer& scorer, StarQuery star, Options options)
+    : scorer_(scorer), star_(std::move(star)), options_(std::move(options)) {
+  leaf_nodes_.reserve(star_.edges.size());
+  for (const int e : star_.edges) {
+    leaf_nodes_.push_back(scorer_.query().OtherEnd(e, star_.pivot));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact per-pivot enumeration (shared by stark and stard's refinement).
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
+    NodeId pivot, double pivot_score) {
+  ++stats_.enumerators_built;
+  const KnowledgeGraph& g = scorer_.graph();
+  const scoring::MatchConfig& cfg = scorer_.config();
+  const size_t s = star_.edges.size();
+  const int d = std::max(1, cfg.d);
+
+  // Best combined contribution per (leaf, candidate node) under the walk
+  // semantics: the direct edges give relsim (h = 1); any node reachable by
+  // a walk of length h in [2, d] additionally offers lambda^(h-1).
+  std::vector<std::unordered_map<NodeId, double>> best(s);
+
+  // CandidateScore defines leaf-match validity (threshold + index
+  // semantics shared with every other algorithm in the library).
+  const auto consider = [&](NodeId w, double edge_component) {
+    if (edge_component < cfg.edge_threshold) return;
+    if (cfg.enforce_injective && w == pivot) return;
+    for (size_t i = 0; i < s; ++i) {
+      const int leaf = leaf_nodes_[i];
+      const double node_score = scorer_.CandidateScore(leaf, w);
+      if (node_score < 0.0) continue;
+      const double total = node_score * NodeWeight(leaf) + edge_component;
+      auto [it, inserted] = best[i].try_emplace(w, total);
+      if (!inserted && total > it->second) it->second = total;
+    }
+  };
+
+  // h = 1: direct edges (relation similarity applies, per edge).
+  // The per-leaf relation scores differ, so this loop is leaf-specific.
+  ++stats_.nodes_expanded;
+  for (const Neighbor& nb : g.Neighbors(pivot)) {
+    const NodeId w = nb.node;
+    if (cfg.enforce_injective && w == pivot) continue;
+    for (size_t i = 0; i < s; ++i) {
+      const double edge_component =
+          scorer_.RelationScore(star_.edges[i], nb.relation);
+      if (edge_component < cfg.edge_threshold) continue;
+      const int leaf = leaf_nodes_[i];
+      const double node_score = scorer_.CandidateScore(leaf, w);
+      if (node_score < 0.0) continue;
+      const double total = node_score * NodeWeight(leaf) + edge_component;
+      auto [it, inserted] = best[i].try_emplace(w, total);
+      if (!inserted && total > it->second) it->second = total;
+    }
+  }
+
+  // h >= 2: walk layers. W_h = N(W_{h-1}); a node may appear in several
+  // layers (walks revisit), and the best (smallest h) dominates since
+  // lambda^(h-1) decreases, so each node is considered once at its first
+  // layer appearance.
+  if (d >= 2) {
+    std::unordered_set<NodeId> reached;  // nodes already credited a decay
+    // W_1 = N(pivot); W_h = N(W_{h-1}) are exactly the walk-length-h sets.
+    std::unordered_set<NodeId> layer;
+    for (const Neighbor& nb : g.Neighbors(pivot)) layer.insert(nb.node);
+    for (int h = 2; h <= d; ++h) {
+      const double decay = scorer_.PathDecay(h);
+      if (decay < cfg.edge_threshold) break;
+      std::unordered_set<NodeId> next;
+      for (const NodeId x : layer) {
+        ++stats_.nodes_expanded;
+        for (const Neighbor& nb : g.Neighbors(x)) next.insert(nb.node);
+      }
+      // Credit each node once, at its smallest walk length (max decay).
+      for (const NodeId w : next) {
+        if (reached.insert(w).second) consider(w, decay);
+      }
+      layer = std::move(next);
+    }
+  }
+
+  std::vector<std::vector<LeafCandidate>> lists(s);
+  for (size_t i = 0; i < s; ++i) {
+    lists[i].reserve(best[i].size());
+    for (const auto& [node, total] : best[i]) lists[i].push_back({node, total});
+  }
+  return std::make_unique<PivotEnumerator>(pivot, pivot_score,
+                                           std::move(lists),
+                                           cfg.enforce_injective,
+                                           options_.k_hint);
+}
+
+// ---------------------------------------------------------------------------
+// stark initialization: exact top-1 for every pivot candidate.
+// ---------------------------------------------------------------------------
+
+void StarSearch::InitializeStark() {
+  const auto& candidates = scorer_.Candidates(star_.pivot);
+  stats_.pivot_candidates = candidates.size();
+  reserve_.reserve(candidates.size());
+  const double pivot_weight = NodeWeight(star_.pivot);
+  for (const ScoredCandidate& c : candidates) {
+    auto enumerator = BuildEnumerator(c.node, c.score * pivot_weight);
+    const auto top1 = enumerator->PeekScore();
+    if (!top1.has_value()) continue;
+    ReserveEntry entry;
+    entry.bound = *top1;
+    entry.pivot = c.node;
+    entry.pivot_score = c.score * pivot_weight;
+    entry.prebuilt = std::move(enumerator);
+    reserve_.push_back(std::move(entry));
+  }
+  std::sort(reserve_.begin(), reserve_.end(),
+            [](const ReserveEntry& a, const ReserveEntry& b) {
+              return a.bound > b.bound;
+            });
+}
+
+// ---------------------------------------------------------------------------
+// stard initialization: d rounds of message propagation (§V-B).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A message in flight: "a match of some leaf with (weighted) node score
+/// `base` lies `hops` hops back along the walk that delivered this".
+/// Example 6's triples. The arrival value at a node reached via a direct
+/// edge r is base + relsim(r) for hops == 1, base + lambda^(hops-1)
+/// otherwise — evaluated at receipt, which keeps the walk semantics
+/// symmetric and the forwarded state independent of relations.
+struct Message {
+  NodeId source = graph::kInvalidNode;
+  double base = 0.0;
+  int hops = 0;
+};
+
+/// Arrival bookkeeping per (leaf, node): the best arrival values of the
+/// two best *distinct* sources — exactly what the pivot estimate needs
+/// under injectivity (§V-B's ping-pong rule: "record two best matches"),
+/// plus an admissible upper bound for anything dropped from the forward
+/// set upstream.
+struct ArrivalSlot {
+  NodeId best_source = graph::kInvalidNode;
+  double best_value = -1.0;
+  NodeId second_source = graph::kInvalidNode;
+  double second_value = -1.0;
+  double overflow = -1.0;
+
+  void Offer(NodeId source, double value) {
+    if (source == best_source) {
+      best_value = std::max(best_value, value);
+      return;
+    }
+    if (value > best_value) {
+      second_source = best_source;
+      second_value = best_value;
+      best_source = source;
+      best_value = value;
+    } else if (source == second_source) {
+      second_value = std::max(second_value, value);
+    } else if (value > second_value) {
+      second_source = source;
+      second_value = value;
+    }
+  }
+
+  /// Max arrival value over sources != excluded (-1 if none).
+  double BestExcluding(NodeId excluded) const {
+    double v = best_source != excluded ? best_value : second_value;
+    return std::max(v, overflow);
+  }
+
+  double BestAny() const { return std::max(best_value, overflow); }
+};
+
+/// Forward state per (leaf, node): messages eligible to travel further.
+/// Only (source, base, hops) matter downstream. Same-source dominated
+/// entries are pruned; the set is capped with the two best distinct
+/// sources protected; drops record an upper bound on future arrivals.
+struct ForwardSet {
+  std::vector<Message> messages;
+
+  /// Potential of a message = best possible future arrival value.
+  static double Potential(const Message& m, double lambda) {
+    return m.base + std::pow(lambda, m.hops);  // next arrival: hops+1
+  }
+
+  /// Returns (kept, dropped_bound): dropped_bound >= any future arrival of
+  /// a message evicted by this insertion (< 0 if nothing dropped).
+  std::pair<bool, double> Insert(const Message& m, double lambda,
+                                 size_t cap) {
+    for (const Message& e : messages) {
+      if (e.source == m.source && e.base >= m.base && e.hops <= m.hops) {
+        return {false, -1.0};
+      }
+    }
+    std::erase_if(messages, [&](const Message& e) {
+      return e.source == m.source && m.base >= e.base && m.hops <= e.hops;
+    });
+    messages.push_back(m);
+    if (messages.size() <= cap) return {true, -1.0};
+    // Evict the weakest unprotected message.
+    std::sort(messages.begin(), messages.end(),
+              [&](const Message& a, const Message& b) {
+                return Potential(a, lambda) > Potential(b, lambda);
+              });
+    const NodeId first = messages[0].source;
+    NodeId second = graph::kInvalidNode;
+    for (const Message& e : messages) {
+      if (e.source != first) {
+        second = e.source;
+        break;
+      }
+    }
+    for (size_t i = messages.size(); i-- > 0;) {
+      const Message& e = messages[i];
+      const bool first_of_source =
+          std::find_if(messages.begin(), messages.begin() + i,
+                       [&](const Message& x) { return x.source == e.source; }) ==
+          messages.begin() + i;
+      if ((e.source == first || e.source == second) && first_of_source) {
+        continue;  // protected
+      }
+      const double bound = Potential(e, lambda);
+      const bool dropped_is_new =
+          e.source == m.source && e.base == m.base && e.hops == m.hops;
+      messages.erase(messages.begin() + i);
+      return {!dropped_is_new, bound};
+    }
+    return {true, -1.0};  // everything protected; tolerate over-capacity
+  }
+};
+
+constexpr size_t kForwardCap = 5;
+
+}  // namespace
+
+void StarSearch::InitializeStard() {
+  const KnowledgeGraph& g = scorer_.graph();
+  const scoring::MatchConfig& cfg = scorer_.config();
+  const size_t s = star_.edges.size();
+  const int d = std::max(1, cfg.d);
+  const double lambda = cfg.lambda;
+
+  std::vector<std::unordered_map<NodeId, ArrivalSlot>> arrivals(s);
+  std::vector<std::unordered_map<NodeId, ForwardSet>> forward(s);
+
+  struct FrontierEntry {
+    NodeId at;
+    Message msg;
+  };
+  std::vector<std::vector<FrontierEntry>> frontier(s);
+  std::vector<std::vector<std::pair<NodeId, double>>> overflow_frontier(s);
+
+  // Round 1: each leaf candidate sends to its neighbors; the arrival value
+  // uses the direct edge's relation similarity.
+  for (size_t i = 0; i < s; ++i) {
+    const int leaf = leaf_nodes_[i];
+    const auto& leaf_node = scorer_.query().node(leaf);
+    // Untyped wildcards would flood the graph with messages (every node is
+    // a candidate); they use the closed-form bound below instead. Typed
+    // wildcards have proper candidate lists and propagate normally.
+    if (leaf_node.wildcard && leaf_node.type_name.empty()) continue;
+    const double leaf_weight = NodeWeight(leaf);
+    for (const ScoredCandidate& c : scorer_.Candidates(leaf)) {
+      const double base = c.score * leaf_weight;
+      const Message m{c.node, base, 1};
+      for (const Neighbor& nb : g.Neighbors(c.node)) {
+        ++stats_.messages_sent;
+        const double relsim = scorer_.RelationScore(star_.edges[i], nb.relation);
+        if (relsim >= cfg.edge_threshold) {
+          arrivals[i][nb.node].Offer(c.node, base + relsim);
+        }
+        if (d >= 2) {
+          auto [kept, dropped] =
+              forward[i][nb.node].Insert(m, lambda, kForwardCap);
+          if (kept) frontier[i].push_back({nb.node, m});
+          if (dropped >= 0.0) {
+            overflow_frontier[i].emplace_back(nb.node, dropped);
+          }
+        }
+      }
+    }
+  }
+
+  // Rounds 2..d: forward one hop; arrival value is base + lambda^(h-1).
+  for (int h = 2; h <= d; ++h) {
+    const double decay = scorer_.PathDecay(h);
+    for (size_t i = 0; i < s; ++i) {
+      std::vector<FrontierEntry> next;
+      std::vector<std::pair<NodeId, double>> next_overflow;
+      for (const FrontierEntry& fe : frontier[i]) {
+        Message fwd = fe.msg;
+        fwd.hops = h;
+        for (const Neighbor& nb : g.Neighbors(fe.at)) {
+          ++stats_.messages_sent;
+          if (decay >= cfg.edge_threshold) {
+            arrivals[i][nb.node].Offer(fwd.source, fwd.base + decay);
+          }
+          if (h < d) {
+            auto [kept, dropped] =
+                forward[i][nb.node].Insert(fwd, lambda, kForwardCap);
+            if (kept) next.push_back({nb.node, fwd});
+            if (dropped >= 0.0) next_overflow.emplace_back(nb.node, dropped);
+          }
+        }
+      }
+      // Overflow upper bounds spread undecayed to stay admissible.
+      for (const auto& [at, ub] : overflow_frontier[i]) {
+        ArrivalSlot& self = arrivals[i][at];
+        self.overflow = std::max(self.overflow, ub);
+        for (const Neighbor& nb : g.Neighbors(at)) {
+          ArrivalSlot& slot = arrivals[i][nb.node];
+          if (ub > slot.overflow) {
+            slot.overflow = ub;
+            next_overflow.emplace_back(nb.node, ub);
+          }
+        }
+      }
+      frontier[i] = std::move(next);
+      overflow_frontier[i] = std::move(next_overflow);
+    }
+  }
+  // Any overflow still queued lands in its node's slot.
+  for (size_t i = 0; i < s; ++i) {
+    for (const auto& [at, ub] : overflow_frontier[i]) {
+      ArrivalSlot& slot = arrivals[i][at];
+      slot.overflow = std::max(slot.overflow, ub);
+    }
+  }
+
+  // Estimate each pivot candidate's top-1 score from the arrival slots.
+  const auto& candidates = scorer_.Candidates(star_.pivot);
+  stats_.pivot_candidates = candidates.size();
+  reserve_.reserve(candidates.size());
+  const double pivot_weight = NodeWeight(star_.pivot);
+  for (const ScoredCandidate& c : candidates) {
+    double estimate = c.score * pivot_weight;
+    bool feasible = true;
+    for (size_t i = 0; i < s; ++i) {
+      const int leaf = leaf_nodes_[i];
+      const auto& leaf_node = scorer_.query().node(leaf);
+      double contribution = -1.0;
+      if (leaf_node.wildcard && leaf_node.type_name.empty()) {
+        if (g.Degree(c.node) > 0) {
+          contribution = cfg.wildcard_node_score * NodeWeight(leaf) +
+                         scorer_.MaxEdgeScore(star_.edges[i]);
+        }
+      } else {
+        const auto it = arrivals[i].find(c.node);
+        if (it != arrivals[i].end()) {
+          contribution = cfg.enforce_injective
+                             ? it->second.BestExcluding(c.node)
+                             : it->second.BestAny();
+        }
+      }
+      if (contribution < 0.0) {
+        feasible = false;
+        break;
+      }
+      estimate += contribution;
+    }
+    if (!feasible) continue;
+    ReserveEntry entry;
+    entry.bound = estimate;
+    entry.pivot = c.node;
+    entry.pivot_score = c.score * pivot_weight;
+    reserve_.push_back(std::move(entry));
+  }
+  std::sort(reserve_.begin(), reserve_.end(),
+            [](const ReserveEntry& a, const ReserveEntry& b) {
+              return a.bound > b.bound;
+            });
+}
+
+// ---------------------------------------------------------------------------
+// §V-C alternative: lazy descent ordered by a closed-form bound.
+// ---------------------------------------------------------------------------
+
+void StarSearch::InitializeHybrid() {
+  const scoring::MatchConfig& cfg = scorer_.config();
+  const size_t s = star_.edges.size();
+  // Per-leaf upper bound, identical for every pivot: best leaf candidate
+  // F_N (weighted) plus the best possible edge score.
+  double leaf_ub_total = 0.0;
+  bool feasible = true;
+  for (size_t i = 0; i < s; ++i) {
+    const int leaf = leaf_nodes_[i];
+    const auto& leaf_node = scorer_.query().node(leaf);
+    double best_leaf;
+    if (leaf_node.wildcard && leaf_node.type_name.empty()) {
+      best_leaf = cfg.wildcard_node_score;
+    } else {
+      const auto& cands = scorer_.Candidates(leaf);
+      if (cands.empty()) {
+        feasible = false;
+        break;
+      }
+      best_leaf = cands[0].score;
+    }
+    leaf_ub_total +=
+        best_leaf * NodeWeight(leaf) + scorer_.MaxEdgeScore(star_.edges[i]);
+  }
+  const auto& candidates = scorer_.Candidates(star_.pivot);
+  stats_.pivot_candidates = candidates.size();
+  if (!feasible) return;
+  const double pivot_weight = NodeWeight(star_.pivot);
+  reserve_.reserve(candidates.size());
+  for (const ScoredCandidate& c : candidates) {
+    ReserveEntry entry;
+    entry.bound = c.score * pivot_weight + leaf_ub_total;
+    entry.pivot = c.node;
+    entry.pivot_score = c.score * pivot_weight;
+    reserve_.push_back(std::move(entry));
+  }
+  // Candidates are already sorted by score, so the reserve is sorted by
+  // bound; std::sort kept for clarity and weighted edge cases.
+  std::sort(reserve_.begin(), reserve_.end(),
+            [](const ReserveEntry& a, const ReserveEntry& b) {
+              return a.bound > b.bound;
+            });
+}
+
+// ---------------------------------------------------------------------------
+// Shared incremental top-k loop (Fig. 5 steps 2-3, lazily).
+// ---------------------------------------------------------------------------
+
+void StarSearch::Initialize() {
+  if (initialized_) return;
+  initialized_ = true;
+  if (options_.strategy == StarStrategy::kHybrid) {
+    InitializeHybrid();
+    return;
+  }
+  // §V-B: "when d = 1, stard degrades to stark, thus having the same
+  // runtime" — one round of message passing has nothing to amortize, so
+  // the eager path is used directly.
+  if (options_.strategy == StarStrategy::kStark || scorer_.config().d <= 1) {
+    InitializeStark();
+  } else {
+    InitializeStard();
+  }
+}
+
+void StarSearch::ActivateReserve() {
+  while (reserve_pos_ < reserve_.size() &&
+         (queue_.empty() ||
+          reserve_[reserve_pos_].bound >= queue_.top().score)) {
+    ReserveEntry& entry = reserve_[reserve_pos_++];
+    std::unique_ptr<PivotEnumerator> enumerator =
+        entry.prebuilt != nullptr
+            ? std::move(entry.prebuilt)
+            : BuildEnumerator(entry.pivot, entry.pivot_score);
+    const auto score = enumerator->PeekScore();
+    if (!score.has_value()) continue;
+    active_.push_back(std::move(enumerator));
+    queue_.push(QueueEntry{*score, active_.size() - 1});
+  }
+}
+
+std::optional<StarMatch> StarSearch::Next() {
+  Initialize();
+  ActivateReserve();
+  if (queue_.empty()) return std::nullopt;
+  const QueueEntry top = queue_.top();
+  queue_.pop();
+  std::optional<StarMatch> m = active_[top.enumerator_index]->Next();
+  const auto next_score = active_[top.enumerator_index]->PeekScore();
+  if (next_score.has_value()) {
+    queue_.push(QueueEntry{*next_score, top.enumerator_index});
+  }
+  ++stats_.matches_emitted;
+  return m;
+}
+
+double StarSearch::UpperBound() {
+  Initialize();
+  double ub = -std::numeric_limits<double>::infinity();
+  if (!queue_.empty()) ub = queue_.top().score;
+  if (reserve_pos_ < reserve_.size()) {
+    ub = std::max(ub, reserve_[reserve_pos_].bound);
+  }
+  return ub;
+}
+
+std::vector<StarMatch> StarSearch::TopK(size_t k) {
+  std::vector<StarMatch> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    auto m = Next();
+    if (!m.has_value()) break;
+    out.push_back(std::move(*m));
+  }
+  return out;
+}
+
+GraphMatch StarSearch::ToGraphMatch(const StarMatch& m) const {
+  GraphMatch gm;
+  gm.mapping.assign(scorer_.query().node_count(), graph::kInvalidNode);
+  gm.mapping[star_.pivot] = m.pivot;
+  for (size_t i = 0; i < leaf_nodes_.size(); ++i) {
+    gm.mapping[leaf_nodes_[i]] = m.leaves[i];
+  }
+  gm.score = m.score;
+  return gm;
+}
+
+}  // namespace star::core

@@ -1,0 +1,140 @@
+#ifndef STAR_CORE_STAR_SEARCH_H_
+#define STAR_CORE_STAR_SEARCH_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/match.h"
+#include "core/pivot_enumerator.h"
+#include "query/query_graph.h"
+#include "scoring/query_scorer.h"
+
+namespace star::core {
+
+/// Which §V algorithm evaluates the star query.
+enum class StarStrategy {
+  /// stark (Fig. 5): the exact top-1 match is computed for *every* pivot
+  /// candidate up front. For d >= 2 this performs a d-hop traversal per
+  /// candidate — the cost the paper's Exp-1 measures.
+  kStark,
+  /// stard (§V-B): d rounds of message propagation produce (an upper bound
+  /// on) each candidate's top-1 score; exact per-pivot enumeration runs
+  /// only for pivots that can reach the top k ("lazy" refinement).
+  kStard,
+  /// The §V-C "alternative": pivot candidates are ranked by a cheap
+  /// closed-form upper bound (pivot F_N plus, per leaf, the best leaf
+  /// candidate score and best edge score) and exact per-pivot enumerators
+  /// are built lazily in that order, stopping as soon as no unseen pivot
+  /// can beat the best queued match. A TA-flavored middle ground: no
+  /// message passing, but far fewer per-pivot traversals than stark when
+  /// pivot F_N scores discriminate well.
+  kHybrid,
+};
+
+/// Counters exposed for the benchmark harness.
+struct StarSearchStats {
+  size_t pivot_candidates = 0;
+  size_t enumerators_built = 0;
+  size_t messages_sent = 0;
+  size_t nodes_expanded = 0;
+  size_t matches_emitted = 0;
+};
+
+/// Builds the StarQuery view of a whole star-shaped QueryGraph.
+/// Precondition: q.IsStar().
+query::StarQuery MakeStarQuery(const query::QueryGraph& q);
+
+/// Top-k evaluation of one star (sub)query. Emits matches in
+/// non-increasing score order via Next(), which makes it directly usable
+/// as a rank-join input (§VI). Both strategies produce identical results;
+/// they differ only in how much work identifying the pivot set costs.
+class StarSearch {
+ public:
+  struct Options {
+    StarStrategy strategy = StarStrategy::kStard;
+    /// If > 0, per-pivot candidate lists are pruned for a top-k_hint
+    /// workload (Prop. 3); pulling more than k_hint matches *pivoted at
+    /// one node* is then not supported. 0 = no pruning (exact streams of
+    /// any length, required by rank joins).
+    size_t k_hint = 0;
+    /// α-scheme ownership weights (§VI-A): node_weights[u] is the fraction
+    /// of query node u's F_N that this star's ranking function owns. Empty
+    /// = all 1 (standalone star query). Joining streams whose per-node
+    /// weights sum to 1 yields exactly the Eq. 2 score.
+    std::vector<double> node_weights;
+  };
+
+  /// The scorer must outlive the search; `star.edges` must all be incident
+  /// to `star.pivot` in scorer's query graph.
+  StarSearch(scoring::QueryScorer& scorer, query::StarQuery star,
+             Options options);
+
+  /// The next-best match of the star, or nullopt when no more matches
+  /// satisfy the thresholds. Scores never increase across calls.
+  std::optional<StarMatch> Next();
+
+  /// Upper bound on the score of any not-yet-returned match.
+  double UpperBound();
+
+  /// Convenience: the best k matches (Fig. 5's stark procedure).
+  std::vector<StarMatch> TopK(size_t k);
+
+  /// Expands a star match to a (partial) match of the full query graph.
+  GraphMatch ToGraphMatch(const StarMatch& m) const;
+
+  const query::StarQuery& star() const { return star_; }
+  const StarSearchStats& stats() const { return stats_; }
+
+ private:
+  struct ReserveEntry {
+    double bound = 0.0;  // stark: exact top-1; stard: upper-bound estimate
+    graph::NodeId pivot = graph::kInvalidNode;
+    double pivot_score = 0.0;
+    std::unique_ptr<PivotEnumerator> prebuilt;  // stark only
+  };
+
+  struct QueueEntry {
+    double score;
+    size_t enumerator_index;
+    bool operator<(const QueueEntry& o) const { return score < o.score; }
+  };
+
+  double NodeWeight(int query_node) const {
+    return options_.node_weights.empty()
+               ? 1.0
+               : options_.node_weights[query_node];
+  }
+
+  void Initialize();
+  void InitializeStark();
+  void InitializeStard();
+  void InitializeHybrid();
+  /// Moves reserve pivots into the active queue while one could beat the
+  /// best queued match.
+  void ActivateReserve();
+
+  /// Exact per-pivot leaf lists via a depth-(d-1) BFS around the pivot
+  /// (each leaf candidate w gets max over incident edges (x,w,r) with
+  /// dist(v,x) = delta of NodeScore + RelationScore(r) * lambda^delta).
+  std::unique_ptr<PivotEnumerator> BuildEnumerator(graph::NodeId pivot,
+                                                   double pivot_score);
+
+  scoring::QueryScorer& scorer_;
+  query::StarQuery star_;
+  Options options_;
+  std::vector<int> leaf_nodes_;  // query node per star edge
+
+  bool initialized_ = false;
+  std::vector<ReserveEntry> reserve_;  // sorted descending by bound
+  size_t reserve_pos_ = 0;
+  std::vector<std::unique_ptr<PivotEnumerator>> active_;
+  std::priority_queue<QueueEntry> queue_;
+  StarSearchStats stats_;
+};
+
+}  // namespace star::core
+
+#endif  // STAR_CORE_STAR_SEARCH_H_

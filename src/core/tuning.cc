@@ -1,0 +1,36 @@
+#include "core/tuning.h"
+
+#include <limits>
+
+namespace star::core {
+
+TuningResult TuneParameters(StarFramework& framework,
+                            const std::vector<query::QueryGraph>& workload,
+                            const TuningOptions& options) {
+  TuningResult best;
+  size_t best_depth = std::numeric_limits<size_t>::max();
+  for (const double alpha : options.alpha_grid) {
+    for (const double lambda : options.lambda_grid) {
+      framework.mutable_options().alpha = alpha;
+      framework.mutable_options().decomposition.lambda_tradeoff = lambda;
+      size_t depth = 0;
+      for (const auto& q : workload) {
+        framework.TopK(q, options.k);
+        depth += framework.last_stats().total_depth;
+      }
+      best.grid_depths.push_back(depth);
+      if (depth < best_depth) {
+        best_depth = depth;
+        best.alpha = alpha;
+        best.lambda_tradeoff = lambda;
+      }
+    }
+  }
+  best.total_depth = best_depth;
+  framework.mutable_options().alpha = best.alpha;
+  framework.mutable_options().decomposition.lambda_tradeoff =
+      best.lambda_tradeoff;
+  return best;
+}
+
+}  // namespace star::core

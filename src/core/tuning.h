@@ -1,0 +1,41 @@
+#ifndef STAR_CORE_TUNING_H_
+#define STAR_CORE_TUNING_H_
+
+#include <vector>
+
+#include "core/framework.h"
+#include "query/query_graph.h"
+
+namespace star::core {
+
+/// Result of the §VI-C offline parameter search.
+struct TuningResult {
+  double alpha = 0.5;
+  double lambda_tradeoff = 1.0;
+  /// Aggregated total search depth D achieved at the optimum.
+  size_t total_depth = 0;
+  /// Depth of every (alpha, lambda) grid point, row-major over the grids,
+  /// for diagnostics and Fig. 14(a)-style plots.
+  std::vector<size_t> grid_depths;
+};
+
+/// Grid steps used when the caller does not supply custom grids.
+struct TuningOptions {
+  std::vector<double> alpha_grid = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                    0.6, 0.7, 0.8, 0.9};
+  std::vector<double> lambda_grid = {0.0, 0.5, 1.0, 1.5, 2.0};
+  /// Matches requested per query while measuring depth.
+  size_t k = 20;
+};
+
+/// §VI-C: treats the framework as a black box A(alpha, lambda, W) and
+/// grid-searches the (alpha, lambda_tradeoff) pair minimizing the
+/// aggregated total depth D over the sample workload W. The framework's
+/// options are updated to the optimum before returning.
+TuningResult TuneParameters(StarFramework& framework,
+                            const std::vector<query::QueryGraph>& workload,
+                            const TuningOptions& options);
+
+}  // namespace star::core
+
+#endif  // STAR_CORE_TUNING_H_

@@ -1,0 +1,167 @@
+#include "graph/graph_generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iterator>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "text/type_ontology.h"
+
+namespace star::graph {
+
+namespace {
+
+// Pronounceable synthetic token ("Belora", "Dakin", ...). Limited syllable
+// inventory keeps tokens colliding across pools, which produces the
+// ambiguous partial matches knowledge-graph search has to cope with.
+std::string MakeToken(Rng& rng) {
+  static constexpr const char* kOnsets[] = {"b",  "d",  "f",  "g",  "k",
+                                            "l",  "m",  "n",  "r",  "s",
+                                            "t",  "v",  "br", "dr", "st"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ia", "ea"};
+  static constexpr const char* kCodas[] = {"", "n", "r", "s", "l", "k", "th"};
+  const int syllables = 2 + static_cast<int>(rng.Below(2));
+  std::string t;
+  for (int s = 0; s < syllables; ++s) {
+    t += kOnsets[rng.Below(std::size(kOnsets))];
+    t += kVowels[rng.Below(std::size(kVowels))];
+  }
+  t += kCodas[rng.Below(std::size(kCodas))];
+  t[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(t[0])));
+  return t;
+}
+
+std::vector<std::string> MakePool(size_t n, Rng& rng) {
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) pool.push_back(MakeToken(rng));
+  return pool;
+}
+
+// Type names: reuse the built-in ontology's human names first (so the
+// ontology similarity feature is exercised), then synthetic names.
+std::vector<std::string> MakeTypeNames(size_t n) {
+  std::vector<std::string> names;
+  const text::TypeOntology onto = text::TypeOntology::BuiltIn();
+  for (int t = 1; t < onto.type_count() && names.size() < n; ++t) {
+    names.push_back(onto.TypeName(t));
+  }
+  for (size_t i = names.size(); i < n; ++i) {
+    names.push_back("Type" + std::to_string(i));
+  }
+  return names;
+}
+
+std::vector<std::string> MakeRelationNames(size_t n, Rng& rng) {
+  static constexpr const char* kCommon[] = {
+      "actedIn",   "directed",  "produced", "wrote",      "bornIn",
+      "livesIn",   "locatedIn", "partOf",   "marriedTo",  "won",
+      "nominatedFor", "memberOf", "foundedBy", "starring", "influencedBy",
+      "worksFor",  "citizenOf", "created",  "composed",   "plays"};
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n && i < std::size(kCommon); ++i) {
+    names.push_back(kCommon[i]);
+  }
+  for (size_t i = names.size(); i < n; ++i) {
+    names.push_back("rel" + MakeToken(rng) + std::to_string(i));
+  }
+  return names;
+}
+
+}  // namespace
+
+GeneratorConfig DBpediaLike(size_t nodes, uint64_t seed) {
+  GeneratorConfig c;
+  c.name = "dbpedia-like";
+  c.num_nodes = nodes;
+  c.num_edges = nodes * 8;  // dense, mirroring DBpedia's 32x at scale
+  c.num_types = std::min<size_t>(359, std::max<size_t>(16, nodes / 200));
+  c.num_relations = std::min<size_t>(800, std::max<size_t>(32, nodes / 100));
+  c.degree_skew = 0.65;
+  c.seed = seed;
+  return c;
+}
+
+GeneratorConfig Yago2Like(size_t nodes, uint64_t seed) {
+  GeneratorConfig c;
+  c.name = "yago2-like";
+  c.num_nodes = nodes;
+  c.num_edges = nodes * 2;  // sparse (YAGO2 is ~3.8x directed)
+  c.num_types = std::min<size_t>(6543, std::max<size_t>(32, nodes / 40));
+  c.num_relations = std::min<size_t>(349, std::max<size_t>(16, nodes / 200));
+  c.degree_skew = 0.55;
+  c.seed = seed;
+  return c;
+}
+
+GeneratorConfig FreebaseLike(size_t nodes, uint64_t seed) {
+  GeneratorConfig c;
+  c.name = "freebase-like";
+  c.num_nodes = nodes;
+  c.num_edges = static_cast<size_t>(nodes * 4.5);
+  c.num_types = std::min<size_t>(10110, std::max<size_t>(32, nodes / 50));
+  c.num_relations = std::min<size_t>(9101, std::max<size_t>(32, nodes / 50));
+  c.degree_skew = 0.6;
+  c.seed = seed;
+  return c;
+}
+
+KnowledgeGraph GenerateGraph(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  const size_t n = config.num_nodes;
+  const size_t pool_size =
+      config.token_pool > 0
+          ? config.token_pool
+          : std::max<size_t>(24, 3 * static_cast<size_t>(std::sqrt(
+                                      static_cast<double>(n))));
+
+  const std::vector<std::string> first_pool = MakePool(pool_size, rng);
+  const std::vector<std::string> second_pool = MakePool(pool_size, rng);
+  const std::vector<std::string> type_names = MakeTypeNames(config.num_types);
+  const std::vector<std::string> relation_names =
+      MakeRelationNames(config.num_relations, rng);
+
+  const ZipfSampler type_zipf(config.num_types, config.type_skew);
+  const ZipfSampler relation_zipf(config.num_relations, config.relation_skew);
+  const ZipfSampler token_zipf(pool_size, 0.8);
+  const ZipfSampler popularity_zipf(n, config.degree_skew);
+
+  KnowledgeGraph::Builder builder;
+  for (size_t v = 0; v < n; ++v) {
+    const size_t type = type_zipf.Sample(rng);
+    std::string label = first_pool[token_zipf.Sample(rng)];
+    label += " " + second_pool[token_zipf.Sample(rng)];
+    if (rng.Chance(0.15)) {  // occasional three-token labels
+      label += " " + first_pool[token_zipf.Sample(rng)];
+    }
+    builder.AddNode(std::move(label), type_names[type]);
+  }
+
+  // Node popularity: a fixed random permutation; Zipf over ranks yields a
+  // heavy-tailed degree distribution on top of the backbone.
+  std::vector<NodeId> by_rank(n);
+  std::iota(by_rank.begin(), by_rank.end(), NodeId{0});
+  rng.Shuffle(by_rank);
+
+  size_t edges_left = config.num_edges;
+  // Spanning backbone: node v attaches to a popular earlier node.
+  for (size_t v = 1; v < n && edges_left > 0; ++v, --edges_left) {
+    NodeId target = by_rank[popularity_zipf.Sample(rng) % v];
+    builder.AddEdge(static_cast<NodeId>(v), target,
+                    relation_names[relation_zipf.Sample(rng)]);
+  }
+  // Remaining edges: uniform source, Zipf-popular destination.
+  while (edges_left > 0) {
+    const NodeId src = static_cast<NodeId>(rng.Below(n));
+    const NodeId dst = by_rank[popularity_zipf.Sample(rng)];
+    if (src == dst) continue;
+    builder.AddEdge(src, dst, relation_names[relation_zipf.Sample(rng)]);
+    --edges_left;
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace star::graph

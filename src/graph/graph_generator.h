@@ -1,0 +1,57 @@
+#ifndef STAR_GRAPH_GRAPH_GENERATOR_H_
+#define STAR_GRAPH_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/knowledge_graph.h"
+
+namespace star::graph {
+
+/// Parameters of the synthetic knowledge-graph generator.
+///
+/// The generator stands in for the paper's DBpedia / YAGO2 / Freebase
+/// datasets (see DESIGN.md). It reproduces the structural properties the
+/// STAR evaluation depends on:
+///  * power-law degree distribution (preferential attachment backbone +
+///    Zipf-popular edge endpoints),
+///  * heterogeneous node types and relation labels with skewed frequency,
+///  * multi-token entity labels drawn from limited token pools, so that a
+///    query label has many partial matches with a long-tailed score
+///    distribution (Fig. 11).
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  size_t num_nodes = 10000;
+  size_t num_edges = 40000;
+  size_t num_types = 64;
+  size_t num_relations = 128;
+  /// Zipf exponent of endpoint popularity; higher -> heavier hubs.
+  double degree_skew = 0.9;
+  /// Zipf exponent of the type frequency distribution.
+  double type_skew = 1.1;
+  /// Zipf exponent of the relation frequency distribution.
+  double relation_skew = 1.0;
+  /// Size of each token pool (first/last name style); 0 = auto (~3*sqrt(n)).
+  size_t token_pool = 0;
+  uint64_t seed = 42;
+};
+
+/// Preset mirroring DBpedia's shape: dense (avg degree ~16 undirected),
+/// few hundred types, many relations.
+GeneratorConfig DBpediaLike(size_t nodes, uint64_t seed = 42);
+
+/// Preset mirroring YAGO2's shape: sparse (avg degree ~6), many types.
+GeneratorConfig Yago2Like(size_t nodes, uint64_t seed = 42);
+
+/// Preset mirroring Freebase's shape: avg degree ~9, very many types and
+/// relations.
+GeneratorConfig FreebaseLike(size_t nodes, uint64_t seed = 42);
+
+/// Generates a graph. Deterministic: same config (incl. seed) -> identical
+/// graph. The result is connected (spanning backbone) when num_edges >=
+/// num_nodes - 1.
+KnowledgeGraph GenerateGraph(const GeneratorConfig& config);
+
+}  // namespace star::graph
+
+#endif  // STAR_GRAPH_GRAPH_GENERATOR_H_

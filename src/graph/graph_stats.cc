@@ -1,0 +1,111 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace star::graph {
+
+namespace {
+
+double Percentile(const std::vector<size_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1, static_cast<size_t>(p * (sorted.size() - 1) + 0.5));
+  return static_cast<double>(sorted[idx]);
+}
+
+std::vector<std::pair<std::string, size_t>> TopCounts(
+    const std::unordered_map<std::string, size_t>& counts, size_t top_n) {
+  std::vector<std::pair<std::string, size_t>> out(counts.begin(),
+                                                  counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const KnowledgeGraph& g, size_t top_n) {
+  GraphStats s;
+  s.nodes = g.node_count();
+  s.edges = g.edge_count();
+  s.types = g.type_count();
+  s.relations = g.relation_count();
+  if (s.nodes == 0) return s;
+
+  // Degree distribution.
+  std::vector<size_t> degrees(s.nodes);
+  for (NodeId v = 0; v < s.nodes; ++v) degrees[v] = g.Degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  s.degree.min = degrees.front();
+  s.degree.max = degrees.back();
+  const double total =
+      static_cast<double>(std::accumulate(degrees.begin(), degrees.end(),
+                                          size_t{0}));
+  s.degree.mean = total / s.nodes;
+  s.degree.median = Percentile(degrees, 0.5);
+  s.degree.p90 = Percentile(degrees, 0.9);
+  s.degree.p99 = Percentile(degrees, 0.99);
+  // Gini over the sorted degrees: (2*sum(i*x_i)/(n*sum x) - (n+1)/n).
+  if (total > 0) {
+    double weighted = 0.0;
+    for (size_t i = 0; i < degrees.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * degrees[i];
+    }
+    const double n = static_cast<double>(s.nodes);
+    s.degree.gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+
+  // Connected components (undirected view) by iterative DFS.
+  std::vector<bool> seen(s.nodes, false);
+  std::vector<NodeId> stack;
+  for (NodeId v = 0; v < s.nodes; ++v) {
+    if (seen[v]) continue;
+    ++s.connected_components;
+    size_t size = 0;
+    stack.push_back(v);
+    seen[v] = true;
+    while (!stack.empty()) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const Neighbor& nb : g.Neighbors(x)) {
+        if (!seen[nb.node]) {
+          seen[nb.node] = true;
+          stack.push_back(nb.node);
+        }
+      }
+    }
+    s.largest_component = std::max(s.largest_component, size);
+  }
+
+  // Type / relation frequencies.
+  std::unordered_map<std::string, size_t> type_counts;
+  for (NodeId v = 0; v < s.nodes; ++v) {
+    if (g.NodeType(v) >= 0) ++type_counts[g.TypeName(g.NodeType(v))];
+  }
+  std::unordered_map<std::string, size_t> relation_counts;
+  for (EdgeId e = 0; e < s.edges; ++e) {
+    ++relation_counts[g.RelationName(g.EdgeRelation(e))];
+  }
+  s.top_types = TopCounts(type_counts, top_n);
+  s.top_relations = TopCounts(relation_counts, top_n);
+  return s;
+}
+
+std::vector<size_t> DegreeHistogram(const KnowledgeGraph& g) {
+  std::vector<size_t> buckets;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const size_t d = g.Degree(v);
+    size_t bucket = 0;
+    while ((size_t{1} << (bucket + 1)) <= d + 1) ++bucket;
+    if (bucket >= buckets.size()) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+}  // namespace star::graph

@@ -1,0 +1,101 @@
+#include "graph/knowledge_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace star::graph {
+
+NodeId KnowledgeGraph::Builder::AddNode(std::string label,
+                                        std::string type_name) {
+  const NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(std::move(label));
+  if (type_name.empty()) {
+    types_.push_back(-1);
+  } else {
+    auto [it, inserted] = type_index_.try_emplace(
+        type_name, static_cast<int32_t>(type_names_.size()));
+    if (inserted) type_names_.push_back(std::move(type_name));
+    types_.push_back(it->second);
+  }
+  return id;
+}
+
+EdgeId KnowledgeGraph::Builder::AddEdge(NodeId src, NodeId dst,
+                                        std::string relation) {
+  assert(src < labels_.size() && dst < labels_.size());
+  const EdgeId id = static_cast<EdgeId>(srcs_.size());
+  srcs_.push_back(src);
+  dsts_.push_back(dst);
+  auto [it, inserted] = relation_index_.try_emplace(
+      relation, static_cast<uint32_t>(relation_names_.size()));
+  if (inserted) relation_names_.push_back(std::move(relation));
+  relations_.push_back(it->second);
+  return id;
+}
+
+KnowledgeGraph KnowledgeGraph::Builder::Build() && {
+  KnowledgeGraph g;
+  g.labels_ = std::move(labels_);
+  g.types_ = std::move(types_);
+  g.type_names_ = std::move(type_names_);
+  g.relation_names_ = std::move(relation_names_);
+  g.type_index_ = std::move(type_index_);
+  g.relation_index_ = std::move(relation_index_);
+  g.edge_src_ = std::move(srcs_);
+  g.edge_dst_ = std::move(dsts_);
+  g.edge_rel_ = std::move(relations_);
+
+  const size_t n = g.labels_.size();
+  const size_t m = g.edge_src_.size();
+  // Counting sort into CSR over the undirected view: every directed edge
+  // contributes one entry at each endpoint.
+  g.offsets_.assign(n + 1, 0);
+  for (size_t e = 0; e < m; ++e) {
+    ++g.offsets_[g.edge_src_[e] + 1];
+    ++g.offsets_[g.edge_dst_[e] + 1];
+  }
+  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adjacency_.resize(2 * m);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (size_t e = 0; e < m; ++e) {
+    const NodeId s = g.edge_src_[e];
+    const NodeId d = g.edge_dst_[e];
+    const uint32_t r = g.edge_rel_[e];
+    g.adjacency_[cursor[s]++] = Neighbor{d, r, true};
+    g.adjacency_[cursor[d]++] = Neighbor{s, r, false};
+  }
+  g.max_degree_ = 0;
+  for (size_t v = 0; v < n; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
+  }
+  return g;
+}
+
+const std::string& KnowledgeGraph::TypeName(int32_t type) const {
+  static const std::string* empty = new std::string();
+  if (type < 0 || static_cast<size_t>(type) >= type_names_.size()) {
+    return *empty;
+  }
+  return type_names_[type];
+}
+
+int32_t KnowledgeGraph::FindTypeId(std::string_view name) const {
+  const auto it = type_index_.find(std::string(name));
+  return it == type_index_.end() ? -1 : it->second;
+}
+
+int64_t KnowledgeGraph::FindRelationId(std::string_view name) const {
+  const auto it = relation_index_.find(std::string(name));
+  return it == relation_index_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+bool KnowledgeGraph::HasEdge(NodeId u, NodeId v) const {
+  // Scan the smaller adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  for (const Neighbor& nb : Neighbors(u)) {
+    if (nb.node == v) return true;
+  }
+  return false;
+}
+
+}  // namespace star::graph

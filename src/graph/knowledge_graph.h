@@ -1,0 +1,144 @@
+#ifndef STAR_GRAPH_KNOWLEDGE_GRAPH_H_
+#define STAR_GRAPH_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace star::graph {
+
+/// Dense node identifier; assigned contiguously from 0 by the builder.
+using NodeId = uint32_t;
+/// Dense directed-edge identifier.
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// One adjacency entry of the undirected view of the graph: the neighbor,
+/// the relation label id of the connecting edge, and whether the underlying
+/// directed edge points away from the owning node.
+struct Neighbor {
+  NodeId node = kInvalidNode;
+  uint32_t relation = 0;
+  bool forward = true;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// An in-memory labeled knowledge graph G = (V, E, L) (§II).
+///
+/// Storage is CSR over the *undirected* view (each directed edge appears in
+/// both endpoints' adjacency lists with a direction flag), because the
+/// paper's matching semantics connect query neighbors regardless of edge
+/// orientation and all traversals are neighborhood expansions. Node labels,
+/// type names and relation names are interned in dictionaries.
+///
+/// Instances are immutable after Build(); all queries are const and
+/// thread-compatible.
+class KnowledgeGraph {
+ public:
+  /// Mutable construction interface. Typical use:
+  ///
+  ///   KnowledgeGraph::Builder b;
+  ///   NodeId brad = b.AddNode("Brad Pitt", "Actor");
+  ///   NodeId troy = b.AddNode("Troy", "Film");
+  ///   b.AddEdge(brad, troy, "actedIn");
+  ///   KnowledgeGraph g = std::move(b).Build();
+  class Builder {
+   public:
+    Builder() = default;
+
+    /// Adds a node with a free-text label and a type name (may be empty).
+    NodeId AddNode(std::string label, std::string type_name = "");
+
+    /// Adds a directed edge with a relation name (may be empty).
+    /// Endpoints must be previously returned by AddNode.
+    EdgeId AddEdge(NodeId src, NodeId dst, std::string relation = "");
+
+    size_t node_count() const { return labels_.size(); }
+    size_t edge_count() const { return srcs_.size(); }
+
+    /// Finalizes into an immutable graph; the builder is consumed.
+    KnowledgeGraph Build() &&;
+
+   private:
+    friend class KnowledgeGraph;
+    std::vector<std::string> labels_;
+    std::vector<int32_t> types_;
+    std::vector<NodeId> srcs_, dsts_;
+    std::vector<uint32_t> relations_;
+    std::vector<std::string> type_names_;
+    std::vector<std::string> relation_names_;
+    std::unordered_map<std::string, int32_t> type_index_;
+    std::unordered_map<std::string, uint32_t> relation_index_;
+  };
+
+  KnowledgeGraph() = default;
+  KnowledgeGraph(const KnowledgeGraph&) = delete;
+  KnowledgeGraph& operator=(const KnowledgeGraph&) = delete;
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+
+  size_t node_count() const { return labels_.size(); }
+  /// Number of directed edges (each counted once).
+  size_t edge_count() const { return edge_src_.size(); }
+
+  const std::string& NodeLabel(NodeId v) const { return labels_[v]; }
+  /// Type id of a node, or -1 for untyped nodes.
+  int32_t NodeType(NodeId v) const { return types_[v]; }
+  /// Name of a type id ("" for -1).
+  const std::string& TypeName(int32_t type) const;
+  int32_t FindTypeId(std::string_view name) const;
+  size_t type_count() const { return type_names_.size(); }
+
+  const std::string& RelationName(uint32_t relation) const {
+    return relation_names_[relation];
+  }
+  int64_t FindRelationId(std::string_view name) const;
+  size_t relation_count() const { return relation_names_.size(); }
+
+  /// Undirected adjacency of v (both edge orientations).
+  std::span<const Neighbor> Neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Undirected degree of v.
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Maximum undirected degree over all nodes (the paper's m).
+  size_t MaxDegree() const { return max_degree_; }
+
+  /// Source / destination / relation of directed edge e.
+  NodeId EdgeSrc(EdgeId e) const { return edge_src_[e]; }
+  NodeId EdgeDst(EdgeId e) const { return edge_dst_[e]; }
+  uint32_t EdgeRelation(EdgeId e) const { return edge_rel_[e]; }
+
+  /// True if u and v are connected by an edge in either direction.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+ private:
+  friend class Builder;
+
+  std::vector<std::string> labels_;
+  std::vector<int32_t> types_;
+  std::vector<std::string> type_names_;
+  std::vector<std::string> relation_names_;
+  std::unordered_map<std::string, int32_t> type_index_;
+  std::unordered_map<std::string, uint32_t> relation_index_;
+
+  // Directed edge arrays (by EdgeId).
+  std::vector<NodeId> edge_src_, edge_dst_;
+  std::vector<uint32_t> edge_rel_;
+
+  // CSR over the undirected view.
+  std::vector<size_t> offsets_;
+  std::vector<Neighbor> adjacency_;
+  size_t max_degree_ = 0;
+};
+
+}  // namespace star::graph
+
+#endif  // STAR_GRAPH_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,147 @@
+#include "graph/label_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "text/similarity.h"
+
+namespace star::graph {
+
+LabelIndex::LabelIndex(const KnowledgeGraph& g) : node_count_(g.node_count()) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const auto& token : SplitTokens(ToLower(g.NodeLabel(v)))) {
+      auto [it, inserted] = token_postings_.try_emplace(token);
+      auto& postings = it->second;
+      if (postings.empty() || postings.back() != v) postings.push_back(v);
+      if (inserted) {
+        const uint32_t token_id = static_cast<uint32_t>(tokens_.size());
+        tokens_.push_back(token);
+        for (const auto& gram : text::CharNGrams(token, 3)) {
+          auto& ids = trigram_postings_[gram];
+          if (ids.empty() || ids.back() != token_id) ids.push_back(token_id);
+        }
+      }
+    }
+    const int32_t t = g.NodeType(v);
+    if (t >= 0) type_postings_[t].push_back(v);
+  }
+}
+
+std::vector<std::string> LabelIndex::FuzzyTokens(std::string_view token,
+                                                 double min_overlap) const {
+  const auto grams = text::CharNGrams(ToLower(token), 3);
+  std::vector<std::string> out;
+  if (grams.empty()) return out;
+  std::unordered_map<uint32_t, size_t> hits;
+  for (const auto& gram : grams) {
+    const auto it = trigram_postings_.find(gram);
+    if (it == trigram_postings_.end()) continue;
+    for (const uint32_t id : it->second) ++hits[id];
+  }
+  const size_t needed = std::max<size_t>(
+      1, static_cast<size_t>(min_overlap * static_cast<double>(grams.size())));
+  // Cap the expansion to the best-overlapping tokens so that one typo'd
+  // token cannot flood retrieval with half the vocabulary.
+  constexpr size_t kMaxExpansion = 8;
+  std::vector<std::pair<size_t, uint32_t>> ranked;
+  for (const auto& [id, count] : hits) {
+    if (count >= needed) ranked.emplace_back(count, id);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (ranked.size() > kMaxExpansion) ranked.resize(kMaxExpansion);
+  for (const auto& [count, id] : ranked) out.push_back(tokens_[id]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> LabelIndex::CandidatesByLabel(std::string_view label) const {
+  std::vector<NodeId> out;
+  for (const auto& token : SplitTokens(ToLower(label))) {
+    const auto it = token_postings_.find(token);
+    if (it != token_postings_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+      continue;
+    }
+    // Unknown token: fuzzy trigram expansion (typos, morphology).
+    for (const auto& similar : FuzzyTokens(token)) {
+      const auto& postings = token_postings_.at(similar);
+      out.insert(out.end(), postings.begin(), postings.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> LabelIndex::CandidatesByType(int32_t type) const {
+  const auto it = type_postings_.find(type);
+  return it == type_postings_.end() ? std::vector<NodeId>() : it->second;
+}
+
+std::vector<NodeId> LabelIndex::Candidates(std::string_view label,
+                                           int32_t type) const {
+  std::vector<NodeId> out = CandidatesByLabel(label);
+  if (type >= 0) {
+    const auto by_type = CandidatesByType(type);
+    out.insert(out.end(), by_type.begin(), by_type.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
+}
+
+std::vector<NodeId> LabelIndex::RankedCandidates(std::string_view label,
+                                                 int32_t type,
+                                                 size_t cap) const {
+  std::unordered_map<NodeId, double> weight;
+  const double n = static_cast<double>(std::max<size_t>(1, node_count_));
+  const auto add_postings = [&](const std::vector<NodeId>& postings,
+                                double scale) {
+    if (postings.empty()) return;
+    const double w =
+        scale * std::log(1.0 + n / static_cast<double>(postings.size()));
+    for (const NodeId v : postings) weight[v] += w;
+  };
+  for (const auto& token : SplitTokens(ToLower(label))) {
+    const auto it = token_postings_.find(token);
+    if (it != token_postings_.end()) {
+      add_postings(it->second, 1.0);
+      continue;
+    }
+    for (const auto& similar : FuzzyTokens(token)) {
+      add_postings(token_postings_.at(similar), 0.5);
+    }
+  }
+  if (type >= 0) {
+    const auto it = type_postings_.find(type);
+    if (it != type_postings_.end()) add_postings(it->second, 1e-3);
+  }
+
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(weight.size());
+  for (const auto& [v, w] : weight) ranked.emplace_back(w, v);
+  if (cap > 0 && ranked.size() > cap) {
+    std::nth_element(ranked.begin(), ranked.begin() + cap - 1, ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first ||
+                              (a.first == b.first && a.second < b.second);
+                     });
+    ranked.resize(cap);
+  }
+  std::vector<NodeId> out;
+  out.reserve(ranked.size());
+  for (const auto& [w, v] : ranked) out.push_back(v);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<NodeId>& LabelIndex::Postings(std::string_view token) const {
+  static const std::vector<NodeId>* empty = new std::vector<NodeId>();
+  const auto it = token_postings_.find(ToLower(token));
+  return it == token_postings_.end() ? *empty : it->second;
+}
+
+}  // namespace star::graph

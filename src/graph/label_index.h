@@ -1,0 +1,68 @@
+#ifndef STAR_GRAPH_LABEL_INDEX_H_
+#define STAR_GRAPH_LABEL_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace star::graph {
+
+/// Inverted index from lowercased label tokens (and type ids) to node ids.
+///
+/// This is the "various indices" optimization of §V-A: instead of scanning
+/// all of V to find candidate matches for a query node, we union the
+/// postings of the query label's tokens. Matching-score computation stays
+/// online (Eq. 1 is never indexed), only candidate *retrieval* is.
+class LabelIndex {
+ public:
+  /// Builds the index over every node label of g. O(total label tokens).
+  explicit LabelIndex(const KnowledgeGraph& g);
+
+  /// Nodes whose label shares at least one token with `label` (dedup'd,
+  /// ascending ids). Query tokens with no exact posting fall back to
+  /// fuzzy retrieval: indexed tokens sharing at least half of the query
+  /// token's character trigrams are expanded (so "Bradd" still recalls
+  /// "Brad"-labeled nodes; the ensemble then scores the match online).
+  /// Empty query labels produce no candidates.
+  std::vector<NodeId> CandidatesByLabel(std::string_view label) const;
+
+  /// Indexed tokens sharing >= `min_overlap` of `token`'s trigrams.
+  std::vector<std::string> FuzzyTokens(std::string_view token,
+                                       double min_overlap = 0.5) const;
+
+  /// Nodes with exactly the given type id.
+  std::vector<NodeId> CandidatesByType(int32_t type) const;
+
+  /// Union of token candidates and (if type >= 0) type candidates.
+  std::vector<NodeId> Candidates(std::string_view label, int32_t type) const;
+
+  /// Retrieval with a cheap relevance pre-ranking: candidates are scored
+  /// by the summed rarity (idf-style log(1 + N/df)) of the query tokens
+  /// they share (fuzzy-expanded tokens at half weight; type-only hits at
+  /// epsilon weight) and only the best `cap` are returned (all of them if
+  /// cap == 0). This keeps the number of candidates the expensive Eq. 1
+  /// ensemble must score small — the paper's "various indices" that make
+  /// node matching account for <= 1% of query time.
+  std::vector<NodeId> RankedCandidates(std::string_view label, int32_t type,
+                                       size_t cap) const;
+
+  /// Posting list of one token (empty if unknown).
+  const std::vector<NodeId>& Postings(std::string_view token) const;
+
+  size_t token_count() const { return token_postings_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<NodeId>> token_postings_;
+  std::unordered_map<int32_t, std::vector<NodeId>> type_postings_;
+  // Fuzzy layer: every indexed token, and trigram -> token ids.
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, std::vector<uint32_t>> trigram_postings_;
+  size_t node_count_ = 0;
+};
+
+}  // namespace star::graph
+
+#endif  // STAR_GRAPH_LABEL_INDEX_H_

@@ -1,0 +1,165 @@
+#include "query/query_template.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/weight_learning.h"
+
+namespace star::query {
+
+using graph::KnowledgeGraph;
+using graph::Neighbor;
+using graph::NodeId;
+
+std::string QueryTemplate::ToString() const {
+  std::string out = pivot_type.empty() ? "?" : pivot_type;
+  for (const auto& slot : leaves) {
+    out += " -" + (slot.relation.empty() ? std::string("?") : slot.relation) +
+           "-> " + (slot.leaf_type.empty() ? "?" : slot.leaf_type);
+  }
+  return out;
+}
+
+std::vector<QueryTemplate> MineTemplates(const KnowledgeGraph& g, int count,
+                                         int num_leaves, size_t samples,
+                                         Rng& rng) {
+  // Key = pivot type + sorted (relation, leaf type) slots.
+  std::map<std::string, QueryTemplate> mined;
+  const size_t n = g.node_count();
+  if (n == 0) return {};
+  for (size_t s = 0; s < samples; ++s) {
+    const NodeId pivot = static_cast<NodeId>(rng.Below(n));
+    const auto nbrs = g.Neighbors(pivot);
+    if (nbrs.size() < static_cast<size_t>(num_leaves)) continue;
+    // Sample distinct leaf slots from the pivot's edges.
+    std::vector<size_t> picks(nbrs.size());
+    for (size_t i = 0; i < picks.size(); ++i) picks[i] = i;
+    rng.Shuffle(picks);
+    QueryTemplate tpl;
+    tpl.pivot_type = g.TypeName(g.NodeType(pivot));
+    std::unordered_set<NodeId> used = {pivot};
+    for (size_t i = 0; i < picks.size() &&
+                       tpl.leaves.size() < static_cast<size_t>(num_leaves);
+         ++i) {
+      const Neighbor& nb = nbrs[picks[i]];
+      if (!used.insert(nb.node).second) continue;
+      tpl.leaves.push_back(
+          {g.RelationName(nb.relation), g.TypeName(g.NodeType(nb.node))});
+    }
+    if (tpl.leaves.size() < static_cast<size_t>(num_leaves)) continue;
+    std::sort(tpl.leaves.begin(), tpl.leaves.end(),
+              [](const auto& a, const auto& b) {
+                return std::tie(a.relation, a.leaf_type) <
+                       std::tie(b.relation, b.leaf_type);
+              });
+    std::string key = tpl.pivot_type;
+    for (const auto& slot : tpl.leaves) {
+      key += "|" + slot.relation + "^" + slot.leaf_type;
+    }
+    auto [it, inserted] = mined.try_emplace(std::move(key), std::move(tpl));
+    ++it->second.support;
+  }
+  std::vector<QueryTemplate> out;
+  out.reserve(mined.size());
+  for (auto& [key, tpl] : mined) out.push_back(std::move(tpl));
+  std::sort(out.begin(), out.end(),
+            [](const QueryTemplate& a, const QueryTemplate& b) {
+              return a.support > b.support;
+            });
+  if (static_cast<int>(out.size()) > count) out.resize(count);
+  return out;
+}
+
+QueryGraph InstantiateTemplate(const KnowledgeGraph& g,
+                               const QueryTemplate& tpl,
+                               const WorkloadOptions& options, Rng& rng,
+                               int attempts) {
+  const size_t n = g.node_count();
+  const int32_t want_type =
+      tpl.pivot_type.empty() ? -1 : g.FindTypeId(tpl.pivot_type);
+  if (!tpl.pivot_type.empty() && want_type < 0) {
+    return QueryGraph();  // the pivot type does not exist in this graph
+  }
+  if (n == 0) return QueryGraph();
+
+  // Find an embedding: a pivot of the right type realizing every slot
+  // with distinct neighbors.
+  NodeId best_pivot = graph::kInvalidNode;
+  std::vector<std::pair<NodeId, std::string>> best_assignment;  // (leaf, rel)
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const NodeId pivot = static_cast<NodeId>(rng.Below(n));
+    if (want_type >= 0 && g.NodeType(pivot) != want_type) continue;
+    std::vector<std::pair<NodeId, std::string>> assignment;
+    std::unordered_set<NodeId> used = {pivot};
+    bool ok = true;
+    for (const auto& slot : tpl.leaves) {
+      const NodeId found = [&]() -> NodeId {
+        for (const Neighbor& nb : g.Neighbors(pivot)) {
+          if (used.count(nb.node)) continue;
+          if (!slot.relation.empty() &&
+              g.RelationName(nb.relation) != slot.relation) {
+            continue;
+          }
+          if (!slot.leaf_type.empty() &&
+              g.TypeName(g.NodeType(nb.node)) != slot.leaf_type) {
+            continue;
+          }
+          return nb.node;
+        }
+        return graph::kInvalidNode;
+      }();
+      if (found == graph::kInvalidNode) {
+        ok = false;
+        break;
+      }
+      used.insert(found);
+      assignment.emplace_back(found, slot.relation);
+    }
+    if (ok) {
+      best_pivot = pivot;
+      best_assignment = std::move(assignment);
+      break;
+    }
+    // Keep the longest partial embedding as a fallback.
+    if (assignment.size() > best_assignment.size()) {
+      best_pivot = pivot;
+      best_assignment = std::move(assignment);
+    }
+  }
+  QueryGraph q;
+  if (best_pivot == graph::kInvalidNode) return q;
+
+  // Fill labels exactly like the sampled-workload generator: pivot
+  // concrete, leaves optionally variables, with noise / partial labels.
+  const auto fill = [&](NodeId v, bool force_concrete,
+                        const std::string& type_hint) -> int {
+    if (!force_concrete && rng.Chance(std::min(0.5, options.variable_fraction))) {
+      return q.AddWildcardNode(rng.Chance(options.keep_type) ? type_hint : "");
+    }
+    std::string label = g.NodeLabel(v);
+    if (rng.Chance(options.partial_label)) {
+      const auto tokens = SplitTokens(label);
+      if (tokens.size() > 1) label = tokens[rng.Below(tokens.size())];
+    }
+    if (rng.Chance(options.label_noise)) {
+      label = text::PerturbLabel(label, rng);
+    }
+    return q.AddNode(std::move(label),
+                     rng.Chance(options.keep_type) ? type_hint : "");
+  };
+
+  const int pivot_q = fill(best_pivot, /*force_concrete=*/true, tpl.pivot_type);
+  for (size_t i = 0; i < best_assignment.size(); ++i) {
+    const auto& [leaf, relation] = best_assignment[i];
+    const std::string type_hint =
+        i < tpl.leaves.size() ? tpl.leaves[i].leaf_type : "";
+    const int leaf_q = fill(leaf, /*force_concrete=*/false, type_hint);
+    q.AddEdge(pivot_q, leaf_q,
+              rng.Chance(options.keep_relation) ? relation : "");
+  }
+  return q;
+}
+
+}  // namespace star::query

@@ -1,0 +1,55 @@
+#ifndef STAR_QUERY_QUERY_TEMPLATE_H_
+#define STAR_QUERY_QUERY_TEMPLATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/knowledge_graph.h"
+#include "query/query_graph.h"
+#include "query/workload.h"
+
+namespace star::query {
+
+/// A DBPSB-style star query template (§VII-A): a typed pivot slot plus a
+/// list of (relation, leaf type) slots. Templates are *mined* from the
+/// data graph (the frequent type/relation structures real SPARQL
+/// benchmarks consist of) and then *instantiated* into concrete queries by
+/// sampling an actual embedding and turning some slots into variables.
+struct QueryTemplate {
+  /// Type name of the pivot slot ("" = untyped).
+  std::string pivot_type;
+  struct LeafSlot {
+    std::string relation;   // "" = wildcard relation
+    std::string leaf_type;  // "" = untyped leaf
+  };
+  std::vector<LeafSlot> leaves;
+  /// How many sampled pivots exhibited this structure (mining support).
+  size_t support = 0;
+
+  /// "Person -actedIn-> Film, -won-> Award" style rendering.
+  std::string ToString() const;
+};
+
+/// Mines the `count` most frequent star templates with exactly
+/// `num_leaves` leaves by sampling `samples` random pivots. Deterministic
+/// given the rng. Templates are distinct by (pivot type, sorted slots).
+std::vector<QueryTemplate> MineTemplates(const graph::KnowledgeGraph& g,
+                                         int count, int num_leaves,
+                                         size_t samples, Rng& rng);
+
+/// Instantiates a template into a concrete query: picks a data node of
+/// the pivot type whose neighborhood realizes every slot, then fills
+/// labels under the usual workload options (variables, noise, partial
+/// labels). Returns a query with fewer leaves if no full embedding is
+/// found within `attempts` samples, and an empty query (0 nodes) if not
+/// even the pivot type exists.
+QueryGraph InstantiateTemplate(const graph::KnowledgeGraph& g,
+                               const QueryTemplate& tpl,
+                               const WorkloadOptions& options, Rng& rng,
+                               int attempts = 64);
+
+}  // namespace star::query
+
+#endif  // STAR_QUERY_QUERY_TEMPLATE_H_

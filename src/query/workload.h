@@ -1,0 +1,83 @@
+#ifndef STAR_QUERY_WORKLOAD_H_
+#define STAR_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/knowledge_graph.h"
+#include "query/query_graph.h"
+
+namespace star::query {
+
+/// Knobs for query instantiation, mirroring the paper's DBPSB-derived
+/// template workload (§VII-A): templates mix concrete labels with variable
+/// ('?') slots (≤ 50% variables), and concrete labels come from entities
+/// that actually occur in the graph, optionally perturbed so that matching
+/// must rely on the similarity ensemble rather than exact lookup.
+struct WorkloadOptions {
+  /// Fraction of query nodes turned into wildcards (clamped to [0, 0.5]).
+  double variable_fraction = 0.3;
+  /// Probability that a concrete label is perturbed (typo/abbreviation/...).
+  double label_noise = 0.4;
+  /// Probability that a concrete label keeps only one of its tokens
+  /// ("Brad Pitt" -> "Brad"), producing the ambiguous keyword queries of
+  /// the paper's Example 1 with many candidate matches.
+  double partial_label = 0.0;
+  /// Probability that an edge keeps its concrete relation label.
+  double keep_relation = 0.5;
+  /// Probability that a concrete node keeps its type constraint.
+  double keep_type = 0.5;
+};
+
+/// Generates query workloads grounded in a data graph: every generated
+/// query is sampled from an actual subgraph, so at least one high-scoring
+/// match is guaranteed to exist (the instantiation recipe of §VII-A).
+/// Deterministic given the seed.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const graph::KnowledgeGraph& g, uint64_t seed);
+
+  /// A star query with `num_nodes` nodes (pivot + num_nodes-1 leaves),
+  /// sampled around a data node of sufficient degree.
+  QueryGraph RandomStarQuery(int num_nodes, const WorkloadOptions& options);
+
+  /// A simple-path query with `num_nodes` nodes.
+  QueryGraph RandomPathQuery(int num_nodes, const WorkloadOptions& options);
+
+  /// A general connected query with `num_nodes` nodes and `num_edges`
+  /// >= num_nodes-1 edges (extra edges close cycles), grown by a random
+  /// walk over the data graph. May return fewer edges if the sampled
+  /// subgraph has no further edges to add.
+  QueryGraph RandomGraphQuery(int num_nodes, int num_edges,
+                              const WorkloadOptions& options);
+
+  /// `count` star queries with sizes drawn uniformly from
+  /// [min_nodes, max_nodes].
+  std::vector<QueryGraph> StarWorkload(int count, int min_nodes, int max_nodes,
+                                       const WorkloadOptions& options);
+
+  /// `count` general graph queries of shape Q(num_nodes, num_edges).
+  std::vector<QueryGraph> GraphWorkload(int count, int num_nodes,
+                                        int num_edges,
+                                        const WorkloadOptions& options);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Picks a node with degree >= min_degree (rejection sampling with a
+  /// degree-descending fallback).
+  graph::NodeId PickNodeWithDegree(size_t min_degree);
+
+  /// Query label for a data node under the options (wildcard / perturbed /
+  /// verbatim), plus the type constraint decision.
+  void FillNode(QueryGraph& q, graph::NodeId v, bool force_concrete,
+                const WorkloadOptions& options);
+
+  const graph::KnowledgeGraph& graph_;
+  Rng rng_;
+};
+
+}  // namespace star::query
+
+#endif  // STAR_QUERY_WORKLOAD_H_

@@ -1,0 +1,269 @@
+#include "scoring/query_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace star::scoring {
+
+using graph::KnowledgeGraph;
+using graph::LabelIndex;
+using graph::NodeId;
+using query::QueryGraph;
+using text::SimilarityEnsemble;
+
+QueryScorer::QueryScorer(const KnowledgeGraph& g, const QueryGraph& q,
+                         const SimilarityEnsemble& ensemble,
+                         const MatchConfig& config, const LabelIndex* index)
+    : graph_(g),
+      query_(q),
+      ensemble_(ensemble),
+      config_(config),
+      index_(index),
+      node_cache_(q.node_count()),
+      relation_cache_(q.edge_count()),
+      candidates_(q.node_count()),
+      candidates_ready_(q.node_count(), false),
+      max_relation_score_(q.edge_count(), 1.0),
+      max_relation_ready_(q.edge_count(), false) {
+  // Resolve type names into the ensemble's ontology once.
+  query_node_onto_type_.resize(q.node_count(), -1);
+  for (int u = 0; u < q.node_count(); ++u) {
+    query_node_onto_type_[u] = OntologyType(q.node(u).type_name);
+  }
+  graph_type_onto_type_.resize(g.type_count(), -1);
+  for (size_t t = 0; t < g.type_count(); ++t) {
+    graph_type_onto_type_[t] =
+        OntologyType(g.TypeName(static_cast<int32_t>(t)));
+  }
+  wildcard_graph_type_.resize(q.node_count(), -1);
+  for (int u = 0; u < q.node_count(); ++u) {
+    const auto& qn = q.node(u);
+    if (qn.wildcard && !qn.type_name.empty()) {
+      wildcard_graph_type_[u] = g.FindTypeId(qn.type_name);
+    }
+  }
+}
+
+int QueryScorer::OntologyType(const std::string& type_name) const {
+  if (type_name.empty() || ensemble_.context().ontology == nullptr) return -1;
+  return ensemble_.context().ontology->FindType(type_name);
+}
+
+double QueryScorer::NodeScore(int query_node, NodeId v) const {
+  const query::QueryNode& qn = query_.node(query_node);
+  if (qn.wildcard) {
+    // Typed wildcards ("?x a Person") are a hard type filter; untyped
+    // wildcards match everything.
+    if (qn.type_name.empty()) return config_.wildcard_node_score;
+    const int32_t want = wildcard_graph_type_[query_node];
+    return (want >= 0 && graph_.NodeType(v) == want)
+               ? config_.wildcard_node_score
+               : 0.0;
+  }
+  auto& cache = node_cache_[query_node];
+  const auto it = cache.find(v);
+  if (it != cache.end()) return it->second;
+  const int32_t gt = graph_.NodeType(v);
+  const int onto_data = gt >= 0 ? graph_type_onto_type_[gt] : -1;
+  ++node_evals_;
+  const double s = ensemble_.Score(qn.label, graph_.NodeLabel(v),
+                                   query_node_onto_type_[query_node],
+                                   onto_data);
+  cache.emplace(v, s);
+  return s;
+}
+
+const std::vector<ScoredCandidate>& QueryScorer::Candidates(
+    int query_node) const {
+  if (candidates_ready_[query_node]) return candidates_[query_node];
+  candidates_ready_[query_node] = true;
+  auto& out = candidates_[query_node];
+  const query::QueryNode& qn = query_.node(query_node);
+
+  const auto consider = [&](NodeId v) {
+    const double s = NodeScore(query_node, v);
+    if (s >= config_.node_threshold) out.push_back({v, s});
+  };
+
+  if (qn.wildcard) {
+    // Wildcards match everything; typed wildcards restrict via the index
+    // when available.
+    const int32_t gt = graph_.FindTypeId(qn.type_name);
+    if (!qn.type_name.empty() && index_ != nullptr && gt >= 0) {
+      for (const NodeId v : index_->CandidatesByType(gt)) consider(v);
+    } else {
+      for (NodeId v = 0; v < graph_.node_count(); ++v) consider(v);
+    }
+  } else if (index_ != nullptr) {
+    const int32_t gt =
+        qn.type_name.empty() ? -1 : graph_.FindTypeId(qn.type_name);
+    const auto retrieved =
+        config_.max_retrieval > 0
+            ? index_->RankedCandidates(qn.label, gt, config_.max_retrieval)
+            : index_->Candidates(qn.label, gt);
+    for (const NodeId v : retrieved) consider(v);
+  } else {
+    for (NodeId v = 0; v < graph_.node_count(); ++v) consider(v);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.score > b.score ||
+                     (a.score == b.score && a.node < b.node);
+            });
+  if (config_.max_candidates > 0 && out.size() > config_.max_candidates) {
+    out.resize(config_.max_candidates);
+  }
+  return out;
+}
+
+double QueryScorer::CandidateScore(int query_node, graph::NodeId v) const {
+  const query::QueryNode& qn = query_.node(query_node);
+  if (qn.wildcard && qn.type_name.empty()) {
+    return config_.wildcard_node_score;
+  }
+  if (candidate_map_ready_.empty()) {
+    candidate_map_ready_.assign(query_.node_count(), false);
+    candidate_score_map_.resize(query_.node_count());
+  }
+  if (!candidate_map_ready_[query_node]) {
+    candidate_map_ready_[query_node] = true;
+    auto& map = candidate_score_map_[query_node];
+    for (const ScoredCandidate& c : Candidates(query_node)) {
+      map.emplace(c.node, c.score);
+    }
+  }
+  const auto& map = candidate_score_map_[query_node];
+  const auto it = map.find(v);
+  return it == map.end() ? -1.0 : it->second;
+}
+
+double QueryScorer::RelationScore(int query_edge, uint32_t relation) const {
+  const query::QueryEdge& qe = query_.edge(query_edge);
+  if (qe.wildcard_relation) return 1.0;
+  auto& cache = relation_cache_[query_edge];
+  const auto it = cache.find(relation);
+  if (it != cache.end()) return it->second;
+  const double s =
+      ensemble_.Score(qe.relation, graph_.RelationName(relation));
+  cache.emplace(relation, s);
+  return s;
+}
+
+double QueryScorer::EdgeScore(int query_edge, uint32_t direct_relation,
+                              int hops) const {
+  if (hops <= 1) return RelationScore(query_edge, direct_relation);
+  return PathDecay(hops);
+}
+
+double QueryScorer::PathDecay(int hops) const {
+  return std::pow(config_.lambda, hops - 1);
+}
+
+double QueryScorer::MaxEdgeScore(int query_edge) const {
+  double best = MaxRelationScore(query_edge);
+  if (config_.d >= 2) best = std::max(best, config_.lambda);
+  return best;
+}
+
+double QueryScorer::MaxRelationScore(int query_edge) const {
+  const query::QueryEdge& qe = query_.edge(query_edge);
+  if (qe.wildcard_relation) return 1.0;
+  if (max_relation_ready_[query_edge]) return max_relation_score_[query_edge];
+  max_relation_ready_[query_edge] = true;
+  double best = 0.0;
+  for (uint32_t r = 0; r < graph_.relation_count(); ++r) {
+    best = std::max(best, RelationScore(query_edge, r));
+    if (best >= 1.0) break;
+  }
+  max_relation_score_[query_edge] = best;
+  return best;
+}
+
+const std::unordered_map<graph::NodeId, int>& QueryScorer::WalkBall(
+    graph::NodeId a) const {
+  auto it = walk_ball_cache_.find(a);
+  if (it != walk_ball_cache_.end()) return it->second;
+  if (walk_ball_pairs_ > kWalkBallCacheLimit) {
+    walk_ball_cache_.clear();
+    walk_ball_pairs_ = 0;
+  }
+  auto& ball = walk_ball_cache_[a];
+  const int d = config_.d;
+  if (d < 2) return ball;
+  // W_1 = N(a); W_h = N(W_{h-1}); record each node's first h >= 2.
+  std::vector<graph::NodeId> layer;
+  {
+    std::unordered_map<graph::NodeId, bool> uniq;
+    for (const auto& nb : graph_.Neighbors(a)) {
+      if (uniq.emplace(nb.node, true).second) layer.push_back(nb.node);
+    }
+  }
+  for (int h = 2; h <= d && !layer.empty(); ++h) {
+    std::unordered_map<graph::NodeId, bool> next_uniq;
+    for (const graph::NodeId x : layer) {
+      for (const auto& nb : graph_.Neighbors(x)) {
+        next_uniq.emplace(nb.node, true);
+      }
+    }
+    std::vector<graph::NodeId> next;
+    next.reserve(next_uniq.size());
+    for (const auto& [w, _] : next_uniq) {
+      next.push_back(w);
+      ball.try_emplace(w, h);  // keeps the smallest h
+    }
+    layer = std::move(next);
+  }
+  walk_ball_pairs_ += ball.size();
+  return ball;
+}
+
+int QueryScorer::FirstWalkLength(graph::NodeId a, graph::NodeId b) const {
+  const auto& ball = WalkBall(a);
+  const auto it = ball.find(b);
+  return it == ball.end() ? 0 : it->second;
+}
+
+double QueryScorer::PairEdgeScore(int query_edge, graph::NodeId a,
+                                  graph::NodeId b) const {
+  if (pair_edge_cache_.empty()) pair_edge_cache_.resize(query_.edge_count());
+  // Normalize the symmetric key.
+  graph::NodeId lo = a, hi = b;
+  if (lo > hi) std::swap(lo, hi);
+  const uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+  auto& cache = pair_edge_cache_[query_edge];
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  double best = -1.0;
+  // Direct edges (h = 1): relation similarity.
+  const graph::NodeId scan = graph_.Degree(a) <= graph_.Degree(b) ? a : b;
+  const graph::NodeId other = scan == a ? b : a;
+  for (const auto& nb : graph_.Neighbors(scan)) {
+    if (nb.node != other) continue;
+    const double rel = RelationScore(query_edge, nb.relation);
+    if (rel >= config_.edge_threshold) best = std::max(best, rel);
+  }
+  // Multi-hop walk (smallest h in [2, d]); walks are symmetric, so query
+  // the cheaper endpoint's ball.
+  if (config_.d >= 2) {
+    const int h = FirstWalkLength(scan, other);
+    if (h > 0) {
+      const double decay = PathDecay(h);
+      if (decay >= config_.edge_threshold) best = std::max(best, decay);
+    }
+  }
+  cache.emplace(key, best);
+  return best;
+}
+
+double QueryScorer::ScoreUpperBound() const {
+  double ub = 0.0;
+  for (int u = 0; u < query_.node_count(); ++u) {
+    ub += query_.node(u).wildcard ? config_.wildcard_node_score : 1.0;
+  }
+  for (int e = 0; e < query_.edge_count(); ++e) ub += MaxEdgeScore(e);
+  return ub;
+}
+
+}  // namespace star::scoring

@@ -1,0 +1,151 @@
+#ifndef STAR_SCORING_QUERY_SCORER_H_
+#define STAR_SCORING_QUERY_SCORER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "graph/label_index.h"
+#include "query/query_graph.h"
+#include "scoring/match_config.h"
+#include "text/ensemble.h"
+
+namespace star::scoring {
+
+/// A node candidate with its online-computed matching score F_N.
+struct ScoredCandidate {
+  graph::NodeId node = graph::kInvalidNode;
+  double score = 0.0;
+};
+
+/// Per-query scoring session: binds one QueryGraph to one KnowledgeGraph
+/// and computes every F_N / F_E *online* (the paper's central constraint —
+/// no score is precomputed or indexed), memoizing within the query.
+///
+/// All algorithms (stark, stard, starjoin, graphTA, BP, brute force) score
+/// through this class, so they optimize the identical objective.
+///
+/// Not thread-safe (memoization caches are mutated on read).
+class QueryScorer {
+ public:
+  /// `index` may be null, in which case candidate retrieval scans all of V
+  /// (the paper's O(|V|) base case). All referenced objects must outlive
+  /// the scorer.
+  QueryScorer(const graph::KnowledgeGraph& g, const query::QueryGraph& q,
+              const text::SimilarityEnsemble& ensemble,
+              const MatchConfig& config,
+              const graph::LabelIndex* index = nullptr);
+
+  /// F_N(u, v): Eq. 1 score of mapping query node u to data node v.
+  /// Wildcard nodes score `config.wildcard_node_score` for every v.
+  double NodeScore(int query_node, graph::NodeId v) const;
+
+  /// Candidate matches of query node u: nodes with F_N >= node_threshold,
+  /// sorted by descending score, truncated to config.max_candidates.
+  /// Computed lazily once per query node. When an index is attached,
+  /// non-wildcard retrieval is index-backed (token/type postings), which
+  /// defines the candidate semantics for *all* algorithms in the library.
+  const std::vector<ScoredCandidate>& Candidates(int query_node) const;
+
+  /// Membership score in Candidates(query_node): F_N if v is a candidate,
+  /// -1 otherwise. O(1) after the first call per query node. Untyped
+  /// wildcards short-circuit to the wildcard score (every node matches).
+  double CandidateScore(int query_node, graph::NodeId v) const;
+
+  /// Relation-label similarity of mapping query edge e to a data edge with
+  /// relation id `relation`. Wildcard query relations score 1.
+  double RelationScore(int query_edge, uint32_t relation) const;
+
+  /// F_E of a path/walk match of length `hops`: for hops == 1 the relation
+  /// similarity of the direct edge; for hops >= 2 the pure geometric decay
+  /// lambda^(hops-1) (the paper's §V-B example F = lambda^(h-1)). This
+  /// form is symmetric in the two endpoints, so a query edge scores the
+  /// same regardless of which endpoint a decomposition picks as pivot.
+  double EdgeScore(int query_edge, uint32_t direct_relation, int hops) const;
+
+  /// Pure multi-hop decay component lambda^(hops-1).
+  double PathDecay(int hops) const;
+
+  /// Largest achievable RelationScore for this query edge over all
+  /// relations present in the graph (1 for wildcard edges). Used for
+  /// upper bounds.
+  double MaxRelationScore(int query_edge) const;
+
+  /// Largest achievable F_E for the edge under the configured d.
+  double MaxEdgeScore(int query_edge) const;
+
+  /// Full pairwise F_E of mapping query edge e to the node pair (a, b):
+  /// the max of direct-edge relation similarity and the multi-hop decay of
+  /// the shortest walk (length in [2, d]) connecting them; entries below
+  /// edge_threshold don't count. Returns -1 when a and b have no valid
+  /// connection. Symmetric in (a, b). Memoized; used by the baselines
+  /// (graphTA expansion, BP pairwise potentials, brute force).
+  double PairEdgeScore(int query_edge, graph::NodeId a, graph::NodeId b) const;
+
+  /// Smallest walk length in [2, d] from a to b (0 if none). Memoized per
+  /// source node — this doubles as graphTA's "neighbor cache".
+  int FirstWalkLength(graph::NodeId a, graph::NodeId b) const;
+
+  /// All nodes reachable from `a` by a walk of length in [2, d], mapped to
+  /// their smallest such length. The returned reference is owned by a
+  /// bounded memo; it is invalidated by the next WalkBall call. Empty when
+  /// d < 2.
+  const std::unordered_map<graph::NodeId, int>& WalkBall(graph::NodeId a) const;
+
+  /// Perfect-match upper bound of a full query match: one per node (1.0 or
+  /// the wildcard score) plus MaxEdgeScore per edge.
+  double ScoreUpperBound() const;
+
+  const graph::KnowledgeGraph& graph() const { return graph_; }
+  const query::QueryGraph& query() const { return query_; }
+  const MatchConfig& config() const { return config_; }
+  const graph::LabelIndex* index() const { return index_; }
+
+  /// Number of F_N evaluations performed (diagnostic for benches).
+  size_t node_score_evaluations() const { return node_evals_; }
+
+ private:
+  /// Ontology type id for a type name (-1 if no ontology / unknown).
+  int OntologyType(const std::string& type_name) const;
+
+  const graph::KnowledgeGraph& graph_;
+  const query::QueryGraph& query_;
+  const text::SimilarityEnsemble& ensemble_;
+  MatchConfig config_;
+  const graph::LabelIndex* index_;
+
+  // Ontology ids resolved once: per query node and per graph type id.
+  std::vector<int> query_node_onto_type_;
+  std::vector<int> graph_type_onto_type_;
+  // For typed wildcard query nodes: the required graph type id (-1 = none
+  // matches / untyped wildcard).
+  std::vector<int32_t> wildcard_graph_type_;
+
+  // Memoization: per query node, data-node -> F_N; per query edge,
+  // relation -> similarity; candidate lists per query node.
+  mutable std::vector<std::unordered_map<graph::NodeId, double>> node_cache_;
+  mutable std::vector<std::unordered_map<uint32_t, double>> relation_cache_;
+  mutable std::vector<std::vector<ScoredCandidate>> candidates_;
+  mutable std::vector<bool> candidates_ready_;
+  mutable std::vector<std::unordered_map<graph::NodeId, double>>
+      candidate_score_map_;
+  mutable std::vector<bool> candidate_map_ready_;
+  mutable std::vector<double> max_relation_score_;
+  mutable std::vector<bool> max_relation_ready_;
+  // Walk-ball memo: node -> (reachable node -> smallest walk length in
+  // [2, d]). Bounded: once the stored pair count passes kWalkBallCacheLimit
+  // the cache is dropped and rebuilt on demand (d-balls of hub-adjacent
+  // nodes can cover much of the graph).
+  static constexpr size_t kWalkBallCacheLimit = 4'000'000;
+  mutable std::unordered_map<graph::NodeId,
+                             std::unordered_map<graph::NodeId, int>>
+      walk_ball_cache_;
+  mutable size_t walk_ball_pairs_ = 0;
+  mutable std::vector<std::unordered_map<uint64_t, double>> pair_edge_cache_;
+  mutable size_t node_evals_ = 0;
+};
+
+}  // namespace star::scoring
+
+#endif  // STAR_SCORING_QUERY_SCORER_H_

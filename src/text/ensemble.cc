@@ -1,0 +1,391 @@
+#include "text/ensemble.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "text/phonetic.h"
+#include "text/similarity.h"
+
+namespace star::text {
+
+namespace {
+
+bool EqualIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Shared intermediates for the fast Score() path: lowercased strings and
+/// sorted token vectors, computed once per pair instead of once per
+/// feature. All feature computations below operate on these and are
+/// bitwise-equivalent to the canonical functions in similarity.h (which
+/// lowercase internally), as verified by EnsembleTest.FastPathMatchesFeatures.
+struct PairScratch {
+  std::string la, lb;                  // lowercased
+  std::vector<std::string> ta, tb;     // tokens of la / lb (sorted, unique)
+  size_t token_intersection = 0;
+
+  PairScratch(std::string_view a, std::string_view b)
+      : la(ToLower(a)), lb(ToLower(b)) {
+    ta = SplitTokens(la);
+    tb = SplitTokens(lb);
+    std::sort(ta.begin(), ta.end());
+    ta.erase(std::unique(ta.begin(), ta.end()), ta.end());
+    std::sort(tb.begin(), tb.end());
+    tb.erase(std::unique(tb.begin(), tb.end()), tb.end());
+    size_t i = 0, j = 0;
+    while (i < ta.size() && j < tb.size()) {
+      if (ta[i] < tb[j]) {
+        ++i;
+      } else if (tb[j] < ta[i]) {
+        ++j;
+      } else {
+        ++token_intersection;
+        ++i;
+        ++j;
+      }
+    }
+  }
+};
+
+double FastLevenshtein(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  // Two-row DP on pre-lowercased strings.
+  static thread_local std::vector<int> prev, cur;
+  prev.resize(m + 1);
+  cur.resize(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return 1.0 - prev[m] / static_cast<double>(std::max(n, m));
+}
+
+double FastDamerau(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  // Three-row rolling OSA DP.
+  static thread_local std::vector<int> r0, r1, r2;
+  r0.resize(m + 1);
+  r1.resize(m + 1);
+  r2.resize(m + 1);
+  for (size_t j = 0; j <= m; ++j) r1[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    r2[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      r2[j] = std::min({r1[j] + 1, r2[j - 1] + 1, r1[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        r2[j] = std::min(r2[j], r0[j - 2] + 1);
+      }
+    }
+    std::swap(r0, r1);
+    std::swap(r1, r2);
+  }
+  return 1.0 - r1[m] / static_cast<double>(std::max(n, m));
+}
+
+double FastJaro(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  const size_t window = std::max(n, m) / 2 == 0 ? 0 : std::max(n, m) / 2 - 1;
+  static thread_local std::vector<bool> a_match, b_match;
+  a_match.assign(n, false);
+  b_match.assign(m, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_match[j] || a[i] != b[j]) continue;
+      a_match[i] = b_match[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t t = 0, j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_match[i]) continue;
+    while (!b_match[j]) ++j;
+    if (a[i] != b[j]) ++t;
+    ++j;
+  }
+  const double mm = static_cast<double>(matches);
+  return (mm / n + mm / m + (mm - t / 2.0) / mm) / 3.0;
+}
+
+double FastJaroWinkler(const std::string& a, const std::string& b,
+                       double jaro) {
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double FastPrefix(const std::string& a, const std::string& b) {
+  const size_t lim = std::min(a.size(), b.size());
+  if (lim == 0) return a.size() == b.size() ? 1.0 : 0.0;
+  size_t p = 0;
+  while (p < lim && a[p] == b[p]) ++p;
+  return static_cast<double>(p) / lim;
+}
+
+double FastSuffix(const std::string& a, const std::string& b) {
+  const size_t lim = std::min(a.size(), b.size());
+  if (lim == 0) return a.size() == b.size() ? 1.0 : 0.0;
+  size_t p = 0;
+  while (p < lim && a[a.size() - 1 - p] == b[b.size() - 1 - p]) ++p;
+  return static_cast<double>(p) / lim;
+}
+
+double FastContainment(const std::string& la, const std::string& lb) {
+  if (la.empty() || lb.empty()) return la.size() == lb.size() ? 1.0 : 0.0;
+  const std::string& longer = la.size() >= lb.size() ? la : lb;
+  const std::string& shorter = la.size() >= lb.size() ? lb : la;
+  if (longer.find(shorter) == std::string::npos) return 0.0;
+  return static_cast<double>(shorter.size()) / longer.size();
+}
+
+double FastNGramJaccard(const std::string& la, const std::string& lb) {
+  // Sorted unique trigram vectors; tiny strings degenerate to themselves.
+  const auto grams = [](const std::string& s) {
+    std::vector<std::string> g;
+    if (s.size() < 3) {
+      if (!s.empty()) g.push_back(s);
+      return g;
+    }
+    g.reserve(s.size() - 2);
+    for (size_t i = 0; i + 3 <= s.size(); ++i) g.push_back(s.substr(i, 3));
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+    return g;
+  };
+  auto ga = grams(la);
+  auto gb = grams(lb);
+  if (ga.empty() && gb.empty()) return 1.0;
+  size_t inter = 0, i = 0, j = 0;
+  while (i < ga.size() && j < gb.size()) {
+    if (ga[i] < gb[j]) {
+      ++i;
+    } else if (gb[j] < ga[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t uni = ga.size() + gb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+bool ContainsDigit(const std::string& s) {
+  for (const char c : s) {
+    if (c >= '0' && c <= '9') return true;
+  }
+  return false;
+}
+
+bool LooksNumeric(const std::string& s) {
+  const std::string_view t = Trim(s);
+  if (t.empty()) return false;
+  const char c = t[0];
+  return (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+SimilarityEnsemble::SimilarityEnsemble() : SimilarityEnsemble(Context{}) {}
+
+SimilarityEnsemble::SimilarityEnsemble(Context context)
+    : context_(context),
+      weights_(kFeatureCount, 1.0 / static_cast<double>(kFeatureCount)) {
+  // Features whose context is missing get zero weight so the default
+  // configuration stays a proper convex combination of active features.
+  std::vector<double> w(kFeatureCount, 1.0);
+  if (context_.synonyms == nullptr) w[kSynonym] = 0.0;
+  if (context_.tfidf == nullptr) w[kTfIdfCosine] = 0.0;
+  if (context_.ontology == nullptr) w[kTypeOntology] = 0.0;
+  SetWeights(w);
+}
+
+std::vector<double> SimilarityEnsemble::Features(std::string_view q,
+                                                 std::string_view d,
+                                                 int query_type,
+                                                 int data_type) const {
+  std::vector<double> f(kFeatureCount, 0.0);
+  f[kExact] = ExactMatch(q, d);
+  f[kCaseInsensitive] = CaseInsensitiveMatch(q, d);
+  f[kLevenshtein] = LevenshteinSimilarity(q, d);
+  f[kDamerauLevenshtein] = DamerauLevenshteinSimilarity(q, d);
+  f[kJaro] = JaroSimilarity(q, d);
+  f[kJaroWinkler] = JaroWinklerSimilarity(q, d);
+  f[kPrefix] = PrefixSimilarity(q, d);
+  f[kSuffix] = SuffixSimilarity(q, d);
+  f[kContainment] = ContainmentSimilarity(q, d);
+  f[kTokenJaccard] = TokenJaccard(q, d);
+  f[kTokenDice] = TokenDice(q, d);
+  f[kTokenOverlap] = TokenOverlap(q, d);
+  f[kNGramJaccard] = NGramJaccard(q, d);
+  f[kAcronym] = AcronymSimilarity(q, d);
+  f[kAbbreviation] = AbbreviationSimilarity(q, d);
+  f[kLengthRatio] = LengthRatio(q, d);
+  f[kNumeric] = NumericSimilarity(q, d);
+  f[kLcs] = LcsSimilarity(q, d);
+  f[kPhonetic] = PhoneticSimilarity(q, d);
+  if (context_.synonyms != nullptr) {
+    f[kSynonym] = context_.synonyms->Similarity(q, d);
+  }
+  if (context_.tfidf != nullptr && context_.tfidf->finalized()) {
+    f[kTfIdfCosine] = context_.tfidf->Cosine(q, d);
+  }
+  if (context_.ontology != nullptr) {
+    f[kTypeOntology] = context_.ontology->Similarity(query_type, data_type);
+  }
+  f[kMongeElkan] = MongeElkanSimilarity(q, d);
+  f[kLongestCommonSubstring] = LongestCommonSubstringSimilarity(q, d);
+  f[kHamming] = HammingSimilarity(q, d);
+  f[kSmithWaterman] = SmithWatermanSimilarity(q, d);
+  f[kBigramDice] = BigramDice(q, d);
+  f[kTokenSequenceEdit] = TokenSequenceEditSimilarity(q, d);
+  f[kDate] = DateSimilarity(q, d);
+  f[kNumeralAware] = NumeralAwareMatch(q, d);
+  return f;
+}
+
+double SimilarityEnsemble::Score(std::string_view q, std::string_view d,
+                                 int query_type, int data_type) const {
+  if (!q.empty() && EqualIgnoreCase(q, d)) return 1.0;
+  const auto& w = weights_;
+  const PairScratch sc(q, d);
+  double s = 0.0;
+
+  if (w[kExact] > 0.0 && q == d) s += w[kExact];
+  // After the shortcut, lowercase equality only remains for empty q.
+  if (sc.la == sc.lb) s += w[kCaseInsensitive];
+  if (w[kLevenshtein] > 0.0) {
+    s += w[kLevenshtein] * FastLevenshtein(sc.la, sc.lb);
+  }
+  if (w[kDamerauLevenshtein] > 0.0) {
+    s += w[kDamerauLevenshtein] * FastDamerau(sc.la, sc.lb);
+  }
+  if (w[kJaro] > 0.0 || w[kJaroWinkler] > 0.0) {
+    const double jaro = FastJaro(sc.la, sc.lb);
+    s += w[kJaro] * jaro;
+    if (w[kJaroWinkler] > 0.0) {
+      s += w[kJaroWinkler] * FastJaroWinkler(sc.la, sc.lb, jaro);
+    }
+  }
+  if (w[kPrefix] > 0.0) s += w[kPrefix] * FastPrefix(sc.la, sc.lb);
+  if (w[kSuffix] > 0.0) s += w[kSuffix] * FastSuffix(sc.la, sc.lb);
+  if (w[kContainment] > 0.0) {
+    s += w[kContainment] * FastContainment(sc.la, sc.lb);
+  }
+  // Token-set family from the shared intersection count.
+  {
+    const size_t na = sc.ta.size();
+    const size_t nb = sc.tb.size();
+    const size_t inter = sc.token_intersection;
+    if (na == 0 && nb == 0) {
+      s += w[kTokenJaccard] + w[kTokenDice] + w[kTokenOverlap];
+    } else if (na > 0 && nb > 0) {
+      const size_t uni = na + nb - inter;
+      if (uni > 0) {
+        s += w[kTokenJaccard] * (static_cast<double>(inter) / uni);
+      }
+      s += w[kTokenDice] * (2.0 * inter / (na + nb));
+      s += w[kTokenOverlap] * (static_cast<double>(inter) / std::min(na, nb));
+    }
+  }
+  if (w[kNGramJaccard] > 0.0) {
+    s += w[kNGramJaccard] * FastNGramJaccard(sc.la, sc.lb);
+  }
+  if (w[kAcronym] > 0.0) s += w[kAcronym] * AcronymSimilarity(q, d);
+  if (w[kAbbreviation] > 0.0) {
+    s += w[kAbbreviation] * AbbreviationSimilarity(q, d);
+  }
+  if (w[kLengthRatio] > 0.0) s += w[kLengthRatio] * LengthRatio(q, d);
+  if (w[kNumeric] > 0.0 && (LooksNumeric(sc.la) || LooksNumeric(sc.lb))) {
+    s += w[kNumeric] * NumericSimilarity(q, d);
+  }
+  if (w[kLcs] > 0.0) s += w[kLcs] * LcsSimilarity(sc.la, sc.lb);
+  if (w[kPhonetic] > 0.0) s += w[kPhonetic] * PhoneticSimilarity(q, d);
+  if (w[kSynonym] > 0.0 && context_.synonyms != nullptr) {
+    s += w[kSynonym] * context_.synonyms->Similarity(q, d);
+  }
+  if (w[kTfIdfCosine] > 0.0 && context_.tfidf != nullptr &&
+      context_.tfidf->finalized()) {
+    s += w[kTfIdfCosine] * context_.tfidf->Cosine(q, d);
+  }
+  if (w[kTypeOntology] > 0.0 && context_.ontology != nullptr) {
+    s += w[kTypeOntology] * context_.ontology->Similarity(query_type, data_type);
+  }
+  if (w[kMongeElkan] > 0.0) s += w[kMongeElkan] * MongeElkanSimilarity(q, d);
+  if (w[kLongestCommonSubstring] > 0.0) {
+    s += w[kLongestCommonSubstring] *
+         LongestCommonSubstringSimilarity(sc.la, sc.lb);
+  }
+  if (w[kHamming] > 0.0) s += w[kHamming] * HammingSimilarity(sc.la, sc.lb);
+  if (w[kSmithWaterman] > 0.0) {
+    s += w[kSmithWaterman] * SmithWatermanSimilarity(sc.la, sc.lb);
+  }
+  if (w[kBigramDice] > 0.0) s += w[kBigramDice] * BigramDice(sc.la, sc.lb);
+  if (w[kTokenSequenceEdit] > 0.0) {
+    s += w[kTokenSequenceEdit] * TokenSequenceEditSimilarity(sc.la, sc.lb);
+  }
+  if (w[kDate] > 0.0 && ContainsDigit(sc.la) && ContainsDigit(sc.lb)) {
+    s += w[kDate] * DateSimilarity(q, d);
+  }
+  if (w[kNumeralAware] > 0.0) s += w[kNumeralAware] * NumeralAwareMatch(q, d);
+  return s;
+}
+
+void SimilarityEnsemble::SetWeights(const std::vector<double>& weights) {
+  weights_.assign(kFeatureCount, 0.0);
+  double sum = 0.0;
+  for (int i = 0; i < kFeatureCount && i < static_cast<int>(weights.size());
+       ++i) {
+    weights_[i] = weights[i] > 0.0 ? weights[i] : 0.0;
+    sum += weights_[i];
+  }
+  if (sum <= 0.0) {
+    weights_.assign(kFeatureCount, 1.0 / static_cast<double>(kFeatureCount));
+    return;
+  }
+  for (auto& w : weights_) w /= sum;
+}
+
+const std::vector<std::string>& SimilarityEnsemble::FeatureNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "exact",        "case_insensitive", "levenshtein", "damerau",
+      "jaro",         "jaro_winkler",     "prefix",      "suffix",
+      "containment",  "token_jaccard",    "token_dice",  "token_overlap",
+      "ngram_jaccard", "acronym",         "abbreviation", "length_ratio",
+      "numeric",      "lcs",              "phonetic",    "synonym",
+      "tfidf_cosine", "type_ontology",    "monge_elkan",
+      "longest_common_substring",         "hamming",     "smith_waterman",
+      "bigram_dice",  "token_sequence_edit",             "date",
+      "numeral_aware"};
+  return *names;
+}
+
+}  // namespace star::text

@@ -1,0 +1,107 @@
+#ifndef STAR_TEXT_ENSEMBLE_H_
+#define STAR_TEXT_ENSEMBLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/synonym_dictionary.h"
+#include "text/tfidf.h"
+#include "text/type_ontology.h"
+
+namespace star::text {
+
+/// The learned node/edge matching function of Eq. 1:
+///
+///   F_N(v, phi(v)) = sum_i alpha_i * f_i(v, phi(v))
+///
+/// where each f_i is one similarity measure from this module. The paper
+/// uses 46 measures learned offline ([2]); this ensemble exposes the same
+/// shape — a weighted linear aggregation over a feature vector in [0,1]^n —
+/// with the measures implemented here. Weights default to uniform and can
+/// be replaced by WeightLearner output (weight_learning.h).
+///
+/// Identical labels (ignoring case) score exactly 1.0 by definition.
+class SimilarityEnsemble {
+ public:
+  /// Optional corpus-level context. Null members disable the corresponding
+  /// features (their score is 0, so give them 0 weight when absent).
+  struct Context {
+    const SynonymDictionary* synonyms = nullptr;
+    const TfIdfModel* tfidf = nullptr;
+    const TypeOntology* ontology = nullptr;
+  };
+
+  /// Indices into the feature vector; kFeatureCount is the vector length.
+  enum Feature : int {
+    kExact = 0,
+    kCaseInsensitive,
+    kLevenshtein,
+    kDamerauLevenshtein,
+    kJaro,
+    kJaroWinkler,
+    kPrefix,
+    kSuffix,
+    kContainment,
+    kTokenJaccard,
+    kTokenDice,
+    kTokenOverlap,
+    kNGramJaccard,
+    kAcronym,
+    kAbbreviation,
+    kLengthRatio,
+    kNumeric,
+    kLcs,
+    kPhonetic,
+    kSynonym,
+    kTfIdfCosine,
+    kTypeOntology,
+    kMongeElkan,
+    kLongestCommonSubstring,
+    kHamming,
+    kSmithWaterman,
+    kBigramDice,
+    kTokenSequenceEdit,
+    kDate,
+    kNumeralAware,
+    kFeatureCount,
+  };
+
+  /// Ensemble with no corpus context (string-only features active).
+  SimilarityEnsemble();
+  explicit SimilarityEnsemble(Context context);
+
+  /// Full feature vector for a (query label, data label) pair, with
+  /// optional type ids for the ontology feature (-1 = untyped).
+  std::vector<double> Features(std::string_view query_label,
+                               std::string_view data_label, int query_type = -1,
+                               int data_type = -1) const;
+
+  /// Aggregated score (Eq. 1) in [0, 1]. Weights are kept normalized to
+  /// sum to 1, so the score is a convex combination of the features.
+  ///
+  /// This is the hot path of the whole engine (every candidate's F_N is
+  /// computed online): it shares tokenizations/lowercasing across features
+  /// and skips zero-weight features, but is exactly equivalent to
+  /// sum_i w_i * Features(...)[i].
+  double Score(std::string_view query_label, std::string_view data_label,
+               int query_type = -1, int data_type = -1) const;
+
+  /// Replaces the weights (negative entries clamped to 0, then the vector
+  /// is renormalized to sum 1). Must have kFeatureCount entries.
+  void SetWeights(const std::vector<double>& weights);
+
+  const std::vector<double>& weights() const { return weights_; }
+  const Context& context() const { return context_; }
+
+  /// Human-readable feature names, index-aligned with Features().
+  static const std::vector<std::string>& FeatureNames();
+
+ private:
+  Context context_;
+  std::vector<double> weights_;
+};
+
+}  // namespace star::text
+
+#endif  // STAR_TEXT_ENSEMBLE_H_

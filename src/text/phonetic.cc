@@ -1,0 +1,76 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace star::text {
+
+namespace {
+
+// Soundex digit for a letter; 0 means "ignored" (vowels, h, w, y).
+char SoundexDigit(char c) {
+  switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'b': case 'f': case 'p': case 'v':
+      return '1';
+    case 'c': case 'g': case 'j': case 'k':
+    case 'q': case 's': case 'x': case 'z':
+      return '2';
+    case 'd': case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm': case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+std::string SoundexToken(std::string_view token) {
+  std::string letters;
+  for (char c : token) {
+    if (std::isalpha(static_cast<unsigned char>(c))) letters.push_back(c);
+  }
+  if (letters.empty()) return "";
+  std::string code(1, static_cast<char>(
+                          std::toupper(static_cast<unsigned char>(letters[0]))));
+  char last = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    const char c = letters[i];
+    const char digit = SoundexDigit(c);
+    const char lc = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (digit != '0' && digit != last) code.push_back(digit);
+    // 'h' and 'w' are transparent: they do not reset the run; vowels do.
+    if (lc != 'h' && lc != 'w') last = digit;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view s) {
+  const auto tokens = SplitTokens(s);
+  if (tokens.empty()) return "";
+  return SoundexToken(tokens[0]);
+}
+
+double PhoneticSimilarity(std::string_view a, std::string_view b) {
+  const auto ta = SplitTokens(a);
+  const auto tb = SplitTokens(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  // Best token-pair match: any shared-sounding token counts.
+  for (const auto& x : ta) {
+    const std::string cx = SoundexToken(x);
+    if (cx.empty()) continue;
+    for (const auto& y : tb) {
+      if (cx == SoundexToken(y)) return 1.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace star::text

@@ -1,0 +1,510 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace star::text {
+
+namespace {
+
+// Shared scratch-free helpers.
+
+bool EqualIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+double ExactMatch(std::string_view a, std::string_view b) {
+  return a == b ? 1.0 : 0.0;
+}
+
+double CaseInsensitiveMatch(std::string_view a, std::string_view b) {
+  return EqualIgnoreCase(a, b) ? 1.0 : 0.0;
+}
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  // Two-row dynamic program; O(min(n,m)) space.
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = LowerChar(a[i - 1]) == LowerChar(b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const double d = LevenshteinDistance(a, b);
+  return 1.0 - d / static_cast<double>(std::max(a.size(), b.size()));
+}
+
+double DamerauLevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  // Optimal string alignment variant (adjacent transpositions).
+  std::vector<std::vector<int>> d(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = 0; i <= n; ++i) d[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= m; ++j) d[0][j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = LowerChar(a[i - 1]) == LowerChar(b[j - 1]) ? 0 : 1;
+      d[i][j] = std::min(
+          {d[i - 1][j] + 1, d[i][j - 1] + 1, d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && LowerChar(a[i - 1]) == LowerChar(b[j - 2]) &&
+          LowerChar(a[i - 2]) == LowerChar(b[j - 1])) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  return 1.0 - d[n][m] / static_cast<double>(std::max(n, m));
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  const size_t window = std::max(n, m) / 2 == 0 ? 0 : std::max(n, m) / 2 - 1;
+  std::vector<bool> a_match(n, false), b_match(m, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_match[j] || LowerChar(a[i]) != LowerChar(b[j])) continue;
+      a_match[i] = b_match[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t t = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_match[i]) continue;
+    while (!b_match[j]) ++j;
+    if (LowerChar(a[i]) != LowerChar(b[j])) ++t;
+    ++j;
+  }
+  const double mm = static_cast<double>(matches);
+  return (mm / n + mm / m + (mm - t / 2.0) / mm) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && LowerChar(a[prefix]) == LowerChar(b[prefix])) {
+    ++prefix;
+  }
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double PrefixSimilarity(std::string_view a, std::string_view b) {
+  const size_t lim = std::min(a.size(), b.size());
+  if (lim == 0) return a.size() == b.size() ? 1.0 : 0.0;
+  size_t p = 0;
+  while (p < lim && LowerChar(a[p]) == LowerChar(b[p])) ++p;
+  return static_cast<double>(p) / lim;
+}
+
+double SuffixSimilarity(std::string_view a, std::string_view b) {
+  const size_t lim = std::min(a.size(), b.size());
+  if (lim == 0) return a.size() == b.size() ? 1.0 : 0.0;
+  size_t p = 0;
+  while (p < lim &&
+         LowerChar(a[a.size() - 1 - p]) == LowerChar(b[b.size() - 1 - p])) {
+    ++p;
+  }
+  return static_cast<double>(p) / lim;
+}
+
+double ContainmentSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return a.size() == b.size() ? 1.0 : 0.0;
+  const std::string la = ToLower(a);
+  const std::string lb = ToLower(b);
+  const std::string& longer = la.size() >= lb.size() ? la : lb;
+  const std::string& shorter = la.size() >= lb.size() ? lb : la;
+  if (longer.find(shorter) == std::string::npos) return 0.0;
+  return static_cast<double>(shorter.size()) / longer.size();
+}
+
+namespace {
+
+std::set<std::string> TokenSet(std::string_view s) {
+  std::set<std::string> out;
+  for (auto& t : SplitTokens(ToLower(s))) out.insert(std::move(t));
+  return out;
+}
+
+size_t Intersection(const std::set<std::string>& a,
+                    const std::set<std::string>& b) {
+  size_t n = 0;
+  for (const auto& x : a) n += b.count(x);
+  return n;
+}
+
+}  // namespace
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  const auto sa = TokenSet(a);
+  const auto sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = Intersection(sa, sb);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+double TokenDice(std::string_view a, std::string_view b) {
+  const auto sa = TokenSet(a);
+  const auto sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  const size_t inter = Intersection(sa, sb);
+  return 2.0 * inter / (sa.size() + sb.size());
+}
+
+double TokenOverlap(std::string_view a, std::string_view b) {
+  const auto sa = TokenSet(a);
+  const auto sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  const size_t inter = Intersection(sa, sb);
+  return static_cast<double>(inter) / std::min(sa.size(), sb.size());
+}
+
+std::vector<std::string> CharNGrams(std::string_view s, int n) {
+  const std::string low = ToLower(s);
+  std::vector<std::string> grams;
+  if (low.size() < static_cast<size_t>(n)) {
+    if (!low.empty()) grams.push_back(low);
+    return grams;
+  }
+  for (size_t i = 0; i + n <= low.size(); ++i) {
+    grams.push_back(low.substr(i, n));
+  }
+  return grams;
+}
+
+double NGramJaccard(std::string_view a, std::string_view b, int n) {
+  const auto ga = CharNGrams(a, n);
+  const auto gb = CharNGrams(b, n);
+  if (ga.empty() && gb.empty()) return 1.0;
+  const std::set<std::string> sa(ga.begin(), ga.end());
+  const std::set<std::string> sb(gb.begin(), gb.end());
+  const size_t inter = Intersection(sa, sb);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+namespace {
+
+// Initials of the word tokens, lowercased ("John F Kennedy" -> "jfk").
+std::string Initials(std::string_view s) {
+  std::string out;
+  for (const auto& tok : SplitTokens(s)) out.push_back(LowerChar(tok[0]));
+  return out;
+}
+
+}  // namespace
+
+double AcronymSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const std::string la = ToLower(a);
+  const std::string lb = ToLower(b);
+  // The acronym side must be a single token of length >= 2.
+  if (SplitTokens(a).size() == 1 && la.size() >= 2 && Initials(b) == la) {
+    return 1.0;
+  }
+  if (SplitTokens(b).size() == 1 && lb.size() >= 2 && Initials(a) == lb) {
+    return 1.0;
+  }
+  return 0.0;
+}
+
+double AbbreviationSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const std::string la = ToLower(a);
+  const std::string lb = ToLower(b);
+  const std::string& shorter = la.size() <= lb.size() ? la : lb;
+  const std::string& longer = la.size() <= lb.size() ? lb : la;
+  if (shorter.size() < 2 || shorter.size() == longer.size()) {
+    return shorter == longer ? 1.0 : 0.0;
+  }
+  // The abbreviation must share the first character and be a subsequence.
+  if (shorter[0] != longer[0]) return 0.0;
+  size_t j = 0;
+  for (size_t i = 0; i < longer.size() && j < shorter.size(); ++i) {
+    if (longer[i] == shorter[j]) ++j;
+  }
+  if (j != shorter.size()) return 0.0;
+  return static_cast<double>(shorter.size()) / longer.size() * 0.5 + 0.5;
+}
+
+double LengthRatio(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const double lo = static_cast<double>(std::min(a.size(), b.size()));
+  const double hi = static_cast<double>(std::max(a.size(), b.size()));
+  return hi == 0 ? 1.0 : lo / hi;
+}
+
+namespace {
+
+// Parses "<number><unit>?" where unit is a recognized suffix. Returns the
+// value normalized into base units, or nullopt.
+std::optional<double> ParseQuantity(std::string_view s) {
+  const std::string t(Trim(s));
+  if (t.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end == t.c_str()) return std::nullopt;
+  std::string unit = ToLower(Trim(std::string_view(end)));
+  static const std::unordered_map<std::string, double> kUnits = {
+      {"", 1.0},      {"m", 1.0},      {"km", 1000.0},  {"cm", 0.01},
+      {"mm", 0.001},  {"g", 1.0},      {"kg", 1000.0},  {"mg", 0.001},
+      {"s", 1.0},     {"sec", 1.0},    {"min", 60.0},   {"h", 3600.0},
+      {"hr", 3600.0}, {"ms", 0.001},
+  };
+  const auto it = kUnits.find(unit);
+  if (it == kUnits.end()) return std::nullopt;
+  return v * it->second;
+}
+
+}  // namespace
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  const auto va = ParseQuantity(a);
+  const auto vb = ParseQuantity(b);
+  if (!va || !vb) return 0.0;
+  const double x = *va;
+  const double y = *vb;
+  if (x == y) return 1.0;
+  const double denom = std::max(std::abs(x), std::abs(y));
+  if (denom == 0) return 1.0;
+  const double rel = std::abs(x - y) / denom;
+  return 1.0 / (1.0 + 9.0 * rel);  // 1 at equality, 0.1 at 100% difference
+}
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  const auto ta = SplitTokens(ToLower(a));
+  const auto tb = SplitTokens(ToLower(b));
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  const auto directed = [](const std::vector<std::string>& xs,
+                           const std::vector<std::string>& ys) {
+    double sum = 0.0;
+    for (const auto& x : xs) {
+      double best = 0.0;
+      for (const auto& y : ys) {
+        best = std::max(best, JaroWinklerSimilarity(x, y));
+      }
+      sum += best;
+    }
+    return sum / xs.size();
+  };
+  return std::max(directed(ta, tb), directed(tb, ta));
+}
+
+double LongestCommonSubstringSimilarity(std::string_view a,
+                                        std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (LowerChar(a[i - 1]) == LowerChar(b[j - 1])) {
+        cur[j] = prev[j - 1] + 1;
+        best = std::max(best, cur[j]);
+      } else {
+        cur[j] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(best) / std::max(n, m);
+}
+
+double HammingSimilarity(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return a.empty() && b.empty() ? 1.0 : 0.0;
+  if (a.empty()) return 1.0;
+  size_t equal = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    equal += LowerChar(a[i]) == LowerChar(b[i]);
+  }
+  return static_cast<double>(equal) / a.size();
+}
+
+double SmithWatermanSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const int diag =
+          prev[j - 1] + (LowerChar(a[i - 1]) == LowerChar(b[j - 1]) ? 1 : -1);
+      cur[j] = std::max({0, diag, prev[j] - 1, cur[j - 1] - 1});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(best) / std::min(n, m);
+}
+
+double BigramDice(std::string_view a, std::string_view b) {
+  const auto ga = CharNGrams(a, 2);
+  const auto gb = CharNGrams(b, 2);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  const std::set<std::string> sa(ga.begin(), ga.end());
+  const std::set<std::string> sb(gb.begin(), gb.end());
+  const size_t inter = Intersection(sa, sb);
+  return 2.0 * inter / (sa.size() + sb.size());
+}
+
+double TokenSequenceEditSimilarity(std::string_view a, std::string_view b) {
+  const auto ta = SplitTokens(ToLower(a));
+  const auto tb = SplitTokens(ToLower(b));
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  const size_t n = ta.size();
+  const size_t m = tb.size();
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = ta[i - 1] == tb[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return 1.0 - prev[m] / static_cast<double>(std::max(n, m));
+}
+
+namespace {
+
+// Extracts a plausible 3-4 digit year (steering clear of long numbers).
+std::optional<int> ExtractYear(std::string_view s) {
+  for (size_t i = 0; i < s.size();) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j]))) {
+      ++j;
+    }
+    const size_t len = j - i;
+    if (len == 3 || len == 4) {
+      int year = 0;
+      for (size_t k = i; k < j; ++k) year = year * 10 + (s[k] - '0');
+      return year;
+    }
+    i = j;
+  }
+  return std::nullopt;
+}
+
+// Roman numeral value of a lowercase token, or 0 if not one (bounded to
+// the common title range i..xx to avoid false hits like "mix").
+int RomanValue(const std::string& token) {
+  static const std::unordered_map<std::string, int> kRoman = {
+      {"i", 1},    {"ii", 2},    {"iii", 3},  {"iv", 4},   {"v", 5},
+      {"vi", 6},   {"vii", 7},   {"viii", 8}, {"ix", 9},   {"x", 10},
+      {"xi", 11},  {"xii", 12},  {"xiii", 13}, {"xiv", 14}, {"xv", 15},
+      {"xvi", 16}, {"xvii", 17}, {"xviii", 18}, {"xix", 19}, {"xx", 20}};
+  const auto it = kRoman.find(token);
+  return it == kRoman.end() ? 0 : it->second;
+}
+
+// Number-word value of a lowercase token, or 0.
+int NumberWordValue(const std::string& token) {
+  static const std::unordered_map<std::string, int> kWords = {
+      {"one", 1}, {"two", 2},   {"three", 3}, {"four", 4}, {"five", 5},
+      {"six", 6}, {"seven", 7}, {"eight", 8}, {"nine", 9}, {"ten", 10}};
+  const auto it = kWords.find(token);
+  return it == kWords.end() ? 0 : it->second;
+}
+
+// Tokens with roman numerals / number words replaced by digit strings.
+std::vector<std::string> NormalizeNumerals(std::string_view s) {
+  std::vector<std::string> tokens = SplitTokens(ToLower(s));
+  for (auto& t : tokens) {
+    int v = RomanValue(t);
+    if (v == 0) v = NumberWordValue(t);
+    if (v > 0) t = std::to_string(v);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+double DateSimilarity(std::string_view a, std::string_view b) {
+  const auto ya = ExtractYear(a);
+  const auto yb = ExtractYear(b);
+  if (!ya || !yb) return 0.0;
+  return 1.0 / (1.0 + std::abs(*ya - *yb) / 10.0);
+}
+
+double NumeralAwareMatch(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0.0;
+  return NormalizeNumerals(a) == NormalizeNumerals(b) ? 1.0 : 0.0;
+}
+
+double LcsSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (LowerChar(a[i - 1]) == LowerChar(b[j - 1])) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]) / std::max(n, m);
+}
+
+}  // namespace star::text

@@ -1,0 +1,118 @@
+#ifndef STAR_TEXT_SIMILARITY_H_
+#define STAR_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace star::text {
+
+// String similarity measures. Every function returns a score in [0, 1],
+// is symmetric unless noted, and returns 1.0 for identical inputs.
+// These are the building blocks of the learned node/edge matching function
+// F_N (Eq. 1 in the paper); the ensemble in ensemble.h combines them with
+// learned weights. Inputs are matched case-insensitively where sensible.
+
+/// 1 iff the strings are byte-identical.
+double ExactMatch(std::string_view a, std::string_view b);
+
+/// 1 iff equal ignoring ASCII case.
+double CaseInsensitiveMatch(std::string_view a, std::string_view b);
+
+/// Normalized Levenshtein similarity: 1 - dist / max(|a|, |b|).
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Normalized Damerau-Levenshtein (adjacent transpositions count 1).
+double DamerauLevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler with standard prefix boost (p = 0.1, max prefix 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the common prefix divided by the shorter length.
+double PrefixSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the common suffix divided by the shorter length.
+double SuffixSimilarity(std::string_view a, std::string_view b);
+
+/// 1 if one (lowercased) string contains the other, scaled by length ratio.
+double ContainmentSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard coefficient over lowercased word tokens.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Dice coefficient over lowercased word tokens.
+double TokenDice(std::string_view a, std::string_view b);
+
+/// Overlap coefficient (|A ∩ B| / min(|A|, |B|)) over word tokens.
+double TokenOverlap(std::string_view a, std::string_view b);
+
+/// Jaccard over character n-grams of the lowercased strings.
+double NGramJaccard(std::string_view a, std::string_view b, int n = 3);
+
+/// Acronym match: 1 if one side equals the initials of the other's tokens
+/// (e.g. "JFK" vs "John Fitzgerald Kennedy"), else 0.
+double AcronymSimilarity(std::string_view a, std::string_view b);
+
+/// Abbreviation match: the shorter string must be a subsequence of the
+/// longer that starts at a token boundary (e.g. "Intl" vs "International").
+/// Score scales with coverage of the longer string's leading token.
+double AbbreviationSimilarity(std::string_view a, std::string_view b);
+
+/// Ratio of shorter to longer length; crude but a useful learned feature.
+double LengthRatio(std::string_view a, std::string_view b);
+
+/// Numeric similarity: if both strings parse as numbers (optionally with a
+/// recognized unit suffix that is converted: km/m/cm, kg/g, h/min/s),
+/// returns 1 / (1 + relative difference); 0 if either is non-numeric.
+double NumericSimilarity(std::string_view a, std::string_view b);
+
+/// Longest common subsequence length normalized by the longer length.
+double LcsSimilarity(std::string_view a, std::string_view b);
+
+/// Monge-Elkan: average over the first string's tokens of the best
+/// Jaro-Winkler match among the second string's tokens, symmetrized by
+/// taking the max of both directions. Strong for multi-token names with
+/// reordering and local typos ("Pitt Brad" vs "Brad Pit").
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the longest common substring divided by the longer length.
+double LongestCommonSubstringSimilarity(std::string_view a,
+                                        std::string_view b);
+
+/// Hamming similarity: fraction of equal positions; 0 unless equal length.
+double HammingSimilarity(std::string_view a, std::string_view b);
+
+/// Smith-Waterman local alignment (match +1, mismatch/gap -1), normalized
+/// by the shorter length: rewards a strongly matching region anywhere.
+double SmithWatermanSimilarity(std::string_view a, std::string_view b);
+
+/// Dice coefficient over character bigrams (the classic "string
+/// similarity" of Adamson & Boreham).
+double BigramDice(std::string_view a, std::string_view b);
+
+/// Normalized edit distance over token *sequences* (a whole token is one
+/// symbol): word insertions/deletions/substitutions count 1 each.
+double TokenSequenceEditSimilarity(std::string_view a, std::string_view b);
+
+/// Year/date similarity: extracts a 3-4 digit year from each string
+/// (e.g. "1994", "1994-06-23", "June 1994"); 1/(1+|Δyears|/10) when both
+/// have one, 0 otherwise.
+double DateSimilarity(std::string_view a, std::string_view b);
+
+/// Numeral-aware equality: 1 if the strings are equal after normalizing
+/// roman numerals and number words to digits ("Part II" vs "Part 2",
+/// "Rocky Three" vs "Rocky 3"), else 0.
+double NumeralAwareMatch(std::string_view a, std::string_view b);
+
+/// Raw Levenshtein distance (unnormalized); exposed for tests/diagnostics.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Character n-grams (lowercased) of s; shorter-than-n strings yield {s}.
+std::vector<std::string> CharNGrams(std::string_view s, int n);
+
+}  // namespace star::text
+
+#endif  // STAR_TEXT_SIMILARITY_H_

@@ -1,0 +1,94 @@
+#include "text/synonym_dictionary.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace star::text {
+
+int SynonymDictionary::GroupOf(const std::string& lower_term) const {
+  const auto it = group_of_.find(lower_term);
+  return it == group_of_.end() ? -1 : it->second;
+}
+
+int SynonymDictionary::EnsureGroup(std::string_view term) {
+  const std::string key = ToLower(term);
+  const auto it = group_of_.find(key);
+  if (it != group_of_.end()) return it->second;
+  const int g = next_group_++;
+  group_of_.emplace(key, g);
+  return g;
+}
+
+void SynonymDictionary::AddSynonym(std::string_view a, std::string_view b) {
+  const int ga = EnsureGroup(a);
+  const int gb = EnsureGroup(b);
+  if (ga == gb) return;
+  // Merge the smaller-id group into the larger to keep this simple; the
+  // dictionary is small and built once, so a full scan is fine.
+  for (auto& [term, g] : group_of_) {
+    if (g == gb) g = ga;
+  }
+}
+
+void SynonymDictionary::AddGroup(const std::vector<std::string>& terms) {
+  for (size_t i = 1; i < terms.size(); ++i) AddSynonym(terms[0], terms[i]);
+}
+
+bool SynonymDictionary::AreSynonyms(std::string_view a,
+                                    std::string_view b) const {
+  const std::string la = ToLower(a);
+  const std::string lb = ToLower(b);
+  if (la == lb) return true;
+  const int ga = GroupOf(la);
+  return ga >= 0 && ga == GroupOf(lb);
+}
+
+double SynonymDictionary::Similarity(std::string_view a,
+                                     std::string_view b) const {
+  if (AreSynonyms(a, b)) return 1.0;
+  // Token-level: fraction of tokens of the shorter side that have a synonym
+  // (or equal token) on the other side.
+  const auto ta = SplitTokens(ToLower(a));
+  const auto tb = SplitTokens(ToLower(b));
+  if (ta.empty() || tb.empty()) return 0.0;
+  const auto& shorter = ta.size() <= tb.size() ? ta : tb;
+  const auto& longer = ta.size() <= tb.size() ? tb : ta;
+  size_t hits = 0;
+  for (const auto& x : shorter) {
+    for (const auto& y : longer) {
+      if (AreSynonyms(x, y)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / shorter.size();
+}
+
+SynonymDictionary SynonymDictionary::BuiltIn() {
+  SynonymDictionary dict;
+  dict.AddGroup({"teacher", "educator", "instructor", "tutor"});
+  dict.AddGroup({"movie", "film", "picture", "motion picture"});
+  dict.AddGroup({"director", "filmmaker", "movie maker"});
+  dict.AddGroup({"actor", "performer", "thespian"});
+  dict.AddGroup({"author", "writer", "novelist"});
+  dict.AddGroup({"singer", "vocalist"});
+  dict.AddGroup({"award", "prize", "honor"});
+  dict.AddGroup({"city", "town", "municipality"});
+  dict.AddGroup({"country", "nation", "state"});
+  dict.AddGroup({"company", "firm", "corporation", "enterprise"});
+  dict.AddGroup({"university", "college"});
+  dict.AddGroup({"doctor", "physician"});
+  dict.AddGroup({"lawyer", "attorney"});
+  dict.AddGroup({"scientist", "researcher"});
+  dict.AddGroup({"band", "group", "ensemble"});
+  dict.AddGroup({"song", "track", "tune"});
+  dict.AddGroup({"spouse", "wife", "husband", "partner"});
+  dict.AddGroup({"born", "birthplace", "place of birth"});
+  dict.AddGroup({"located", "situated"});
+  dict.AddGroup({"works", "employed", "worked"});
+  return dict;
+}
+
+}  // namespace star::text

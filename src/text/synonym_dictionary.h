@@ -1,0 +1,50 @@
+#ifndef STAR_TEXT_SYNONYM_DICTIONARY_H_
+#define STAR_TEXT_SYNONYM_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace star::text {
+
+/// A symmetric thesaurus mapping terms into synonym groups.
+/// Supports the paper's "teacher" ~ "educator" style transformations.
+/// Terms are matched lowercased; groups are transitively merged, so
+/// AddSynonym("a","b") followed by AddSynonym("b","c") relates a and c.
+class SynonymDictionary {
+ public:
+  SynonymDictionary() = default;
+
+  /// Declares `a` and `b` synonyms (merging their groups if they exist).
+  void AddSynonym(std::string_view a, std::string_view b);
+
+  /// Declares a whole group of mutually synonymous terms.
+  void AddGroup(const std::vector<std::string>& terms);
+
+  /// True if the two terms belong to the same synonym group (or are equal
+  /// ignoring case).
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// Similarity feature: 1 for synonyms, else the best token-level synonym
+  /// overlap ratio between the two strings' token sets.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  /// Number of distinct terms known to the dictionary.
+  size_t term_count() const { return group_of_.size(); }
+
+  /// A built-in dictionary with a small general-purpose thesaurus used by
+  /// the generators and examples (professions, places, media terms).
+  static SynonymDictionary BuiltIn();
+
+ private:
+  int GroupOf(const std::string& lower_term) const;
+  int EnsureGroup(std::string_view term);
+
+  std::unordered_map<std::string, int> group_of_;
+  int next_group_ = 0;
+};
+
+}  // namespace star::text
+
+#endif  // STAR_TEXT_SYNONYM_DICTIONARY_H_

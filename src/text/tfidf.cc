@@ -1,0 +1,55 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace star::text {
+
+void TfIdfModel::AddDocument(std::string_view label) {
+  ++num_docs_;
+  std::set<std::string> uniq;
+  for (auto& t : SplitTokens(ToLower(label))) uniq.insert(std::move(t));
+  for (const auto& t : uniq) ++doc_freq_[t];
+}
+
+void TfIdfModel::Finalize() {
+  idf_.clear();
+  max_idf_ = std::log((1.0 + num_docs_) / 1.0) + 1.0;
+  for (const auto& [token, df] : doc_freq_) {
+    idf_[token] = std::log((1.0 + num_docs_) / (1.0 + df)) + 1.0;
+  }
+  finalized_ = true;
+}
+
+double TfIdfModel::Idf(std::string_view token) const {
+  const auto it = idf_.find(ToLower(token));
+  return it == idf_.end() ? max_idf_ : it->second;
+}
+
+std::unordered_map<std::string, double> TfIdfModel::Vectorize(
+    std::string_view s) const {
+  std::unordered_map<std::string, double> tf;
+  for (const auto& t : SplitTokens(ToLower(s))) tf[t] += 1.0;
+  for (auto& [token, w] : tf) w *= Idf(token);
+  return tf;
+}
+
+double TfIdfModel::Cosine(std::string_view a, std::string_view b) const {
+  const auto va = Vectorize(a);
+  const auto vb = Vectorize(b);
+  if (va.empty() && vb.empty()) return 1.0;
+  if (va.empty() || vb.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [t, w] : va) {
+    na += w * w;
+    const auto it = vb.find(t);
+    if (it != vb.end()) dot += w * it->second;
+  }
+  for (const auto& [t, w] : vb) nb += w * w;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace star::text

@@ -1,0 +1,49 @@
+#ifndef STAR_TEXT_TFIDF_H_
+#define STAR_TEXT_TFIDF_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace star::text {
+
+/// TF-IDF vector-space model over a corpus of short labels.
+/// Built once from every label in a knowledge graph; then used as one of the
+/// Eq. 1 similarity features (cosine of the two labels' tf-idf vectors),
+/// so that rare, discriminative tokens ("Kurosawa") weigh more than common
+/// ones ("the", "film").
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Adds one document (label) to the corpus statistics.
+  void AddDocument(std::string_view label);
+
+  /// Must be called after all AddDocument calls; computes idf weights.
+  void Finalize();
+
+  /// Cosine similarity of the two labels under the trained idf weights.
+  /// Valid only after Finalize(). Unknown tokens get the maximum idf.
+  double Cosine(std::string_view a, std::string_view b) const;
+
+  /// idf of a token (log((1+N)/(1+df)) + 1); max-idf for unseen tokens.
+  double Idf(std::string_view token) const;
+
+  size_t document_count() const { return num_docs_; }
+  size_t vocabulary_size() const { return doc_freq_.size(); }
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::unordered_map<std::string, double> Vectorize(std::string_view s) const;
+
+  std::unordered_map<std::string, size_t> doc_freq_;
+  std::unordered_map<std::string, double> idf_;
+  size_t num_docs_ = 0;
+  double max_idf_ = 1.0;
+  bool finalized_ = false;
+};
+
+}  // namespace star::text
+
+#endif  // STAR_TEXT_TFIDF_H_

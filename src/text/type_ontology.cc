@@ -1,0 +1,102 @@
+#include "text/type_ontology.h"
+
+#include "common/string_util.h"
+
+namespace star::text {
+
+TypeOntology::TypeOntology() {
+  names_.push_back("Thing");
+  parents_.push_back(kRoot);
+  depths_.push_back(0);
+  index_.emplace("thing", kRoot);
+}
+
+int TypeOntology::AddType(std::string_view name, int parent) {
+  const std::string key = ToLower(name);
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  parents_.push_back(parent);
+  depths_.push_back(depths_[parent] + 1);
+  index_.emplace(key, id);
+  return id;
+}
+
+int TypeOntology::FindType(std::string_view name) const {
+  const auto it = index_.find(ToLower(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+int TypeOntology::LowestCommonAncestor(int a, int b) const {
+  while (a != b) {
+    if (depths_[a] >= depths_[b]) {
+      if (a == kRoot) return kRoot;
+      a = parents_[a];
+    } else {
+      b = parents_[b];
+    }
+  }
+  return a;
+}
+
+bool TypeOntology::IsAncestor(int ancestor, int descendant) const {
+  int cur = descendant;
+  while (true) {
+    if (cur == ancestor) return true;
+    if (cur == kRoot) return false;
+    cur = parents_[cur];
+  }
+}
+
+double TypeOntology::Similarity(int a, int b) const {
+  if (a < 0 || b < 0 || a >= type_count() || b >= type_count()) return 0.0;
+  if (a == b) return 1.0;
+  const int lca = LowestCommonAncestor(a, b);
+  const int da = depths_[a];
+  const int db = depths_[b];
+  if (da + db == 0) return 1.0;
+  return 2.0 * depths_[lca] / static_cast<double>(da + db);
+}
+
+double TypeOntology::Similarity(std::string_view a, std::string_view b) const {
+  return Similarity(FindType(a), FindType(b));
+}
+
+TypeOntology TypeOntology::BuiltIn() {
+  TypeOntology onto;
+  const int agent = onto.AddType("Agent");
+  const int person = onto.AddType("Person", agent);
+  const int artist = onto.AddType("Artist", person);
+  onto.AddType("Actor", artist);
+  onto.AddType("Director", artist);
+  onto.AddType("Producer", artist);
+  onto.AddType("Musician", artist);
+  onto.AddType("Writer", artist);
+  const int athlete = onto.AddType("Athlete", person);
+  onto.AddType("SoccerPlayer", athlete);
+  onto.AddType("Politician", person);
+  onto.AddType("Scientist", person);
+  const int org = onto.AddType("Organization", agent);
+  onto.AddType("Company", org);
+  onto.AddType("University", org);
+  onto.AddType("Band", org);
+  onto.AddType("Studio", org);
+  const int place = onto.AddType("Place");
+  onto.AddType("City", place);
+  onto.AddType("Country", place);
+  onto.AddType("Region", place);
+  const int work = onto.AddType("Work");
+  const int film = onto.AddType("Film", work);
+  onto.AddType("Documentary", film);
+  onto.AddType("Album", work);
+  onto.AddType("Song", work);
+  onto.AddType("Book", work);
+  const int misc = onto.AddType("Miscellaneous");
+  onto.AddType("Award", misc);
+  onto.AddType("Genre", misc);
+  onto.AddType("Event", misc);
+  return onto;
+}
+
+}  // namespace star::text

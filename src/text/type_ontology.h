@@ -1,0 +1,63 @@
+#ifndef STAR_TEXT_TYPE_ONTOLOGY_H_
+#define STAR_TEXT_TYPE_ONTOLOGY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace star::text {
+
+/// A rooted type hierarchy ("Person isa Agent isa Thing") that provides an
+/// ontology-distance similarity between node types — the paper's "ontology"
+/// transformation (e.g. a query node typed `artist` can match a data node
+/// typed `actor` with a discounted score).
+///
+/// Types are identified by dense integer ids assigned on insertion; the
+/// name "Thing" (id 0) is the implicit root of every hierarchy.
+class TypeOntology {
+ public:
+  static constexpr int kRoot = 0;
+
+  TypeOntology();
+
+  /// Adds (or finds) a type under the given parent; returns its id.
+  /// The parent must already exist.
+  int AddType(std::string_view name, int parent = kRoot);
+
+  /// Id of a type name, or -1 if unknown.
+  int FindType(std::string_view name) const;
+
+  const std::string& TypeName(int id) const { return names_[id]; }
+  int Parent(int id) const { return parents_[id]; }
+  int type_count() const { return static_cast<int>(names_.size()); }
+  /// Depth of the type below the root (root has depth 0).
+  int Depth(int id) const { return depths_[id]; }
+
+  /// Wu-Palmer similarity: 2*depth(lca) / (depth(a) + depth(b)).
+  /// Identical types score 1; unrelated branches approach 0. Either id
+  /// may be -1 (unknown), which scores 0.
+  double Similarity(int a, int b) const;
+
+  /// Convenience overload resolving names first.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  /// Lowest common ancestor of the two type ids.
+  int LowestCommonAncestor(int a, int b) const;
+
+  /// True if `ancestor` is on the root path of `descendant` (inclusive).
+  bool IsAncestor(int ancestor, int descendant) const;
+
+  /// A small movie/people/places hierarchy used by generators and examples.
+  static TypeOntology BuiltIn();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int> parents_;
+  std::vector<int> depths_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace star::text
+
+#endif  // STAR_TEXT_TYPE_ONTOLOGY_H_

@@ -1,0 +1,128 @@
+#include "text/weight_learning.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace star::text {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+std::vector<double> WeightLearner::Fit(
+    const SimilarityEnsemble& ensemble,
+    const std::vector<LabeledPair>& pairs) const {
+  const int n_features = SimilarityEnsemble::kFeatureCount;
+  // Precompute feature matrix once; training is then cheap.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  x.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    x.push_back(ensemble.Features(p.query_label, p.data_label));
+    y.push_back(p.is_match ? 1.0 : 0.0);
+  }
+  std::vector<double> w(n_features + 1, 0.0);  // last entry = bias
+  if (x.empty()) return w;
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<double> grad(n_features + 1, 0.0);
+    for (size_t i = 0; i < x.size(); ++i) {
+      double z = w[n_features];
+      for (int j = 0; j < n_features; ++j) z += w[j] * x[i][j];
+      const double err = Sigmoid(z) - y[i];
+      for (int j = 0; j < n_features; ++j) grad[j] += err * x[i][j];
+      grad[n_features] += err;
+    }
+    for (int j = 0; j <= n_features; ++j) {
+      grad[j] = grad[j] * inv_n + options_.l2 * w[j];
+      w[j] -= options_.learning_rate * grad[j];
+    }
+  }
+  return w;
+}
+
+double WeightLearner::FitAndInstall(SimilarityEnsemble& ensemble,
+                                    const std::vector<LabeledPair>& pairs) const {
+  const std::vector<double> w = Fit(ensemble, pairs);
+  const int n_features = SimilarityEnsemble::kFeatureCount;
+  std::vector<double> positive(w.begin(), w.begin() + n_features);
+  ensemble.SetWeights(positive);
+  // Training accuracy of the raw logistic model at threshold 0.5.
+  size_t correct = 0;
+  for (const auto& p : pairs) {
+    const auto f = ensemble.Features(p.query_label, p.data_label);
+    double z = w[n_features];
+    for (int j = 0; j < n_features; ++j) z += w[j] * f[j];
+    const bool predicted = Sigmoid(z) >= 0.5;
+    if (predicted == p.is_match) ++correct;
+  }
+  return pairs.empty() ? 1.0 : static_cast<double>(correct) / pairs.size();
+}
+
+std::string PerturbLabel(const std::string& label, Rng& rng) {
+  if (label.empty()) return label;
+  std::string out = label;
+  switch (rng.Below(4)) {
+    case 0: {  // typo: substitute one character
+      const size_t i = rng.Below(out.size());
+      out[i] = static_cast<char>('a' + rng.Below(26));
+      break;
+    }
+    case 1: {  // drop a token (if multi-token)
+      auto tokens = SplitTokens(out);
+      if (tokens.size() > 1) {
+        tokens.erase(tokens.begin() + rng.Below(tokens.size()));
+        out = Join(tokens, " ");
+      } else {  // fall back to deleting one character
+        out.erase(rng.Below(out.size()), 1);
+      }
+      break;
+    }
+    case 2: {  // abbreviate: keep a prefix of the last token
+      auto tokens = SplitTokens(out);
+      if (!tokens.empty() && tokens.back().size() > 3) {
+        tokens.back() = tokens.back().substr(0, 1 + rng.Below(3)) + ".";
+        out = Join(tokens, " ");
+      }
+      break;
+    }
+    default: {  // case change
+      for (char& c : out) {
+        c = rng.Chance(0.5)
+                ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      break;
+    }
+  }
+  return out.empty() ? label : out;
+}
+
+std::vector<LabeledPair> GenerateTrainingPairs(
+    const std::vector<std::string>& labels, size_t pairs_per_class, Rng& rng,
+    const SynonymDictionary* synonyms) {
+  std::vector<LabeledPair> out;
+  if (labels.empty()) return out;
+  out.reserve(2 * pairs_per_class);
+  for (size_t i = 0; i < pairs_per_class; ++i) {
+    const std::string& base = labels[rng.Below(labels.size())];
+    out.push_back({PerturbLabel(base, rng), base, true});
+  }
+  for (size_t i = 0; i < pairs_per_class; ++i) {
+    const std::string& a = labels[rng.Below(labels.size())];
+    const std::string& b = labels[rng.Below(labels.size())];
+    if (a == b || (synonyms != nullptr && synonyms->AreSynonyms(a, b))) {
+      out.push_back({a, b, true});
+    } else {
+      out.push_back({a, b, false});
+    }
+  }
+  return out;
+}
+
+}  // namespace star::text

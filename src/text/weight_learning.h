@@ -1,0 +1,64 @@
+#ifndef STAR_TEXT_WEIGHT_LEARNING_H_
+#define STAR_TEXT_WEIGHT_LEARNING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/ensemble.h"
+
+namespace star::text {
+
+/// A labeled training pair for the matching function: two labels plus
+/// whether they refer to the same entity.
+struct LabeledPair {
+  std::string query_label;
+  std::string data_label;
+  bool is_match = false;
+};
+
+/// Offline trainer for the Eq. 1 ensemble weights, standing in for the
+/// learning pipeline of [2]: logistic regression (gradient descent with L2
+/// regularization) over the ensemble's feature vectors. The fitted positive
+/// part of the weight vector is normalized and installed into an ensemble.
+class WeightLearner {
+ public:
+  struct Options {
+    int epochs = 200;
+    double learning_rate = 0.5;
+    double l2 = 1e-4;
+  };
+
+  WeightLearner() : options_() {}
+  explicit WeightLearner(Options options) : options_(options) {}
+
+  /// Fits weights on the pairs, using `ensemble` to compute features.
+  /// Returns the raw (signed) logistic weights, one per feature plus a
+  /// trailing bias term.
+  std::vector<double> Fit(const SimilarityEnsemble& ensemble,
+                          const std::vector<LabeledPair>& pairs) const;
+
+  /// Fits and installs clamped+normalized weights into the ensemble.
+  /// Returns training accuracy at threshold 0.5.
+  double FitAndInstall(SimilarityEnsemble& ensemble,
+                       const std::vector<LabeledPair>& pairs) const;
+
+ private:
+  Options options_;
+};
+
+/// Generates synthetic training pairs from a vocabulary of entity labels:
+/// positives are perturbations (typos, token drops, abbreviations, case
+/// changes, synonym swaps); negatives are random distinct label pairs.
+/// Deterministic given the rng seed.
+std::vector<LabeledPair> GenerateTrainingPairs(
+    const std::vector<std::string>& labels, size_t pairs_per_class, Rng& rng,
+    const SynonymDictionary* synonyms = nullptr);
+
+/// Applies one random label perturbation (typo / drop token / abbreviate /
+/// case change). Exposed for tests.
+std::string PerturbLabel(const std::string& label, Rng& rng);
+
+}  // namespace star::text
+
+#endif  // STAR_TEXT_WEIGHT_LEARNING_H_

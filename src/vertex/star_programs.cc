@@ -1,0 +1,159 @@
+#include "vertex/star_programs.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace star::vertex {
+
+using graph::KnowledgeGraph;
+using graph::Neighbor;
+using graph::NodeId;
+
+std::vector<NodeId> ConnectedComponentsVC(const KnowledgeGraph& g) {
+  std::vector<NodeId> label(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) label[v] = v;
+
+  VertexEngine<NodeId> engine(
+      g, [&](VertexEngine<NodeId>::Context& ctx,
+             const std::vector<NodeId>& inbox) {
+        NodeId best = label[ctx.vertex()];
+        for (const NodeId candidate : inbox) best = std::min(best, candidate);
+        if (ctx.superstep() == 0 || best < label[ctx.vertex()]) {
+          label[ctx.vertex()] = best;
+          ctx.SendToNeighbors(best);
+        }
+      });
+  engine.ActivateAll();
+  engine.Run(static_cast<int>(g.node_count()) + 1);
+  return label;
+}
+
+std::unordered_map<NodeId, int> BfsDistancesVC(const KnowledgeGraph& g,
+                                               NodeId source, int max_depth) {
+  std::unordered_map<NodeId, int> dist;
+  dist.emplace(source, 0);
+
+  VertexEngine<int> engine(
+      g, [&](VertexEngine<int>::Context& ctx, const std::vector<int>& inbox) {
+        int best = ctx.superstep() == 0 && ctx.vertex() == source
+                       ? 0
+                       : std::numeric_limits<int>::max();
+        for (const int d : inbox) best = std::min(best, d);
+        const auto it = dist.find(ctx.vertex());
+        if (it != dist.end() && it->second <= best &&
+            ctx.superstep() != 0) {
+          return;  // already settled at a smaller or equal distance
+        }
+        if (it == dist.end()) {
+          dist.emplace(ctx.vertex(), best);
+        } else if (best < it->second) {
+          it->second = best;
+        } else if (ctx.vertex() != source) {
+          return;
+        }
+        if (best < max_depth) ctx.SendToNeighbors(best + 1);
+      });
+  engine.Activate(source);
+  engine.Run(max_depth + 1);
+  return dist;
+}
+
+namespace {
+
+/// stard's triple (Example 6): source match, its node score, hops so far,
+/// plus the receiver-side arrival value computed by the sender (which
+/// sees the connecting edge, as vertex-centric frameworks allow).
+struct StardMessage {
+  NodeId source = graph::kInvalidNode;
+  double base = 0.0;
+  int hops = 0;
+  double arrival_value = 0.0;
+};
+
+}  // namespace
+
+std::unordered_map<NodeId, VcArrival> PropagateLeafScoresVC(
+    scoring::QueryScorer& scorer, int query_edge, int leaf_node) {
+  const KnowledgeGraph& g = scorer.graph();
+  const scoring::MatchConfig& cfg = scorer.config();
+  const int d = std::max(1, cfg.d);
+
+  std::unordered_map<NodeId, VcArrival> arrivals;
+  // Forward state per vertex: same-source dominance-pruned (base, hops).
+  std::unordered_map<NodeId, std::vector<StardMessage>> forward;
+  // Candidate bases, looked up when a vertex first sends.
+  std::unordered_map<NodeId, double> base_of;
+  for (const auto& c : scorer.Candidates(leaf_node)) {
+    base_of.emplace(c.node, c.score);
+  }
+
+  const auto offer = [&](NodeId at, NodeId source, double value) {
+    VcArrival& slot = arrivals[at];
+    if (source == slot.best_source) {
+      slot.best_value = std::max(slot.best_value, value);
+      return;
+    }
+    if (value > slot.best_value) {
+      slot.second_source = slot.best_source;
+      slot.second_value = slot.best_value;
+      slot.best_source = source;
+      slot.best_value = value;
+    } else if (source == slot.second_source) {
+      slot.second_value = std::max(slot.second_value, value);
+    } else if (value > slot.second_value) {
+      slot.second_source = source;
+      slot.second_value = value;
+    }
+  };
+
+  using Engine = VertexEngine<StardMessage>;
+  Engine engine(g, [&](Engine::Context& ctx,
+                       const std::vector<StardMessage>& inbox) {
+    const NodeId self = ctx.vertex();
+    // Superstep 0: leaf candidates emit their initial messages, folding
+    // the direct edge's relation similarity into the arrival value.
+    if (ctx.superstep() == 0) {
+      const double base = base_of.at(self);
+      for (const Neighbor& nb : g.Neighbors(self)) {
+        const double relsim = scorer.RelationScore(query_edge, nb.relation);
+        if (relsim < cfg.edge_threshold) continue;
+        ctx.SendTo(nb.node, StardMessage{self, base, 1, base + relsim});
+      }
+      return;
+    }
+    // Deliver arrivals, then forward survivors one hop with decay.
+    auto& fwd = forward[self];
+    std::vector<StardMessage> fresh;
+    for (const StardMessage& m : inbox) {
+      offer(self, m.source, m.arrival_value);
+      // Same-source dominance: keep only undominated (base, hops) states.
+      bool dominated = false;
+      for (const StardMessage& e : fwd) {
+        if (e.source == m.source && e.base >= m.base && e.hops <= m.hops) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::erase_if(fwd, [&](const StardMessage& e) {
+        return e.source == m.source && m.base >= e.base && m.hops <= e.hops;
+      });
+      fwd.push_back(m);
+      fresh.push_back(m);
+    }
+    for (const StardMessage& m : fresh) {
+      const int next_hops = m.hops + 1;
+      if (next_hops > d) continue;
+      const double decay = scorer.PathDecay(next_hops);
+      if (decay < cfg.edge_threshold) continue;
+      ctx.SendToNeighbors(
+          StardMessage{m.source, m.base, next_hops, m.base + decay});
+    }
+  });
+
+  for (const auto& [v, base] : base_of) engine.Activate(v);
+  engine.Run(d + 1);
+  return arrivals;
+}
+
+}  // namespace star::vertex

@@ -1,0 +1,55 @@
+#ifndef STAR_VERTEX_STAR_PROGRAMS_H_
+#define STAR_VERTEX_STAR_PROGRAMS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "scoring/query_scorer.h"
+#include "vertex/vertex_engine.h"
+
+namespace star::vertex {
+
+/// Connected components by min-label propagation. Returns one component
+/// id (the smallest node id in the component) per node.
+std::vector<graph::NodeId> ConnectedComponentsVC(const graph::KnowledgeGraph& g);
+
+/// BFS hop distances from `source` up to `max_depth` (inclusive); nodes
+/// beyond the depth are absent from the map.
+std::unordered_map<graph::NodeId, int> BfsDistancesVC(
+    const graph::KnowledgeGraph& g, graph::NodeId source, int max_depth);
+
+/// Arrival summary of stard's message passing at one node for one leaf:
+/// the best and second-best (by value) arrival over *distinct* sources —
+/// exactly what the pivot estimate needs under injectivity (§V-B's
+/// ping-pong rule).
+struct VcArrival {
+  graph::NodeId best_source = graph::kInvalidNode;
+  double best_value = -1.0;
+  graph::NodeId second_source = graph::kInvalidNode;
+  double second_value = -1.0;
+
+  /// Max arrival value over sources != excluded (-1 if none).
+  double BestExcluding(graph::NodeId excluded) const {
+    return best_source != excluded ? best_value : second_value;
+  }
+};
+
+/// The stard message propagation of §V-B expressed as a vertex program
+/// (the paper's Remark: d rounds of neighbor communication). For the star
+/// query edge `query_edge` with leaf query node `leaf_node`, propagates
+/// every leaf candidate's (weighted-by-1) F_N for config.d rounds under
+/// the walk semantics and returns each reached node's arrival summary:
+///
+///   value(v, source w, h hops) = F_N(leaf, w) +
+///       (h == 1 ? RelationScore(query_edge, direct edge) : lambda^(h-1))
+///
+/// This is the *uncapped* reference formulation (exact, used by tests and
+/// as documentation of the parallelizable algorithm); the production
+/// StarSearch uses capped per-node sets with admissible overflow bounds.
+std::unordered_map<graph::NodeId, VcArrival> PropagateLeafScoresVC(
+    scoring::QueryScorer& scorer, int query_edge, int leaf_node);
+
+}  // namespace star::vertex
+
+#endif  // STAR_VERTEX_STAR_PROGRAMS_H_

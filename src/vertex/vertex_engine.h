@@ -1,0 +1,138 @@
+#ifndef STAR_VERTEX_VERTEX_ENGINE_H_
+#define STAR_VERTEX_VERTEX_ENGINE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace star::vertex {
+
+/// A minimal Pregel-style bulk-synchronous vertex-centric engine ([20] in
+/// the paper) over a KnowledgeGraph's undirected view.
+///
+/// The paper's Remark in §V-B observes that stard's message propagation is
+/// naturally vertex-centric: "each node can exchange messages between
+/// their neighbors in parallel, which can complete all message propagation
+/// in at most d rounds of communication". This engine makes that concrete:
+/// star_programs.h implements the stard propagation as a vertex program
+/// and the tests verify it computes exactly the walk semantics.
+///
+/// Execution model:
+///  * Supersteps run synchronously; messages sent in superstep t are
+///    delivered (grouped per target) in superstep t+1.
+///  * A vertex is *active* in a superstep if it was explicitly activated,
+///    or it received messages. Compute() runs only for active vertices.
+///  * The run ends when no vertex is active or `max_supersteps` is hit.
+///
+/// The engine is deliberately sequential (this library targets a single
+/// machine); the programming model is what matters — any Pregel-like
+/// system could execute the same programs in parallel.
+template <typename Message>
+class VertexEngine {
+ public:
+  /// Per-vertex API handed to the compute function.
+  class Context {
+   public:
+    Context(const graph::KnowledgeGraph& g, graph::NodeId vertex,
+            int superstep,
+            std::unordered_map<graph::NodeId, std::vector<Message>>& outbox,
+            size_t& messages_sent)
+        : graph_(g),
+          vertex_(vertex),
+          superstep_(superstep),
+          outbox_(outbox),
+          messages_sent_(messages_sent) {}
+
+    graph::NodeId vertex() const { return vertex_; }
+    int superstep() const { return superstep_; }
+    const graph::KnowledgeGraph& graph() const { return graph_; }
+
+    /// Sends a copy of m to every neighbor (the common stard pattern).
+    void SendToNeighbors(const Message& m) {
+      for (const graph::Neighbor& nb : graph_.Neighbors(vertex_)) {
+        SendTo(nb.node, m);
+      }
+    }
+
+    void SendTo(graph::NodeId target, const Message& m) {
+      outbox_[target].push_back(m);
+      ++messages_sent_;
+    }
+
+   private:
+    const graph::KnowledgeGraph& graph_;
+    graph::NodeId vertex_;
+    int superstep_;
+    std::unordered_map<graph::NodeId, std::vector<Message>>& outbox_;
+    size_t& messages_sent_;
+  };
+
+  /// Compute function: runs once per active vertex per superstep with the
+  /// messages delivered to it (empty for explicitly activated vertices).
+  using ComputeFn =
+      std::function<void(Context& ctx, const std::vector<Message>& inbox)>;
+
+  struct RunStats {
+    int supersteps = 0;
+    size_t messages_delivered = 0;
+    size_t compute_calls = 0;
+  };
+
+  VertexEngine(const graph::KnowledgeGraph& g, ComputeFn compute)
+      : graph_(g), compute_(std::move(compute)) {}
+
+  /// Schedules a vertex for the first superstep (without messages).
+  void Activate(graph::NodeId v) { initially_active_.push_back(v); }
+
+  void ActivateAll() {
+    initially_active_.clear();
+    initially_active_.reserve(graph_.node_count());
+    for (graph::NodeId v = 0; v < graph_.node_count(); ++v) {
+      initially_active_.push_back(v);
+    }
+  }
+
+  /// Runs supersteps until quiescence or the limit; returns run counters.
+  RunStats Run(int max_supersteps) {
+    RunStats stats;
+    std::unordered_map<graph::NodeId, std::vector<Message>> inbox;
+    size_t messages_sent = 0;
+    for (int step = 0; step < max_supersteps; ++step) {
+      std::unordered_map<graph::NodeId, std::vector<Message>> outbox;
+      bool any = false;
+      if (step == 0) {
+        static const std::vector<Message>* empty =
+            new std::vector<Message>();
+        for (const graph::NodeId v : initially_active_) {
+          any = true;
+          ++stats.compute_calls;
+          Context ctx(graph_, v, step, outbox, messages_sent);
+          compute_(ctx, *empty);
+        }
+      }
+      for (auto& [v, messages] : inbox) {
+        any = true;
+        ++stats.compute_calls;
+        stats.messages_delivered += messages.size();
+        Context ctx(graph_, v, step, outbox, messages_sent);
+        compute_(ctx, messages);
+      }
+      if (!any) break;
+      ++stats.supersteps;
+      inbox = std::move(outbox);
+      if (inbox.empty()) break;
+    }
+    return stats;
+  }
+
+ private:
+  const graph::KnowledgeGraph& graph_;
+  ComputeFn compute_;
+  std::vector<graph::NodeId> initially_active_;
+};
+
+}  // namespace star::vertex
+
+#endif  // STAR_VERTEX_VERTEX_ENGINE_H_

@@ -1,0 +1,206 @@
+#include "text/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "text/synonym_dictionary.h"
+#include "text/tfidf.h"
+#include "text/type_ontology.h"
+
+namespace star::text {
+namespace {
+
+TEST(EnsembleTest, IdenticalLabelsScoreOne) {
+  SimilarityEnsemble e;
+  EXPECT_DOUBLE_EQ(e.Score("Brad Pitt", "Brad Pitt"), 1.0);
+  EXPECT_DOUBLE_EQ(e.Score("brad pitt", "BRAD PITT"), 1.0);
+}
+
+TEST(EnsembleTest, ScoreInUnitInterval) {
+  SimilarityEnsemble e;
+  for (const auto& [a, b] : std::vector<std::pair<std::string, std::string>>{
+           {"Brad Pitt", "Brad Garrett"},
+           {"", "something"},
+           {"J.J. Abrams", "Jeffrey Jacob Abrams"},
+           {"42km", "42000m"}}) {
+    const double s = e.Score(a, b);
+    EXPECT_GE(s, 0.0) << a << " / " << b;
+    EXPECT_LE(s, 1.0) << a << " / " << b;
+  }
+}
+
+TEST(EnsembleTest, CloserStringsScoreHigher) {
+  SimilarityEnsemble e;
+  EXPECT_GT(e.Score("Brad Pitt", "Brad Pit"), e.Score("Brad Pitt", "Tom Cruise"));
+  EXPECT_GT(e.Score("Brad Pitt", "Brad Garrett"),
+            e.Score("Brad Pitt", "Xqzw Vbnm"));
+}
+
+TEST(EnsembleTest, FeatureVectorShape) {
+  SimilarityEnsemble e;
+  const auto f = e.Features("abc", "abd");
+  EXPECT_EQ(f.size(), static_cast<size_t>(SimilarityEnsemble::kFeatureCount));
+  EXPECT_EQ(SimilarityEnsemble::FeatureNames().size(), f.size());
+  for (const double x : f) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(EnsembleTest, WeightsNormalized) {
+  SimilarityEnsemble e;
+  double sum = 0.0;
+  for (const double w : e.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Context-free ensemble gives no weight to context features.
+  EXPECT_DOUBLE_EQ(e.weights()[SimilarityEnsemble::kSynonym], 0.0);
+  EXPECT_DOUBLE_EQ(e.weights()[SimilarityEnsemble::kTfIdfCosine], 0.0);
+  EXPECT_DOUBLE_EQ(e.weights()[SimilarityEnsemble::kTypeOntology], 0.0);
+}
+
+TEST(EnsembleTest, SetWeightsClampsAndNormalizes) {
+  SimilarityEnsemble e;
+  std::vector<double> w(SimilarityEnsemble::kFeatureCount, 0.0);
+  w[SimilarityEnsemble::kExact] = 2.0;
+  w[SimilarityEnsemble::kLevenshtein] = -5.0;  // clamped to 0
+  w[SimilarityEnsemble::kJaro] = 2.0;
+  e.SetWeights(w);
+  EXPECT_DOUBLE_EQ(e.weights()[SimilarityEnsemble::kExact], 0.5);
+  EXPECT_DOUBLE_EQ(e.weights()[SimilarityEnsemble::kLevenshtein], 0.0);
+  EXPECT_DOUBLE_EQ(e.weights()[SimilarityEnsemble::kJaro], 0.5);
+}
+
+TEST(EnsembleTest, AllZeroWeightsFallBackToUniform) {
+  SimilarityEnsemble e;
+  e.SetWeights(std::vector<double>(SimilarityEnsemble::kFeatureCount, 0.0));
+  double sum = 0.0;
+  for (const double w : e.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(EnsembleTest, SynonymContextRaisesScore) {
+  const auto dict = SynonymDictionary::BuiltIn();
+  SimilarityEnsemble::Context ctx;
+  ctx.synonyms = &dict;
+  SimilarityEnsemble with(ctx);
+  SimilarityEnsemble without;
+  EXPECT_GT(with.Score("teacher", "educator"),
+            without.Score("teacher", "educator"));
+}
+
+TEST(EnsembleTest, OntologyContextUsesTypes) {
+  const auto onto = TypeOntology::BuiltIn();
+  SimilarityEnsemble::Context ctx;
+  ctx.ontology = &onto;
+  SimilarityEnsemble e(ctx);
+  const int actor = onto.FindType("Actor");
+  const int director = onto.FindType("Director");
+  const int city = onto.FindType("City");
+  EXPECT_GT(e.Score("X", "Y", actor, director), e.Score("X", "Y", actor, city));
+}
+
+TEST(EnsembleTest, TfIdfContext) {
+  TfIdfModel model;
+  model.AddDocument("rare gem");
+  model.AddDocument("common word");
+  model.AddDocument("common thing");
+  model.Finalize();
+  SimilarityEnsemble::Context ctx;
+  ctx.tfidf = &model;
+  SimilarityEnsemble e(ctx);
+  EXPECT_GT(e.Score("rare stone", "rare gem"), 0.0);
+}
+
+// The optimized Score() fast path must be exactly the weighted feature sum.
+TEST(EnsembleTest, FastPathMatchesFeatures) {
+  const auto dict = SynonymDictionary::BuiltIn();
+  const auto onto = TypeOntology::BuiltIn();
+  TfIdfModel tfidf;
+  tfidf.AddDocument("brad pitt actor");
+  tfidf.AddDocument("golden globe award");
+  tfidf.AddDocument("los angeles film festival");
+  tfidf.Finalize();
+  SimilarityEnsemble::Context ctx;
+  ctx.synonyms = &dict;
+  ctx.ontology = &onto;
+  ctx.tfidf = &tfidf;
+  SimilarityEnsemble e(ctx);
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"Brad Pitt", "Brad Garrett"},
+      {"Brad Pitt", "brad pitt"},
+      {"", ""},
+      {"", "x"},
+      {"   ", " "},
+      {"J.J. Abrams", "Jeffrey Jacob Abrams"},
+      {"teacher", "educator"},
+      {"42km", "42000 m"},
+      {"Los Angeles", "Los Angeles Lakers"},
+      {"abc", "cba"},
+      {"Film Festival", "festival of films"},
+      {"Robert", "Rupert"},
+  };
+  const int actor = onto.FindType("Actor");
+  const int director = onto.FindType("Director");
+  for (const auto& [a, b] : pairs) {
+    const auto f = e.Features(a, b, actor, director);
+    double expected = 0.0;
+    for (int i = 0; i < SimilarityEnsemble::kFeatureCount; ++i) {
+      expected += e.weights()[i] * f[i];
+    }
+    // Identical-ignoring-case pairs short-circuit to exactly 1.
+    if (!a.empty() && a.size() == b.size() &&
+        ToLower(a) == ToLower(b)) {
+      expected = 1.0;
+    }
+    EXPECT_NEAR(e.Score(a, b, actor, director), expected, 1e-12)
+        << "a='" << a << "' b='" << b << "'";
+  }
+}
+
+TEST(EnsembleTest, FastPathMatchesFeaturesRandomized) {
+  SimilarityEnsemble e;
+  Rng rng(99);
+  const auto make_string = [&]() {
+    std::string s;
+    const size_t len = rng.Below(16);
+    for (size_t i = 0; i < len; ++i) {
+      const char* alphabet = "abcDEF 12._-";
+      s.push_back(alphabet[rng.Below(12)]);
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = make_string();
+    const std::string b = make_string();
+    const auto f = e.Features(a, b);
+    double expected = 0.0;
+    for (int i = 0; i < SimilarityEnsemble::kFeatureCount; ++i) {
+      expected += e.weights()[i] * f[i];
+    }
+    if (!a.empty() && a.size() == b.size() && ToLower(a) == ToLower(b)) {
+      expected = 1.0;
+    }
+    EXPECT_NEAR(e.Score(a, b), expected, 1e-12)
+        << "a='" << a << "' b='" << b << "'";
+  }
+}
+
+TEST(EnsembleTest, PaperTransformationExamples) {
+  const auto dict = SynonymDictionary::BuiltIn();
+  SimilarityEnsemble::Context ctx;
+  ctx.synonyms = &dict;
+  SimilarityEnsemble e(ctx);
+  // "J.J. Abrams" ~ "Jeffrey Jacob Abrams" (abbreviation/initials).
+  EXPECT_GT(e.Score("J.J. Abrams", "Jeffrey Jacob Abrams"), 0.2);
+  // "teacher" ~ "educator" (synonym) clearly beats an unrelated pair.
+  // (Under uniform weights the margin is modest; learning the weights is
+  // what sharpens it — see test_weight_learning.cc.)
+  EXPECT_GT(e.Score("teacher", "educator"),
+            1.5 * e.Score("teacher", "volcano"));
+  EXPECT_LT(e.Score("teacher", "volcano"), 0.15);
+}
+
+}  // namespace
+}  // namespace star::text

@@ -1,0 +1,114 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/star_search.h"
+#include "query/workload.h"
+#include "test_helpers.h"
+
+namespace star::core {
+namespace {
+
+using star::testing::MovieGraph;
+using star::testing::ScorerFixture;
+using star::testing::SmallRandomGraph;
+using star::testing::TestConfig;
+
+TEST(ExplainMatchTest, DirectEdgeMatch) {
+  const auto g = MovieGraph();
+  query::QueryGraph q;
+  const int a = q.AddNode("Brad Pitt");
+  const int b = q.AddNode("Troy");
+  q.AddEdge(a, b, "actedIn");
+  ScorerFixture fx(g, q, TestConfig());
+  GraphMatch m;
+  m.mapping = {0, 4};  // Brad Pitt, Troy
+  const auto r = ExplainMatch(*fx.scorer, m);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->nodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->nodes[0].score, 1.0);
+  ASSERT_EQ(r->edges.size(), 1u);
+  EXPECT_EQ(r->edges[0].path, (std::vector<graph::NodeId>{0, 4}));
+  EXPECT_DOUBLE_EQ(r->edges[0].score, 1.0);
+  EXPECT_NEAR(r->total, 3.0, 1e-9);
+}
+
+TEST(ExplainMatchTest, MultiHopWitnessWalk) {
+  const auto g = MovieGraph();
+  query::QueryGraph q;
+  const int a = q.AddNode("Richard Linklater");
+  const int b = q.AddNode("Academy Award");
+  q.AddEdge(a, b);
+  ScorerFixture fx(g, q, TestConfig(2));
+  GraphMatch m;
+  m.mapping = {2, 6};  // Richard, Academy Award (2 hops via Boyhood)
+  const auto r = ExplainMatch(*fx.scorer, m);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->edges.size(), 1u);
+  const auto& path = r->edges[0].path;
+  ASSERT_EQ(path.size(), 3u);  // 2 hops
+  EXPECT_EQ(path.front(), 2u);
+  EXPECT_EQ(path.back(), 6u);
+  EXPECT_EQ(g.NodeLabel(path[1]), "Boyhood");  // the witness
+  EXPECT_DOUBLE_EQ(r->edges[0].score, 0.5);    // lambda^(2-1)
+}
+
+TEST(ExplainMatchTest, TotalMatchesSearchScore) {
+  const auto g = SmallRandomGraph(13);
+  query::WorkloadGenerator wg(g, 7);
+  const auto q = wg.RandomStarQuery(3, {});
+  ScorerFixture fx(g, q, TestConfig(2));
+  StarSearch search(*fx.scorer, MakeStarQuery(q), {});
+  for (const auto& sm : search.TopK(5)) {
+    const GraphMatch gm = search.ToGraphMatch(sm);
+    const auto r = ExplainMatch(*fx.scorer, gm);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r->total, gm.score, 1e-9);
+  }
+}
+
+TEST(ExplainMatchTest, RejectsIncompleteMatch) {
+  const auto g = MovieGraph();
+  query::QueryGraph q;
+  const int a = q.AddNode("Brad Pitt");
+  const int b = q.AddNode("Troy");
+  q.AddEdge(a, b);
+  ScorerFixture fx(g, q, TestConfig());
+  GraphMatch m;
+  m.mapping = {0, graph::kInvalidNode};
+  EXPECT_FALSE(ExplainMatch(*fx.scorer, m).ok());
+}
+
+TEST(ExplainMatchTest, RejectsDisconnectedMapping) {
+  const auto g = MovieGraph();
+  query::QueryGraph q;
+  const int a = q.AddNode("Brad Pitt");
+  const int b = q.AddNode("United States");
+  q.AddEdge(a, b);
+  ScorerFixture fx(g, q, TestConfig(1));  // USA is 2 hops from Brad
+  GraphMatch m;
+  m.mapping = {0, 9};
+  EXPECT_FALSE(ExplainMatch(*fx.scorer, m).ok());
+}
+
+TEST(ExplainMatchTest, FormatMentionsEntitiesAndScores) {
+  const auto g = MovieGraph();
+  query::QueryGraph q;
+  const int a = q.AddNode("Brad Pitt");
+  const int b = q.AddNode("Troy");
+  q.AddEdge(a, b, "actedIn");
+  ScorerFixture fx(g, q, TestConfig());
+  GraphMatch m;
+  m.mapping = {0, 4};
+  const auto r = ExplainMatch(*fx.scorer, m);
+  ASSERT_TRUE(r.ok());
+  const std::string text = FormatExplanation(*fx.scorer, *r);
+  EXPECT_NE(text.find("Brad Pitt"), std::string::npos);
+  EXPECT_NE(text.find("Troy"), std::string::npos);
+  EXPECT_NE(text.find("F_E"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace star::core

@@ -1,0 +1,127 @@
+#include "graph/graph_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace star::graph {
+namespace {
+
+TEST(GraphGeneratorTest, RespectsRequestedSizes) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.num_edges = 2000;
+  const auto g = GenerateGraph(cfg);
+  EXPECT_EQ(g.node_count(), 500u);
+  EXPECT_EQ(g.edge_count(), 2000u);
+}
+
+TEST(GraphGeneratorTest, DeterministicForSeed) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 600;
+  cfg.seed = 123;
+  const auto g1 = GenerateGraph(cfg);
+  const auto g2 = GenerateGraph(cfg);
+  ASSERT_EQ(g1.node_count(), g2.node_count());
+  for (NodeId v = 0; v < g1.node_count(); ++v) {
+    EXPECT_EQ(g1.NodeLabel(v), g2.NodeLabel(v));
+  }
+  for (EdgeId e = 0; e < g1.edge_count(); ++e) {
+    EXPECT_EQ(g1.EdgeSrc(e), g2.EdgeSrc(e));
+    EXPECT_EQ(g1.EdgeDst(e), g2.EdgeDst(e));
+  }
+}
+
+TEST(GraphGeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 600;
+  cfg.seed = 1;
+  const auto g1 = GenerateGraph(cfg);
+  cfg.seed = 2;
+  const auto g2 = GenerateGraph(cfg);
+  bool any_diff = false;
+  for (EdgeId e = 0; e < g1.edge_count() && !any_diff; ++e) {
+    any_diff = g1.EdgeSrc(e) != g2.EdgeSrc(e) || g1.EdgeDst(e) != g2.EdgeDst(e);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GraphGeneratorTest, ConnectedViaBackbone) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_edges = 600;
+  const auto g = GenerateGraph(cfg);
+  // BFS from node 0 reaches everything.
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const auto& nb : g.Neighbors(v)) {
+      if (!seen[nb.node]) {
+        seen[nb.node] = true;
+        stack.push_back(nb.node);
+      }
+    }
+  }
+  EXPECT_EQ(count, g.node_count());
+}
+
+TEST(GraphGeneratorTest, PowerLawishDegrees) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 2000;
+  cfg.num_edges = 8000;
+  cfg.degree_skew = 1.0;
+  const auto g = GenerateGraph(cfg);
+  // Hubs exist: max degree far above average (2*8000/2000 = 8).
+  EXPECT_GT(g.MaxDegree(), 60u);
+}
+
+TEST(GraphGeneratorTest, LabelsShareTokens) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.num_edges = 1000;
+  cfg.token_pool = 12;
+  const auto g = GenerateGraph(cfg);
+  // With a tiny token pool, full-label collisions must occur — the
+  // ambiguity knowledge-graph search must cope with.
+  std::set<std::string> labels;
+  for (NodeId v = 0; v < g.node_count(); ++v) labels.insert(g.NodeLabel(v));
+  EXPECT_LT(labels.size(), g.node_count());
+}
+
+TEST(GraphGeneratorTest, TypedNodesAndRelations) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_edges = 900;
+  cfg.num_types = 10;
+  cfg.num_relations = 12;
+  const auto g = GenerateGraph(cfg);
+  EXPECT_LE(g.type_count(), 10u);
+  EXPECT_GT(g.type_count(), 1u);
+  EXPECT_LE(g.relation_count(), 12u);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.NodeType(v), 0);
+  }
+}
+
+TEST(GraphGeneratorTest, PresetShapes) {
+  const auto db = DBpediaLike(1000);
+  const auto yago = Yago2Like(1000);
+  const auto fb = FreebaseLike(1000);
+  // DBpedia is the densest, YAGO2 the sparsest — the paper's Table 1 shape.
+  EXPECT_GT(db.num_edges, fb.num_edges);
+  EXPECT_GT(fb.num_edges, yago.num_edges);
+  EXPECT_EQ(db.name, "dbpedia-like");
+  const auto g = GenerateGraph(yago);
+  EXPECT_EQ(g.node_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace star::graph

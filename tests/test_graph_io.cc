@@ -1,0 +1,99 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace star::graph {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  const auto g = star::testing::MovieGraph();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, ss).ok());
+  auto loaded = LoadGraph(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& g2 = *loaded;
+  ASSERT_EQ(g2.node_count(), g.node_count());
+  ASSERT_EQ(g2.edge_count(), g.edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(g2.NodeLabel(v), g.NodeLabel(v));
+    EXPECT_EQ(g2.TypeName(g2.NodeType(v)), g.TypeName(g.NodeType(v)));
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(g2.EdgeSrc(e), g.EdgeSrc(e));
+    EXPECT_EQ(g2.EdgeDst(e), g.EdgeDst(e));
+    EXPECT_EQ(g2.RelationName(g2.EdgeRelation(e)),
+              g.RelationName(g.EdgeRelation(e)));
+  }
+}
+
+TEST(GraphIoTest, MissingHeader) {
+  std::stringstream ss("N\t0\t_\tA\n");
+  const auto r = LoadGraph(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(GraphIoTest, NonDenseNodeIds) {
+  std::stringstream ss("star-kg v1\nN\t5\t_\tA\n");
+  const auto r = LoadGraph(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, EdgeEndpointOutOfRange) {
+  std::stringstream ss("star-kg v1\nN\t0\t_\tA\nE\t0\t7\trel\n");
+  const auto r = LoadGraph(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(GraphIoTest, UnknownRecordType) {
+  std::stringstream ss("star-kg v1\nZ\t0\t0\t0\n");
+  ASSERT_FALSE(LoadGraph(ss).ok());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "star-kg v1\n# a comment\n\nN\t0\tPerson\tAlice Smith\n"
+      "N\t1\t_\tBob\n# another\nE\t0\t1\tknows\n");
+  const auto r = LoadGraph(ss);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->node_count(), 2u);
+  EXPECT_EQ(r->edge_count(), 1u);
+  EXPECT_EQ(r->NodeLabel(0), "Alice Smith");
+  EXPECT_EQ(r->TypeName(r->NodeType(0)), "Person");
+  EXPECT_EQ(r->TypeName(r->NodeType(1)), "");
+}
+
+TEST(GraphIoTest, TypeNamesWithSpaces) {
+  KnowledgeGraph::Builder b;
+  b.AddNode("X", "Motion Picture");
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(std::move(b).Build(), ss).ok());
+  const auto r = LoadGraph(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->TypeName(r->NodeType(0)), "Motion Picture");
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  const auto g = star::testing::SmallRandomGraph(1);
+  const std::string path = ::testing::TempDir() + "/star_io_test.kg";
+  ASSERT_TRUE(SaveGraphToFile(g, path).ok());
+  const auto r = LoadGraphFromFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->node_count(), g.node_count());
+  EXPECT_EQ(r->edge_count(), g.edge_count());
+}
+
+TEST(GraphIoTest, MissingFile) {
+  const auto r = LoadGraphFromFile("/nonexistent/path/to.kg");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace star::graph

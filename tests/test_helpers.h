@@ -1,0 +1,103 @@
+#ifndef STAR_TESTS_TEST_HELPERS_H_
+#define STAR_TESTS_TEST_HELPERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_generator.h"
+#include "graph/knowledge_graph.h"
+#include "graph/label_index.h"
+#include "query/query_graph.h"
+#include "query/workload.h"
+#include "scoring/match_config.h"
+#include "scoring/query_scorer.h"
+#include "text/ensemble.h"
+
+namespace star::testing {
+
+/// The Figure-1 movie graph: a small, hand-built knowledge graph with
+/// ambiguous "Brad" matches, awards reachable through intermediate movies,
+/// and typed nodes. Used by many unit tests as a readable fixture.
+inline graph::KnowledgeGraph MovieGraph() {
+  graph::KnowledgeGraph::Builder b;
+  const auto brad_pitt = b.AddNode("Brad Pitt", "Actor");
+  const auto brad_garrett = b.AddNode("Brad Garrett", "Actor");
+  const auto richard = b.AddNode("Richard Linklater", "Director");
+  const auto sophie = b.AddNode("Sophie Marceau", "Actor");
+  const auto troy = b.AddNode("Troy", "Film");
+  const auto boyhood = b.AddNode("Boyhood", "Film");
+  const auto oscar = b.AddNode("Academy Award", "Award");
+  const auto globe = b.AddNode("Golden Globe Award", "Award");
+  const auto la = b.AddNode("Los Angeles", "City");
+  const auto usa = b.AddNode("United States", "Country");
+  b.AddEdge(brad_pitt, troy, "actedIn");
+  b.AddEdge(brad_garrett, troy, "actedIn");
+  b.AddEdge(richard, boyhood, "directed");
+  b.AddEdge(brad_pitt, boyhood, "actedIn");
+  b.AddEdge(boyhood, oscar, "won");
+  b.AddEdge(richard, globe, "won");
+  b.AddEdge(sophie, boyhood, "actedIn");
+  b.AddEdge(brad_pitt, la, "bornIn");
+  b.AddEdge(la, usa, "locatedIn");
+  b.AddEdge(richard, la, "livesIn");
+  b.AddEdge(troy, globe, "nominatedFor");
+  return std::move(b).Build();
+}
+
+/// A small random typed graph for randomized property tests. Node count
+/// and density kept tiny so the brute-force oracle stays fast.
+inline graph::KnowledgeGraph SmallRandomGraph(uint64_t seed, size_t nodes = 24,
+                                              size_t edges = 48) {
+  graph::GeneratorConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.num_edges = edges;
+  cfg.num_types = 6;
+  cfg.num_relations = 8;
+  cfg.token_pool = 10;
+  cfg.seed = seed;
+  return graph::GenerateGraph(cfg);
+}
+
+/// Default test-wide matching config: permissive thresholds so that small
+/// graphs still produce several matches.
+inline scoring::MatchConfig TestConfig(int d = 1, bool injective = true) {
+  scoring::MatchConfig cfg;
+  cfg.node_threshold = 0.25;
+  cfg.edge_threshold = 0.01;
+  cfg.lambda = 0.5;
+  cfg.d = d;
+  cfg.enforce_injective = injective;
+  return cfg;
+}
+
+/// Bundles a graph + query + scorer (owning ensemble and index) so tests
+/// can create scoring sessions in one line.
+struct ScorerFixture {
+  const graph::KnowledgeGraph& graph;
+  text::SimilarityEnsemble ensemble;
+  std::unique_ptr<graph::LabelIndex> index;
+  std::unique_ptr<scoring::QueryScorer> scorer;
+
+  ScorerFixture(const graph::KnowledgeGraph& g, const query::QueryGraph& q,
+                const scoring::MatchConfig& cfg, bool with_index = true)
+      : graph(g) {
+    if (with_index) index = std::make_unique<graph::LabelIndex>(g);
+    scorer = std::make_unique<scoring::QueryScorer>(g, q, ensemble, cfg,
+                                                    index.get());
+  }
+};
+
+/// True if two score sequences agree elementwise within eps.
+inline bool ScoresMatch(const std::vector<double>& a,
+                        const std::vector<double>& b, double eps = 1e-9) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > eps) return false;
+  }
+  return true;
+}
+
+}  // namespace star::testing
+
+#endif  // STAR_TESTS_TEST_HELPERS_H_

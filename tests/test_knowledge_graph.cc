@@ -1,0 +1,103 @@
+#include "graph/knowledge_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace star::graph {
+namespace {
+
+TEST(KnowledgeGraphTest, BuilderBasics) {
+  KnowledgeGraph::Builder b;
+  const NodeId a = b.AddNode("Alpha", "Person");
+  const NodeId c = b.AddNode("Beta", "Person");
+  const NodeId d = b.AddNode("Gamma");
+  b.AddEdge(a, c, "knows");
+  b.AddEdge(c, d, "knows");
+  b.AddEdge(a, d, "likes");
+  const auto g = std::move(b).Build();
+
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.NodeLabel(a), "Alpha");
+  EXPECT_EQ(g.TypeName(g.NodeType(a)), "Person");
+  EXPECT_EQ(g.NodeType(d), -1);
+  EXPECT_EQ(g.TypeName(-1), "");
+  EXPECT_EQ(g.type_count(), 1u);      // "Person" interned once
+  EXPECT_EQ(g.relation_count(), 2u);  // knows, likes
+}
+
+TEST(KnowledgeGraphTest, UndirectedAdjacencyWithDirectionFlags) {
+  KnowledgeGraph::Builder b;
+  const NodeId a = b.AddNode("A");
+  const NodeId c = b.AddNode("B");
+  b.AddEdge(a, c, "r");
+  const auto g = std::move(b).Build();
+  ASSERT_EQ(g.Degree(a), 1u);
+  ASSERT_EQ(g.Degree(c), 1u);
+  EXPECT_EQ(g.Neighbors(a)[0].node, c);
+  EXPECT_TRUE(g.Neighbors(a)[0].forward);
+  EXPECT_EQ(g.Neighbors(c)[0].node, a);
+  EXPECT_FALSE(g.Neighbors(c)[0].forward);
+  EXPECT_EQ(g.RelationName(g.Neighbors(a)[0].relation), "r");
+}
+
+TEST(KnowledgeGraphTest, EdgeAccessors) {
+  KnowledgeGraph::Builder b;
+  const NodeId a = b.AddNode("A");
+  const NodeId c = b.AddNode("B");
+  const EdgeId e = b.AddEdge(a, c, "rel");
+  const auto g = std::move(b).Build();
+  EXPECT_EQ(g.EdgeSrc(e), a);
+  EXPECT_EQ(g.EdgeDst(e), c);
+  EXPECT_EQ(g.RelationName(g.EdgeRelation(e)), "rel");
+}
+
+TEST(KnowledgeGraphTest, HasEdgeEitherDirection) {
+  const auto g = star::testing::MovieGraph();
+  EXPECT_TRUE(g.HasEdge(0, 4));  // Brad Pitt -> Troy
+  EXPECT_TRUE(g.HasEdge(4, 0));  // reverse view
+  EXPECT_FALSE(g.HasEdge(0, 6));  // Brad Pitt vs Academy Award: 2 hops
+}
+
+TEST(KnowledgeGraphTest, MaxDegree) {
+  const auto g = star::testing::MovieGraph();
+  size_t expected = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    expected = std::max(expected, g.Degree(v));
+  }
+  EXPECT_EQ(g.MaxDegree(), expected);
+  EXPECT_GT(g.MaxDegree(), 2u);
+}
+
+TEST(KnowledgeGraphTest, FindTypeAndRelationIds) {
+  const auto g = star::testing::MovieGraph();
+  EXPECT_GE(g.FindTypeId("Actor"), 0);
+  EXPECT_EQ(g.FindTypeId("Spaceship"), -1);
+  EXPECT_GE(g.FindRelationId("actedIn"), 0);
+  EXPECT_EQ(g.FindRelationId("teleportedTo"), -1);
+}
+
+TEST(KnowledgeGraphTest, SelfLoopAndMultiEdge) {
+  KnowledgeGraph::Builder b;
+  const NodeId a = b.AddNode("A");
+  const NodeId c = b.AddNode("B");
+  b.AddEdge(a, c, "r1");
+  b.AddEdge(a, c, "r2");  // parallel edge, different relation
+  const auto g = std::move(b).Build();
+  EXPECT_EQ(g.Degree(a), 2u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(KnowledgeGraphTest, EmptyGraph) {
+  KnowledgeGraph::Builder b;
+  const auto g = std::move(b).Build();
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+}  // namespace
+}  // namespace star::graph

@@ -1,0 +1,126 @@
+#include "graph/label_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace star::graph {
+namespace {
+
+TEST(LabelIndexTest, TokenPostings) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  const auto& brad = index.Postings("brad");
+  ASSERT_EQ(brad.size(), 2u);  // Brad Pitt, Brad Garrett
+  EXPECT_EQ(g.NodeLabel(brad[0]), "Brad Pitt");
+  EXPECT_EQ(g.NodeLabel(brad[1]), "Brad Garrett");
+  EXPECT_TRUE(index.Postings("nonexistent").empty());
+}
+
+TEST(LabelIndexTest, CandidatesByLabelUnionsTokens) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  // "Brad Award" pulls both Brads and both awards.
+  const auto c = index.CandidatesByLabel("Brad Award");
+  EXPECT_EQ(c.size(), 4u);
+  // Deduplicated and sorted.
+  EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+  EXPECT_EQ(std::adjacent_find(c.begin(), c.end()), c.end());
+}
+
+TEST(LabelIndexTest, CaseAndDelimiterInsensitive) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  EXPECT_EQ(index.CandidatesByLabel("BRAD").size(), 2u);
+  EXPECT_EQ(index.CandidatesByLabel("brad-pitt").size(), 2u);
+}
+
+TEST(LabelIndexTest, CandidatesByType) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  const auto actors = index.CandidatesByType(g.FindTypeId("Actor"));
+  EXPECT_EQ(actors.size(), 3u);  // Brad x2, Sophie
+  EXPECT_TRUE(index.CandidatesByType(-1).empty());
+  EXPECT_TRUE(index.CandidatesByType(9999).empty());
+}
+
+TEST(LabelIndexTest, CombinedCandidates) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  // Label tokens + type postings unioned.
+  const auto c = index.Candidates("Troy", g.FindTypeId("Film"));
+  EXPECT_EQ(c.size(), 2u);  // Troy + Boyhood (type Film)
+}
+
+TEST(LabelIndexTest, EmptyLabelNoCandidates) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  EXPECT_TRUE(index.CandidatesByLabel("").empty());
+}
+
+TEST(LabelIndexTest, FuzzyTokensRecallTypos) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  const auto similar = index.FuzzyTokens("lnklater");
+  EXPECT_TRUE(std::find(similar.begin(), similar.end(), "linklater") !=
+              similar.end());
+  EXPECT_TRUE(index.FuzzyTokens("zzzzqq").empty());
+}
+
+TEST(LabelIndexTest, CandidatesFallBackToFuzzy) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  // "Bradd" has no exact posting but trigram-matches "brad".
+  const auto c = index.CandidatesByLabel("Bradd");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(g.NodeLabel(c[0]), "Brad Pitt");
+}
+
+TEST(LabelIndexTest, ExactTokenSkipsFuzzyExpansion) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  // "troy" has an exact posting; fuzzy expansion must not add noise.
+  EXPECT_EQ(index.CandidatesByLabel("Troy").size(), 1u);
+}
+
+TEST(LabelIndexTest, RankedCandidatesPreferRareTokens) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  // "Golden Award" hits both awards via "award" and the Golden Globe via
+  // the rarer "golden"; with cap 1 the double-hit (and rarer) Golden Globe
+  // must win.
+  const auto top = index.RankedCandidates("Golden Award", -1, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(g.NodeLabel(top[0]), "Golden Globe Award");
+}
+
+TEST(LabelIndexTest, RankedCandidatesUncappedEqualsUnion) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  const auto ranked = index.RankedCandidates("Brad Award", -1, 0);
+  const auto plain = index.CandidatesByLabel("Brad Award");
+  EXPECT_EQ(ranked, plain);
+}
+
+TEST(LabelIndexTest, RankedCandidatesIncludeTypeOnlyHits) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  const auto all =
+      index.RankedCandidates("Troy", g.FindTypeId("Film"), 0);
+  EXPECT_EQ(all.size(), 2u);  // Troy + Boyhood via type
+  // With cap 1 the token hit outranks the epsilon-weight type hit.
+  const auto top = index.RankedCandidates("Troy", g.FindTypeId("Film"), 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(g.NodeLabel(top[0]), "Troy");
+}
+
+TEST(LabelIndexTest, TokenCount) {
+  const auto g = star::testing::MovieGraph();
+  const LabelIndex index(g);
+  EXPECT_GT(index.token_count(), 10u);
+}
+
+}  // namespace
+}  // namespace star::graph

@@ -1,0 +1,152 @@
+// Cross-cutting semantic properties of the matching model itself:
+// threshold monotonicity, cutoff consistency across engines, and the
+// GraphMatch helpers.
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "baseline/graph_ta.h"
+#include "core/framework.h"
+#include "core/star_search.h"
+#include "query/workload.h"
+#include "test_helpers.h"
+
+namespace star {
+namespace {
+
+using core::GraphMatch;
+using star::testing::ScorerFixture;
+using star::testing::SmallRandomGraph;
+using star::testing::TestConfig;
+
+TEST(GraphMatchTest, CompleteAndInjective) {
+  GraphMatch m;
+  m.mapping = {1, 2, 3};
+  EXPECT_TRUE(m.Complete());
+  EXPECT_TRUE(m.Injective());
+  m.mapping = {1, graph::kInvalidNode, 3};
+  EXPECT_FALSE(m.Complete());
+  EXPECT_TRUE(m.Injective());  // unmapped slots ignored
+  m.mapping = {1, 2, 1};
+  EXPECT_TRUE(m.Complete());
+  EXPECT_FALSE(m.Injective());
+  m.mapping = {};
+  EXPECT_TRUE(m.Complete());
+  EXPECT_TRUE(m.Injective());
+}
+
+// Raising any threshold can only shrink the valid match set.
+class ThresholdMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdMonotonicity, StricterConfigNeverAddsMatches) {
+  const int seed = GetParam();
+  const auto g = SmallRandomGraph(seed, 20, 40);
+  query::WorkloadGenerator wg(g, seed + 50);
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  const auto q = wg.RandomStarQuery(3, wo);
+
+  auto loose = TestConfig(2);
+  loose.node_threshold = 0.2;
+  loose.edge_threshold = 0.0;
+  auto strict = loose;
+  strict.node_threshold = 0.5;
+  strict.edge_threshold = 0.3;
+
+  ScorerFixture fx_loose(g, q, loose);
+  ScorerFixture fx_strict(g, q, strict);
+  const size_t loose_count = baseline::BruteForceCountMatches(*fx_loose.scorer);
+  const size_t strict_count =
+      baseline::BruteForceCountMatches(*fx_strict.scorer);
+  EXPECT_LE(strict_count, loose_count) << "seed=" << seed;
+
+  // Smaller d also never adds matches.
+  auto d1 = loose;
+  d1.d = 1;
+  ScorerFixture fx_d1(g, q, d1);
+  EXPECT_LE(baseline::BruteForceCountMatches(*fx_d1.scorer), loose_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdMonotonicity, ::testing::Range(0, 8));
+
+// With aggressive retrieval/candidate cutoffs, results may shrink but all
+// engines must still agree (they share the candidacy rule).
+class CutoffConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutoffConsistency, EnginesAgreeUnderCutoffs) {
+  const int seed = GetParam();
+  const auto g = SmallRandomGraph(seed, 30, 70);
+  query::WorkloadGenerator wg(g, seed * 11 + 2);
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  wo.partial_label = 0.5;
+  const auto q = wg.RandomStarQuery(3, wo);
+  auto cfg = TestConfig(2);
+  cfg.max_candidates = 4;
+  cfg.max_retrieval = 6;
+  const size_t k = 5;
+
+  ScorerFixture fx(g, q, cfg);
+  const auto expected = baseline::BruteForceTopK(*fx.scorer, k);
+
+  for (const auto strategy :
+       {core::StarStrategy::kStark, core::StarStrategy::kStard,
+        core::StarStrategy::kHybrid}) {
+    ScorerFixture fx2(g, q, cfg);
+    core::StarSearch::Options so;
+    so.strategy = strategy;
+    core::StarSearch search(*fx2.scorer, core::MakeStarQuery(q), so);
+    const auto got = search.TopK(k);
+    ASSERT_EQ(got.size(), expected.size())
+        << "strategy=" << static_cast<int>(strategy) << " seed=" << seed;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].score, expected[i].score, 1e-9) << "seed=" << seed;
+    }
+  }
+  ScorerFixture fx3(g, q, cfg);
+  baseline::GraphTa ta(*fx3.scorer);
+  const auto ta_got = ta.TopK(k);
+  ASSERT_EQ(ta_got.size(), expected.size()) << "seed=" << seed;
+  for (size_t i = 0; i < ta_got.size(); ++i) {
+    EXPECT_NEAR(ta_got[i].score, expected[i].score, 1e-9) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutoffConsistency, ::testing::Range(0, 8));
+
+// Fresh searches over the same scorer state are deterministic.
+TEST(DeterminismTest, RepeatedSearchesIdentical) {
+  const auto g = SmallRandomGraph(77, 30, 60);
+  query::WorkloadGenerator wg(g, 5);
+  const auto q = wg.RandomStarQuery(3, {});
+  const auto cfg = TestConfig(2);
+  std::vector<double> first;
+  for (int round = 0; round < 3; ++round) {
+    ScorerFixture fx(g, q, cfg);
+    core::StarSearch search(*fx.scorer, core::MakeStarQuery(q), {});
+    std::vector<double> scores;
+    for (const auto& m : search.TopK(10)) scores.push_back(m.score);
+    if (round == 0) {
+      first = scores;
+    } else {
+      ASSERT_TRUE(star::testing::ScoresMatch(first, scores));
+    }
+  }
+}
+
+// lambda = 1 (no decay): a d-hop connection scores like a wildcard edge.
+TEST(LambdaOneTest, NoDecayMakesPathsFree) {
+  const auto g = star::testing::MovieGraph();
+  query::QueryGraph q;
+  const int a = q.AddNode("Richard Linklater");
+  const int b = q.AddNode("Academy Award");
+  q.AddEdge(a, b);
+  auto cfg = TestConfig(2);
+  cfg.lambda = 1.0;
+  ScorerFixture fx(g, q, cfg);
+  // Richard -> Boyhood -> Academy Award at 2 hops: F_E = 1^(2-1) = 1.
+  EXPECT_DOUBLE_EQ(fx.scorer->PairEdgeScore(0, 2, 6), 1.0);
+}
+
+}  // namespace
+}  // namespace star

@@ -1,0 +1,78 @@
+#include "text/type_ontology.h"
+
+#include <gtest/gtest.h>
+
+namespace star::text {
+namespace {
+
+TEST(TypeOntologyTest, RootExists) {
+  TypeOntology onto;
+  EXPECT_EQ(onto.type_count(), 1);
+  EXPECT_EQ(onto.TypeName(TypeOntology::kRoot), "Thing");
+  EXPECT_EQ(onto.Depth(TypeOntology::kRoot), 0);
+}
+
+TEST(TypeOntologyTest, AddAndFind) {
+  TypeOntology onto;
+  const int person = onto.AddType("Person");
+  const int actor = onto.AddType("Actor", person);
+  EXPECT_EQ(onto.FindType("person"), person);  // case-insensitive
+  EXPECT_EQ(onto.FindType("ACTOR"), actor);
+  EXPECT_EQ(onto.FindType("alien"), -1);
+  EXPECT_EQ(onto.Parent(actor), person);
+  EXPECT_EQ(onto.Depth(actor), 2);
+  // Re-adding returns the existing id.
+  EXPECT_EQ(onto.AddType("Person"), person);
+}
+
+TEST(TypeOntologyTest, LcaAndAncestry) {
+  TypeOntology onto;
+  const int person = onto.AddType("Person");
+  const int actor = onto.AddType("Actor", person);
+  const int director = onto.AddType("Director", person);
+  const int place = onto.AddType("Place");
+  EXPECT_EQ(onto.LowestCommonAncestor(actor, director), person);
+  EXPECT_EQ(onto.LowestCommonAncestor(actor, place), TypeOntology::kRoot);
+  EXPECT_TRUE(onto.IsAncestor(person, actor));
+  EXPECT_TRUE(onto.IsAncestor(TypeOntology::kRoot, actor));
+  EXPECT_FALSE(onto.IsAncestor(actor, person));
+}
+
+TEST(TypeOntologyTest, WuPalmerSimilarity) {
+  TypeOntology onto;
+  const int person = onto.AddType("Person");
+  const int actor = onto.AddType("Actor", person);
+  const int director = onto.AddType("Director", person);
+  const int place = onto.AddType("Place");
+  EXPECT_DOUBLE_EQ(onto.Similarity(actor, actor), 1.0);
+  // Siblings under Person at depth 2: 2*1/(2+2) = 0.5.
+  EXPECT_DOUBLE_EQ(onto.Similarity(actor, director), 0.5);
+  // Unrelated branches share only the root: 0.
+  EXPECT_DOUBLE_EQ(onto.Similarity(actor, place), 0.0);
+  // Parent-child: 2*1/(1+2).
+  EXPECT_NEAR(onto.Similarity(person, actor), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TypeOntologyTest, UnknownIdsScoreZero) {
+  TypeOntology onto;
+  EXPECT_DOUBLE_EQ(onto.Similarity(-1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(onto.Similarity(0, 99), 0.0);
+  EXPECT_DOUBLE_EQ(onto.Similarity("ghost", "thing"), 0.0);
+}
+
+TEST(TypeOntologyTest, BuiltInHierarchy) {
+  const auto onto = TypeOntology::BuiltIn();
+  EXPECT_GT(onto.type_count(), 20);
+  const int actor = onto.FindType("Actor");
+  const int director = onto.FindType("Director");
+  ASSERT_GE(actor, 0);
+  ASSERT_GE(director, 0);
+  // Both artists: closely related.
+  EXPECT_GT(onto.Similarity(actor, director), 0.5);
+  // Actor vs City: far apart.
+  EXPECT_LT(onto.Similarity(actor, onto.FindType("City")),
+            onto.Similarity(actor, director));
+}
+
+}  // namespace
+}  // namespace star::text

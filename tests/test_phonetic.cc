@@ -1,0 +1,41 @@
+#include "text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace star::text {
+namespace {
+
+TEST(SoundexTest, ClassicCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, ShortAndEmpty) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("A"), "A000");
+  EXPECT_EQ(Soundex("Lee"), "L000");
+}
+
+TEST(SoundexTest, FirstTokenOnly) {
+  EXPECT_EQ(Soundex("Robert Johnson"), "R163");
+}
+
+TEST(SoundexTest, IgnoresNonAlpha) { EXPECT_EQ(Soundex("O'Brien"), "O165"); }
+
+TEST(PhoneticSimilarityTest, MatchingAndNot) {
+  EXPECT_DOUBLE_EQ(PhoneticSimilarity("Robert", "Rupert"), 1.0);
+  EXPECT_DOUBLE_EQ(PhoneticSimilarity("Smith", "Smyth"), 1.0);
+  EXPECT_DOUBLE_EQ(PhoneticSimilarity("Robert", "Xavier"), 0.0);
+  EXPECT_DOUBLE_EQ(PhoneticSimilarity("", "Robert"), 0.0);
+}
+
+TEST(PhoneticSimilarityTest, AnyTokenPairMatches) {
+  EXPECT_DOUBLE_EQ(PhoneticSimilarity("John Smith", "Jon Smyth"), 1.0);
+  EXPECT_DOUBLE_EQ(PhoneticSimilarity("Alice Smith", "Bob Smyth"), 1.0);
+}
+
+}  // namespace
+}  // namespace star::text

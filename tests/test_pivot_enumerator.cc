@@ -1,0 +1,150 @@
+#include "core/pivot_enumerator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace star::core {
+namespace {
+
+using graph::NodeId;
+
+std::vector<std::vector<LeafCandidate>> MakeLists(
+    const std::vector<std::vector<std::pair<NodeId, double>>>& raw) {
+  std::vector<std::vector<LeafCandidate>> lists(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    for (const auto& [n, v] : raw[i]) lists[i].push_back({n, v});
+  }
+  return lists;
+}
+
+TEST(PivotEnumerator, EmitsInDescendingOrder) {
+  PivotEnumerator e(
+      /*pivot=*/100, /*pivot_score=*/1.0,
+      MakeLists({{{1, 0.9}, {2, 0.5}}, {{3, 0.8}, {4, 0.7}, {5, 0.1}}}),
+      /*enforce_injective=*/true, /*k_hint=*/0);
+  double prev = 1e18;
+  int count = 0;
+  while (auto m = e.Next()) {
+    EXPECT_LE(m->score, prev);
+    prev = m->score;
+    ++count;
+  }
+  EXPECT_EQ(count, 6);  // 2 x 3 combinations, all injective
+}
+
+TEST(PivotEnumerator, TopMatchIsGreedyWhenInjective) {
+  PivotEnumerator e(7, 0.5,
+                    MakeLists({{{1, 0.9}, {2, 0.5}}, {{3, 0.8}, {4, 0.7}}}),
+                    true, 0);
+  const auto m = e.Next();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->score, 0.5 + 0.9 + 0.8);
+  EXPECT_EQ(m->leaves, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(PivotEnumerator, SkipsCollidingLeaves) {
+  // Both lists share node 1 at the top; injective best must differ.
+  PivotEnumerator e(7, 0.0,
+                    MakeLists({{{1, 1.0}, {2, 0.2}}, {{1, 1.0}, {3, 0.5}}}),
+                    true, 0);
+  const auto m = e.Next();
+  ASSERT_TRUE(m.has_value());
+  // Valid options: (1,3)=1.5 or (2,1)=1.2; best is 1.5.
+  EXPECT_DOUBLE_EQ(m->score, 1.5);
+  EXPECT_EQ(m->leaves, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(PivotEnumerator, NonInjectiveAllowsCollisions) {
+  PivotEnumerator e(7, 0.0,
+                    MakeLists({{{1, 1.0}, {2, 0.2}}, {{1, 1.0}, {3, 0.5}}}),
+                    false, 0);
+  const auto m = e.Next();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->score, 2.0);
+  EXPECT_EQ(m->leaves, (std::vector<NodeId>{1, 1}));
+}
+
+TEST(PivotEnumerator, PivotExcludedFromLeavesWhenInjective) {
+  PivotEnumerator e(1, 0.0, MakeLists({{{1, 1.0}, {2, 0.4}}}), true, 0);
+  const auto m = e.Next();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->leaves[0], 2u);
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+TEST(PivotEnumerator, EmptyLeafListMeansNoMatches) {
+  PivotEnumerator e(7, 1.0, MakeLists({{{1, 1.0}}, {}}), true, 0);
+  EXPECT_FALSE(e.Next().has_value());
+  EXPECT_FALSE(e.PeekScore().has_value());
+}
+
+TEST(PivotEnumerator, ZeroLeafStarEmitsPivotOnce) {
+  PivotEnumerator e(7, 0.42, {}, true, 0);
+  const auto m = e.Next();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->score, 0.42);
+  EXPECT_TRUE(m->leaves.empty());
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+TEST(PivotEnumerator, PeekDoesNotConsume) {
+  PivotEnumerator e(7, 0.0, MakeLists({{{1, 1.0}, {2, 0.4}}}), true, 0);
+  ASSERT_TRUE(e.PeekScore().has_value());
+  EXPECT_DOUBLE_EQ(*e.PeekScore(), 1.0);
+  const auto m = e.Next();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->score, 1.0);
+}
+
+TEST(PivotEnumerator, NoDuplicateMatches) {
+  PivotEnumerator e(
+      100, 0.0,
+      MakeLists({{{1, 0.5}, {2, 0.5}}, {{3, 0.5}, {4, 0.5}}, {{5, 0.1}}}),
+      true, 0);
+  std::vector<std::vector<NodeId>> seen;
+  while (auto m = e.Next()) {
+    EXPECT_EQ(std::find(seen.begin(), seen.end(), m->leaves), seen.end());
+    seen.push_back(m->leaves);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+// Property: with k_hint pruning the first k matches equal the unpruned
+// first k (injective mode), on random lists with node collisions.
+class EnumeratorPruneProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumeratorPruneProperty, PruningPreservesTopK) {
+  Rng rng(GetParam());
+  const size_t s = 1 + rng.Below(3);
+  const size_t k = 1 + rng.Below(5);
+  std::vector<std::vector<std::pair<NodeId, double>>> raw(s);
+  for (auto& list : raw) {
+    const size_t len = 1 + rng.Below(10);
+    std::vector<bool> used(20, false);
+    for (size_t j = 0; j < len; ++j) {
+      const NodeId n = 1 + rng.Below(12);  // small id space -> collisions
+      if (used[n]) continue;
+      used[n] = true;
+      list.emplace_back(n, std::round(rng.NextDouble() * 20) / 20);
+    }
+  }
+  PivotEnumerator exact(0, 0.3, MakeLists(raw), true, 0);
+  PivotEnumerator pruned(0, 0.3, MakeLists(raw), true, k);
+  for (size_t i = 0; i < k; ++i) {
+    const auto a = exact.Next();
+    const auto b = pruned.Next();
+    ASSERT_EQ(a.has_value(), b.has_value()) << "i=" << i;
+    if (!a.has_value()) break;
+    EXPECT_NEAR(a->score, b->score, 1e-12) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumeratorPruneProperty,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace star::core

@@ -1,0 +1,170 @@
+#include "scoring/query_scorer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace star::scoring {
+namespace {
+
+using star::testing::MovieGraph;
+using star::testing::TestConfig;
+
+struct Fixture {
+  graph::KnowledgeGraph g = MovieGraph();
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index{g};
+  query::QueryGraph q;
+};
+
+TEST(QueryScorerTest, NodeScoreExactAndPartial) {
+  Fixture fx;
+  const int u = fx.q.AddNode("Brad Pitt");
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(), &fx.index);
+  EXPECT_DOUBLE_EQ(scorer.NodeScore(u, 0), 1.0);  // exact
+  const double partial = scorer.NodeScore(u, 1);  // Brad Garrett
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(QueryScorerTest, CandidatesSortedAndThresholded) {
+  Fixture fx;
+  const int u = fx.q.AddNode("Brad");
+  auto cfg = TestConfig();
+  cfg.node_threshold = 0.3;
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, cfg, &fx.index);
+  const auto& cands = scorer.Candidates(u);
+  ASSERT_FALSE(cands.empty());
+  for (size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_LE(cands[i].score, cands[i - 1].score);
+  }
+  for (const auto& c : cands) EXPECT_GE(c.score, 0.3);
+}
+
+TEST(QueryScorerTest, MaxCandidatesCutoff) {
+  Fixture fx;
+  const int u = fx.q.AddNode("Brad");
+  auto cfg = TestConfig();
+  cfg.max_candidates = 1;
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, cfg, &fx.index);
+  EXPECT_EQ(scorer.Candidates(u).size(), 1u);
+}
+
+TEST(QueryScorerTest, WildcardCandidates) {
+  Fixture fx;
+  const int any = fx.q.AddWildcardNode();
+  const int typed = fx.q.AddWildcardNode("Actor");
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(), &fx.index);
+  EXPECT_EQ(scorer.Candidates(any).size(), fx.g.node_count());
+  EXPECT_EQ(scorer.Candidates(typed).size(), 3u);  // the three actors
+  EXPECT_DOUBLE_EQ(scorer.NodeScore(any, 5), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.NodeScore(typed, 0), 1.0);   // Brad Pitt: Actor
+  EXPECT_DOUBLE_EQ(scorer.NodeScore(typed, 4), 0.0);   // Troy: Film
+}
+
+TEST(QueryScorerTest, CandidateScoreMembership) {
+  Fixture fx;
+  const int u = fx.q.AddNode("Brad Pitt");
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(), &fx.index);
+  EXPECT_DOUBLE_EQ(scorer.CandidateScore(u, 0), 1.0);
+  // Academy Award shares no token with "Brad Pitt": not a candidate.
+  EXPECT_LT(scorer.CandidateScore(u, 6), 0.0);
+}
+
+TEST(QueryScorerTest, RelationScores) {
+  Fixture fx;
+  const int a = fx.q.AddNode("A");
+  const int b = fx.q.AddNode("B");
+  const int exact = fx.q.AddEdge(a, b, "actedIn");
+  const int wild = fx.q.AddEdge(a, b);
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(), &fx.index);
+  const auto rel = static_cast<uint32_t>(fx.g.FindRelationId("actedIn"));
+  EXPECT_DOUBLE_EQ(scorer.RelationScore(exact, rel), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.RelationScore(wild, rel), 1.0);
+  const auto won = static_cast<uint32_t>(fx.g.FindRelationId("won"));
+  EXPECT_LT(scorer.RelationScore(exact, won), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.MaxRelationScore(wild), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.MaxRelationScore(exact), 1.0);  // exists in graph
+}
+
+TEST(QueryScorerTest, EdgeScoreDecaysWithHops) {
+  Fixture fx;
+  const int a = fx.q.AddNode("A");
+  const int b = fx.q.AddNode("B");
+  const int e = fx.q.AddEdge(a, b);
+  auto cfg = TestConfig(3);
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, cfg, &fx.index);
+  EXPECT_DOUBLE_EQ(scorer.EdgeScore(e, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.EdgeScore(e, 0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(scorer.EdgeScore(e, 0, 3), 0.25);
+  EXPECT_DOUBLE_EQ(scorer.PathDecay(2), 0.5);
+}
+
+TEST(QueryScorerTest, PairEdgeScoreDirectAndWalk) {
+  Fixture fx;
+  const int a = fx.q.AddNode("A");
+  const int b = fx.q.AddNode("B");
+  const int e = fx.q.AddEdge(a, b);
+  {
+    QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(1), &fx.index);
+    // Brad Pitt - Troy: direct edge, wildcard relation -> 1.0.
+    EXPECT_DOUBLE_EQ(scorer.PairEdgeScore(e, 0, 4), 1.0);
+    // Brad Pitt - Academy Award: 2 hops, but d = 1 -> invalid.
+    EXPECT_LT(scorer.PairEdgeScore(e, 0, 6), 0.0);
+  }
+  {
+    QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(2), &fx.index);
+    // With d = 2 the two-hop walk scores lambda.
+    EXPECT_DOUBLE_EQ(scorer.PairEdgeScore(e, 0, 6), 0.5);
+    // Symmetric.
+    EXPECT_DOUBLE_EQ(scorer.PairEdgeScore(e, 6, 0), 0.5);
+    // Direct connections keep relation score 1.0 (better than decay).
+    EXPECT_DOUBLE_EQ(scorer.PairEdgeScore(e, 0, 4), 1.0);
+  }
+}
+
+TEST(QueryScorerTest, WalkBallSmallestLengths) {
+  Fixture fx;
+  fx.q.AddNode("A");
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(3), &fx.index);
+  const auto& ball = scorer.WalkBall(0);  // Brad Pitt
+  // Academy Award is 2 hops away (via Boyhood).
+  ASSERT_TRUE(ball.count(6));
+  EXPECT_EQ(ball.at(6), 2);
+  // United States is 2 hops (via Los Angeles).
+  ASSERT_TRUE(ball.count(9));
+  EXPECT_EQ(ball.at(9), 2);
+}
+
+TEST(QueryScorerTest, ScoreUpperBound) {
+  Fixture fx;
+  const int a = fx.q.AddNode("A");
+  const int b = fx.q.AddWildcardNode();
+  fx.q.AddEdge(a, b);
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(), &fx.index);
+  EXPECT_DOUBLE_EQ(scorer.ScoreUpperBound(), 3.0);
+}
+
+TEST(QueryScorerTest, NoIndexScansAllNodes) {
+  Fixture fx;
+  const int u = fx.q.AddNode("Brad Pitt");
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(), nullptr);
+  const auto& cands = scorer.Candidates(u);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands[0].node, 0u);
+  EXPECT_DOUBLE_EQ(cands[0].score, 1.0);
+}
+
+TEST(QueryScorerTest, EvaluationCounterGrows) {
+  Fixture fx;
+  const int u = fx.q.AddNode("Brad Pitt");
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(), &fx.index);
+  EXPECT_EQ(scorer.node_score_evaluations(), 0u);
+  scorer.NodeScore(u, 1);
+  EXPECT_EQ(scorer.node_score_evaluations(), 1u);
+  scorer.NodeScore(u, 1);  // memoized
+  EXPECT_EQ(scorer.node_score_evaluations(), 1u);
+}
+
+}  // namespace
+}  // namespace star::scoring

@@ -1,0 +1,109 @@
+#include "query/query_template.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace star::query {
+namespace {
+
+using star::testing::MovieGraph;
+using star::testing::SmallRandomGraph;
+
+TEST(MineTemplatesTest, FindsFrequentStructures) {
+  const auto g = SmallRandomGraph(5, 200, 600);
+  Rng rng(9);
+  const auto templates = MineTemplates(g, 10, 2, 500, rng);
+  ASSERT_FALSE(templates.empty());
+  EXPECT_LE(templates.size(), 10u);
+  for (const auto& t : templates) {
+    EXPECT_EQ(t.leaves.size(), 2u);
+    EXPECT_GE(t.support, 1u);
+  }
+  // Sorted by support descending.
+  for (size_t i = 1; i < templates.size(); ++i) {
+    EXPECT_GE(templates[i - 1].support, templates[i].support);
+  }
+}
+
+TEST(MineTemplatesTest, DeterministicGivenSeed) {
+  const auto g = SmallRandomGraph(6, 150, 400);
+  Rng rng1(4), rng2(4);
+  const auto t1 = MineTemplates(g, 5, 2, 300, rng1);
+  const auto t2 = MineTemplates(g, 5, 2, 300, rng2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].ToString(), t2[i].ToString());
+  }
+}
+
+TEST(MineTemplatesTest, EmptyGraph) {
+  graph::KnowledgeGraph::Builder b;
+  const auto g = std::move(b).Build();
+  Rng rng(1);
+  EXPECT_TRUE(MineTemplates(g, 5, 2, 100, rng).empty());
+}
+
+TEST(InstantiateTemplateTest, ProducesAnchoredStar) {
+  const auto g = MovieGraph();
+  QueryTemplate tpl;
+  tpl.pivot_type = "Actor";
+  tpl.leaves = {{"actedIn", "Film"}};
+  WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  wo.label_noise = 0.0;
+  wo.keep_type = 1.0;
+  wo.keep_relation = 1.0;
+  Rng rng(3);
+  const auto q = InstantiateTemplate(g, tpl, wo, rng, 256);
+  ASSERT_EQ(q.node_count(), 2);
+  EXPECT_TRUE(q.IsStar());
+  EXPECT_EQ(q.node(0).type_name, "Actor");
+  EXPECT_EQ(q.node(1).type_name, "Film");
+  EXPECT_EQ(q.edge(0).relation, "actedIn");
+  // The pivot label comes from an actual actor in the graph.
+  EXPECT_NE(q.node(0).label.find(" "), std::string::npos);
+}
+
+TEST(InstantiateTemplateTest, ImpossibleTemplateYieldsEmptyOrPartial) {
+  const auto g = MovieGraph();
+  QueryTemplate tpl;
+  tpl.pivot_type = "Spaceship";  // no such type
+  tpl.leaves = {{"actedIn", "Film"}};
+  WorkloadOptions wo;
+  Rng rng(3);
+  const auto q = InstantiateTemplate(g, tpl, wo, rng, 64);
+  EXPECT_EQ(q.node_count(), 0);
+}
+
+TEST(InstantiateTemplateTest, MinedTemplatesInstantiatable) {
+  const auto g = SmallRandomGraph(8, 200, 600);
+  Rng rng(12);
+  const auto templates = MineTemplates(g, 5, 2, 500, rng);
+  ASSERT_FALSE(templates.empty());
+  WorkloadOptions wo;
+  wo.variable_fraction = 0.3;
+  size_t instantiated = 0;
+  for (const auto& tpl : templates) {
+    const auto q = InstantiateTemplate(g, tpl, wo, rng, 256);
+    if (q.node_count() >= 2) {
+      ++instantiated;
+      EXPECT_TRUE(q.IsStar()) << q.ToString();
+      EXPECT_FALSE(q.node(0).wildcard);
+    }
+  }
+  EXPECT_GT(instantiated, 0u);
+}
+
+TEST(QueryTemplateTest, ToStringReadable) {
+  QueryTemplate tpl;
+  tpl.pivot_type = "Person";
+  tpl.leaves = {{"actedIn", "Film"}, {"", "Award"}};
+  const auto s = tpl.ToString();
+  EXPECT_NE(s.find("Person"), std::string::npos);
+  EXPECT_NE(s.find("actedIn"), std::string::npos);
+  EXPECT_NE(s.find("Award"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace star::query

@@ -1,0 +1,263 @@
+#include "text/similarity.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace star::text {
+namespace {
+
+TEST(LevenshteinTest, Distances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("ABC", "abc"), 0);  // case-insensitive
+}
+
+TEST(LevenshteinTest, SimilarityNormalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abcd", "abce"), 0.75);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("a", "z"), 0.0);
+}
+
+TEST(DamerauTest, TranspositionCountsOne) {
+  // "ab" -> "ba": Damerau 1 edit, plain Levenshtein 2.
+  EXPECT_DOUBLE_EQ(DamerauLevenshteinSimilarity("ab", "ba"), 0.5);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("ab", "ba"), 0.0);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7667, 1e-3);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "x"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  const double jaro = JaroSimilarity("prefixes", "prefixed");
+  const double jw = JaroWinklerSimilarity("prefixes", "prefixed");
+  EXPECT_GT(jw, jaro);
+  EXPECT_LE(jw, 1.0);
+}
+
+TEST(PrefixSuffixTest, Basics) {
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("interstate", "internet"), 0.625);
+  EXPECT_DOUBLE_EQ(SuffixSimilarity("walking", "running"), 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("", "x"), 0.0);
+}
+
+TEST(ContainmentTest, SubstringScaledByLength) {
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity("York", "New York"), 0.5);
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity("new york", "New York"), 1.0);
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(TokenSimilarityTest, JaccardDiceOverlap) {
+  // "brad pitt" vs "brad garrett": intersection {brad}, union 3 tokens.
+  EXPECT_NEAR(TokenJaccard("Brad Pitt", "Brad Garrett"), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(TokenDice("Brad Pitt", "Brad Garrett"), 0.5, 1e-12);
+  EXPECT_NEAR(TokenOverlap("Brad Pitt", "Brad"), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+}
+
+TEST(TokenSimilarityTest, DelimiterInsensitive) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("new_york-city", "New York City"), 1.0);
+}
+
+TEST(NGramTest, GramsAndJaccard) {
+  const auto grams = CharNGrams("abcd", 3);
+  EXPECT_EQ(grams, (std::vector<std::string>{"abc", "bcd"}));
+  EXPECT_EQ(CharNGrams("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_TRUE(CharNGrams("", 3).empty());
+  EXPECT_DOUBLE_EQ(NGramJaccard("abcd", "abcd"), 1.0);
+  EXPECT_GT(NGramJaccard("abcde", "abcdx"), 0.0);
+}
+
+TEST(AcronymTest, InitialsMatch) {
+  EXPECT_DOUBLE_EQ(AcronymSimilarity("JFK", "John Fitzgerald Kennedy"), 1.0);
+  EXPECT_DOUBLE_EQ(AcronymSimilarity("John Fitzgerald Kennedy", "jfk"), 1.0);
+  EXPECT_DOUBLE_EQ(AcronymSimilarity("JFK", "John Kennedy"), 0.0);
+  EXPECT_DOUBLE_EQ(AcronymSimilarity("J", "John"), 0.0);  // too short
+}
+
+TEST(AbbreviationTest, SubsequenceFromStart) {
+  EXPECT_GT(AbbreviationSimilarity("Intl", "International"), 0.5);
+  EXPECT_DOUBLE_EQ(AbbreviationSimilarity("xyz", "International"), 0.0);
+  EXPECT_DOUBLE_EQ(AbbreviationSimilarity("same", "same"), 1.0);
+  // Must share the first character.
+  EXPECT_DOUBLE_EQ(AbbreviationSimilarity("ntl", "International"), 0.0);
+}
+
+TEST(LengthRatioTest, Basics) {
+  EXPECT_DOUBLE_EQ(LengthRatio("ab", "abcd"), 0.5);
+  EXPECT_DOUBLE_EQ(LengthRatio("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LengthRatio("", "x"), 0.0);
+}
+
+TEST(NumericTest, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("42", "42"), 1.0);
+  EXPECT_GT(NumericSimilarity("100", "101"), 0.9);
+  EXPECT_LT(NumericSimilarity("1", "1000"), 0.2);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("abc", "42"), 0.0);
+}
+
+TEST(NumericTest, UnitConversion) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("1km", "1000m"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("2 kg", "2000 g"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("1h", "3600s"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("1 parsec", "42"), 0.0);  // unknown unit
+}
+
+TEST(LcsTest, Basics) {
+  EXPECT_DOUBLE_EQ(LcsSimilarity("abcdef", "abcdef"), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LcsSimilarity("abcdef", "abdf"), 4.0 / 6.0, 1e-12);
+}
+
+TEST(MongeElkanTest, TokenReorderingAndTypos) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("Brad Pitt", "Pitt Brad"), 1.0);
+  EXPECT_GT(MongeElkanSimilarity("Brad Pitt", "Brad Pit"), 0.9);
+  EXPECT_LT(MongeElkanSimilarity("Brad Pitt", "Xqz Wvu"), 0.5);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", "x"), 0.0);
+}
+
+TEST(LongestCommonSubstringTest, Basics) {
+  EXPECT_DOUBLE_EQ(LongestCommonSubstringSimilarity("abcdef", "abcdef"), 1.0);
+  // "cde" is the longest common substring of these two.
+  EXPECT_NEAR(LongestCommonSubstringSimilarity("abcdex", "zzcdey"), 3.0 / 6.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(LongestCommonSubstringSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(HammingTest, EqualLengthOnly) {
+  EXPECT_DOUBLE_EQ(HammingSimilarity("karolin", "kathrin"), 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity("abc", "ab"), 0.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity("ABC", "abc"), 1.0);
+}
+
+TEST(SmithWatermanTest, RewardsLocalRegions) {
+  // "New York" inside a longer string aligns perfectly.
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("New York", "City of New York"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("same", "same"), 1.0);
+}
+
+TEST(BigramDiceTest, Basics) {
+  EXPECT_DOUBLE_EQ(BigramDice("night", "night"), 1.0);
+  EXPECT_GT(BigramDice("night", "nacht"), 0.0);
+  EXPECT_DOUBLE_EQ(BigramDice("ab", "cd"), 0.0);
+}
+
+TEST(TokenSequenceEditTest, WordLevelEdits) {
+  // One word substituted out of three.
+  EXPECT_NEAR(TokenSequenceEditSimilarity("the great escape", "the grand escape"),
+              2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(TokenSequenceEditSimilarity("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      TokenSequenceEditSimilarity("alpha beta", "gamma delta"), 0.0);
+}
+
+TEST(DateSimilarityTest, YearExtraction) {
+  EXPECT_DOUBLE_EQ(DateSimilarity("1994", "1994-06-23"), 1.0);
+  EXPECT_NEAR(DateSimilarity("Troy (2004)", "released 2014"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(DateSimilarity("no digits", "2004"), 0.0);
+  EXPECT_DOUBLE_EQ(DateSimilarity("12", "2004"), 0.0);  // too short a run
+}
+
+TEST(NumeralAwareTest, RomanAndWordNumbers) {
+  EXPECT_DOUBLE_EQ(NumeralAwareMatch("Part II", "part 2"), 1.0);
+  EXPECT_DOUBLE_EQ(NumeralAwareMatch("Rocky Three", "rocky 3"), 1.0);
+  EXPECT_DOUBLE_EQ(NumeralAwareMatch("Part II", "Part 3"), 0.0);
+  EXPECT_DOUBLE_EQ(NumeralAwareMatch("same text", "same text"), 1.0);
+  EXPECT_DOUBLE_EQ(NumeralAwareMatch("", "x"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Family-wide properties: range, symmetry, identity.
+// ---------------------------------------------------------------------------
+
+using SimFn = std::function<double(std::string_view, std::string_view)>;
+
+struct NamedFn {
+  const char* name;
+  SimFn fn;
+  bool symmetric;
+};
+
+std::vector<NamedFn> AllFunctions() {
+  return {
+      {"exact", ExactMatch, true},
+      {"case_insensitive", CaseInsensitiveMatch, true},
+      {"levenshtein", LevenshteinSimilarity, true},
+      {"damerau", DamerauLevenshteinSimilarity, true},
+      {"jaro", JaroSimilarity, true},
+      {"jaro_winkler", JaroWinklerSimilarity, true},
+      {"prefix", PrefixSimilarity, true},
+      {"suffix", SuffixSimilarity, true},
+      {"containment", ContainmentSimilarity, true},
+      {"token_jaccard", TokenJaccard, true},
+      {"token_dice", TokenDice, true},
+      {"token_overlap", TokenOverlap, true},
+      {"ngram",
+       [](std::string_view a, std::string_view b) {
+         return NGramJaccard(a, b);
+       },
+       true},
+      {"acronym", AcronymSimilarity, true},
+      {"abbreviation", AbbreviationSimilarity, true},
+      {"length_ratio", LengthRatio, true},
+      {"numeric", NumericSimilarity, true},
+      {"lcs", LcsSimilarity, true},
+      {"monge_elkan", MongeElkanSimilarity, true},
+      {"lc_substring", LongestCommonSubstringSimilarity, true},
+      {"hamming", HammingSimilarity, true},
+      {"smith_waterman", SmithWatermanSimilarity, true},
+      {"bigram_dice", BigramDice, true},
+      {"token_seq_edit", TokenSequenceEditSimilarity, true},
+      {"date", DateSimilarity, true},
+      {"numeral_aware", NumeralAwareMatch, true},
+  };
+}
+
+class SimilarityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityProperty, RangeSymmetryIdentity) {
+  Rng rng(GetParam());
+  const auto make_string = [&]() {
+    std::string s;
+    const size_t len = rng.Below(12);
+    for (size_t i = 0; i < len; ++i) {
+      const char* alphabet = "abcdeABC 123_-";
+      s.push_back(alphabet[rng.Below(14)]);
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string a = make_string();
+    const std::string b = make_string();
+    for (const auto& [name, fn, symmetric] : AllFunctions()) {
+      const double ab = fn(a, b);
+      EXPECT_GE(ab, 0.0) << name << " a='" << a << "' b='" << b << "'";
+      EXPECT_LE(ab, 1.0) << name << " a='" << a << "' b='" << b << "'";
+      if (symmetric) {
+        EXPECT_NEAR(ab, fn(b, a), 1e-12)
+            << name << " a='" << a << "' b='" << b << "'";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace star::text

@@ -1,0 +1,58 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace star {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("Brad PITT"), "brad pitt");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("123-aBc"), "123-abc");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, SplitTokens) {
+  EXPECT_EQ(SplitTokens("Brad Pitt"), (std::vector<std::string>{"Brad", "Pitt"}));
+  EXPECT_EQ(SplitTokens("a_b-c.d/e"),
+            (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+  EXPECT_TRUE(SplitTokens("").empty());
+  EXPECT_TRUE(SplitTokens("  ").empty());
+  EXPECT_EQ(SplitTokens("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtilTest, SplitFieldsKeepsEmpties) {
+  EXPECT_EQ(SplitFields("a\t\tb", '\t'),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitFields("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitFields("x,", ','), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix-rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringUtilTest, IsNumeric) {
+  EXPECT_TRUE(IsNumeric("12345"));
+  EXPECT_FALSE(IsNumeric(""));
+  EXPECT_FALSE(IsNumeric("12a"));
+  EXPECT_FALSE(IsNumeric("-12"));  // digits only by design
+}
+
+}  // namespace
+}  // namespace star

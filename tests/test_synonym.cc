@@ -1,0 +1,58 @@
+#include "text/synonym_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace star::text {
+namespace {
+
+TEST(SynonymDictionaryTest, BasicPairs) {
+  SynonymDictionary d;
+  d.AddSynonym("teacher", "educator");
+  EXPECT_TRUE(d.AreSynonyms("teacher", "educator"));
+  EXPECT_TRUE(d.AreSynonyms("Educator", "TEACHER"));  // case-insensitive
+  EXPECT_FALSE(d.AreSynonyms("teacher", "student"));
+}
+
+TEST(SynonymDictionaryTest, IdentityIsAlwaysSynonym) {
+  SynonymDictionary d;
+  EXPECT_TRUE(d.AreSynonyms("anything", "anything"));
+  EXPECT_TRUE(d.AreSynonyms("Case", "case"));
+}
+
+TEST(SynonymDictionaryTest, TransitiveMerging) {
+  SynonymDictionary d;
+  d.AddSynonym("a", "b");
+  d.AddSynonym("c", "d");
+  EXPECT_FALSE(d.AreSynonyms("a", "c"));
+  d.AddSynonym("b", "c");  // merges the two groups
+  EXPECT_TRUE(d.AreSynonyms("a", "d"));
+}
+
+TEST(SynonymDictionaryTest, GroupInsertion) {
+  SynonymDictionary d;
+  d.AddGroup({"movie", "film", "picture"});
+  EXPECT_TRUE(d.AreSynonyms("movie", "picture"));
+  EXPECT_TRUE(d.AreSynonyms("film", "picture"));
+}
+
+TEST(SynonymDictionaryTest, SimilarityTokenLevel) {
+  SynonymDictionary d;
+  d.AddSynonym("movie", "film");
+  EXPECT_DOUBLE_EQ(d.Similarity("movie", "film"), 1.0);
+  // "great movie" vs "great film": both tokens have matches.
+  EXPECT_DOUBLE_EQ(d.Similarity("great movie", "great film"), 1.0);
+  // "bad movie" vs "great film": only one of two tokens matches.
+  EXPECT_DOUBLE_EQ(d.Similarity("bad movie", "great film"), 0.5);
+  EXPECT_DOUBLE_EQ(d.Similarity("", "film"), 0.0);
+}
+
+TEST(SynonymDictionaryTest, BuiltInCoversPaperExamples) {
+  const auto d = SynonymDictionary::BuiltIn();
+  EXPECT_TRUE(d.AreSynonyms("teacher", "educator"));
+  EXPECT_TRUE(d.AreSynonyms("movie", "film"));
+  EXPECT_TRUE(d.AreSynonyms("director", "movie maker"));
+  EXPECT_GT(d.term_count(), 30u);
+}
+
+}  // namespace
+}  // namespace star::text

@@ -1,0 +1,61 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+namespace star::text {
+namespace {
+
+TfIdfModel SmallCorpus() {
+  TfIdfModel m;
+  m.AddDocument("the quick brown fox");
+  m.AddDocument("the lazy dog");
+  m.AddDocument("the quick dog");
+  m.AddDocument("kurosawa film");
+  m.Finalize();
+  return m;
+}
+
+TEST(TfIdfTest, IdfOrdersRareAboveCommon) {
+  const auto m = SmallCorpus();
+  EXPECT_GT(m.Idf("kurosawa"), m.Idf("quick"));
+  EXPECT_GT(m.Idf("quick"), m.Idf("the"));
+}
+
+TEST(TfIdfTest, UnknownTokenGetsMaxIdf) {
+  const auto m = SmallCorpus();
+  EXPECT_GE(m.Idf("zebra"), m.Idf("kurosawa"));
+}
+
+TEST(TfIdfTest, CosineIdentityAndDisjoint) {
+  const auto m = SmallCorpus();
+  EXPECT_NEAR(m.Cosine("quick brown fox", "quick brown fox"), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.Cosine("quick", "lazy"), 0.0);
+  EXPECT_DOUBLE_EQ(m.Cosine("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(m.Cosine("", "dog"), 0.0);
+}
+
+TEST(TfIdfTest, RareSharedTokenBeatsCommonSharedToken) {
+  const auto m = SmallCorpus();
+  // Sharing "kurosawa" should weigh more than sharing "the".
+  const double rare = m.Cosine("kurosawa x", "kurosawa y");
+  const double common = m.Cosine("the x", "the y");
+  EXPECT_GT(rare, common);
+}
+
+TEST(TfIdfTest, Stats) {
+  const auto m = SmallCorpus();
+  EXPECT_EQ(m.document_count(), 4u);
+  EXPECT_GT(m.vocabulary_size(), 5u);
+  EXPECT_TRUE(m.finalized());
+}
+
+TEST(TfIdfTest, SymmetricAndBounded) {
+  const auto m = SmallCorpus();
+  const double ab = m.Cosine("quick dog", "lazy dog");
+  EXPECT_NEAR(ab, m.Cosine("lazy dog", "quick dog"), 1e-12);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+}  // namespace
+}  // namespace star::text

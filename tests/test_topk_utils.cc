@@ -1,0 +1,141 @@
+#include "core/topk_utils.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace star::core {
+namespace {
+
+TEST(TopKValues, SelectsLargestSorted) {
+  const std::vector<double> v = {3.0, 1.0, 4.0, 1.5, 9.0, 2.6};
+  const auto top = TopKValues(v, 3);
+  EXPECT_EQ(top, (std::vector<double>{9.0, 4.0, 3.0}));
+}
+
+TEST(TopKValues, KLargerThanInput) {
+  const auto top = TopKValues({2.0, 1.0}, 5);
+  EXPECT_EQ(top, (std::vector<double>{2.0, 1.0}));
+}
+
+TEST(TopKValues, KZero) { EXPECT_TRUE(TopKValues({1.0, 2.0}, 0).empty()); }
+
+TEST(TopKValues, Duplicates) {
+  const auto top = TopKValues({1.0, 1.0, 1.0, 0.5}, 2);
+  EXPECT_EQ(top, (std::vector<double>{1.0, 1.0}));
+}
+
+// Brute-force top-k sums picking one element per list.
+std::vector<double> BruteTopSums(const std::vector<std::vector<double>>& lists,
+                                 size_t k) {
+  std::vector<double> sums = {0.0};
+  for (const auto& list : lists) {
+    std::vector<double> next;
+    for (const double s : sums) {
+      for (const double x : list) next.push_back(s + x);
+    }
+    sums = std::move(next);
+  }
+  std::sort(sums.begin(), sums.end(), std::greater<double>());
+  if (sums.size() > k) sums.resize(k);
+  return sums;
+}
+
+std::vector<std::vector<ListEntry>> ToEntries(
+    const std::vector<std::vector<double>>& lists) {
+  std::vector<std::vector<ListEntry>> out(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    for (size_t j = 0; j < lists[i].size(); ++j) {
+      out[i].push_back({j, lists[i][j]});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> FromEntries(
+    const std::vector<std::vector<ListEntry>>& entries) {
+  std::vector<std::vector<double>> out(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (const auto& e : entries[i]) out[i].push_back(e.value);
+  }
+  return out;
+}
+
+TEST(PruneListsProp3, PaperExample5) {
+  // Lists L_B, L_C, L_D from Example 5 (maxima 0.9, 0.7, 0.8; to find the
+  // top-3 sums only the maxima plus two more numbers are needed).
+  std::vector<std::vector<double>> lists = {
+      {0.9, 0.7, 0.3, 0.2}, {0.7, 0.5, 0.2}, {0.8, 0.5, 0.1}};
+  auto entries = ToEntries(lists);
+  PruneListsProp3(entries, 3);
+  size_t total = 0;
+  for (const auto& l : entries) total += l.size();
+  // At most k + s - 1 = 5 entries survive.
+  EXPECT_LE(total, 5u);
+  // Pruning preserves the top-3 sums.
+  EXPECT_EQ(BruteTopSums(FromEntries(entries), 3), BruteTopSums(lists, 3));
+}
+
+TEST(PruneListsProp3, KeepsOnlyMaximaForK1) {
+  std::vector<std::vector<double>> lists = {{0.5, 0.9}, {0.1, 0.2, 0.3}};
+  auto entries = ToEntries(lists);
+  PruneListsProp3(entries, 1);
+  ASSERT_EQ(entries[0].size(), 1u);
+  ASSERT_EQ(entries[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0][0].value, 0.9);
+  EXPECT_DOUBLE_EQ(entries[1][0].value, 0.3);
+}
+
+TEST(PruneListsProp3, EmptyListsSurvive) {
+  std::vector<std::vector<ListEntry>> entries(3);
+  entries[0].push_back({0, 1.0});
+  PruneListsProp3(entries, 4);
+  EXPECT_EQ(entries[0].size(), 1u);
+  EXPECT_TRUE(entries[1].empty());
+  EXPECT_TRUE(entries[2].empty());
+}
+
+// Property: for random lists, pruning never changes the top-k sums.
+class Prop3Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop3Property, PreservesTopKSums) {
+  Rng rng(GetParam());
+  const size_t s = 2 + rng.Below(3);
+  const size_t k = 1 + rng.Below(6);
+  std::vector<std::vector<double>> lists(s);
+  for (auto& l : lists) {
+    const size_t len = 1 + rng.Below(8);
+    for (size_t j = 0; j < len; ++j) {
+      l.push_back(std::round(rng.NextDouble() * 100) / 100);
+    }
+  }
+  auto entries = ToEntries(lists);
+  PruneListsProp3(entries, k);
+  EXPECT_EQ(BruteTopSums(FromEntries(entries), k), BruteTopSums(lists, k))
+      << "s=" << s << " k=" << k;
+  // The size bound holds modulo ties at the cutoff.
+  size_t total = 0;
+  for (const auto& l : entries) total += l.size();
+  EXPECT_LE(total, 2 * (k + s));  // generous tie allowance
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop3Property, ::testing::Range(0, 40));
+
+TEST(PruneListsPerList, KeepsTopKPlusSMinus1PerList) {
+  std::vector<std::vector<double>> lists = {
+      {0.1, 0.9, 0.5, 0.7, 0.3, 0.2}, {0.6, 0.4, 0.8}};
+  auto entries = ToEntries(lists);
+  PruneListsPerList(entries, 2);  // keep = k + s - 1 = 3
+  EXPECT_EQ(entries[0].size(), 3u);
+  EXPECT_EQ(entries[1].size(), 3u);
+  std::vector<double> kept0 = FromEntries(entries)[0];
+  std::sort(kept0.begin(), kept0.end(), std::greater<double>());
+  EXPECT_EQ(kept0, (std::vector<double>{0.9, 0.7, 0.5}));
+}
+
+}  // namespace
+}  // namespace star::core

@@ -1,0 +1,63 @@
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "query/workload.h"
+#include "test_helpers.h"
+
+namespace star::core {
+namespace {
+
+using star::testing::SmallRandomGraph;
+using star::testing::TestConfig;
+
+TEST(TuningTest, FindsParametersWithinGrid) {
+  const auto g = SmallRandomGraph(2, 40, 100);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  StarOptions opts;
+  opts.match = TestConfig();
+  opts.decomposition.strategy = DecompositionStrategy::kSimDec;
+  StarFramework fw(g, ensemble, &index, opts);
+
+  query::WorkloadGenerator wg(g, 5);
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  const auto workload = wg.GraphWorkload(3, 4, 4, wo);
+
+  TuningOptions topts;
+  topts.alpha_grid = {0.3, 0.5, 0.7};
+  topts.lambda_grid = {0.5, 1.0};
+  topts.k = 5;
+  const auto result = TuneParameters(fw, workload, topts);
+
+  EXPECT_EQ(result.grid_depths.size(), 6u);
+  EXPECT_GE(result.alpha, 0.3);
+  EXPECT_LE(result.alpha, 0.7);
+  EXPECT_GE(result.lambda_tradeoff, 0.5);
+  EXPECT_LE(result.lambda_tradeoff, 1.0);
+  // The optimum equals the grid minimum.
+  size_t min_depth = result.grid_depths[0];
+  for (const size_t d : result.grid_depths) min_depth = std::min(min_depth, d);
+  EXPECT_EQ(result.total_depth, min_depth);
+  // The framework adopted the optimum.
+  EXPECT_DOUBLE_EQ(fw.options().alpha, result.alpha);
+  EXPECT_DOUBLE_EQ(fw.options().decomposition.lambda_tradeoff,
+                   result.lambda_tradeoff);
+}
+
+TEST(TuningTest, EmptyWorkloadIsSafe) {
+  const auto g = SmallRandomGraph(3, 30, 60);
+  text::SimilarityEnsemble ensemble;
+  StarOptions opts;
+  opts.match = TestConfig();
+  StarFramework fw(g, ensemble, nullptr, opts);
+  TuningOptions topts;
+  topts.alpha_grid = {0.5};
+  topts.lambda_grid = {1.0};
+  const auto result = TuneParameters(fw, {}, topts);
+  EXPECT_EQ(result.total_depth, 0u);
+}
+
+}  // namespace
+}  // namespace star::core

@@ -1,0 +1,151 @@
+#include "vertex/star_programs.h"
+#include "vertex/vertex_engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+#include "query/workload.h"
+#include "test_helpers.h"
+
+namespace star::vertex {
+namespace {
+
+using star::testing::MovieGraph;
+using star::testing::ScorerFixture;
+using star::testing::SmallRandomGraph;
+using star::testing::TestConfig;
+
+TEST(VertexEngineTest, MessagesFlowBetweenSupersteps) {
+  const auto g = MovieGraph();
+  // Count how many supersteps a token needs to cross a 2-hop distance.
+  std::vector<int> received_at(g.node_count(), -1);
+  VertexEngine<int> engine(
+      g, [&](VertexEngine<int>::Context& ctx, const std::vector<int>&) {
+        if (ctx.superstep() == 0) {
+          ctx.SendToNeighbors(1);
+          return;
+        }
+        if (received_at[ctx.vertex()] < 0) {
+          received_at[ctx.vertex()] = ctx.superstep();
+        }
+      });
+  engine.Activate(0);  // Brad Pitt
+  const auto stats = engine.Run(5);
+  EXPECT_GE(stats.supersteps, 2);
+  EXPECT_GT(stats.messages_delivered, 0u);
+  EXPECT_EQ(received_at[4], 1);   // Troy: direct neighbor
+  EXPECT_EQ(received_at[6], -1);  // Academy Award: 2 hops, never messaged
+}
+
+TEST(VertexEngineTest, QuiescenceEndsRun) {
+  const auto g = MovieGraph();
+  VertexEngine<int> engine(
+      g, [](VertexEngine<int>::Context&, const std::vector<int>&) {});
+  engine.Activate(0);
+  const auto stats = engine.Run(100);
+  EXPECT_LE(stats.supersteps, 1);
+  EXPECT_EQ(stats.compute_calls, 1u);
+}
+
+TEST(ConnectedComponentsVcTest, MatchesGraphStats) {
+  for (const int seed : {1, 2, 3}) {
+    const auto g = SmallRandomGraph(seed, 40, 60);
+    const auto labels = ConnectedComponentsVC(g);
+    std::map<graph::NodeId, size_t> sizes;
+    for (const auto l : labels) ++sizes[l];
+    const auto stats = graph::ComputeGraphStats(g);
+    EXPECT_EQ(sizes.size(), stats.connected_components) << "seed=" << seed;
+    size_t largest = 0;
+    for (const auto& [l, c] : sizes) largest = std::max(largest, c);
+    EXPECT_EQ(largest, stats.largest_component);
+    // Endpoints of every edge share a component.
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_EQ(labels[g.EdgeSrc(e)], labels[g.EdgeDst(e)]);
+    }
+  }
+}
+
+TEST(BfsDistancesVcTest, MatchesReferenceBfs) {
+  const auto g = SmallRandomGraph(7, 40, 80);
+  const graph::NodeId source = 3;
+  const int depth = 3;
+  const auto got = BfsDistancesVC(g, source, depth);
+  // Reference BFS.
+  std::unordered_map<graph::NodeId, int> expected;
+  expected.emplace(source, 0);
+  std::vector<graph::NodeId> frontier = {source};
+  for (int h = 1; h <= depth; ++h) {
+    std::vector<graph::NodeId> next;
+    for (const auto v : frontier) {
+      for (const auto& nb : g.Neighbors(v)) {
+        if (expected.emplace(nb.node, h).second) next.push_back(nb.node);
+      }
+    }
+    frontier = std::move(next);
+  }
+  EXPECT_EQ(got.size(), expected.size());
+  for (const auto& [v, dist] : expected) {
+    ASSERT_TRUE(got.count(v)) << "v=" << v;
+    EXPECT_EQ(got.at(v), dist) << "v=" << v;
+  }
+}
+
+TEST(BfsDistancesVcTest, DepthZero) {
+  const auto g = MovieGraph();
+  const auto got = BfsDistancesVC(g, 0, 0);
+  EXPECT_EQ(got.size(), 1u);
+  EXPECT_EQ(got.at(0), 0);
+}
+
+// The §V-B Remark made precise: the vertex-centric stard propagation
+// computes exactly the walk-semantics arrival values.
+class StardVertexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StardVertexProperty, MatchesPairEdgeScoreSemantics) {
+  const int seed = GetParam();
+  const auto g = SmallRandomGraph(seed, 26, 52);
+  query::WorkloadGenerator wg(g, seed * 3 + 1);
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  const auto q = wg.RandomStarQuery(2, wo);  // one edge, one leaf
+  const int d = 1 + seed % 3;
+  ScorerFixture fx(g, q, TestConfig(d));
+  const int query_edge = 0;
+  const int leaf = q.OtherEnd(0, q.StarPivot());
+
+  const auto arrivals = PropagateLeafScoresVC(*fx.scorer, query_edge, leaf);
+
+  // Reference: per node, per candidate source, base + PairEdgeScore.
+  const auto& candidates = fx.scorer->Candidates(leaf);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    // Top-2 distinct-source values.
+    std::vector<double> per_source;
+    for (const auto& c : candidates) {
+      const double fe = fx.scorer->PairEdgeScore(query_edge, v, c.node);
+      if (fe >= 0.0) per_source.push_back(c.score + fe);
+    }
+    std::sort(per_source.begin(), per_source.end(), std::greater<double>());
+    const auto it = arrivals.find(v);
+    if (per_source.empty()) {
+      if (it != arrivals.end()) {
+        EXPECT_LT(it->second.best_value, 0.0) << "v=" << v << " d=" << d;
+      }
+      continue;
+    }
+    ASSERT_TRUE(it != arrivals.end()) << "v=" << v << " d=" << d;
+    EXPECT_NEAR(it->second.best_value, per_source[0], 1e-9)
+        << "v=" << v << " seed=" << seed << " d=" << d;
+    if (per_source.size() >= 2) {
+      EXPECT_NEAR(it->second.second_value, per_source[1], 1e-9)
+          << "v=" << v << " seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StardVertexProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace star::vertex

@@ -1,0 +1,85 @@
+#include "text/weight_learning.h"
+
+#include <gtest/gtest.h>
+
+namespace star::text {
+namespace {
+
+std::vector<std::string> Vocabulary() {
+  return {"Brad Pitt",       "Richard Linklater", "Academy Award",
+          "Golden Globe",    "Los Angeles",       "United States",
+          "Sophie Marceau",  "Boyhood",           "Troy",
+          "Motion Picture",  "Quentin Tarantino", "New York City",
+          "Kurosawa Akira",  "Blade Runner",      "Pulp Fiction",
+          "Leonard Cohen",   "Johnny Cash",       "Nina Simone"};
+}
+
+TEST(PerturbLabelTest, DeterministicAndNonEmpty) {
+  Rng rng1(7), rng2(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = PerturbLabel("Brad Pitt", rng1);
+    const auto b = PerturbLabel("Brad Pitt", rng2);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+  }
+}
+
+TEST(GenerateTrainingPairsTest, BalancedAndDeterministic) {
+  Rng rng(11);
+  const auto pairs = GenerateTrainingPairs(Vocabulary(), 50, rng);
+  EXPECT_EQ(pairs.size(), 100u);
+  size_t positives = 0;
+  for (const auto& p : pairs) positives += p.is_match;
+  EXPECT_GE(positives, 50u);  // perturbation pairs are all positive
+  Rng rng2(11);
+  const auto again = GenerateTrainingPairs(Vocabulary(), 50, rng2);
+  EXPECT_EQ(again.size(), pairs.size());
+  EXPECT_EQ(again[0].query_label, pairs[0].query_label);
+}
+
+TEST(WeightLearnerTest, LearnsToSeparate) {
+  SimilarityEnsemble ensemble;
+  Rng rng(3);
+  const auto pairs = GenerateTrainingPairs(Vocabulary(), 150, rng);
+  WeightLearner learner;
+  const double accuracy = learner.FitAndInstall(ensemble, pairs);
+  // Perturbation positives vs random negatives are easy: expect high
+  // training accuracy and normalized weights.
+  EXPECT_GT(accuracy, 0.85);
+  double sum = 0.0;
+  for (const double w : ensemble.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(WeightLearnerTest, LearnedWeightsRankMatchesHigher) {
+  SimilarityEnsemble ensemble;
+  Rng rng(5);
+  const auto pairs = GenerateTrainingPairs(Vocabulary(), 150, rng);
+  WeightLearner learner;
+  learner.FitAndInstall(ensemble, pairs);
+  // Average score of positives should clearly exceed negatives.
+  double pos = 0.0, neg = 0.0;
+  size_t npos = 0, nneg = 0;
+  for (const auto& p : pairs) {
+    const double s = ensemble.Score(p.query_label, p.data_label);
+    if (p.is_match) {
+      pos += s;
+      ++npos;
+    } else {
+      neg += s;
+      ++nneg;
+    }
+  }
+  ASSERT_GT(npos, 0u);
+  ASSERT_GT(nneg, 0u);
+  EXPECT_GT(pos / npos, neg / nneg + 0.2);
+}
+
+TEST(WeightLearnerTest, EmptyTrainingSetIsSafe) {
+  SimilarityEnsemble ensemble;
+  WeightLearner learner;
+  EXPECT_DOUBLE_EQ(learner.FitAndInstall(ensemble, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace star::text

@@ -1,0 +1,140 @@
+#include "query/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "test_helpers.h"
+
+namespace star::query {
+namespace {
+
+using star::testing::SmallRandomGraph;
+
+TEST(WorkloadGeneratorTest, StarQueriesAreStars) {
+  const auto g = SmallRandomGraph(1, 60, 150);
+  WorkloadGenerator wg(g, 42);
+  WorkloadOptions wo;
+  for (int i = 0; i < 20; ++i) {
+    const auto q = wg.RandomStarQuery(2 + i % 4, wo);
+    EXPECT_TRUE(q.IsStar()) << q.ToString();
+    EXPECT_TRUE(q.IsConnected());
+    EXPECT_GE(q.node_count(), 2);
+  }
+}
+
+TEST(WorkloadGeneratorTest, PivotIsConcrete) {
+  const auto g = SmallRandomGraph(2, 60, 150);
+  WorkloadGenerator wg(g, 7);
+  WorkloadOptions wo;
+  wo.variable_fraction = 0.5;
+  for (int i = 0; i < 20; ++i) {
+    const auto q = wg.RandomStarQuery(4, wo);
+    EXPECT_FALSE(q.node(0).wildcard);  // anchored template
+  }
+}
+
+TEST(WorkloadGeneratorTest, VariableFractionZeroMeansNoWildcards) {
+  const auto g = SmallRandomGraph(3, 60, 150);
+  WorkloadGenerator wg(g, 9);
+  WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const auto q = wg.RandomStarQuery(4, wo);
+    for (const auto& n : q.nodes()) EXPECT_FALSE(n.wildcard);
+  }
+}
+
+TEST(WorkloadGeneratorTest, VariableFractionClampedAtHalf) {
+  const auto g = SmallRandomGraph(4, 60, 150);
+  WorkloadGenerator wg(g, 11);
+  WorkloadOptions wo;
+  wo.variable_fraction = 0.9;  // clamped to 0.5 per DBPSB templates
+  size_t wildcards = 0, nodes = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto q = wg.RandomStarQuery(5, wo);
+    for (const auto& n : q.nodes()) {
+      ++nodes;
+      wildcards += n.wildcard;
+    }
+  }
+  EXPECT_LT(static_cast<double>(wildcards) / nodes, 0.55);
+}
+
+TEST(WorkloadGeneratorTest, PathQueriesArePaths) {
+  const auto g = SmallRandomGraph(5, 60, 150);
+  WorkloadGenerator wg(g, 13);
+  for (int i = 0; i < 10; ++i) {
+    const auto q = wg.RandomPathQuery(4, {});
+    EXPECT_TRUE(q.IsConnected());
+    EXPECT_EQ(q.edge_count(), q.node_count() - 1);
+    for (int u = 0; u < q.node_count(); ++u) EXPECT_LE(q.Degree(u), 2);
+  }
+}
+
+TEST(WorkloadGeneratorTest, GraphQueriesConnectedWithCycles) {
+  const auto g = SmallRandomGraph(6, 80, 240);
+  WorkloadGenerator wg(g, 17);
+  WorkloadOptions wo;
+  for (int i = 0; i < 10; ++i) {
+    const auto q = wg.RandomGraphQuery(5, 6, wo);
+    EXPECT_TRUE(q.IsConnected()) << q.ToString();
+    EXPECT_GE(q.edge_count(), q.node_count() - 1);
+    EXPECT_LE(q.edge_count(), 6);
+  }
+}
+
+TEST(WorkloadGeneratorTest, SampledQueriesHaveAMatch) {
+  // Queries sampled with no noise and no wildcards must have at least one
+  // perfect match in the graph (the sampled subgraph itself).
+  const auto g = SmallRandomGraph(7, 40, 100);
+  WorkloadGenerator wg(g, 19);
+  WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  wo.label_noise = 0.0;
+  wo.keep_type = 0.0;
+  const auto q = wg.RandomStarQuery(3, wo);
+  star::testing::ScorerFixture fx(g, q, star::testing::TestConfig());
+  for (int u = 0; u < q.node_count(); ++u) {
+    EXPECT_FALSE(fx.scorer->Candidates(u).empty()) << "u=" << u;
+  }
+}
+
+TEST(WorkloadGeneratorTest, PartialLabelsKeepOneToken) {
+  const auto g = SmallRandomGraph(10, 60, 150);
+  WorkloadGenerator wg(g, 21);
+  WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  wo.label_noise = 0.0;
+  wo.partial_label = 1.0;
+  size_t single_token = 0, total = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto q = wg.RandomStarQuery(3, wo);
+    for (const auto& n : q.nodes()) {
+      ++total;
+      single_token += SplitTokens(n.label).size() == 1;
+    }
+  }
+  // Generated labels have >= 2 tokens, so partial_label = 1 forces single
+  // tokens everywhere.
+  EXPECT_EQ(single_token, total);
+}
+
+TEST(WorkloadGeneratorTest, DeterministicWorkloads) {
+  const auto g = SmallRandomGraph(8, 60, 150);
+  WorkloadGenerator wg1(g, 99), wg2(g, 99);
+  const auto w1 = wg1.StarWorkload(5, 3, 5, {});
+  const auto w2 = wg2.StarWorkload(5, 3, 5, {});
+  ASSERT_EQ(w1.size(), w2.size());
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1[i].ToString(), w2[i].ToString());
+  }
+}
+
+TEST(WorkloadGeneratorTest, GraphWorkloadCount) {
+  const auto g = SmallRandomGraph(9, 60, 180);
+  WorkloadGenerator wg(g, 3);
+  EXPECT_EQ(wg.GraphWorkload(7, 4, 5, {}).size(), 7u);
+}
+
+}  // namespace
+}  // namespace star::query
