@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_join_k.cc" "bench/CMakeFiles/bench_fig14_join_k.dir/bench_fig14_join_k.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_join_k.dir/bench_fig14_join_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/star_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/star_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/scoring/CMakeFiles/star_scoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/star_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/star_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/star_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/star_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

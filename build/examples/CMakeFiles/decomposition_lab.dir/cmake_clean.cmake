@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposition_lab.dir/decomposition_lab.cpp.o"
+  "CMakeFiles/decomposition_lab.dir/decomposition_lab.cpp.o.d"
+  "decomposition_lab"
+  "decomposition_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_explorer.dir/kg_explorer.cpp.o"
+  "CMakeFiles/kg_explorer.dir/kg_explorer.cpp.o.d"
+  "kg_explorer"
+  "kg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

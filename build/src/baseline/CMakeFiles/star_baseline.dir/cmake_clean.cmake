@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_baseline.dir/belief_propagation.cc.o"
+  "CMakeFiles/star_baseline.dir/belief_propagation.cc.o.d"
+  "CMakeFiles/star_baseline.dir/brute_force.cc.o"
+  "CMakeFiles/star_baseline.dir/brute_force.cc.o.d"
+  "CMakeFiles/star_baseline.dir/graph_ta.cc.o"
+  "CMakeFiles/star_baseline.dir/graph_ta.cc.o.d"
+  "libstar_baseline.a"
+  "libstar_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_common.dir/string_util.cc.o"
+  "CMakeFiles/star_common.dir/string_util.cc.o.d"
+  "libstar_common.a"
+  "libstar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decomposition.cc" "src/core/CMakeFiles/star_core.dir/decomposition.cc.o" "gcc" "src/core/CMakeFiles/star_core.dir/decomposition.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/star_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/star_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/star_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/star_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/pivot_enumerator.cc" "src/core/CMakeFiles/star_core.dir/pivot_enumerator.cc.o" "gcc" "src/core/CMakeFiles/star_core.dir/pivot_enumerator.cc.o.d"
+  "/root/repo/src/core/rank_join.cc" "src/core/CMakeFiles/star_core.dir/rank_join.cc.o" "gcc" "src/core/CMakeFiles/star_core.dir/rank_join.cc.o.d"
+  "/root/repo/src/core/star_search.cc" "src/core/CMakeFiles/star_core.dir/star_search.cc.o" "gcc" "src/core/CMakeFiles/star_core.dir/star_search.cc.o.d"
+  "/root/repo/src/core/topk_utils.cc" "src/core/CMakeFiles/star_core.dir/topk_utils.cc.o" "gcc" "src/core/CMakeFiles/star_core.dir/topk_utils.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/core/CMakeFiles/star_core.dir/tuning.cc.o" "gcc" "src/core/CMakeFiles/star_core.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/star_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/star_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/star_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/star_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/scoring/CMakeFiles/star_scoring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_core.dir/decomposition.cc.o"
+  "CMakeFiles/star_core.dir/decomposition.cc.o.d"
+  "CMakeFiles/star_core.dir/explain.cc.o"
+  "CMakeFiles/star_core.dir/explain.cc.o.d"
+  "CMakeFiles/star_core.dir/framework.cc.o"
+  "CMakeFiles/star_core.dir/framework.cc.o.d"
+  "CMakeFiles/star_core.dir/pivot_enumerator.cc.o"
+  "CMakeFiles/star_core.dir/pivot_enumerator.cc.o.d"
+  "CMakeFiles/star_core.dir/rank_join.cc.o"
+  "CMakeFiles/star_core.dir/rank_join.cc.o.d"
+  "CMakeFiles/star_core.dir/star_search.cc.o"
+  "CMakeFiles/star_core.dir/star_search.cc.o.d"
+  "CMakeFiles/star_core.dir/topk_utils.cc.o"
+  "CMakeFiles/star_core.dir/topk_utils.cc.o.d"
+  "CMakeFiles/star_core.dir/tuning.cc.o"
+  "CMakeFiles/star_core.dir/tuning.cc.o.d"
+  "libstar_core.a"
+  "libstar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

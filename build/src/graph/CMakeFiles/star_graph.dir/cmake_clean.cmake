@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_graph.dir/graph_generator.cc.o"
+  "CMakeFiles/star_graph.dir/graph_generator.cc.o.d"
+  "CMakeFiles/star_graph.dir/graph_io.cc.o"
+  "CMakeFiles/star_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/star_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/star_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/star_graph.dir/knowledge_graph.cc.o"
+  "CMakeFiles/star_graph.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/star_graph.dir/label_index.cc.o"
+  "CMakeFiles/star_graph.dir/label_index.cc.o.d"
+  "libstar_graph.a"
+  "libstar_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/query_graph.cc" "src/query/CMakeFiles/star_query.dir/query_graph.cc.o" "gcc" "src/query/CMakeFiles/star_query.dir/query_graph.cc.o.d"
+  "/root/repo/src/query/query_parser.cc" "src/query/CMakeFiles/star_query.dir/query_parser.cc.o" "gcc" "src/query/CMakeFiles/star_query.dir/query_parser.cc.o.d"
+  "/root/repo/src/query/query_template.cc" "src/query/CMakeFiles/star_query.dir/query_template.cc.o" "gcc" "src/query/CMakeFiles/star_query.dir/query_template.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/query/CMakeFiles/star_query.dir/workload.cc.o" "gcc" "src/query/CMakeFiles/star_query.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/star_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/star_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/star_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

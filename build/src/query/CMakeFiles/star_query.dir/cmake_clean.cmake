@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_query.dir/query_graph.cc.o"
+  "CMakeFiles/star_query.dir/query_graph.cc.o.d"
+  "CMakeFiles/star_query.dir/query_parser.cc.o"
+  "CMakeFiles/star_query.dir/query_parser.cc.o.d"
+  "CMakeFiles/star_query.dir/query_template.cc.o"
+  "CMakeFiles/star_query.dir/query_template.cc.o.d"
+  "CMakeFiles/star_query.dir/workload.cc.o"
+  "CMakeFiles/star_query.dir/workload.cc.o.d"
+  "libstar_query.a"
+  "libstar_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

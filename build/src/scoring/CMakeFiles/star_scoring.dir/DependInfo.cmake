@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scoring/query_scorer.cc" "src/scoring/CMakeFiles/star_scoring.dir/query_scorer.cc.o" "gcc" "src/scoring/CMakeFiles/star_scoring.dir/query_scorer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/star_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/star_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/star_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/star_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_scoring.dir/query_scorer.cc.o"
+  "CMakeFiles/star_scoring.dir/query_scorer.cc.o.d"
+  "libstar_scoring.a"
+  "libstar_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstar_scoring.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/ensemble.cc" "src/text/CMakeFiles/star_text.dir/ensemble.cc.o" "gcc" "src/text/CMakeFiles/star_text.dir/ensemble.cc.o.d"
+  "/root/repo/src/text/phonetic.cc" "src/text/CMakeFiles/star_text.dir/phonetic.cc.o" "gcc" "src/text/CMakeFiles/star_text.dir/phonetic.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/text/CMakeFiles/star_text.dir/similarity.cc.o" "gcc" "src/text/CMakeFiles/star_text.dir/similarity.cc.o.d"
+  "/root/repo/src/text/synonym_dictionary.cc" "src/text/CMakeFiles/star_text.dir/synonym_dictionary.cc.o" "gcc" "src/text/CMakeFiles/star_text.dir/synonym_dictionary.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/star_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/star_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/type_ontology.cc" "src/text/CMakeFiles/star_text.dir/type_ontology.cc.o" "gcc" "src/text/CMakeFiles/star_text.dir/type_ontology.cc.o.d"
+  "/root/repo/src/text/weight_learning.cc" "src/text/CMakeFiles/star_text.dir/weight_learning.cc.o" "gcc" "src/text/CMakeFiles/star_text.dir/weight_learning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/star_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

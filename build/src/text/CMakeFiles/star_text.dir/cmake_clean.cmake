@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_text.dir/ensemble.cc.o"
+  "CMakeFiles/star_text.dir/ensemble.cc.o.d"
+  "CMakeFiles/star_text.dir/phonetic.cc.o"
+  "CMakeFiles/star_text.dir/phonetic.cc.o.d"
+  "CMakeFiles/star_text.dir/similarity.cc.o"
+  "CMakeFiles/star_text.dir/similarity.cc.o.d"
+  "CMakeFiles/star_text.dir/synonym_dictionary.cc.o"
+  "CMakeFiles/star_text.dir/synonym_dictionary.cc.o.d"
+  "CMakeFiles/star_text.dir/tfidf.cc.o"
+  "CMakeFiles/star_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/star_text.dir/type_ontology.cc.o"
+  "CMakeFiles/star_text.dir/type_ontology.cc.o.d"
+  "CMakeFiles/star_text.dir/weight_learning.cc.o"
+  "CMakeFiles/star_text.dir/weight_learning.cc.o.d"
+  "libstar_text.a"
+  "libstar_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_vertex.dir/star_programs.cc.o"
+  "CMakeFiles/star_vertex.dir/star_programs.cc.o.d"
+  "libstar_vertex.a"
+  "libstar_vertex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_vertex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_belief_propagation.cc" "tests/CMakeFiles/star_tests.dir/test_belief_propagation.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_belief_propagation.cc.o.d"
+  "/root/repo/tests/test_decomposition.cc" "tests/CMakeFiles/star_tests.dir/test_decomposition.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_decomposition.cc.o.d"
+  "/root/repo/tests/test_ensemble.cc" "tests/CMakeFiles/star_tests.dir/test_ensemble.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_ensemble.cc.o.d"
+  "/root/repo/tests/test_explain.cc" "tests/CMakeFiles/star_tests.dir/test_explain.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_explain.cc.o.d"
+  "/root/repo/tests/test_framework.cc" "tests/CMakeFiles/star_tests.dir/test_framework.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_framework.cc.o.d"
+  "/root/repo/tests/test_graph_generator.cc" "tests/CMakeFiles/star_tests.dir/test_graph_generator.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_graph_generator.cc.o.d"
+  "/root/repo/tests/test_graph_io.cc" "tests/CMakeFiles/star_tests.dir/test_graph_io.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_graph_io.cc.o.d"
+  "/root/repo/tests/test_graph_stats.cc" "tests/CMakeFiles/star_tests.dir/test_graph_stats.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_graph_stats.cc.o.d"
+  "/root/repo/tests/test_graph_ta.cc" "tests/CMakeFiles/star_tests.dir/test_graph_ta.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_graph_ta.cc.o.d"
+  "/root/repo/tests/test_knowledge_graph.cc" "tests/CMakeFiles/star_tests.dir/test_knowledge_graph.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_knowledge_graph.cc.o.d"
+  "/root/repo/tests/test_label_index.cc" "tests/CMakeFiles/star_tests.dir/test_label_index.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_label_index.cc.o.d"
+  "/root/repo/tests/test_match_semantics.cc" "tests/CMakeFiles/star_tests.dir/test_match_semantics.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_match_semantics.cc.o.d"
+  "/root/repo/tests/test_ontology.cc" "tests/CMakeFiles/star_tests.dir/test_ontology.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_ontology.cc.o.d"
+  "/root/repo/tests/test_phonetic.cc" "tests/CMakeFiles/star_tests.dir/test_phonetic.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_phonetic.cc.o.d"
+  "/root/repo/tests/test_pivot_enumerator.cc" "tests/CMakeFiles/star_tests.dir/test_pivot_enumerator.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_pivot_enumerator.cc.o.d"
+  "/root/repo/tests/test_query_graph.cc" "tests/CMakeFiles/star_tests.dir/test_query_graph.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_query_graph.cc.o.d"
+  "/root/repo/tests/test_query_parser.cc" "tests/CMakeFiles/star_tests.dir/test_query_parser.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_query_parser.cc.o.d"
+  "/root/repo/tests/test_query_scorer.cc" "tests/CMakeFiles/star_tests.dir/test_query_scorer.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_query_scorer.cc.o.d"
+  "/root/repo/tests/test_query_template.cc" "tests/CMakeFiles/star_tests.dir/test_query_template.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_query_template.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/star_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_rank_join.cc" "tests/CMakeFiles/star_tests.dir/test_rank_join.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_rank_join.cc.o.d"
+  "/root/repo/tests/test_similarity.cc" "tests/CMakeFiles/star_tests.dir/test_similarity.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_similarity.cc.o.d"
+  "/root/repo/tests/test_star_search.cc" "tests/CMakeFiles/star_tests.dir/test_star_search.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_star_search.cc.o.d"
+  "/root/repo/tests/test_status.cc" "tests/CMakeFiles/star_tests.dir/test_status.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_status.cc.o.d"
+  "/root/repo/tests/test_string_util.cc" "tests/CMakeFiles/star_tests.dir/test_string_util.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_string_util.cc.o.d"
+  "/root/repo/tests/test_synonym.cc" "tests/CMakeFiles/star_tests.dir/test_synonym.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_synonym.cc.o.d"
+  "/root/repo/tests/test_tfidf.cc" "tests/CMakeFiles/star_tests.dir/test_tfidf.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_tfidf.cc.o.d"
+  "/root/repo/tests/test_topk_utils.cc" "tests/CMakeFiles/star_tests.dir/test_topk_utils.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_topk_utils.cc.o.d"
+  "/root/repo/tests/test_tuning.cc" "tests/CMakeFiles/star_tests.dir/test_tuning.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_tuning.cc.o.d"
+  "/root/repo/tests/test_vertex_engine.cc" "tests/CMakeFiles/star_tests.dir/test_vertex_engine.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_vertex_engine.cc.o.d"
+  "/root/repo/tests/test_weight_learning.cc" "tests/CMakeFiles/star_tests.dir/test_weight_learning.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_weight_learning.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/star_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/star_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/star_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/star_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vertex/CMakeFiles/star_vertex.dir/DependInfo.cmake"
+  "/root/repo/build/src/scoring/CMakeFiles/star_scoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/star_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/star_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/star_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/star_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
