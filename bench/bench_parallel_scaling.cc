@@ -1,0 +1,219 @@
+// Parallel-engine scaling: stark, stard and brute force at 1/2/4/8 worker
+// threads on the DBpediaLike preset, with a built-in equivalence check —
+// every thread count must reproduce the serial top-k bit-for-bit (same
+// matches, same scores, same order).
+//
+// Wall time covers the full per-query pipeline (fresh QueryScorer, so
+// online candidate scoring is included — the dominant cost the parallel
+// engine targets). "cpu/wall" is the initialization-phase CPU-to-wall
+// ratio, i.e. how many cores the engine kept busy.
+//
+// Environment overrides (also see bench_util.h):
+//   STAR_BENCH_NODES    dataset size (default 20000)
+//   STAR_BENCH_QUERIES  star queries per engine (default 6)
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/brute_force.h"
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/star_search.h"
+
+namespace star::bench {
+namespace {
+
+constexpr size_t kTopK = 20;
+const int kThreadCounts[] = {1, 2, 4, 8};
+
+struct EngineRow {
+  const char* engine;
+  int threads;
+  double wall_ms;
+  double cpu_over_wall;
+  bool identical;
+};
+
+bool SameStarMatches(const std::vector<core::StarMatch>& a,
+                     const std::vector<core::StarMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].pivot != b[i].pivot || a[i].leaves != b[i].leaves ||
+        a[i].score != b[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameGraphMatches(const std::vector<core::GraphMatch>& a,
+                      const std::vector<core::GraphMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].mapping != b[i].mapping || a[i].score != b[i].score) return false;
+  }
+  return true;
+}
+
+/// One engine pass over all queries at one thread count.
+struct PassResult {
+  double wall_ms = 0.0;
+  double init_wall_ms = 0.0;
+  double init_cpu_ms = 0.0;
+  std::vector<std::vector<core::StarMatch>> star_results;
+  std::vector<std::vector<core::GraphMatch>> graph_results;
+};
+
+PassResult RunStarEngine(const Dataset& d, core::StarStrategy strategy,
+                         const std::vector<query::QueryGraph>& queries,
+                         int threads) {
+  PassResult r;
+  auto match = BenchConfig(/*d=*/2);
+  match.threads = threads;
+  for (const auto& q : queries) {
+    WallTimer timer;
+    scoring::QueryScorer scorer(d.graph, q, *d.ensemble, match,
+                                d.index.get());
+    core::StarSearch::Options so;
+    so.strategy = strategy;
+    so.k_hint = kTopK;
+    core::StarSearch search(scorer, core::MakeStarQuery(q), so);
+    r.star_results.push_back(search.TopK(kTopK));
+    r.wall_ms += timer.ElapsedMillis();
+    r.init_wall_ms += search.stats().init_wall_ms;
+    r.init_cpu_ms += search.stats().init_cpu_ms;
+  }
+  return r;
+}
+
+PassResult RunBruteForce(const Dataset& d,
+                         const std::vector<query::QueryGraph>& queries,
+                         int threads) {
+  PassResult r;
+  auto match = BenchConfig(/*d=*/2);
+  match.threads = threads;
+  // No index: the paper's O(|V|) scan base case — candidate scoring is
+  // the whole cost, and a tight cutoff keeps the enumeration bounded.
+  match.max_candidates = 24;
+  for (const auto& q : queries) {
+    WallTimer timer;
+    const CpuTimer cpu;
+    scoring::QueryScorer scorer(d.graph, q, *d.ensemble, match,
+                                /*index=*/nullptr);
+    r.graph_results.push_back(baseline::BruteForceTopK(scorer, kTopK));
+    r.wall_ms += timer.ElapsedMillis();
+    r.init_cpu_ms += cpu.ElapsedMillis();
+    r.init_wall_ms += timer.ElapsedMillis();
+  }
+  return r;
+}
+
+void PrintRows(const std::vector<EngineRow>& rows) {
+  std::printf("%-12s %8s %12s %9s %9s %10s\n", "engine", "threads", "wall ms",
+              "speedup", "cpu/wall", "identical");
+  PrintRule();
+  double base = 0.0;
+  for (const EngineRow& row : rows) {
+    if (row.threads == 1) base = row.wall_ms;
+    std::printf("%-12s %8d %12.1f %8.2fx %9.2f %10s\n", row.engine,
+                row.threads, row.wall_ms, base > 0 ? base / row.wall_ms : 0.0,
+                row.cpu_over_wall, row.identical ? "yes" : "NO");
+  }
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace star::bench
+
+int main() {
+  using namespace star;
+  using namespace star::bench;
+
+  const size_t nodes = EnvSize("STAR_BENCH_NODES", 20000);
+  const size_t num_queries = EnvSize("STAR_BENCH_QUERIES", 6);
+  const Dataset d = MakeDataset(graph::DBpediaLike(nodes));
+
+  query::WorkloadGenerator wg(d.graph, /*seed=*/71);
+  std::vector<query::QueryGraph> star_queries;
+  std::vector<query::QueryGraph> small_queries;  // brute force
+  for (size_t i = 0; i < num_queries; ++i) {
+    star_queries.push_back(wg.RandomStarQuery(4, BenchWorkloadOptions()));
+    small_queries.push_back(wg.RandomStarQuery(3, BenchWorkloadOptions()));
+  }
+
+  PrintTitle("Parallel scaling: " + d.name + ", " +
+             std::to_string(d.graph.node_count()) + " nodes, " +
+             std::to_string(num_queries) + " queries, k=" +
+             std::to_string(kTopK) +
+             " (hardware threads: " + std::to_string(StarThreads()) + ")");
+
+  std::vector<EngineRow> rows;
+  const auto engine_pass = [&](const char* name, auto runner, auto& baseline,
+                               const auto& same, int threads) {
+    const auto pass = runner(threads);
+    EngineRow row;
+    row.engine = name;
+    row.threads = threads;
+    row.wall_ms = pass.wall_ms;
+    row.cpu_over_wall =
+        pass.init_wall_ms > 0 ? pass.init_cpu_ms / pass.init_wall_ms : 1.0;
+    row.identical = threads == 1 || same(baseline, pass);
+    if (threads == 1) baseline = pass;
+    rows.push_back(row);
+  };
+
+  {
+    PassResult base;
+    for (const int t : kThreadCounts) {
+      engine_pass(
+          "stark", [&](int th) { return RunStarEngine(d, core::StarStrategy::kStark, star_queries, th); },
+          base,
+          [](const PassResult& a, const PassResult& b) {
+            for (size_t i = 0; i < a.star_results.size(); ++i) {
+              if (!SameStarMatches(a.star_results[i], b.star_results[i])) return false;
+            }
+            return true;
+          },
+          t);
+    }
+  }
+  {
+    PassResult base;
+    for (const int t : kThreadCounts) {
+      engine_pass(
+          "stard", [&](int th) { return RunStarEngine(d, core::StarStrategy::kStard, star_queries, th); },
+          base,
+          [](const PassResult& a, const PassResult& b) {
+            for (size_t i = 0; i < a.star_results.size(); ++i) {
+              if (!SameStarMatches(a.star_results[i], b.star_results[i])) return false;
+            }
+            return true;
+          },
+          t);
+    }
+  }
+  {
+    PassResult base;
+    for (const int t : kThreadCounts) {
+      engine_pass(
+          "bruteforce", [&](int th) { return RunBruteForce(d, small_queries, th); },
+          base,
+          [](const PassResult& a, const PassResult& b) {
+            for (size_t i = 0; i < a.graph_results.size(); ++i) {
+              if (!SameGraphMatches(a.graph_results[i], b.graph_results[i])) return false;
+            }
+            return true;
+          },
+          t);
+    }
+  }
+
+  PrintRows(rows);
+
+  bool all_identical = true;
+  for (const auto& row : rows) all_identical &= row.identical;
+  std::printf("determinism: %s\n",
+              all_identical ? "all thread counts byte-identical to serial"
+                            : "MISMATCH — parallel results diverge from serial");
+  return all_identical ? 0 : 1;
+}

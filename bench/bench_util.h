@@ -11,6 +11,10 @@
 // Environment overrides:
 //   STAR_BENCH_NODES    graph size (default per binary)
 //   STAR_BENCH_QUERIES  queries per workload (default per binary)
+//   STAR_THREADS        worker threads for the parallel engine when a
+//                       binary leaves MatchConfig::threads = 0 (auto);
+//                       bench_parallel_scaling sets threads explicitly
+//                       per pass instead (see DESIGN.md "Threading model")
 
 #include <cstdio>
 #include <cstdlib>

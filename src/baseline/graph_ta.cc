@@ -177,7 +177,9 @@ std::vector<GraphMatch> GraphTa::TopK(size_t k) {
   if (n == 0 || k == 0) return {};
   timer_.Restart();
 
-  // Sorted candidate list per query node (Fig. 2 lines 1-4).
+  // Sorted candidate list per query node (Fig. 2 lines 1-4). Each list's
+  // F_N scoring runs on the worker pool (MatchConfig::threads) inside
+  // Candidates(); everything after this loop is single-threaded.
   std::vector<const std::vector<scoring::ScoredCandidate>*> lists(n);
   for (int u = 0; u < n; ++u) lists[u] = &scorer_.Candidates(u);
 

@@ -1,0 +1,19 @@
+#include "common/timer.h"
+
+#include <ctime>
+
+namespace star {
+
+double CpuTimer::NowMillis() {
+#if defined(__unix__) || defined(__APPLE__)
+  // Per-process CPU clock: accumulates across every thread in the process.
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return 1000.0 * static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+}  // namespace star

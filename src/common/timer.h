@@ -29,6 +29,23 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Process CPU-time stopwatch: sums CPU consumed by *all* threads, so
+/// ElapsedMillis() / WallTimer::ElapsedMillis() approximates the number of
+/// cores a parallel section kept busy. Used by StarSearchStats to report
+/// parallel efficiency.
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+
+  void Restart() { start_ = NowMillis(); }
+
+  double ElapsedMillis() const { return NowMillis() - start_; }
+
+ private:
+  static double NowMillis();
+  double start_ = 0.0;
+};
+
 /// Accumulates samples and reports mean / stddev / percentiles.
 /// Used for per-query runtimes and per-star search depths (Fig. 14(d)).
 class StatAccumulator {

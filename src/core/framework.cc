@@ -112,12 +112,7 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
   for (StarMatchStream* s : stream_ptrs) {
     stats_.star_depths.push_back(s->depth());
     stats_.total_depth += s->depth();
-    const StarSearchStats& st = s->search().stats();
-    stats_.search.pivot_candidates += st.pivot_candidates;
-    stats_.search.enumerators_built += st.enumerators_built;
-    stats_.search.messages_sent += st.messages_sent;
-    stats_.search.nodes_expanded += st.nodes_expanded;
-    stats_.search.matches_emitted += st.matches_emitted;
+    stats_.search.Merge(s->search().stats());
   }
   return out;
 }

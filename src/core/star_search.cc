@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
 namespace star::core {
 
 using graph::KnowledgeGraph;
@@ -36,8 +39,8 @@ StarSearch::StarSearch(QueryScorer& scorer, StarQuery star, Options options)
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
-    NodeId pivot, double pivot_score) {
-  ++stats_.enumerators_built;
+    NodeId pivot, double pivot_score, StarSearchStats& stats) {
+  ++stats.enumerators_built;
   const KnowledgeGraph& g = scorer_.graph();
   const scoring::MatchConfig& cfg = scorer_.config();
   const size_t s = star_.edges.size();
@@ -65,7 +68,7 @@ std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
 
   // h = 1: direct edges (relation similarity applies, per edge).
   // The per-leaf relation scores differ, so this loop is leaf-specific.
-  ++stats_.nodes_expanded;
+  ++stats.nodes_expanded;
   for (const Neighbor& nb : g.Neighbors(pivot)) {
     const NodeId w = nb.node;
     if (cfg.enforce_injective && w == pivot) continue;
@@ -96,7 +99,7 @@ std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
       if (decay < cfg.edge_threshold) break;
       std::unordered_set<NodeId> next;
       for (const NodeId x : layer) {
-        ++stats_.nodes_expanded;
+        ++stats.nodes_expanded;
         for (const Neighbor& nb : g.Neighbors(x)) next.insert(nb.node);
       }
       // Credit each node once, at its smallest walk length (max decay).
@@ -127,16 +130,49 @@ void StarSearch::InitializeStark() {
   stats_.pivot_candidates = candidates.size();
   reserve_.reserve(candidates.size());
   const double pivot_weight = NodeWeight(star_.pivot);
-  for (const ScoredCandidate& c : candidates) {
-    auto enumerator = BuildEnumerator(c.node, c.score * pivot_weight);
-    const auto top1 = enumerator->PeekScore();
-    if (!top1.has_value()) continue;
-    ReserveEntry entry;
-    entry.bound = *top1;
-    entry.pivot = c.node;
-    entry.pivot_score = c.score * pivot_weight;
-    entry.prebuilt = std::move(enumerator);
-    reserve_.push_back(std::move(entry));
+  const int threads = ResolveThreads(scorer_.config().threads);
+
+  if (threads > 1 && candidates.size() > 1) {
+    // Parallel path: the per-candidate d-hop traversals (the cost Exp-1
+    // measures) are independent, so after warming the scorer's memos every
+    // BuildEnumerator only performs concurrent const reads. Candidate
+    // order is preserved through the indexed output vector, so the reserve
+    // — and therefore every emitted match — is identical to serial.
+    scorer_.WarmStarCaches(star_.pivot, star_.edges, leaf_nodes_);
+    std::vector<std::unique_ptr<PivotEnumerator>> built(candidates.size());
+    std::vector<StarSearchStats> worker_stats(threads);
+    ParallelFor(candidates.size(), threads,
+                [&](size_t lo, size_t hi, int chunk) {
+                  for (size_t i = lo; i < hi; ++i) {
+                    built[i] = BuildEnumerator(candidates[i].node,
+                                               candidates[i].score * pivot_weight,
+                                               worker_stats[chunk]);
+                    built[i]->PeekScore();  // stage top-1 off the main thread
+                  }
+                });
+    for (const StarSearchStats& ws : worker_stats) stats_.Merge(ws);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const auto top1 = built[i]->PeekScore();
+      if (!top1.has_value()) continue;
+      ReserveEntry entry;
+      entry.bound = *top1;
+      entry.pivot = candidates[i].node;
+      entry.pivot_score = candidates[i].score * pivot_weight;
+      entry.prebuilt = std::move(built[i]);
+      reserve_.push_back(std::move(entry));
+    }
+  } else {
+    for (const ScoredCandidate& c : candidates) {
+      auto enumerator = BuildEnumerator(c.node, c.score * pivot_weight, stats_);
+      const auto top1 = enumerator->PeekScore();
+      if (!top1.has_value()) continue;
+      ReserveEntry entry;
+      entry.bound = *top1;
+      entry.pivot = c.node;
+      entry.pivot_score = c.score * pivot_weight;
+      entry.prebuilt = std::move(enumerator);
+      reserve_.push_back(std::move(entry));
+    }
   }
   std::sort(reserve_.begin(), reserve_.end(),
             [](const ReserveEntry& a, const ReserveEntry& b) {
@@ -269,72 +305,79 @@ void StarSearch::InitializeStard() {
   const size_t s = star_.edges.size();
   const int d = std::max(1, cfg.d);
   const double lambda = cfg.lambda;
+  const int threads = ResolveThreads(cfg.threads);
 
   std::vector<std::unordered_map<NodeId, ArrivalSlot>> arrivals(s);
-  std::vector<std::unordered_map<NodeId, ForwardSet>> forward(s);
 
-  struct FrontierEntry {
-    NodeId at;
-    Message msg;
-  };
-  std::vector<std::vector<FrontierEntry>> frontier(s);
-  std::vector<std::vector<std::pair<NodeId, double>>> overflow_frontier(s);
+  // Parallel contract: leaves propagate into disjoint state (arrivals[i]
+  // etc. are per-leaf), so the d rounds run leaf-parallel after the scorer
+  // is warmed; each leaf's message sequence — and thus its arrival slots —
+  // is exactly the serial one.
+  if (threads > 1) scorer_.WarmStarCaches(star_.pivot, star_.edges, leaf_nodes_);
 
-  // Round 1: each leaf candidate sends to its neighbors; the arrival value
-  // uses the direct edge's relation similarity.
-  for (size_t i = 0; i < s; ++i) {
+  // All d propagation rounds for one leaf (§V-B, Example 6).
+  const auto propagate = [&](size_t i, StarSearchStats& stats) {
     const int leaf = leaf_nodes_[i];
     const auto& leaf_node = scorer_.query().node(leaf);
     // Untyped wildcards would flood the graph with messages (every node is
     // a candidate); they use the closed-form bound below instead. Typed
     // wildcards have proper candidate lists and propagate normally.
-    if (leaf_node.wildcard && leaf_node.type_name.empty()) continue;
+    if (leaf_node.wildcard && leaf_node.type_name.empty()) return;
+
+    struct FrontierEntry {
+      NodeId at;
+      Message msg;
+    };
+    std::unordered_map<NodeId, ForwardSet> forward;
+    std::vector<FrontierEntry> frontier;
+    std::vector<std::pair<NodeId, double>> overflow_frontier;
+
+    // Round 1: each leaf candidate sends to its neighbors; the arrival
+    // value uses the direct edge's relation similarity.
     const double leaf_weight = NodeWeight(leaf);
     for (const ScoredCandidate& c : scorer_.Candidates(leaf)) {
       const double base = c.score * leaf_weight;
       const Message m{c.node, base, 1};
       for (const Neighbor& nb : g.Neighbors(c.node)) {
-        ++stats_.messages_sent;
+        ++stats.messages_sent;
         const double relsim = scorer_.RelationScore(star_.edges[i], nb.relation);
         if (relsim >= cfg.edge_threshold) {
           arrivals[i][nb.node].Offer(c.node, base + relsim);
         }
         if (d >= 2) {
           auto [kept, dropped] =
-              forward[i][nb.node].Insert(m, lambda, kForwardCap);
-          if (kept) frontier[i].push_back({nb.node, m});
+              forward[nb.node].Insert(m, lambda, kForwardCap);
+          if (kept) frontier.push_back({nb.node, m});
           if (dropped >= 0.0) {
-            overflow_frontier[i].emplace_back(nb.node, dropped);
+            overflow_frontier.emplace_back(nb.node, dropped);
           }
         }
       }
     }
-  }
 
-  // Rounds 2..d: forward one hop; arrival value is base + lambda^(h-1).
-  for (int h = 2; h <= d; ++h) {
-    const double decay = scorer_.PathDecay(h);
-    for (size_t i = 0; i < s; ++i) {
+    // Rounds 2..d: forward one hop; arrival value is base + lambda^(h-1).
+    for (int h = 2; h <= d; ++h) {
+      const double decay = scorer_.PathDecay(h);
       std::vector<FrontierEntry> next;
       std::vector<std::pair<NodeId, double>> next_overflow;
-      for (const FrontierEntry& fe : frontier[i]) {
+      for (const FrontierEntry& fe : frontier) {
         Message fwd = fe.msg;
         fwd.hops = h;
         for (const Neighbor& nb : g.Neighbors(fe.at)) {
-          ++stats_.messages_sent;
+          ++stats.messages_sent;
           if (decay >= cfg.edge_threshold) {
             arrivals[i][nb.node].Offer(fwd.source, fwd.base + decay);
           }
           if (h < d) {
             auto [kept, dropped] =
-                forward[i][nb.node].Insert(fwd, lambda, kForwardCap);
+                forward[nb.node].Insert(fwd, lambda, kForwardCap);
             if (kept) next.push_back({nb.node, fwd});
             if (dropped >= 0.0) next_overflow.emplace_back(nb.node, dropped);
           }
         }
       }
       // Overflow upper bounds spread undecayed to stay admissible.
-      for (const auto& [at, ub] : overflow_frontier[i]) {
+      for (const auto& [at, ub] : overflow_frontier) {
         ArrivalSlot& self = arrivals[i][at];
         self.overflow = std::max(self.overflow, ub);
         for (const Neighbor& nb : g.Neighbors(at)) {
@@ -345,55 +388,68 @@ void StarSearch::InitializeStard() {
           }
         }
       }
-      frontier[i] = std::move(next);
-      overflow_frontier[i] = std::move(next_overflow);
+      frontier = std::move(next);
+      overflow_frontier = std::move(next_overflow);
     }
-  }
-  // Any overflow still queued lands in its node's slot.
-  for (size_t i = 0; i < s; ++i) {
-    for (const auto& [at, ub] : overflow_frontier[i]) {
+    // Any overflow still queued lands in its node's slot.
+    for (const auto& [at, ub] : overflow_frontier) {
       ArrivalSlot& slot = arrivals[i][at];
       slot.overflow = std::max(slot.overflow, ub);
     }
+  };
+
+  {
+    std::vector<StarSearchStats> worker_stats(std::max(threads, 1));
+    ParallelFor(s, threads, [&](size_t lo, size_t hi, int chunk) {
+      for (size_t i = lo; i < hi; ++i) propagate(i, worker_stats[chunk]);
+    });
+    for (const StarSearchStats& ws : worker_stats) stats_.Merge(ws);
   }
 
-  // Estimate each pivot candidate's top-1 score from the arrival slots.
+  // Estimate each pivot candidate's top-1 score from the arrival slots
+  // (read-only now, so candidates partition across workers; the indexed
+  // output vector preserves candidate order for determinism).
   const auto& candidates = scorer_.Candidates(star_.pivot);
   stats_.pivot_candidates = candidates.size();
-  reserve_.reserve(candidates.size());
   const double pivot_weight = NodeWeight(star_.pivot);
-  for (const ScoredCandidate& c : candidates) {
-    double estimate = c.score * pivot_weight;
-    bool feasible = true;
-    for (size_t i = 0; i < s; ++i) {
-      const int leaf = leaf_nodes_[i];
-      const auto& leaf_node = scorer_.query().node(leaf);
-      double contribution = -1.0;
-      if (leaf_node.wildcard && leaf_node.type_name.empty()) {
-        if (g.Degree(c.node) > 0) {
-          contribution = cfg.wildcard_node_score * NodeWeight(leaf) +
-                         scorer_.MaxEdgeScore(star_.edges[i]);
+  std::vector<ReserveEntry> entries(candidates.size());
+  ParallelFor(candidates.size(), threads, [&](size_t lo, size_t hi, int) {
+    for (size_t idx = lo; idx < hi; ++idx) {
+      const ScoredCandidate& c = candidates[idx];
+      double estimate = c.score * pivot_weight;
+      bool feasible = true;
+      for (size_t i = 0; i < s; ++i) {
+        const int leaf = leaf_nodes_[i];
+        const auto& leaf_node = scorer_.query().node(leaf);
+        double contribution = -1.0;
+        if (leaf_node.wildcard && leaf_node.type_name.empty()) {
+          if (g.Degree(c.node) > 0) {
+            contribution = cfg.wildcard_node_score * NodeWeight(leaf) +
+                           scorer_.MaxEdgeScore(star_.edges[i]);
+          }
+        } else {
+          const auto it = arrivals[i].find(c.node);
+          if (it != arrivals[i].end()) {
+            contribution = cfg.enforce_injective
+                               ? it->second.BestExcluding(c.node)
+                               : it->second.BestAny();
+          }
         }
-      } else {
-        const auto it = arrivals[i].find(c.node);
-        if (it != arrivals[i].end()) {
-          contribution = cfg.enforce_injective
-                             ? it->second.BestExcluding(c.node)
-                             : it->second.BestAny();
+        if (contribution < 0.0) {
+          feasible = false;
+          break;
         }
+        estimate += contribution;
       }
-      if (contribution < 0.0) {
-        feasible = false;
-        break;
-      }
-      estimate += contribution;
+      if (!feasible) continue;  // entry stays invalid (pivot == kInvalidNode)
+      entries[idx].bound = estimate;
+      entries[idx].pivot = c.node;
+      entries[idx].pivot_score = c.score * pivot_weight;
     }
-    if (!feasible) continue;
-    ReserveEntry entry;
-    entry.bound = estimate;
-    entry.pivot = c.node;
-    entry.pivot_score = c.score * pivot_weight;
-    reserve_.push_back(std::move(entry));
+  });
+  reserve_.reserve(candidates.size());
+  for (ReserveEntry& e : entries) {
+    if (e.pivot != graph::kInvalidNode) reserve_.push_back(std::move(e));
   }
   std::sort(reserve_.begin(), reserve_.end(),
             [](const ReserveEntry& a, const ReserveEntry& b) {
@@ -456,18 +512,21 @@ void StarSearch::InitializeHybrid() {
 void StarSearch::Initialize() {
   if (initialized_) return;
   initialized_ = true;
+  const WallTimer wall;
+  const CpuTimer cpu;
   if (options_.strategy == StarStrategy::kHybrid) {
     InitializeHybrid();
-    return;
-  }
-  // §V-B: "when d = 1, stard degrades to stark, thus having the same
-  // runtime" — one round of message passing has nothing to amortize, so
-  // the eager path is used directly.
-  if (options_.strategy == StarStrategy::kStark || scorer_.config().d <= 1) {
+  } else if (options_.strategy == StarStrategy::kStark ||
+             scorer_.config().d <= 1) {
+    // §V-B: "when d = 1, stard degrades to stark, thus having the same
+    // runtime" — one round of message passing has nothing to amortize, so
+    // the eager path is used directly.
     InitializeStark();
   } else {
     InitializeStard();
   }
+  stats_.init_wall_ms = wall.ElapsedMillis();
+  stats_.init_cpu_ms = cpu.ElapsedMillis();
 }
 
 void StarSearch::ActivateReserve() {
@@ -478,7 +537,7 @@ void StarSearch::ActivateReserve() {
     std::unique_ptr<PivotEnumerator> enumerator =
         entry.prebuilt != nullptr
             ? std::move(entry.prebuilt)
-            : BuildEnumerator(entry.pivot, entry.pivot_score);
+            : BuildEnumerator(entry.pivot, entry.pivot_score, stats_);
     const auto score = enumerator->PeekScore();
     if (!score.has_value()) continue;
     active_.push_back(std::move(enumerator));

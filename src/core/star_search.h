@@ -41,6 +41,24 @@ struct StarSearchStats {
   size_t messages_sent = 0;
   size_t nodes_expanded = 0;
   size_t matches_emitted = 0;
+  /// Initialize() wall-clock time (the phase the parallel engine speeds
+  /// up: candidate scoring + stark enumeration / stard propagation).
+  double init_wall_ms = 0.0;
+  /// Initialize() process-CPU time summed over all worker threads;
+  /// init_cpu_ms / init_wall_ms approximates the cores kept busy.
+  double init_cpu_ms = 0.0;
+
+  /// Accumulates the countable counters (wall/CPU times are summed too,
+  /// so aggregate stats report totals across stars).
+  void Merge(const StarSearchStats& o) {
+    pivot_candidates += o.pivot_candidates;
+    enumerators_built += o.enumerators_built;
+    messages_sent += o.messages_sent;
+    nodes_expanded += o.nodes_expanded;
+    matches_emitted += o.matches_emitted;
+    init_wall_ms += o.init_wall_ms;
+    init_cpu_ms += o.init_cpu_ms;
+  }
 };
 
 /// Builds the StarQuery view of a whole star-shaped QueryGraph.
@@ -119,8 +137,12 @@ class StarSearch {
   /// Exact per-pivot leaf lists via a depth-(d-1) BFS around the pivot
   /// (each leaf candidate w gets max over incident edges (x,w,r) with
   /// dist(v,x) = delta of NodeScore + RelationScore(r) * lambda^delta).
+  /// Counters accumulate into `stats` — the parallel stark path passes a
+  /// per-worker scratch struct and merges after the join, so the scorer
+  /// must be warmed (WarmStarCaches) before concurrent calls.
   std::unique_ptr<PivotEnumerator> BuildEnumerator(graph::NodeId pivot,
-                                                   double pivot_score);
+                                                   double pivot_score,
+                                                   StarSearchStats& stats);
 
   scoring::QueryScorer& scorer_;
   query::StarQuery star_;

@@ -50,6 +50,13 @@ struct MatchConfig {
   /// Enforce one-to-one node mapping (§II's matching function). When
   /// false, leaf matches may collide (the paper's simplified exposition).
   bool enforce_injective = true;
+
+  /// Worker threads for the parallel execution paths (bulk F_N candidate
+  /// scoring, stark per-pivot enumeration, stard message propagation).
+  /// 0 = auto (the STAR_THREADS env var, else hardware concurrency);
+  /// 1 = fully serial. Results are bit-identical for every value — see
+  /// DESIGN.md "Threading model".
+  int threads = 0;
 };
 
 }  // namespace star::scoring

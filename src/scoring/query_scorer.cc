@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "common/thread_pool.h"
 
 namespace star::scoring {
 
@@ -24,7 +28,9 @@ QueryScorer::QueryScorer(const KnowledgeGraph& g, const QueryGraph& q,
       candidates_(q.node_count()),
       candidates_ready_(q.node_count(), false),
       max_relation_score_(q.edge_count(), 1.0),
-      max_relation_ready_(q.edge_count(), false) {
+      max_relation_ready_(q.edge_count(), false),
+      relation_table_(q.edge_count()),
+      relation_table_ready_(q.edge_count(), false) {
   // Resolve type names into the ensemble's ontology once.
   query_node_onto_type_.resize(q.node_count(), -1);
   for (int u = 0; u < q.node_count(); ++u) {
@@ -63,14 +69,54 @@ double QueryScorer::NodeScore(int query_node, NodeId v) const {
   auto& cache = node_cache_[query_node];
   const auto it = cache.find(v);
   if (it != cache.end()) return it->second;
-  const int32_t gt = graph_.NodeType(v);
-  const int onto_data = gt >= 0 ? graph_type_onto_type_[gt] : -1;
   ++node_evals_;
-  const double s = ensemble_.Score(qn.label, graph_.NodeLabel(v),
-                                   query_node_onto_type_[query_node],
-                                   onto_data);
+  const double s = ComputeNodeScore(query_node, v);
   cache.emplace(v, s);
   return s;
+}
+
+double QueryScorer::ComputeNodeScore(int query_node, NodeId v) const {
+  const int32_t gt = graph_.NodeType(v);
+  const int onto_data = gt >= 0 ? graph_type_onto_type_[gt] : -1;
+  return ensemble_.Score(query_.node(query_node).label, graph_.NodeLabel(v),
+                         query_node_onto_type_[query_node], onto_data);
+}
+
+std::vector<double> QueryScorer::ScoreNodesParallel(
+    int query_node, const std::vector<graph::NodeId>& nodes,
+    int threads) const {
+  std::vector<double> scores(nodes.size());
+  const query::QueryNode& qn = query_.node(query_node);
+  if (qn.wildcard) {
+    // Wildcard scoring is pure (type check / constant), so workers may use
+    // NodeScore directly — it never touches the memo for wildcards.
+    ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int) {
+      for (size_t i = lo; i < hi; ++i) {
+        scores[i] = NodeScore(query_node, nodes[i]);
+      }
+    });
+    return scores;
+  }
+  auto& cache = node_cache_[query_node];
+  std::vector<uint8_t> miss(nodes.size(), 0);
+  ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int) {
+    for (size_t i = lo; i < hi; ++i) {
+      // The memo is read-only during the parallel section.
+      const auto it = cache.find(nodes[i]);
+      if (it != cache.end()) {
+        scores[i] = it->second;
+        continue;
+      }
+      miss[i] = 1;
+      scores[i] = ComputeNodeScore(query_node, nodes[i]);
+    }
+  });
+  // Single-threaded merge: memoize exactly the entries the serial path
+  // would have cached (emplace keeps the first value on duplicates).
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (miss[i] && cache.emplace(nodes[i], scores[i]).second) ++node_evals_;
+  }
+  return scores;
 }
 
 const std::vector<ScoredCandidate>& QueryScorer::Candidates(
@@ -80,40 +126,56 @@ const std::vector<ScoredCandidate>& QueryScorer::Candidates(
   auto& out = candidates_[query_node];
   const query::QueryNode& qn = query_.node(query_node);
 
-  const auto consider = [&](NodeId v) {
-    const double s = NodeScore(query_node, v);
-    if (s >= config_.node_threshold) out.push_back({v, s});
-  };
-
+  // Retrieval: the node ids to score (index semantics unchanged).
+  std::vector<NodeId> pool;
+  bool full_scan = false;
   if (qn.wildcard) {
     // Wildcards match everything; typed wildcards restrict via the index
     // when available.
     const int32_t gt = graph_.FindTypeId(qn.type_name);
     if (!qn.type_name.empty() && index_ != nullptr && gt >= 0) {
-      for (const NodeId v : index_->CandidatesByType(gt)) consider(v);
+      pool = index_->CandidatesByType(gt);
     } else {
-      for (NodeId v = 0; v < graph_.node_count(); ++v) consider(v);
+      full_scan = true;
     }
   } else if (index_ != nullptr) {
     const int32_t gt =
         qn.type_name.empty() ? -1 : graph_.FindTypeId(qn.type_name);
-    const auto retrieved =
-        config_.max_retrieval > 0
-            ? index_->RankedCandidates(qn.label, gt, config_.max_retrieval)
-            : index_->Candidates(qn.label, gt);
-    for (const NodeId v : retrieved) consider(v);
+    pool = config_.max_retrieval > 0
+               ? index_->RankedCandidates(qn.label, gt, config_.max_retrieval)
+               : index_->Candidates(qn.label, gt);
   } else {
-    for (NodeId v = 0; v < graph_.node_count(); ++v) consider(v);
+    full_scan = true;
+  }
+  if (full_scan) {
+    pool.resize(graph_.node_count());
+    std::iota(pool.begin(), pool.end(), NodeId{0});
   }
 
-  std::sort(out.begin(), out.end(),
-            [](const ScoredCandidate& a, const ScoredCandidate& b) {
-              return a.score > b.score ||
-                     (a.score == b.score && a.node < b.node);
-            });
-  if (config_.max_candidates > 0 && out.size() > config_.max_candidates) {
-    out.resize(config_.max_candidates);
+  // Bulk F_N scoring — chunked across the pool (serial at threads = 1).
+  const std::vector<double> scores =
+      ScoreNodesParallel(query_node, pool, ResolveThreads(config_.threads));
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (scores[i] >= config_.node_threshold) out.push_back({pool[i], scores[i]});
   }
+
+  // (score desc, node asc) is a total order, so the result is identical
+  // for any scoring partition — and partial_sort may replace the full sort
+  // when max_candidates truncates (the no-index O(|V|) scan otherwise pays
+  // a full O(n log n) for entries it immediately drops).
+  const auto by_score_then_node = [](const ScoredCandidate& a,
+                                     const ScoredCandidate& b) {
+    return a.score > b.score || (a.score == b.score && a.node < b.node);
+  };
+  if (config_.max_candidates > 0 && out.size() > config_.max_candidates) {
+    std::partial_sort(out.begin(),
+                      out.begin() + static_cast<ptrdiff_t>(config_.max_candidates),
+                      out.end(), by_score_then_node);
+    out.resize(config_.max_candidates);
+  } else {
+    std::sort(out.begin(), out.end(), by_score_then_node);
+  }
+  out.shrink_to_fit();
   return out;
 }
 
@@ -141,6 +203,10 @@ double QueryScorer::CandidateScore(int query_node, graph::NodeId v) const {
 double QueryScorer::RelationScore(int query_edge, uint32_t relation) const {
   const query::QueryEdge& qe = query_.edge(query_edge);
   if (qe.wildcard_relation) return 1.0;
+  // Warmed edges answer from the dense table (pure lookup, thread-safe).
+  if (relation_table_ready_[query_edge]) {
+    return relation_table_[query_edge][relation];
+  }
   auto& cache = relation_cache_[query_edge];
   const auto it = cache.find(relation);
   if (it != cache.end()) return it->second;
@@ -148,6 +214,42 @@ double QueryScorer::RelationScore(int query_edge, uint32_t relation) const {
       ensemble_.Score(qe.relation, graph_.RelationName(relation));
   cache.emplace(relation, s);
   return s;
+}
+
+const std::vector<double>& QueryScorer::RelationScoresAll(
+    int query_edge) const {
+  auto& table = relation_table_[query_edge];
+  if (relation_table_ready_[query_edge]) return table;
+  const query::QueryEdge& qe = query_.edge(query_edge);
+  if (!qe.wildcard_relation) {
+    table.resize(graph_.relation_count());
+    const auto& cache = relation_cache_[query_edge];
+    for (uint32_t r = 0; r < graph_.relation_count(); ++r) {
+      const auto it = cache.find(r);
+      table[r] = it != cache.end()
+                     ? it->second
+                     : ensemble_.Score(qe.relation, graph_.RelationName(r));
+    }
+  }
+  relation_table_ready_[query_edge] = true;
+  return table;
+}
+
+void QueryScorer::WarmStarCaches(int pivot, const std::vector<int>& edges,
+                                 const std::vector<int>& leaves) const {
+  Candidates(pivot);
+  for (const int leaf : leaves) {
+    const query::QueryNode& qn = query_.node(leaf);
+    // Untyped wildcards never build candidate lists or maps — their
+    // CandidateScore short-circuits to a constant (same as serial).
+    if (qn.wildcard && qn.type_name.empty()) continue;
+    Candidates(leaf);
+    CandidateScore(leaf, graph::kInvalidNode);  // forces the score map
+  }
+  for (const int e : edges) {
+    RelationScoresAll(e);
+    MaxRelationScore(e);
+  }
 }
 
 double QueryScorer::EdgeScore(int query_edge, uint32_t direct_relation,

@@ -26,7 +26,30 @@ struct ScoredCandidate {
 /// All algorithms (stark, stard, starjoin, graphTA, BP, brute force) score
 /// through this class, so they optimize the identical objective.
 ///
-/// Not thread-safe (memoization caches are mutated on read).
+/// Concurrency contract
+/// --------------------
+/// The scorer is owned and driven by ONE thread; its memo caches are
+/// mutated on read, so arbitrary concurrent calls are NOT safe. Internal
+/// parallelism is instead provided through two mechanisms, both of which
+/// keep results bit-identical to serial execution:
+///
+///  1. Bulk scoring (ScoreNodesParallel, used by Candidates): worker
+///     threads compute F_N with the pure, cache-free path and only READ
+///     the node memo; the memo is then filled in one single-threaded
+///     merge step after the workers join. MatchConfig::threads picks the
+///     worker count (0 = auto via StarThreads(), 1 = serial).
+///
+///  2. Warmed read-only sections (WarmStarCaches): a caller precomputes
+///     every memo a star search touches (candidate lists, candidate-score
+///     maps, the dense per-edge relation table, max relation scores).
+///     Afterwards NodeScore-free accessors — CandidateScore,
+///     RelationScore, MaxRelationScore, MaxEdgeScore, EdgeScore,
+///     PathDecay, and the Candidates getters for warmed nodes — perform
+///     no mutation and are safe to call from multiple threads. This is
+///     how the parallel stark/stard initialization paths run.
+///
+/// NodeScore, WalkBall, FirstWalkLength and PairEdgeScore always mutate
+/// their memos and must stay on the owning thread.
 class QueryScorer {
  public:
   /// `index` may be null, in which case candidate retrieval scans all of V
@@ -53,9 +76,36 @@ class QueryScorer {
   /// wildcards short-circuit to the wildcard score (every node matches).
   double CandidateScore(int query_node, graph::NodeId v) const;
 
+  /// Bulk F_N scoring: scores of mapping `query_node` to every node in
+  /// `nodes`, index-aligned with the input. Scoring fans out across
+  /// `threads` workers (chunked over the input range); workers use the
+  /// pure compute path and the node memo is filled once, in a serial
+  /// merge step after they join, so the memo ends up exactly as if
+  /// NodeScore had been called serially for each node. Deterministic for
+  /// every thread count.
+  std::vector<double> ScoreNodesParallel(int query_node,
+                                         const std::vector<graph::NodeId>& nodes,
+                                         int threads) const;
+
+  /// Precomputes every memo a star search over (pivot, edges, leaves)
+  /// touches: Candidates + candidate-score maps for the pivot and each
+  /// non-wildcard leaf (untyped wildcard leaves never build lists — same
+  /// as the serial paths), the dense relation table and max relation
+  /// score per star edge. After this returns, CandidateScore /
+  /// RelationScore / MaxEdgeScore / EdgeScore / PathDecay on the warmed
+  /// ids are read-only and safe for concurrent calls (see class comment).
+  void WarmStarCaches(int pivot, const std::vector<int>& edges,
+                      const std::vector<int>& leaves) const;
+
   /// Relation-label similarity of mapping query edge e to a data edge with
   /// relation id `relation`. Wildcard query relations score 1.
   double RelationScore(int query_edge, uint32_t relation) const;
+
+  /// Dense similarity table for a query edge: entry r is
+  /// RelationScore(query_edge, r) for every relation id in the graph.
+  /// Computed once; afterwards RelationScore is a pure array lookup
+  /// (thread-safe). Empty for wildcard-relation edges (they score 1).
+  const std::vector<double>& RelationScoresAll(int query_edge) const;
 
   /// F_E of a path/walk match of length `hops`: for hops == 1 the relation
   /// similarity of the direct edge; for hops >= 2 the pure geometric decay
@@ -109,6 +159,11 @@ class QueryScorer {
   /// Ontology type id for a type name (-1 if no ontology / unknown).
   int OntologyType(const std::string& type_name) const;
 
+  /// Pure F_N computation (Eq. 1) for a non-wildcard query node: no memo
+  /// access, no counters — safe to call from any thread (the ensemble
+  /// keeps its scratch buffers thread_local).
+  double ComputeNodeScore(int query_node, graph::NodeId v) const;
+
   const graph::KnowledgeGraph& graph_;
   const query::QueryGraph& query_;
   const text::SimilarityEnsemble& ensemble_;
@@ -133,6 +188,9 @@ class QueryScorer {
   mutable std::vector<bool> candidate_map_ready_;
   mutable std::vector<double> max_relation_score_;
   mutable std::vector<bool> max_relation_ready_;
+  // Dense per-edge relation-similarity tables (RelationScoresAll).
+  mutable std::vector<std::vector<double>> relation_table_;
+  mutable std::vector<bool> relation_table_ready_;
   // Walk-ball memo: node -> (reachable node -> smallest walk length in
   // [2, d]). Bounded: once the stored pair count passes kWalkBallCacheLimit
   // the cache is dropped and rebuilt on demand (d-balls of hub-adjacent

@@ -1,0 +1,180 @@
+// Determinism of the parallel execution engine: every thread count must
+// produce byte-identical candidate lists and top-k results (same matches,
+// same scores, same order) as serial execution, for every star strategy.
+// This is the test the ThreadSanitizer CI job runs to certify the
+// QueryScorer bulk-scoring / warmed-read contract race-free.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "core/framework.h"
+#include "core/star_search.h"
+#include "query/workload.h"
+#include "scoring/query_scorer.h"
+#include "test_helpers.h"
+
+namespace star {
+namespace {
+
+using core::StarSearch;
+using core::StarStrategy;
+using star::testing::MovieGraph;
+using star::testing::ScorerFixture;
+using star::testing::SmallRandomGraph;
+using star::testing::TestConfig;
+
+constexpr int kParallelThreads = 4;
+
+void ExpectSameCandidates(const std::vector<scoring::ScoredCandidate>& a,
+                          const std::vector<scoring::ScoredCandidate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node) << "position " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "position " << i;  // bitwise
+  }
+}
+
+void ExpectSameStarMatches(const std::vector<core::StarMatch>& a,
+                           const std::vector<core::StarMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pivot, b[i].pivot) << "rank " << i;
+    EXPECT_EQ(a[i].leaves, b[i].leaves) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;
+  }
+}
+
+void ExpectSameGraphMatches(const std::vector<core::GraphMatch>& a,
+                            const std::vector<core::GraphMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mapping, b[i].mapping) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, CandidateListsMatchSerial) {
+  const auto g = SmallRandomGraph(/*seed=*/11, /*nodes=*/40, /*edges=*/90);
+  query::WorkloadGenerator wg(g, /*seed=*/3);
+  const auto q = wg.RandomStarQuery(4, query::WorkloadOptions{});
+  for (const bool with_index : {false, true}) {
+    auto serial_cfg = TestConfig(/*d=*/2);
+    serial_cfg.threads = 1;
+    auto parallel_cfg = serial_cfg;
+    parallel_cfg.threads = kParallelThreads;
+    ScorerFixture serial(g, q, serial_cfg, with_index);
+    ScorerFixture parallel(g, q, parallel_cfg, with_index);
+    for (int u = 0; u < q.node_count(); ++u) {
+      ExpectSameCandidates(serial.scorer->Candidates(u),
+                           parallel.scorer->Candidates(u));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TruncatedCandidatesEqualFullSortPrefix) {
+  // partial_sort truncation (max_candidates) must agree with the full sort
+  // under the (score desc, node asc) total order, serial and parallel.
+  const auto g = SmallRandomGraph(/*seed=*/23, /*nodes=*/48, /*edges=*/96);
+  query::WorkloadGenerator wg(g, /*seed=*/9);
+  const auto q = wg.RandomStarQuery(3, query::WorkloadOptions{});
+  auto full_cfg = TestConfig();
+  full_cfg.threads = 1;
+  ScorerFixture full(g, q, full_cfg, /*with_index=*/false);
+  for (const int threads : {1, kParallelThreads}) {
+    auto cut_cfg = full_cfg;
+    cut_cfg.max_candidates = 5;
+    cut_cfg.threads = threads;
+    ScorerFixture cut(g, q, cut_cfg, /*with_index=*/false);
+    for (int u = 0; u < q.node_count(); ++u) {
+      auto expect = full.scorer->Candidates(u);
+      if (expect.size() > 5) expect.resize(5);
+      ExpectSameCandidates(expect, cut.scorer->Candidates(u));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, StarTopKMatchesSerialForEveryStrategy) {
+  const auto g = SmallRandomGraph(/*seed=*/5, /*nodes=*/36, /*edges=*/80);
+  query::WorkloadGenerator wg(g, /*seed=*/17);
+  for (int d = 1; d <= 2; ++d) {
+    const auto q = wg.RandomStarQuery(4, query::WorkloadOptions{});
+    for (const StarStrategy strategy :
+         {StarStrategy::kStark, StarStrategy::kStard, StarStrategy::kHybrid}) {
+      auto serial_cfg = TestConfig(d);
+      serial_cfg.threads = 1;
+      auto parallel_cfg = serial_cfg;
+      parallel_cfg.threads = kParallelThreads;
+      ScorerFixture serial(g, q, serial_cfg);
+      ScorerFixture parallel(g, q, parallel_cfg);
+      StarSearch::Options so;
+      so.strategy = strategy;
+      StarSearch serial_search(*serial.scorer, core::MakeStarQuery(q), so);
+      StarSearch parallel_search(*parallel.scorer, core::MakeStarQuery(q), so);
+      ExpectSameStarMatches(serial_search.TopK(10), parallel_search.TopK(10));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MovieGraphStarSearchIsThreadCountInvariant) {
+  const auto g = MovieGraph();
+  query::QueryGraph q;
+  const int maker = q.AddNode("Brad", "Actor");
+  const int film = q.AddNode("?", "Film");
+  const int award = q.AddNode("Award", "");
+  q.AddEdge(maker, film, "actedIn");
+  q.AddEdge(film, award, "won");
+  for (const StarStrategy strategy :
+       {StarStrategy::kStark, StarStrategy::kStard, StarStrategy::kHybrid}) {
+    std::vector<std::vector<core::StarMatch>> results;
+    for (const int threads : {1, 2, kParallelThreads}) {
+      auto cfg = TestConfig(/*d=*/2);
+      cfg.threads = threads;
+      ScorerFixture fx(g, q, cfg);
+      StarSearch::Options so;
+      so.strategy = strategy;
+      StarSearch search(*fx.scorer, core::MakeStarQuery(q), so);
+      results.push_back(search.TopK(8));
+    }
+    ExpectSameStarMatches(results[0], results[1]);
+    ExpectSameStarMatches(results[0], results[2]);
+  }
+}
+
+TEST(ParallelDeterminismTest, FrameworkGeneralQueryMatchesSerial) {
+  const auto g = SmallRandomGraph(/*seed=*/31, /*nodes=*/32, /*edges=*/72);
+  query::WorkloadGenerator wg(g, /*seed=*/7);
+  const auto q = wg.RandomStarQuery(5, query::WorkloadOptions{});
+  text::SimilarityEnsemble ensemble;
+  const graph::LabelIndex index(g);
+  for (const StarStrategy strategy :
+       {StarStrategy::kStark, StarStrategy::kStard}) {
+    core::StarOptions serial_opts;
+    serial_opts.strategy = strategy;
+    serial_opts.match = TestConfig(/*d=*/2);
+    serial_opts.match.threads = 1;
+    auto parallel_opts = serial_opts;
+    parallel_opts.match.threads = kParallelThreads;
+    core::StarFramework serial_fw(g, ensemble, &index, serial_opts);
+    core::StarFramework parallel_fw(g, ensemble, &index, parallel_opts);
+    ExpectSameGraphMatches(serial_fw.TopK(q, 10), parallel_fw.TopK(q, 10));
+  }
+}
+
+TEST(ParallelDeterminismTest, BruteForceMatchesSerial) {
+  const auto g = SmallRandomGraph(/*seed=*/13);
+  query::WorkloadGenerator wg(g, /*seed=*/29);
+  const auto q = wg.RandomStarQuery(3, query::WorkloadOptions{});
+  auto serial_cfg = TestConfig(/*d=*/2);
+  serial_cfg.threads = 1;
+  auto parallel_cfg = serial_cfg;
+  parallel_cfg.threads = kParallelThreads;
+  ScorerFixture serial(g, q, serial_cfg);
+  ScorerFixture parallel(g, q, parallel_cfg);
+  ExpectSameGraphMatches(baseline::BruteForceTopK(*serial.scorer, 10),
+                         baseline::BruteForceTopK(*parallel.scorer, 10));
+}
+
+}  // namespace
+}  // namespace star
