@@ -1,0 +1,247 @@
+// Threshold-aware scoring kernel vs the canonical Score() path, with the
+// bit-identity contract checked in-bench. Three measurements on the
+// DBpediaLike preset:
+//
+//   1. per-pair: one query label against every graph label — Score(),
+//      kernel exact mode (query side prepared once, allocation-free data
+//      side), and kernel thresholded mode (weight-ordered early exit at
+//      the candidate threshold).
+//   2. bulk scan: Candidates() with no index (the paper's O(|V|) base
+//      case, candidate scoring is the whole cost), kernel off vs on.
+//   3. bulk indexed: Candidates() with the token/type index attached.
+//
+// Every accepted kernel score is compared bitwise against Score(), and
+// both bulk passes must produce byte-identical candidate lists; any
+// mismatch fails the run (nonzero exit). Output is one JSON object so
+// runs can be committed/diffed (BENCH_scoring.json).
+//
+// Environment overrides (also see bench_util.h):
+//   STAR_BENCH_NODES    dataset size (default 20000)
+//   STAR_BENCH_QUERIES  star queries per workload (default 6)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/star_search.h"
+
+namespace star::bench {
+namespace {
+
+struct PairBench {
+  size_t pairs = 0;
+  double score_ms = 0.0;
+  double kernel_exact_ms = 0.0;
+  double kernel_thresh_ms = 0.0;
+  bool exact_bitwise = true;
+  bool accepted_bitwise = true;
+  text::KernelStats stats;
+};
+
+/// Non-wildcard query labels of a workload, deduplicated by position.
+std::vector<std::string> QueryLabels(
+    const std::vector<query::QueryGraph>& queries) {
+  std::vector<std::string> labels;
+  for (const auto& q : queries) {
+    for (int u = 0; u < q.node_count(); ++u) {
+      if (!q.node(u).wildcard) labels.push_back(q.node(u).label);
+    }
+  }
+  return labels;
+}
+
+PairBench RunPairBench(const Dataset& d,
+                       const std::vector<std::string>& labels,
+                       double threshold) {
+  const text::SimilarityEnsemble& e = *d.ensemble;
+  PairBench r;
+  std::vector<text::SimilarityEnsemble::PreparedLabel> prepared;
+  prepared.reserve(labels.size());
+  for (const auto& l : labels) prepared.push_back(e.Prepare(l));
+
+  // Timed passes. The canonical path re-derives the query side per pair;
+  // the kernel paths share the PreparedLabel built once above.
+  {
+    WallTimer t;
+    double sink = 0.0;
+    for (const auto& l : labels) {
+      for (graph::NodeId v = 0; v < d.graph.node_count(); ++v) {
+        sink += e.Score(l, d.graph.NodeLabel(v));
+      }
+    }
+    r.score_ms = t.ElapsedMillis();
+    if (sink < 0) std::printf("%f", sink);  // keep the loop alive
+  }
+  {
+    WallTimer t;
+    double sink = 0.0;
+    for (const auto& p : prepared) {
+      for (graph::NodeId v = 0; v < d.graph.node_count(); ++v) {
+        sink += e.ScoreAgainstThreshold(
+            p, d.graph.NodeLabel(v), text::SimilarityEnsemble::kNoThreshold);
+      }
+    }
+    r.kernel_exact_ms = t.ElapsedMillis();
+    if (sink < 0) std::printf("%f", sink);
+  }
+  {
+    WallTimer t;
+    double sink = 0.0;
+    for (const auto& p : prepared) {
+      for (graph::NodeId v = 0; v < d.graph.node_count(); ++v) {
+        sink += e.ScoreAgainstThreshold(p, d.graph.NodeLabel(v), threshold);
+      }
+    }
+    r.kernel_thresh_ms = t.ElapsedMillis();
+    if (sink < 0) std::printf("%f", sink);
+  }
+
+  // Untimed identity sweep: exact mode must equal Score() bitwise on every
+  // pair; thresholded results must equal Score() bitwise whenever accepted.
+  for (size_t i = 0; i < labels.size(); ++i) {
+    for (graph::NodeId v = 0; v < d.graph.node_count(); ++v) {
+      const std::string_view dl = d.graph.NodeLabel(v);
+      const double canonical = e.Score(labels[i], dl);
+      const double exact = e.ScoreAgainstThreshold(
+          prepared[i], dl, text::SimilarityEnsemble::kNoThreshold);
+      const double thresh =
+          e.ScoreAgainstThreshold(prepared[i], dl, threshold, -1, -1, &r.stats);
+      r.exact_bitwise &= exact == canonical;
+      r.accepted_bitwise &=
+          thresh >= threshold ? thresh == canonical : canonical < threshold;
+      ++r.pairs;
+    }
+  }
+  return r;
+}
+
+struct BulkBench {
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  bool identical = true;
+  size_t candidates = 0;
+};
+
+bool SameCandidates(const std::vector<scoring::ScoredCandidate>& a,
+                    const std::vector<scoring::ScoredCandidate>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].node != b[i].node || a[i].score != b[i].score) return false;
+  }
+  return true;
+}
+
+/// Full Candidates() pass over every query node of every query, with a
+/// fresh scorer per query (online scoring is the measured cost).
+BulkBench RunBulkBench(const Dataset& d,
+                       const std::vector<query::QueryGraph>& queries,
+                       bool with_index) {
+  BulkBench r;
+  auto base = BenchConfig(/*d=*/2);
+  base.threads = 1;  // isolate the kernel's effect from thread scaling
+  const graph::LabelIndex* index = with_index ? d.index.get() : nullptr;
+  for (const auto& q : queries) {
+    auto off_cfg = base;
+    off_cfg.use_scoring_kernel = false;
+    auto on_cfg = base;
+    on_cfg.use_scoring_kernel = true;
+
+    std::vector<std::vector<scoring::ScoredCandidate>> off_lists;
+    {
+      WallTimer t;
+      scoring::QueryScorer scorer(d.graph, q, *d.ensemble, off_cfg, index);
+      for (int u = 0; u < q.node_count(); ++u) {
+        off_lists.push_back(scorer.Candidates(u));
+      }
+      r.off_ms += t.ElapsedMillis();
+    }
+    {
+      WallTimer t;
+      scoring::QueryScorer scorer(d.graph, q, *d.ensemble, on_cfg, index);
+      for (int u = 0; u < q.node_count(); ++u) {
+        const auto& on_list = scorer.Candidates(u);
+        r.identical &= SameCandidates(off_lists[size_t(u)], on_list);
+        r.candidates += on_list.size();
+      }
+      r.on_ms += t.ElapsedMillis();
+    }
+  }
+  return r;
+}
+
+double NsPerPair(double ms, size_t pairs) {
+  return pairs > 0 ? ms * 1e6 / static_cast<double>(pairs) : 0.0;
+}
+
+double Speedup(double base_ms, double ms) {
+  return ms > 0 ? base_ms / ms : 0.0;
+}
+
+}  // namespace
+}  // namespace star::bench
+
+int main() {
+  using namespace star;
+  using namespace star::bench;
+
+  const size_t nodes = EnvSize("STAR_BENCH_NODES", 20000);
+  const size_t num_queries = EnvSize("STAR_BENCH_QUERIES", 6);
+  const Dataset d = MakeDataset(graph::DBpediaLike(nodes));
+  const double threshold = BenchConfig(2).node_threshold;
+
+  query::WorkloadGenerator wg(d.graph, /*seed=*/71);
+  std::vector<query::QueryGraph> queries;
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(wg.RandomStarQuery(4, BenchWorkloadOptions()));
+  }
+  const auto labels = QueryLabels(queries);
+
+  const PairBench pair = RunPairBench(d, labels, threshold);
+  const BulkBench scan = RunBulkBench(d, queries, /*with_index=*/false);
+  const BulkBench indexed = RunBulkBench(d, queries, /*with_index=*/true);
+
+  const bool ok = pair.exact_bitwise && pair.accepted_bitwise &&
+                  scan.identical && indexed.identical;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"scoring_kernel\",\n");
+  std::printf("  \"dataset\": {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu},\n",
+              d.name.c_str(), d.graph.node_count(), d.graph.edge_count());
+  std::printf("  \"workload\": {\"queries\": %zu, \"query_labels\": %zu, \"threshold\": %.2f},\n",
+              num_queries, labels.size(), threshold);
+  std::printf("  \"per_pair\": {\n");
+  std::printf("    \"pairs\": %zu,\n", pair.pairs);
+  std::printf("    \"score_ns\": %.1f,\n", NsPerPair(pair.score_ms, pair.pairs));
+  std::printf("    \"kernel_exact_ns\": %.1f,\n",
+              NsPerPair(pair.kernel_exact_ms, pair.pairs));
+  std::printf("    \"kernel_thresholded_ns\": %.1f,\n",
+              NsPerPair(pair.kernel_thresh_ms, pair.pairs));
+  std::printf("    \"speedup_exact\": %.2f,\n",
+              Speedup(pair.score_ms, pair.kernel_exact_ms));
+  std::printf("    \"speedup_thresholded\": %.2f\n",
+              Speedup(pair.score_ms, pair.kernel_thresh_ms));
+  std::printf("  },\n");
+  std::printf("  \"kernel_stats\": {\"pairs\": %llu, \"early_exits\": %llu, \"features_evaluated\": %llu, \"features_skipped\": %llu},\n",
+              static_cast<unsigned long long>(pair.stats.pairs),
+              static_cast<unsigned long long>(pair.stats.early_exits),
+              static_cast<unsigned long long>(pair.stats.features_evaluated),
+              static_cast<unsigned long long>(pair.stats.features_skipped));
+  std::printf("  \"bulk_scan\": {\"kernel_off_ms\": %.1f, \"kernel_on_ms\": %.1f, \"speedup\": %.2f, \"candidates\": %zu},\n",
+              scan.off_ms, scan.on_ms, Speedup(scan.off_ms, scan.on_ms),
+              scan.candidates);
+  std::printf("  \"bulk_indexed\": {\"kernel_off_ms\": %.1f, \"kernel_on_ms\": %.1f, \"speedup\": %.2f, \"candidates\": %zu},\n",
+              indexed.off_ms, indexed.on_ms,
+              Speedup(indexed.off_ms, indexed.on_ms), indexed.candidates);
+  std::printf("  \"identity\": {\"exact_bitwise\": %s, \"accepted_bitwise\": %s, \"bulk_scan_identical\": %s, \"bulk_indexed_identical\": %s}\n",
+              pair.exact_bitwise ? "true" : "false",
+              pair.accepted_bitwise ? "true" : "false",
+              scan.identical ? "true" : "false",
+              indexed.identical ? "true" : "false");
+  std::printf("}\n");
+
+  std::fprintf(stderr, "identity: %s\n",
+               ok ? "kernel bit-identical to canonical scoring"
+                  : "MISMATCH — kernel diverges from canonical scoring");
+  return ok ? 0 : 1;
+}

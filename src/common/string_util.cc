@@ -12,6 +12,14 @@ std::string ToLower(std::string_view s) {
   return out;
 }
 
+void ToLowerInto(std::string_view s, std::string* out) {
+  out->resize(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    (*out)[i] =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(s[i])));
+  }
+}
+
 std::string_view Trim(std::string_view s) {
   size_t b = 0;
   size_t e = s.size();
@@ -36,6 +44,32 @@ std::vector<std::string> SplitTokens(std::string_view s,
   }
   if (!cur.empty()) out.push_back(std::move(cur));
   return out;
+}
+
+void SplitTokensInto(std::string_view s, std::vector<std::string>* out,
+                     std::string_view delims) {
+  size_t count = 0;
+  size_t begin = std::string_view::npos;
+  const auto emit = [&](size_t b, size_t e) {
+    if (count < out->size()) {
+      (*out)[count].assign(s.substr(b, e - b));
+    } else {
+      out->emplace_back(s.substr(b, e - b));
+    }
+    ++count;
+  };
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (delims.find(s[i]) != std::string_view::npos) {
+      if (begin != std::string_view::npos) {
+        emit(begin, i);
+        begin = std::string_view::npos;
+      }
+    } else if (begin == std::string_view::npos) {
+      begin = i;
+    }
+  }
+  if (begin != std::string_view::npos) emit(begin, s.size());
+  out->resize(count);
 }
 
 std::vector<std::string> SplitFields(std::string_view s, char delim) {

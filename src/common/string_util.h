@@ -10,12 +10,23 @@ namespace star {
 /// ASCII lowercase copy.
 std::string ToLower(std::string_view s);
 
+/// ASCII-lowercases `s` into `*out`, reusing its capacity (no allocation
+/// once the buffer has grown to the longest label seen). `out` must not
+/// alias `s`.
+void ToLowerInto(std::string_view s, std::string* out);
+
 /// Removes leading/trailing ASCII whitespace.
 std::string_view Trim(std::string_view s);
 
 /// Splits on any of the given delimiter characters; empty pieces dropped.
 std::vector<std::string> SplitTokens(std::string_view s,
                                      std::string_view delims = " \t_-./,");
+
+/// SplitTokens into a reusable vector: existing elements are assign()ed in
+/// place so their heap buffers (and the vector's) are reused across calls.
+/// Produces exactly the tokens SplitTokens would.
+void SplitTokensInto(std::string_view s, std::vector<std::string>* out,
+                     std::string_view delims = " \t_-./,");
 
 /// Splits on a single character, keeping empty fields (TSV parsing).
 std::vector<std::string> SplitFields(std::string_view s, char delim);

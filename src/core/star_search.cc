@@ -514,6 +514,7 @@ void StarSearch::Initialize() {
   initialized_ = true;
   const WallTimer wall;
   const CpuTimer cpu;
+  const text::KernelStats kernel_before = scorer_.kernel_stats();
   if (options_.strategy == StarStrategy::kHybrid) {
     InitializeHybrid();
   } else if (options_.strategy == StarStrategy::kStark ||
@@ -527,6 +528,13 @@ void StarSearch::Initialize() {
   }
   stats_.init_wall_ms = wall.ElapsedMillis();
   stats_.init_cpu_ms = cpu.ElapsedMillis();
+  const text::KernelStats& kernel_after = scorer_.kernel_stats();
+  stats_.fn_pairs_scored = kernel_after.pairs - kernel_before.pairs;
+  stats_.fn_early_exits = kernel_after.early_exits - kernel_before.early_exits;
+  stats_.fn_feature_evals =
+      kernel_after.features_evaluated - kernel_before.features_evaluated;
+  stats_.fn_features_skipped =
+      kernel_after.features_skipped - kernel_before.features_skipped;
 }
 
 void StarSearch::ActivateReserve() {

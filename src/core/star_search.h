@@ -48,6 +48,15 @@ struct StarSearchStats {
   /// init_cpu_ms / init_wall_ms approximates the cores kept busy.
   double init_cpu_ms = 0.0;
 
+  /// Scoring-kernel activity during Initialize() (deltas of the scorer's
+  /// KernelStats): F_N pairs pushed through the threshold-aware kernel,
+  /// how many exited early, and feature evaluations performed vs skipped
+  /// by the weight-ordered bound. All zero when the kernel is disabled.
+  size_t fn_pairs_scored = 0;
+  size_t fn_early_exits = 0;
+  size_t fn_feature_evals = 0;
+  size_t fn_features_skipped = 0;
+
   /// Accumulates the countable counters (wall/CPU times are summed too,
   /// so aggregate stats report totals across stars).
   void Merge(const StarSearchStats& o) {
@@ -58,6 +67,10 @@ struct StarSearchStats {
     matches_emitted += o.matches_emitted;
     init_wall_ms += o.init_wall_ms;
     init_cpu_ms += o.init_cpu_ms;
+    fn_pairs_scored += o.fn_pairs_scored;
+    fn_early_exits += o.fn_early_exits;
+    fn_feature_evals += o.fn_feature_evals;
+    fn_features_skipped += o.fn_features_skipped;
   }
 };
 

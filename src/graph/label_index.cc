@@ -123,14 +123,15 @@ std::vector<NodeId> LabelIndex::RankedCandidates(std::string_view label,
   std::vector<std::pair<double, NodeId>> ranked;
   ranked.reserve(weight.size());
   for (const auto& [v, w] : weight) ranked.emplace_back(w, v);
-  if (cap > 0 && ranked.size() > cap) {
-    std::nth_element(ranked.begin(), ranked.begin() + cap - 1, ranked.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first > b.first ||
-                              (a.first == b.first && a.second < b.second);
-                     });
-    ranked.resize(cap);
-  }
+  // Deterministic truncation on the total order (rarity-weight desc, node
+  // id asc): ties at the cap boundary always retain the smallest ids,
+  // independent of the hash map's iteration order above.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first ||
+                            (a.first == b.first && a.second < b.second);
+                   });
+  if (cap > 0 && ranked.size() > cap) ranked.resize(cap);
   std::vector<NodeId> out;
   out.reserve(ranked.size());
   for (const auto& [w, v] : ranked) out.push_back(v);

@@ -57,6 +57,13 @@ struct MatchConfig {
   /// 1 = fully serial. Results are bit-identical for every value — see
   /// DESIGN.md "Threading model".
   int threads = 0;
+
+  /// Use the threshold-aware scoring kernel for bulk F_N evaluation
+  /// (query-side precomputation, allocation-free per-pair scoring, and
+  /// weight-ordered early exit against node_threshold). Candidate sets and
+  /// scores are bit-identical either way — the toggle exists for A/B
+  /// benchmarking (see DESIGN.md "Scoring kernel").
+  bool use_scoring_kernel = true;
 };
 
 }  // namespace star::scoring

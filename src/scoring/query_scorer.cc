@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "common/thread_pool.h"
@@ -48,6 +49,12 @@ QueryScorer::QueryScorer(const KnowledgeGraph& g, const QueryGraph& q,
       wildcard_graph_type_[u] = g.FindTypeId(qn.type_name);
     }
   }
+  // Build the kernel's query-side views eagerly (one per query node) so
+  // they are immutable before any parallel section can share them.
+  prepared_.reserve(q.node_count());
+  for (int u = 0; u < q.node_count(); ++u) {
+    prepared_.push_back(ensemble_.Prepare(q.node(u).label));
+  }
 }
 
 int QueryScorer::OntologyType(const std::string& type_name) const {
@@ -70,21 +77,47 @@ double QueryScorer::NodeScore(int query_node, NodeId v) const {
   const auto it = cache.find(v);
   if (it != cache.end()) return it->second;
   ++node_evals_;
-  const double s = ComputeNodeScore(query_node, v);
+  const double s =
+      config_.use_scoring_kernel
+          ? ComputeNodeScore(query_node, v,
+                             text::SimilarityEnsemble::kNoThreshold,
+                             &kernel_stats_)
+          : ComputeNodeScore(query_node, v);
   cache.emplace(v, s);
   return s;
 }
 
 double QueryScorer::ComputeNodeScore(int query_node, NodeId v) const {
+  if (config_.use_scoring_kernel) {
+    return ComputeNodeScore(query_node, v,
+                            text::SimilarityEnsemble::kNoThreshold, nullptr);
+  }
   const int32_t gt = graph_.NodeType(v);
   const int onto_data = gt >= 0 ? graph_type_onto_type_[gt] : -1;
   return ensemble_.Score(query_.node(query_node).label, graph_.NodeLabel(v),
                          query_node_onto_type_[query_node], onto_data);
 }
 
+double QueryScorer::ComputeNodeScore(int query_node, NodeId v, double threshold,
+                                     text::KernelStats* stats) const {
+  const int32_t gt = graph_.NodeType(v);
+  const int onto_data = gt >= 0 ? graph_type_onto_type_[gt] : -1;
+  return ensemble_.ScoreAgainstThreshold(
+      prepared_[query_node], graph_.NodeLabel(v), threshold,
+      query_node_onto_type_[query_node], onto_data, stats);
+}
+
 std::vector<double> QueryScorer::ScoreNodesParallel(
     int query_node, const std::vector<graph::NodeId>& nodes,
     int threads) const {
+  return BulkScore(query_node, nodes, threads,
+                   text::SimilarityEnsemble::kNoThreshold);
+}
+
+std::vector<double> QueryScorer::BulkScore(int query_node,
+                                           const std::vector<graph::NodeId>& nodes,
+                                           int threads,
+                                           double threshold) const {
   std::vector<double> scores(nodes.size());
   const query::QueryNode& qn = query_.node(query_node);
   if (qn.wildcard) {
@@ -97,9 +130,16 @@ std::vector<double> QueryScorer::ScoreNodesParallel(
     });
     return scores;
   }
+  const bool kernel = config_.use_scoring_kernel;
+  const bool thresholded = kernel && threshold >= 0.0;
   auto& cache = node_cache_[query_node];
   std::vector<uint8_t> miss(nodes.size(), 0);
-  ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int) {
+  // Kernel counters are per worker chunk (ParallelFor chunk ids are
+  // always < threads) and merged serially after the join.
+  std::vector<text::KernelStats> worker_stats(
+      static_cast<size_t>(std::max(threads, 1)));
+  ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int chunk) {
+    text::KernelStats* ks = &worker_stats[chunk];
     for (size_t i = lo; i < hi; ++i) {
       // The memo is read-only during the parallel section.
       const auto it = cache.find(nodes[i]);
@@ -108,14 +148,20 @@ std::vector<double> QueryScorer::ScoreNodesParallel(
         continue;
       }
       miss[i] = 1;
-      scores[i] = ComputeNodeScore(query_node, nodes[i]);
+      scores[i] = kernel ? ComputeNodeScore(query_node, nodes[i], threshold, ks)
+                         : ComputeNodeScore(query_node, nodes[i]);
     }
   });
   // Single-threaded merge: memoize exactly the entries the serial path
-  // would have cached (emplace keeps the first value on duplicates).
+  // would have cached (emplace keeps the first value on duplicates) —
+  // except sub-threshold kernel results, which may be truncated upper
+  // bounds rather than exact F_N values and therefore must not be cached.
   for (size_t i = 0; i < nodes.size(); ++i) {
-    if (miss[i] && cache.emplace(nodes[i], scores[i]).second) ++node_evals_;
+    if (!miss[i]) continue;
+    if (thresholded && scores[i] < threshold) continue;
+    if (cache.emplace(nodes[i], scores[i]).second) ++node_evals_;
   }
+  for (const text::KernelStats& ks : worker_stats) kernel_stats_.Merge(ks);
   return scores;
 }
 
@@ -153,8 +199,12 @@ const std::vector<ScoredCandidate>& QueryScorer::Candidates(
   }
 
   // Bulk F_N scoring — chunked across the pool (serial at threads = 1).
-  const std::vector<double> scores =
-      ScoreNodesParallel(query_node, pool, ResolveThreads(config_.threads));
+  // The candidate filter below keeps only scores >= node_threshold, so the
+  // kernel may early-exit any pair whose score bound falls below it: kept
+  // candidates are exact (bit-identical to the kernel-off path), rejected
+  // ones return a sub-threshold bound that the filter drops either way.
+  const std::vector<double> scores = BulkScore(
+      query_node, pool, ResolveThreads(config_.threads), config_.node_threshold);
   for (size_t i = 0; i < pool.size(); ++i) {
     if (scores[i] >= config_.node_threshold) out.push_back({pool[i], scores[i]});
   }
@@ -294,27 +344,39 @@ const std::unordered_map<graph::NodeId, int>& QueryScorer::WalkBall(
   const int d = config_.d;
   if (d < 2) return ball;
   // W_1 = N(a); W_h = N(W_{h-1}); record each node's first h >= 2.
-  std::vector<graph::NodeId> layer;
-  {
-    std::unordered_map<graph::NodeId, bool> uniq;
-    for (const auto& nb : graph_.Neighbors(a)) {
-      if (uniq.emplace(nb.node, true).second) layer.push_back(nb.node);
+  // Frontier dedup uses the epoch-stamped flat mark array: one epoch per
+  // BFS layer (walk semantics: a node seen at layer h may legitimately
+  // reappear at a later layer), no per-call hash maps.
+  if (walk_mark_.size() != graph_.node_count()) {
+    walk_mark_.assign(graph_.node_count(), 0);
+    walk_epoch_ = 0;
+  }
+  if (walk_epoch_ >
+      std::numeric_limits<uint32_t>::max() - static_cast<uint32_t>(d) - 2) {
+    std::fill(walk_mark_.begin(), walk_mark_.end(), 0);
+    walk_epoch_ = 0;
+  }
+  walk_layer_.clear();
+  ++walk_epoch_;
+  for (const auto& nb : graph_.Neighbors(a)) {
+    if (walk_mark_[nb.node] != walk_epoch_) {
+      walk_mark_[nb.node] = walk_epoch_;
+      walk_layer_.push_back(nb.node);
     }
   }
-  for (int h = 2; h <= d && !layer.empty(); ++h) {
-    std::unordered_map<graph::NodeId, bool> next_uniq;
-    for (const graph::NodeId x : layer) {
+  for (int h = 2; h <= d && !walk_layer_.empty(); ++h) {
+    walk_next_.clear();
+    ++walk_epoch_;
+    for (const graph::NodeId x : walk_layer_) {
       for (const auto& nb : graph_.Neighbors(x)) {
-        next_uniq.emplace(nb.node, true);
+        if (walk_mark_[nb.node] != walk_epoch_) {
+          walk_mark_[nb.node] = walk_epoch_;
+          walk_next_.push_back(nb.node);
+          ball.try_emplace(nb.node, h);  // keeps the smallest h
+        }
       }
     }
-    std::vector<graph::NodeId> next;
-    next.reserve(next_uniq.size());
-    for (const auto& [w, _] : next_uniq) {
-      next.push_back(w);
-      ball.try_emplace(w, h);  // keeps the smallest h
-    }
-    layer = std::move(next);
+    std::swap(walk_layer_, walk_next_);
   }
   walk_ball_pairs_ += ball.size();
   return ball;

@@ -79,10 +79,11 @@ class QueryScorer {
   /// Bulk F_N scoring: scores of mapping `query_node` to every node in
   /// `nodes`, index-aligned with the input. Scoring fans out across
   /// `threads` workers (chunked over the input range); workers use the
-  /// pure compute path and the node memo is filled once, in a serial
-  /// merge step after they join, so the memo ends up exactly as if
-  /// NodeScore had been called serially for each node. Deterministic for
-  /// every thread count.
+  /// pure compute path — the threshold-aware kernel in exact mode when
+  /// config.use_scoring_kernel is set — and only READ the node memo; the
+  /// memo is filled once, in a serial merge step after they join, so it
+  /// ends up exactly as if NodeScore had been called serially for each
+  /// node. Deterministic for every thread count.
   std::vector<double> ScoreNodesParallel(int query_node,
                                          const std::vector<graph::NodeId>& nodes,
                                          int threads) const;
@@ -155,14 +156,35 @@ class QueryScorer {
   /// Number of F_N evaluations performed (diagnostic for benches).
   size_t node_score_evaluations() const { return node_evals_; }
 
+  /// Scoring-kernel counters accumulated across every kernel evaluation
+  /// this scorer performed (empty when config.use_scoring_kernel is off).
+  /// Owning-thread read; bulk scoring merges per-worker counters in the
+  /// serial step after the workers join.
+  const text::KernelStats& kernel_stats() const { return kernel_stats_; }
+
  private:
   /// Ontology type id for a type name (-1 if no ontology / unknown).
   int OntologyType(const std::string& type_name) const;
 
   /// Pure F_N computation (Eq. 1) for a non-wildcard query node: no memo
   /// access, no counters — safe to call from any thread (the ensemble
-  /// keeps its scratch buffers thread_local).
+  /// keeps its scratch buffers thread_local). Uses the prepared-label
+  /// kernel in exact mode when config.use_scoring_kernel is set.
   double ComputeNodeScore(int query_node, graph::NodeId v) const;
+
+  /// Threshold-aware F_N (the scoring kernel): exact for results >=
+  /// threshold, a sub-threshold upper bound otherwise (threshold < 0 =
+  /// exact mode). Pure except for `stats`, which the caller owns — pass a
+  /// per-worker instance from parallel sections.
+  double ComputeNodeScore(int query_node, graph::NodeId v, double threshold,
+                          text::KernelStats* stats) const;
+
+  /// Shared core of ScoreNodesParallel / Candidates: bulk F_N against a
+  /// candidate threshold. Entries < threshold may be truncated upper
+  /// bounds; the serial merge step memoizes only exact (kept) scores.
+  std::vector<double> BulkScore(int query_node,
+                                const std::vector<graph::NodeId>& nodes,
+                                int threads, double threshold) const;
 
   const graph::KnowledgeGraph& graph_;
   const query::QueryGraph& query_;
@@ -173,6 +195,9 @@ class QueryScorer {
   // Ontology ids resolved once: per query node and per graph type id.
   std::vector<int> query_node_onto_type_;
   std::vector<int> graph_type_onto_type_;
+  // Query-side kernel views, one per query node, built eagerly in the
+  // constructor (immutable afterwards, so worker threads share them).
+  std::vector<text::SimilarityEnsemble::PreparedLabel> prepared_;
   // For typed wildcard query nodes: the required graph type id (-1 = none
   // matches / untyped wildcard).
   std::vector<int32_t> wildcard_graph_type_;
@@ -200,8 +225,16 @@ class QueryScorer {
                              std::unordered_map<graph::NodeId, int>>
       walk_ball_cache_;
   mutable size_t walk_ball_pairs_ = 0;
+  // WalkBall traversal scratch: epoch-stamped per-node marks (|V| flat
+  // array, one epoch per BFS layer — no per-call hash maps) and the two
+  // frontier buffers. Owning-thread only, like WalkBall itself.
+  mutable std::vector<uint32_t> walk_mark_;
+  mutable uint32_t walk_epoch_ = 0;
+  mutable std::vector<graph::NodeId> walk_layer_;
+  mutable std::vector<graph::NodeId> walk_next_;
   mutable std::vector<std::unordered_map<uint64_t, double>> pair_edge_cache_;
   mutable size_t node_evals_ = 0;
+  mutable text::KernelStats kernel_stats_;
 };
 
 }  // namespace star::scoring

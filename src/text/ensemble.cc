@@ -212,6 +212,500 @@ bool LooksNumeric(const std::string& s) {
   return (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.';
 }
 
+// ---------------------------------------------------------------------
+// Threshold-aware kernel machinery (ScoreAgainstThreshold).
+// ---------------------------------------------------------------------
+
+// Relative evaluation cost of each feature (index-aligned with the
+// Feature enum). Used to break weight ties in RebuildEvalOrder so early
+// exits skip the expensive alignment DPs: 0 = O(1), 1 = single linear
+// scan/parse, 2 = tokenization-level, 3 = n-gram/sparse-vector,
+// 4 = O(n*m) character DP, 5 = token-pair DP product (Monge-Elkan).
+constexpr int kCostRank[SimilarityEnsemble::kFeatureCount] = {
+    0,  // kExact
+    0,  // kCaseInsensitive
+    4,  // kLevenshtein
+    4,  // kDamerauLevenshtein
+    2,  // kJaro
+    2,  // kJaroWinkler
+    1,  // kPrefix
+    1,  // kSuffix
+    2,  // kContainment
+    2,  // kTokenJaccard
+    2,  // kTokenDice
+    2,  // kTokenOverlap
+    3,  // kNGramJaccard
+    2,  // kAcronym
+    2,  // kAbbreviation
+    0,  // kLengthRatio
+    1,  // kNumeric
+    4,  // kLcs
+    2,  // kPhonetic
+    2,  // kSynonym
+    3,  // kTfIdfCosine
+    1,  // kTypeOntology
+    5,  // kMongeElkan
+    4,  // kLongestCommonSubstring
+    1,  // kHamming
+    4,  // kSmithWaterman
+    3,  // kBigramDice
+    4,  // kTokenSequenceEdit
+    1,  // kDate
+    2,  // kNumeralAware
+};
+
+// Allocation-free equivalents of the remaining similarity.h DPs, for
+// pre-lowercased inputs (integer DPs, so the normalized results are
+// bitwise equal to the canonical functions).
+
+double FastLcs(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  static thread_local std::vector<int> prev, cur;
+  prev.assign(m + 1, 0);
+  cur.assign(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]) / std::max(n, m);
+}
+
+double FastLongestCommonSubstring(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  static thread_local std::vector<int> prev, cur;
+  prev.assign(m + 1, 0);
+  cur.assign(m + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+        best = std::max(best, cur[j]);
+      } else {
+        cur[j] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(best) / std::max(n, m);
+}
+
+double FastSmithWaterman(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  static thread_local std::vector<int> prev, cur;
+  prev.assign(m + 1, 0);
+  cur.assign(m + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const int diag = prev[j - 1] + (a[i - 1] == b[j - 1] ? 1 : -1);
+      cur[j] = std::max({0, diag, prev[j] - 1, cur[j - 1] - 1});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(best) / std::min(n, m);
+}
+
+double FastTokenSequenceEdit(const std::vector<std::string>& ta,
+                             const std::vector<std::string>& tb) {
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  const size_t n = ta.size(), m = tb.size();
+  static thread_local std::vector<int> prev, cur;
+  prev.resize(m + 1);
+  cur.resize(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = ta[i - 1] == tb[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return 1.0 - prev[m] / static_cast<double>(std::max(n, m));
+}
+
+// Monge-Elkan over pre-lowercased in-order token lists (duplicates kept,
+// summation in token order — the canonical accumulation order).
+double FastMongeElkan(const std::vector<std::string>& ta,
+                      const std::vector<std::string>& tb) {
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  const auto directed = [](const std::vector<std::string>& xs,
+                           const std::vector<std::string>& ys) {
+    double sum = 0.0;
+    for (const auto& x : xs) {
+      double best = 0.0;
+      for (const auto& y : ys) {
+        best = std::max(best, FastJaroWinkler(x, y, FastJaro(x, y)));
+      }
+      sum += best;
+    }
+    return sum / xs.size();
+  };
+  return std::max(directed(ta, tb), directed(tb, ta));
+}
+
+// Copies `src` into `dst` reusing element buffers, then sorts and
+// deduplicates in place (string swaps/moves only).
+void SortedUniqueInto(const std::vector<std::string>& src,
+                      std::vector<std::string>* dst) {
+  const size_t n = src.size();
+  if (dst->size() > n) dst->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < dst->size()) {
+      (*dst)[i].assign(src[i]);
+    } else {
+      dst->emplace_back(src[i]);
+    }
+  }
+  std::sort(dst->begin(), dst->end());
+  dst->erase(std::unique(dst->begin(), dst->end()), dst->end());
+}
+
+// Sorted unique character n-grams of a pre-lowercased string into a
+// reused vector; strings shorter than n degenerate to {s} (the CharNGrams
+// convention shared by NGramJaccard / BigramDice / FastNGramJaccard).
+void GramsInto(const std::string& s, size_t n, std::vector<std::string>* dst) {
+  size_t count = 0;
+  const auto emit = [&](size_t pos, size_t len) {
+    if (count < dst->size()) {
+      (*dst)[count].assign(s, pos, len);
+    } else {
+      dst->emplace_back(s, pos, len);
+    }
+    ++count;
+  };
+  if (s.size() < n) {
+    if (!s.empty()) emit(0, s.size());
+  } else {
+    for (size_t i = 0; i + n <= s.size(); ++i) emit(i, n);
+  }
+  dst->resize(count);
+  std::sort(dst->begin(), dst->end());
+  dst->erase(std::unique(dst->begin(), dst->end()), dst->end());
+}
+
+// Intersection size of two sorted unique string vectors.
+size_t SortedIntersectionCount(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) {
+  size_t inter = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+/// Data-side per-pair scratch of the kernel. One thread_local instance;
+/// every view is derived lazily from the lowercased data label, at most
+/// once per pair, into buffers that are reused across pairs (steady-state
+/// allocation-free).
+struct KernelScratch {
+  std::string lb;                          // lowercased data label
+  std::vector<std::string> tokens;         // in split order
+  std::vector<std::string> tokens_sorted;  // sorted, unique
+  std::vector<std::string> bigrams, trigrams;
+  std::string initials;
+  std::vector<std::string> soundex;   // non-empty per-token codes
+  std::vector<std::string> numerals;  // numeral-normalized tokens
+  TfIdfModel::SparseVector tfidf;
+  std::optional<double> quantity;
+  std::optional<int> year;
+  double jaro = 0.0;
+  size_t trio_inter = 0;
+  bool has_tokens = false, has_tokens_sorted = false, has_bigrams = false,
+       has_trigrams = false, has_initials = false, has_soundex = false,
+       has_numerals = false, has_tfidf = false, has_quantity = false,
+       has_year = false, has_trio = false, has_jaro = false;
+
+  void Reset(std::string_view d) {
+    ToLowerInto(d, &lb);
+    has_tokens = has_tokens_sorted = has_bigrams = has_trigrams =
+        has_initials = has_soundex = has_numerals = has_tfidf = has_quantity =
+            has_year = has_trio = has_jaro = false;
+  }
+
+  void EnsureTokens() {
+    if (has_tokens) return;
+    SplitTokensInto(lb, &tokens);
+    has_tokens = true;
+  }
+
+  void EnsureTokensSorted() {
+    if (has_tokens_sorted) return;
+    EnsureTokens();
+    SortedUniqueInto(tokens, &tokens_sorted);
+    has_tokens_sorted = true;
+  }
+
+  void EnsureBigrams() {
+    if (has_bigrams) return;
+    GramsInto(lb, 2, &bigrams);
+    has_bigrams = true;
+  }
+
+  void EnsureTrigrams() {
+    if (has_trigrams) return;
+    GramsInto(lb, 3, &trigrams);
+    has_trigrams = true;
+  }
+
+  void EnsureInitials() {
+    if (has_initials) return;
+    EnsureTokens();
+    initials.clear();
+    for (const auto& t : tokens) initials.push_back(t[0]);
+    has_initials = true;
+  }
+
+  void EnsureSoundex() {
+    if (has_soundex) return;
+    EnsureTokens();
+    soundex.clear();
+    for (const auto& t : tokens) {
+      std::string code = SoundexToken(t);
+      if (!code.empty()) soundex.push_back(std::move(code));
+    }
+    has_soundex = true;
+  }
+
+  void EnsureNumerals() {
+    if (has_numerals) return;
+    EnsureTokens();
+    const size_t n = tokens.size();
+    if (numerals.size() > n) numerals.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < numerals.size()) {
+        numerals[i].assign(tokens[i]);
+      } else {
+        numerals.emplace_back(tokens[i]);
+      }
+      const int v = NumeralTokenValue(numerals[i]);
+      if (v > 0) numerals[i] = std::to_string(v);
+    }
+    has_numerals = true;
+  }
+
+  void EnsureTfidf(std::string_view d, const TfIdfModel& model) {
+    if (has_tfidf) return;
+    model.VectorizeInto(d, &tfidf);
+    has_tfidf = true;
+  }
+
+  void EnsureQuantity(std::string_view d) {
+    if (has_quantity) return;
+    quantity = ParseQuantity(d);
+    has_quantity = true;
+  }
+
+  void EnsureYear(std::string_view d) {
+    if (has_year) return;
+    year = ExtractYear(d);
+    has_year = true;
+  }
+
+  void EnsureTrio(const SimilarityEnsemble::PreparedLabel& p) {
+    if (has_trio) return;
+    EnsureTokensSorted();
+    trio_inter = SortedIntersectionCount(p.tokens_sorted, tokens_sorted);
+    has_trio = true;
+  }
+
+  double EnsureJaro(const SimilarityEnsemble::PreparedLabel& p) {
+    if (!has_jaro) {
+      jaro = FastJaro(p.lower, lb);
+      has_jaro = true;
+    }
+    return jaro;
+  }
+};
+
+// One feature value, bitwise equal to what Score() would fold in for the
+// same pair (same guards, same shared intermediates, same expressions).
+double EvalKernelFeature(int feature, const SimilarityEnsemble::Context& ctx,
+                         const SimilarityEnsemble::PreparedLabel& p,
+                         KernelScratch& sc, std::string_view d, int query_type,
+                         int data_type) {
+  using E = SimilarityEnsemble;
+  switch (feature) {
+    case E::kExact:
+      return p.label == d ? 1.0 : 0.0;
+    case E::kCaseInsensitive:
+      return p.lower == sc.lb ? 1.0 : 0.0;
+    case E::kLevenshtein:
+      return FastLevenshtein(p.lower, sc.lb);
+    case E::kDamerauLevenshtein:
+      return FastDamerau(p.lower, sc.lb);
+    case E::kJaro:
+      return sc.EnsureJaro(p);
+    case E::kJaroWinkler:
+      return FastJaroWinkler(p.lower, sc.lb, sc.EnsureJaro(p));
+    case E::kPrefix:
+      return FastPrefix(p.lower, sc.lb);
+    case E::kSuffix:
+      return FastSuffix(p.lower, sc.lb);
+    case E::kContainment:
+      return FastContainment(p.lower, sc.lb);
+    case E::kTokenJaccard: {
+      sc.EnsureTrio(p);
+      const size_t na = p.tokens_sorted.size(), nb = sc.tokens_sorted.size();
+      if (na == 0 && nb == 0) return 1.0;
+      if (na == 0 || nb == 0) return 0.0;
+      const size_t uni = na + nb - sc.trio_inter;
+      return uni == 0 ? 0.0 : static_cast<double>(sc.trio_inter) / uni;
+    }
+    case E::kTokenDice: {
+      sc.EnsureTrio(p);
+      const size_t na = p.tokens_sorted.size(), nb = sc.tokens_sorted.size();
+      if (na == 0 && nb == 0) return 1.0;
+      if (na == 0 || nb == 0) return 0.0;
+      return 2.0 * sc.trio_inter / (na + nb);
+    }
+    case E::kTokenOverlap: {
+      sc.EnsureTrio(p);
+      const size_t na = p.tokens_sorted.size(), nb = sc.tokens_sorted.size();
+      if (na == 0 && nb == 0) return 1.0;
+      if (na == 0 || nb == 0) return 0.0;
+      return static_cast<double>(sc.trio_inter) / std::min(na, nb);
+    }
+    case E::kNGramJaccard: {
+      sc.EnsureTrigrams();
+      if (p.trigrams.empty() && sc.trigrams.empty()) return 1.0;
+      const size_t inter = SortedIntersectionCount(p.trigrams, sc.trigrams);
+      const size_t uni = p.trigrams.size() + sc.trigrams.size() - inter;
+      return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+    }
+    case E::kAcronym: {
+      if (p.label.empty() || d.empty()) return 0.0;
+      sc.EnsureTokens();
+      if (p.tokens.size() == 1 && p.lower.size() >= 2) {
+        sc.EnsureInitials();
+        if (sc.initials == p.lower) return 1.0;
+      }
+      if (sc.tokens.size() == 1 && sc.lb.size() >= 2 && p.initials == sc.lb) {
+        return 1.0;
+      }
+      return 0.0;
+    }
+    case E::kAbbreviation: {
+      const std::string& la = p.lower;
+      const std::string& lb = sc.lb;
+      if (la.empty() || lb.empty()) return 0.0;
+      const std::string& shorter = la.size() <= lb.size() ? la : lb;
+      const std::string& longer = la.size() <= lb.size() ? lb : la;
+      if (shorter.size() < 2 || shorter.size() == longer.size()) {
+        return shorter == longer ? 1.0 : 0.0;
+      }
+      if (shorter[0] != longer[0]) return 0.0;
+      size_t j = 0;
+      for (size_t i = 0; i < longer.size() && j < shorter.size(); ++i) {
+        if (longer[i] == shorter[j]) ++j;
+      }
+      if (j != shorter.size()) return 0.0;
+      return static_cast<double>(shorter.size()) / longer.size() * 0.5 + 0.5;
+    }
+    case E::kLengthRatio: {
+      if (p.label.empty() && d.empty()) return 1.0;
+      const double lo = static_cast<double>(std::min(p.label.size(), d.size()));
+      const double hi = static_cast<double>(std::max(p.label.size(), d.size()));
+      return hi == 0 ? 1.0 : lo / hi;
+    }
+    case E::kNumeric: {
+      if (!p.looks_numeric && !LooksNumeric(sc.lb)) return 0.0;
+      sc.EnsureQuantity(d);
+      return QuantitySimilarity(p.quantity, sc.quantity);
+    }
+    case E::kLcs:
+      return FastLcs(p.lower, sc.lb);
+    case E::kPhonetic: {
+      sc.EnsureTokens();
+      if (p.tokens.empty() || sc.tokens.empty()) return 0.0;
+      if (p.soundex.empty()) return 0.0;
+      sc.EnsureSoundex();
+      for (const auto& code : sc.soundex) {
+        if (std::binary_search(p.soundex.begin(), p.soundex.end(), code)) {
+          return 1.0;
+        }
+      }
+      return 0.0;
+    }
+    case E::kSynonym:
+      return ctx.synonyms != nullptr ? ctx.synonyms->Similarity(p.label, d)
+                                     : 0.0;
+    case E::kTfIdfCosine: {
+      if (ctx.tfidf == nullptr || !ctx.tfidf->finalized()) return 0.0;
+      sc.EnsureTfidf(d, *ctx.tfidf);
+      return TfIdfModel::CosineSparse(p.tfidf, sc.tfidf);
+    }
+    case E::kTypeOntology:
+      return ctx.ontology != nullptr
+                 ? ctx.ontology->Similarity(query_type, data_type)
+                 : 0.0;
+    case E::kMongeElkan:
+      sc.EnsureTokens();
+      return FastMongeElkan(p.tokens, sc.tokens);
+    case E::kLongestCommonSubstring:
+      return FastLongestCommonSubstring(p.lower, sc.lb);
+    case E::kHamming: {
+      const std::string& la = p.lower;
+      const std::string& lb = sc.lb;
+      if (la.size() != lb.size()) {
+        return la.empty() && lb.empty() ? 1.0 : 0.0;
+      }
+      if (la.empty()) return 1.0;
+      size_t equal = 0;
+      for (size_t i = 0; i < la.size(); ++i) equal += la[i] == lb[i];
+      return static_cast<double>(equal) / la.size();
+    }
+    case E::kSmithWaterman:
+      return FastSmithWaterman(p.lower, sc.lb);
+    case E::kBigramDice: {
+      sc.EnsureBigrams();
+      if (p.bigrams.empty() && sc.bigrams.empty()) return 1.0;
+      if (p.bigrams.empty() || sc.bigrams.empty()) return 0.0;
+      const size_t inter = SortedIntersectionCount(p.bigrams, sc.bigrams);
+      return 2.0 * inter / (p.bigrams.size() + sc.bigrams.size());
+    }
+    case E::kTokenSequenceEdit:
+      sc.EnsureTokens();
+      return FastTokenSequenceEdit(p.tokens, sc.tokens);
+    case E::kDate: {
+      if (!p.contains_digit || !ContainsDigit(sc.lb)) return 0.0;
+      sc.EnsureYear(d);
+      return YearSimilarity(p.year, sc.year);
+    }
+    case E::kNumeralAware: {
+      if (p.label.empty() || d.empty()) return 0.0;
+      sc.EnsureNumerals();
+      return p.numerals == sc.numerals ? 1.0 : 0.0;
+    }
+    default:
+      return 0.0;
+  }
+}
+
 }  // namespace
 
 SimilarityEnsemble::SimilarityEnsemble() : SimilarityEnsemble(Context{}) {}
@@ -306,7 +800,11 @@ double SimilarityEnsemble::Score(std::string_view q, std::string_view d,
     const size_t nb = sc.tb.size();
     const size_t inter = sc.token_intersection;
     if (na == 0 && nb == 0) {
-      s += w[kTokenJaccard] + w[kTokenDice] + w[kTokenOverlap];
+      // Three separate adds (not one grouped sum) so the accumulation
+      // order matches the kernel's canonical per-feature replay bitwise.
+      s += w[kTokenJaccard];
+      s += w[kTokenDice];
+      s += w[kTokenOverlap];
     } else if (na > 0 && nb > 0) {
       const size_t uni = na + nb - inter;
       if (uni > 0) {
@@ -369,9 +867,110 @@ void SimilarityEnsemble::SetWeights(const std::vector<double>& weights) {
   }
   if (sum <= 0.0) {
     weights_.assign(kFeatureCount, 1.0 / static_cast<double>(kFeatureCount));
-    return;
+  } else {
+    for (auto& w : weights_) w /= sum;
   }
-  for (auto& w : weights_) w /= sum;
+  RebuildEvalOrder();
+}
+
+void SimilarityEnsemble::RebuildEvalOrder() {
+  eval_order_.clear();
+  eval_order_.reserve(kFeatureCount);
+  // The O(1) pre-filters run first regardless of weight: they cost
+  // nothing and seed the running score before the first bound check.
+  eval_order_.push_back(kExact);
+  eval_order_.push_back(kCaseInsensitive);
+  eval_order_.push_back(kLengthRatio);
+  std::vector<int> rest;
+  rest.reserve(kFeatureCount);
+  for (int i = 0; i < kFeatureCount; ++i) {
+    if (i == kExact || i == kCaseInsensitive || i == kLengthRatio) continue;
+    if (weights_[i] > 0.0) rest.push_back(i);
+  }
+  std::sort(rest.begin(), rest.end(), [this](int a, int b) {
+    if (weights_[a] != weights_[b]) return weights_[a] > weights_[b];
+    if (kCostRank[a] != kCostRank[b]) return kCostRank[a] < kCostRank[b];
+    return a < b;
+  });
+  eval_order_.insert(eval_order_.end(), rest.begin(), rest.end());
+  remaining_mass_.assign(eval_order_.size() + 1, 0.0);
+  for (size_t k = eval_order_.size(); k-- > 0;) {
+    remaining_mass_[k] = remaining_mass_[k + 1] + weights_[eval_order_[k]];
+  }
+}
+
+SimilarityEnsemble::PreparedLabel SimilarityEnsemble::Prepare(
+    std::string_view label) const {
+  PreparedLabel p;
+  p.label.assign(label);
+  p.lower = ToLower(label);
+  p.tokens = SplitTokens(p.lower);
+  p.tokens_sorted = p.tokens;
+  std::sort(p.tokens_sorted.begin(), p.tokens_sorted.end());
+  p.tokens_sorted.erase(
+      std::unique(p.tokens_sorted.begin(), p.tokens_sorted.end()),
+      p.tokens_sorted.end());
+  GramsInto(p.lower, 2, &p.bigrams);
+  GramsInto(p.lower, 3, &p.trigrams);
+  for (const auto& t : p.tokens) {
+    p.initials.push_back(t[0]);
+    std::string code = SoundexToken(t);
+    if (!code.empty()) p.soundex.push_back(std::move(code));
+  }
+  std::sort(p.soundex.begin(), p.soundex.end());
+  p.soundex.erase(std::unique(p.soundex.begin(), p.soundex.end()),
+                  p.soundex.end());
+  p.numerals = NormalizeNumerals(label);
+  p.quantity = ParseQuantity(label);
+  p.year = ExtractYear(label);
+  p.looks_numeric = LooksNumeric(p.lower);
+  p.contains_digit = ContainsDigit(p.lower);
+  if (context_.tfidf != nullptr && context_.tfidf->finalized()) {
+    p.tfidf = context_.tfidf->Vectorize(p.label);
+  }
+  return p;
+}
+
+double SimilarityEnsemble::ScoreAgainstThreshold(const PreparedLabel& prepared,
+                                                 std::string_view data_label,
+                                                 double threshold,
+                                                 int query_type, int data_type,
+                                                 KernelStats* stats) const {
+  if (stats != nullptr) ++stats->pairs;
+  // Same shortcut as Score(): case-insensitive equality is exactly 1.
+  if (!prepared.label.empty() && EqualIgnoreCase(prepared.label, data_label)) {
+    return 1.0;
+  }
+  static thread_local KernelScratch sc;
+  sc.Reset(data_label);
+  double f[kFeatureCount] = {};
+  const size_t order = eval_order_.size();
+  double partial = 0.0;
+  for (size_t k = 0; k < order; ++k) {
+    // Upper bound on the final score: every unevaluated feature is <= 1,
+    // so at most the remaining weight mass can still be added. The 1e-9
+    // margin keeps accumulation-order rounding (~1e-13 for a 30-term
+    // convex sum) from ever rejecting a pair the canonical sum accepts.
+    if (threshold >= 0.0 && partial + remaining_mass_[k] < threshold - 1e-9) {
+      if (stats != nullptr) {
+        ++stats->early_exits;
+        stats->features_evaluated += k;
+        stats->features_skipped += order - k;
+      }
+      return partial + remaining_mass_[k];
+    }
+    const int i = eval_order_[k];
+    f[i] = EvalKernelFeature(i, context_, prepared, sc, data_label, query_type,
+                             data_type);
+    partial += weights_[i] * f[i];
+  }
+  if (stats != nullptr) stats->features_evaluated += order;
+  // Replay the weighted sum in canonical feature order: bitwise equal to
+  // Score()'s accumulation (skipped/zero-weight terms add +0.0, which is
+  // an identity on the non-negative running sum).
+  double s = 0.0;
+  for (int i = 0; i < kFeatureCount; ++i) s += weights_[i] * f[i];
+  return s;
 }
 
 const std::vector<std::string>& SimilarityEnsemble::FeatureNames() {

@@ -1,6 +1,8 @@
 #ifndef STAR_TEXT_ENSEMBLE_H_
 #define STAR_TEXT_ENSEMBLE_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +12,23 @@
 #include "text/type_ontology.h"
 
 namespace star::text {
+
+/// Counters of the threshold-aware scoring kernel (ScoreAgainstThreshold):
+/// how many pairs were scored, how many exited early, and how many feature
+/// evaluations the weight-ordered upper bound saved.
+struct KernelStats {
+  uint64_t pairs = 0;               ///< kernel invocations
+  uint64_t early_exits = 0;         ///< pairs rejected before the full sweep
+  uint64_t features_evaluated = 0;  ///< feature positions actually consumed
+  uint64_t features_skipped = 0;    ///< feature positions skipped by exits
+
+  void Merge(const KernelStats& o) {
+    pairs += o.pairs;
+    early_exits += o.early_exits;
+    features_evaluated += o.features_evaluated;
+    features_skipped += o.features_skipped;
+  }
+};
 
 /// The learned node/edge matching function of Eq. 1:
 ///
@@ -88,18 +107,90 @@ class SimilarityEnsemble {
                int query_type = -1, int data_type = -1) const;
 
   /// Replaces the weights (negative entries clamped to 0, then the vector
-  /// is renormalized to sum 1). Must have kFeatureCount entries.
+  /// is renormalized to sum 1). Must have kFeatureCount entries. Also
+  /// rebuilds the kernel's evaluation order (see ScoreAgainstThreshold).
   void SetWeights(const std::vector<double>& weights);
 
   const std::vector<double>& weights() const { return weights_; }
   const Context& context() const { return context_; }
 
+  // -------------------------------------------------------------------
+  // Threshold-aware scoring kernel
+  // -------------------------------------------------------------------
+  //
+  // Bulk candidate scoring evaluates ONE query label against thousands of
+  // data labels, but Score() re-derives the query-side views (lowercase,
+  // tokens, n-grams, phonetic codes, parses, tf-idf vector) for every
+  // pair. The kernel splits the work: Prepare() builds the query side
+  // once, ScoreAgainstThreshold() touches only the data side per pair —
+  // into thread_local scratch, with no per-pair allocations — and
+  // evaluates features in descending-weight order under the running upper
+  // bound `score_so_far + remaining_weight_mass` (every feature is in
+  // [0, 1]). Once the bound cannot reach `threshold` the pair is rejected
+  // without evaluating the expensive tail (the O(n*m) alignment DPs).
+  //
+  // Exactness: completed evaluations replay the weighted sum in canonical
+  // feature order, so any returned value >= threshold is bitwise equal to
+  // Score(). Early exits return the (sub-threshold) bound, and the exit
+  // test keeps a 1e-9 margin below the threshold so accumulation-order
+  // rounding can never reject a pair the canonical sum would accept —
+  // which is why Candidates() output is bit-identical with the kernel on
+  // or off.
+
+  /// Sentinel threshold: never exit early (exact mode).
+  static constexpr double kNoThreshold = -1.0;
+
+  /// Query-side view of one label, built once per query node by Prepare().
+  /// Immutable afterwards, so concurrent ScoreAgainstThreshold calls may
+  /// share it (the per-pair scratch is thread_local).
+  struct PreparedLabel {
+    std::string label;                       ///< original bytes
+    std::string lower;                       ///< lowercased
+    std::vector<std::string> tokens;         ///< tokens of lower, in order
+    std::vector<std::string> tokens_sorted;  ///< sorted, unique
+    std::vector<std::string> bigrams;        ///< sorted unique char 2-grams
+    std::vector<std::string> trigrams;       ///< sorted unique char 3-grams
+    std::string initials;                    ///< first char of each token
+    std::vector<std::string> soundex;        ///< non-empty per-token codes
+    std::vector<std::string> numerals;       ///< numeral-normalized tokens
+    std::optional<double> quantity;          ///< ParseQuantity(label)
+    std::optional<int> year;                 ///< ExtractYear(label)
+    bool looks_numeric = false;              ///< numeric-guard flag (lower)
+    bool contains_digit = false;             ///< date-guard flag (lower)
+    TfIdfModel::SparseVector tfidf;          ///< empty without tf-idf ctx
+  };
+
+  /// Builds the query-side view of `label` (uses the tf-idf context when
+  /// present and finalized).
+  PreparedLabel Prepare(std::string_view label) const;
+
+  /// F_N of (prepared query label, data label) against a candidate
+  /// threshold. Returns a value bitwise equal to Score() whenever that
+  /// value is >= threshold (and always when threshold < 0, e.g.
+  /// kNoThreshold); pairs whose canonical score is below the threshold
+  /// may instead return a cheaper sub-threshold upper bound. Thread-safe
+  /// (thread_local scratch); `stats`, when given, is the caller's and is
+  /// mutated non-atomically.
+  double ScoreAgainstThreshold(const PreparedLabel& prepared,
+                               std::string_view data_label, double threshold,
+                               int query_type = -1, int data_type = -1,
+                               KernelStats* stats = nullptr) const;
+
   /// Human-readable feature names, index-aligned with Features().
   static const std::vector<std::string>& FeatureNames();
 
  private:
+  /// Recomputes eval_order_ / remaining_mass_ from weights_: the O(1)
+  /// pre-filters first, then positive-weight features by (weight desc,
+  /// cost-rank asc, index asc) — equal weights evaluate cheap-first so
+  /// early exits skip the expensive alignment DPs.
+  void RebuildEvalOrder();
+
   Context context_;
   std::vector<double> weights_;
+  std::vector<int> eval_order_;
+  /// remaining_mass_[k] = sum of weights_[eval_order_[j]] for j >= k.
+  std::vector<double> remaining_mass_;
 };
 
 }  // namespace star::text

@@ -29,6 +29,8 @@ char SoundexDigit(char c) {
   }
 }
 
+}  // namespace
+
 std::string SoundexToken(std::string_view token) {
   std::string letters;
   for (char c : token) {
@@ -49,8 +51,6 @@ std::string SoundexToken(std::string_view token) {
   while (code.size() < 4) code.push_back('0');
   return code;
 }
-
-}  // namespace
 
 std::string Soundex(std::string_view s) {
   const auto tokens = SplitTokens(s);

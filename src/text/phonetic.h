@@ -10,6 +10,11 @@ namespace star::text {
 /// Empty input yields an empty code.
 std::string Soundex(std::string_view s);
 
+/// Soundex code of a single, already-split token (case-insensitive; empty
+/// for tokens without letters). Exposed for the scoring kernel's prepared
+/// query-side phonetic codes.
+std::string SoundexToken(std::string_view token);
+
 /// 1 if the Soundex codes of the two strings match (token-wise best match
 /// for multi-token strings), 0 otherwise. Part of the Eq. 1 feature family.
 double PhoneticSimilarity(std::string_view a, std::string_view b);

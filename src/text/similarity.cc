@@ -279,8 +279,6 @@ double LengthRatio(std::string_view a, std::string_view b) {
   return hi == 0 ? 1.0 : lo / hi;
 }
 
-namespace {
-
 // Parses "<number><unit>?" where unit is a recognized suffix. Returns the
 // value normalized into base units, or nullopt.
 std::optional<double> ParseQuantity(std::string_view s) {
@@ -301,19 +299,20 @@ std::optional<double> ParseQuantity(std::string_view s) {
   return v * it->second;
 }
 
-}  // namespace
-
-double NumericSimilarity(std::string_view a, std::string_view b) {
-  const auto va = ParseQuantity(a);
-  const auto vb = ParseQuantity(b);
-  if (!va || !vb) return 0.0;
-  const double x = *va;
-  const double y = *vb;
+double QuantitySimilarity(const std::optional<double>& a,
+                          const std::optional<double>& b) {
+  if (!a || !b) return 0.0;
+  const double x = *a;
+  const double y = *b;
   if (x == y) return 1.0;
   const double denom = std::max(std::abs(x), std::abs(y));
   if (denom == 0) return 1.0;
   const double rel = std::abs(x - y) / denom;
   return 1.0 / (1.0 + 9.0 * rel);  // 1 at equality, 0.1 at 100% difference
+}
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  return QuantitySimilarity(ParseQuantity(a), ParseQuantity(b));
 }
 
 double MongeElkanSimilarity(std::string_view a, std::string_view b) {
@@ -418,8 +417,6 @@ double TokenSequenceEditSimilarity(std::string_view a, std::string_view b) {
   return 1.0 - prev[m] / static_cast<double>(std::max(n, m));
 }
 
-namespace {
-
 // Extracts a plausible 3-4 digit year (steering clear of long numbers).
 std::optional<int> ExtractYear(std::string_view s) {
   for (size_t i = 0; i < s.size();) {
@@ -442,6 +439,14 @@ std::optional<int> ExtractYear(std::string_view s) {
   return std::nullopt;
 }
 
+double YearSimilarity(const std::optional<int>& a,
+                      const std::optional<int>& b) {
+  if (!a || !b) return 0.0;
+  return 1.0 / (1.0 + std::abs(*a - *b) / 10.0);
+}
+
+namespace {
+
 // Roman numeral value of a lowercase token, or 0 if not one (bounded to
 // the common title range i..xx to avoid false hits like "mix").
 int RomanValue(const std::string& token) {
@@ -463,24 +468,25 @@ int NumberWordValue(const std::string& token) {
   return it == kWords.end() ? 0 : it->second;
 }
 
+}  // namespace
+
+int NumeralTokenValue(const std::string& lower_token) {
+  const int roman = RomanValue(lower_token);
+  return roman != 0 ? roman : NumberWordValue(lower_token);
+}
+
 // Tokens with roman numerals / number words replaced by digit strings.
 std::vector<std::string> NormalizeNumerals(std::string_view s) {
   std::vector<std::string> tokens = SplitTokens(ToLower(s));
   for (auto& t : tokens) {
-    int v = RomanValue(t);
-    if (v == 0) v = NumberWordValue(t);
+    const int v = NumeralTokenValue(t);
     if (v > 0) t = std::to_string(v);
   }
   return tokens;
 }
 
-}  // namespace
-
 double DateSimilarity(std::string_view a, std::string_view b) {
-  const auto ya = ExtractYear(a);
-  const auto yb = ExtractYear(b);
-  if (!ya || !yb) return 0.0;
-  return 1.0 / (1.0 + std::abs(*ya - *yb) / 10.0);
+  return YearSimilarity(ExtractYear(a), ExtractYear(b));
 }
 
 double NumeralAwareMatch(std::string_view a, std::string_view b) {

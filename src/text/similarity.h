@@ -1,6 +1,7 @@
 #ifndef STAR_TEXT_SIMILARITY_H_
 #define STAR_TEXT_SIMILARITY_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -112,6 +113,32 @@ int LevenshteinDistance(std::string_view a, std::string_view b);
 
 /// Character n-grams (lowercased) of s; shorter-than-n strings yield {s}.
 std::vector<std::string> CharNGrams(std::string_view s, int n);
+
+// Decomposed building blocks of the parse-based features, exposed so the
+// scoring kernel (ensemble.h) can precompute the query side once per query
+// node. NumericSimilarity == QuantitySimilarity(ParseQuantity(a),
+// ParseQuantity(b)); DateSimilarity == YearSimilarity(ExtractYear(a),
+// ExtractYear(b)); NumeralAwareMatch compares NormalizeNumerals outputs.
+
+/// Parses "<number><unit>?" (recognized unit suffixes converted to base
+/// units: km/m/cm/mm, kg/g/mg, h/hr/min/s/sec/ms); nullopt otherwise.
+std::optional<double> ParseQuantity(std::string_view s);
+
+/// The NumericSimilarity aggregation over two parsed quantities.
+double QuantitySimilarity(const std::optional<double>& a,
+                          const std::optional<double>& b);
+
+/// Extracts a plausible 3-4 digit year, or nullopt.
+std::optional<int> ExtractYear(std::string_view s);
+
+/// The DateSimilarity aggregation over two extracted years.
+double YearSimilarity(const std::optional<int>& a, const std::optional<int>& b);
+
+/// Roman-numeral or number-word value of a lowercase token (0 if neither).
+int NumeralTokenValue(const std::string& lower_token);
+
+/// Tokens of ToLower(s) with numerals normalized to digit strings.
+std::vector<std::string> NormalizeNumerals(std::string_view s);
 
 }  // namespace star::text
 

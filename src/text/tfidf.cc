@@ -1,5 +1,6 @@
 #include "text/tfidf.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -28,28 +29,74 @@ double TfIdfModel::Idf(std::string_view token) const {
   return it == idf_.end() ? max_idf_ : it->second;
 }
 
-std::unordered_map<std::string, double> TfIdfModel::Vectorize(
-    std::string_view s) const {
-  std::unordered_map<std::string, double> tf;
-  for (const auto& t : SplitTokens(ToLower(s))) tf[t] += 1.0;
-  for (auto& [token, w] : tf) w *= Idf(token);
-  return tf;
+double TfIdfModel::IdfLower(const std::string& lower_token) const {
+  const auto it = idf_.find(lower_token);
+  return it == idf_.end() ? max_idf_ : it->second;
+}
+
+void TfIdfModel::VectorizeInto(std::string_view s, SparseVector* out) const {
+  // Tokenize into a reused scratch, sort, then aggregate runs: the term
+  // frequency of a token is its run length (an exact small integer, the
+  // same value the old hash-map accumulation produced).
+  static thread_local std::string lower;
+  static thread_local std::vector<std::string> tokens;
+  ToLowerInto(s, &lower);
+  SplitTokensInto(lower, &tokens);
+  std::sort(tokens.begin(), tokens.end());
+  size_t count = 0;
+  const auto emit = [&](const std::string& token, double tf) {
+    const double w = tf * IdfLower(token);
+    if (count < out->size()) {
+      (*out)[count].first.assign(token);
+      (*out)[count].second = w;
+    } else {
+      out->emplace_back(token, w);
+    }
+    ++count;
+  };
+  for (size_t i = 0; i < tokens.size();) {
+    size_t j = i + 1;
+    while (j < tokens.size() && tokens[j] == tokens[i]) ++j;
+    emit(tokens[i], static_cast<double>(j - i));
+    i = j;
+  }
+  out->resize(count);
+}
+
+TfIdfModel::SparseVector TfIdfModel::Vectorize(std::string_view s) const {
+  SparseVector v;
+  VectorizeInto(s, &v);
+  return v;
+}
+
+double TfIdfModel::CosineSparse(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double na = 0.0, nb = 0.0, dot = 0.0;
+  for (const auto& [t, w] : a) na += w * w;
+  for (const auto& [t, w] : b) nb += w * w;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].first.compare(b[j].first);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 
 double TfIdfModel::Cosine(std::string_view a, std::string_view b) const {
-  const auto va = Vectorize(a);
-  const auto vb = Vectorize(b);
-  if (va.empty() && vb.empty()) return 1.0;
-  if (va.empty() || vb.empty()) return 0.0;
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (const auto& [t, w] : va) {
-    na += w * w;
-    const auto it = vb.find(t);
-    if (it != vb.end()) dot += w * it->second;
-  }
-  for (const auto& [t, w] : vb) nb += w * w;
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
+  static thread_local SparseVector va, vb;
+  VectorizeInto(a, &va);
+  VectorizeInto(b, &vb);
+  return CosineSparse(va, vb);
 }
 
 }  // namespace star::text

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace star::text {
@@ -15,6 +16,12 @@ namespace star::text {
 /// ones ("the", "film").
 class TfIdfModel {
  public:
+  /// Sparse tf-idf vector: (token, weight) pairs sorted by token. The
+  /// canonical order makes every norm/dot accumulation a fixed-order sum,
+  /// so cosine values are bitwise reproducible regardless of how the
+  /// vector was produced (fresh or into a reused scratch buffer).
+  using SparseVector = std::vector<std::pair<std::string, double>>;
+
   TfIdfModel() = default;
 
   /// Adds one document (label) to the corpus statistics.
@@ -27,6 +34,18 @@ class TfIdfModel {
   /// Valid only after Finalize(). Unknown tokens get the maximum idf.
   double Cosine(std::string_view a, std::string_view b) const;
 
+  /// Sparse tf-idf vector of a label (valid only after Finalize()).
+  SparseVector Vectorize(std::string_view s) const;
+
+  /// Vectorize into a reused buffer: token strings and the vector's
+  /// storage are recycled across calls (the scoring kernel's per-pair
+  /// data-side path). Produces exactly Vectorize(s).
+  void VectorizeInto(std::string_view s, SparseVector* out) const;
+
+  /// Cosine of two prepared sparse vectors; the shared core of Cosine()
+  /// and the scoring kernel's prepared-query-side evaluation.
+  static double CosineSparse(const SparseVector& a, const SparseVector& b);
+
   /// idf of a token (log((1+N)/(1+df)) + 1); max-idf for unseen tokens.
   double Idf(std::string_view token) const;
 
@@ -35,7 +54,8 @@ class TfIdfModel {
   bool finalized() const { return finalized_; }
 
  private:
-  std::unordered_map<std::string, double> Vectorize(std::string_view s) const;
+  /// Idf lookup for an already-lowercased token (no copy).
+  double IdfLower(const std::string& lower_token) const;
 
   std::unordered_map<std::string, size_t> doc_freq_;
   std::unordered_map<std::string, double> idf_;

@@ -116,6 +116,35 @@ TEST(LabelIndexTest, RankedCandidatesIncludeTypeOnlyHits) {
   EXPECT_EQ(g.NodeLabel(top[0]), "Troy");
 }
 
+TEST(LabelIndexTest, RankedCandidatesDeterministicTieTruncation) {
+  // Seven nodes share the identical label, so every candidate carries the
+  // exact same rarity weight. Truncation must still be deterministic: ties
+  // at the cap boundary retain the smallest node ids, independent of hash
+  // map iteration order.
+  KnowledgeGraph::Builder b;
+  for (int i = 0; i < 7; ++i) b.AddNode("alpha", "Thing");
+  const auto g = std::move(b).Build();
+  const LabelIndex index(g);
+  const auto top = index.RankedCandidates("alpha", -1, 3);
+  const std::vector<NodeId> expected = {0, 1, 2};
+  EXPECT_EQ(top, expected);
+  // Stable under repetition (no per-call nondeterminism).
+  EXPECT_EQ(index.RankedCandidates("alpha", -1, 3), expected);
+}
+
+TEST(LabelIndexTest, RankedCandidatesRarityBeatsIdAtCap) {
+  // All nodes match "alpha"; only the last one carries the rare token
+  // "bravo". Rarity weight must outrank the smaller ids under cap 1.
+  KnowledgeGraph::Builder b;
+  for (int i = 0; i < 4; ++i) b.AddNode("alpha", "Thing");
+  b.AddNode("alpha bravo", "Thing");
+  const auto g = std::move(b).Build();
+  const LabelIndex index(g);
+  const auto top = index.RankedCandidates("alpha bravo", -1, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(g.NodeLabel(top[0]), "alpha bravo");
+}
+
 TEST(LabelIndexTest, TokenCount) {
   const auto g = star::testing::MovieGraph();
   const LabelIndex index(g);

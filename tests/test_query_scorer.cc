@@ -1,5 +1,9 @@
 #include "scoring/query_scorer.h"
 
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "test_helpers.h"
@@ -134,6 +138,51 @@ TEST(QueryScorerTest, WalkBallSmallestLengths) {
   // United States is 2 hops (via Los Angeles).
   ASSERT_TRUE(ball.count(9));
   EXPECT_EQ(ball.at(9), 2);
+}
+
+// Reference implementation of the WalkBall contract (all nodes reachable
+// by a walk of length in [2, d], mapped to the smallest such length), as
+// the pre-flat-array code computed it: a fresh hash-set layered BFS per
+// call. A node may reappear in several layers; the smallest layer wins.
+std::unordered_map<graph::NodeId, int> NaiveWalkBall(
+    const graph::KnowledgeGraph& g, graph::NodeId a, int d) {
+  std::unordered_map<graph::NodeId, int> ball;
+  if (d < 2) return ball;
+  std::unordered_set<graph::NodeId> layer;
+  for (const auto& nb : g.Neighbors(a)) layer.insert(nb.node);
+  for (int h = 2; h <= d && !layer.empty(); ++h) {
+    std::unordered_set<graph::NodeId> next;
+    for (const graph::NodeId x : layer) {
+      for (const auto& nb : g.Neighbors(x)) {
+        if (next.insert(nb.node).second) ball.try_emplace(nb.node, h);
+      }
+    }
+    layer = std::move(next);
+  }
+  return ball;
+}
+
+TEST(QueryScorerTest, WalkBallMatchesNaiveReference) {
+  const auto g = star::testing::SmallRandomGraph(/*seed=*/57);
+  query::QueryGraph q;
+  q.AddNode("A");
+  for (const int d : {2, 3}) {
+    text::SimilarityEnsemble ensemble;
+    QueryScorer scorer(g, q, ensemble, TestConfig(d), nullptr);
+    for (graph::NodeId a = 0; a < g.node_count(); ++a) {
+      const auto expected = NaiveWalkBall(g, a, d);
+      const auto& ball = scorer.WalkBall(a);
+      ASSERT_EQ(ball.size(), expected.size()) << "a=" << a << " d=" << d;
+      for (const auto& [v, h] : expected) {
+        const auto it = ball.find(v);
+        ASSERT_NE(it, ball.end()) << "a=" << a << " d=" << d << " v=" << v;
+        EXPECT_EQ(it->second, h) << "a=" << a << " d=" << d << " v=" << v;
+      }
+    }
+    // Repeated calls hit the memo and stay consistent.
+    const auto first = scorer.WalkBall(0);
+    EXPECT_EQ(scorer.WalkBall(0), first);
+  }
 }
 
 TEST(QueryScorerTest, ScoreUpperBound) {
