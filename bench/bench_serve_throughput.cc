@@ -1,0 +1,206 @@
+// Serving-layer throughput benchmark: drives serve::QueryService with
+// concurrent clients across cache-hit-ratio scenarios and reports QPS and
+// latency percentiles (p50/p95/p99) per scenario, as JSON on stdout so
+// runs can be committed/diffed (BENCH_serve.json).
+//
+// Every OK response is checked bitwise against a direct
+// StarFramework::TopK run of the same query — the process exits non-zero
+// if serving (cached or fresh, any concurrency) ever diverges from direct
+// execution.
+//
+// Environment overrides:
+//   STAR_BENCH_NODES     dataset size (default 10000)
+//   STAR_SERVE_REQUESTS  requests per scenario (default 96)
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/query_service.h"
+
+namespace star::bench {
+namespace {
+
+struct Scenario {
+  int clients;
+  /// Requested fraction of cache hits (0 disables the cache entirely).
+  double target_hit_ratio;
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  size_t requests = 0;
+  size_t distinct_queries = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double observed_hit_rate = 0.0;
+  size_t mismatches = 0;
+  size_t errors = 0;
+};
+
+bool SameMatches(const std::vector<core::GraphMatch>& a,
+                 const std::vector<core::GraphMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].mapping != b[i].mapping || a[i].score != b[i].score) return false;
+  }
+  return true;
+}
+
+ScenarioResult RunScenario(const Dataset& d, const core::StarOptions& star,
+                           const std::vector<query::QueryGraph>& pool,
+                           const std::vector<std::vector<core::GraphMatch>>&
+                               expected,
+                           const Scenario& sc, size_t total_requests,
+                           size_t k) {
+  const bool cache_on = sc.target_hit_ratio > 0.0;
+  // With D distinct queries over T requests and an LRU large enough to
+  // hold them all, hit rate converges to (T - D) / T.
+  const size_t distinct = std::max<size_t>(
+      1, cache_on ? static_cast<size_t>(
+                        total_requests * (1.0 - sc.target_hit_ratio) + 0.5)
+                  : pool.size());
+  const size_t use = std::min(distinct, pool.size());
+
+  serve::ServiceOptions so;
+  so.star = star;
+  so.max_inflight = sc.clients;
+  so.max_queue = total_requests;  // this bench measures latency, not shed load
+  so.cache_capacity = cache_on ? use : 0;
+
+  serve::QueryService service(d.graph, *d.ensemble, d.index.get(), so);
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> errors{0};
+  std::vector<std::vector<double>> latencies(sc.clients);
+
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < sc.clients; ++c) {
+    clients.emplace_back([&, c] {
+      latencies[c].reserve(total_requests / sc.clients + 1);
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= total_requests) return;
+        const size_t qi = i % use;
+        serve::QueryRequest req;
+        req.query = pool[qi];
+        req.k = k;
+        WallTimer t;
+        const serve::QueryResponse resp = service.Execute(std::move(req));
+        latencies[c].push_back(t.ElapsedMillis());
+        if (!resp.status.ok()) {
+          errors.fetch_add(1);
+        } else if (!SameMatches(resp.matches, expected[qi])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  ScenarioResult r;
+  r.scenario = sc;
+  r.requests = total_requests;
+  r.distinct_queries = use;
+  r.wall_s = wall.ElapsedSeconds();
+  r.qps = total_requests / r.wall_s;
+  StatAccumulator acc;
+  for (const auto& per_client : latencies) {
+    for (const double ms : per_client) acc.Add(ms);
+  }
+  r.p50_ms = acc.Percentile(0.50);
+  r.p95_ms = acc.Percentile(0.95);
+  r.p99_ms = acc.Percentile(0.99);
+  r.observed_hit_rate = service.stats().cache_hit_rate();
+  r.mismatches = mismatches.load();
+  r.errors = errors.load();
+  return r;
+}
+
+}  // namespace
+}  // namespace star::bench
+
+int main() {
+  using namespace star;
+  using namespace star::bench;
+
+  const size_t nodes = EnvSize("STAR_BENCH_NODES", 10000);
+  const size_t total_requests = EnvSize("STAR_SERVE_REQUESTS", 96);
+  const size_t k = 10;
+  const Dataset d = MakeDataset(graph::DBpediaLike(nodes));
+
+  core::StarOptions star;
+  star.match = BenchConfig(1);
+
+  // The query pool is sized for the lowest-hit-ratio scenario (the one
+  // needing the most distinct queries).
+  const size_t pool_size = total_requests;
+  query::WorkloadGenerator wg(d.graph, /*seed=*/83);
+  std::vector<query::QueryGraph> pool;
+  std::vector<std::vector<core::GraphMatch>> expected;
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(wg.RandomStarQuery(3, BenchWorkloadOptions()));
+    core::StarFramework fw(d.graph, *d.ensemble, d.index.get(), star);
+    expected.push_back(fw.TopK(pool.back(), k));
+  }
+
+  const std::vector<Scenario> scenarios = {
+      {1, 0.0},  {1, 0.5},  {1, 0.9},  // single client: pure latency
+      {4, 0.0},  {4, 0.5},  {4, 0.9},
+      {8, 0.0},  {8, 0.5},  {8, 0.9},
+  };
+
+  std::vector<ScenarioResult> results;
+  for (const Scenario& sc : scenarios) {
+    results.push_back(
+        RunScenario(d, star, pool, expected, sc, total_requests, k));
+    const ScenarioResult& r = results.back();
+    std::fprintf(stderr,
+                 "[serve] clients=%d hit=%.1f qps=%.1f p50=%.1fms p95=%.1fms "
+                 "(observed hit %.2f, %zu mismatches, %zu errors)\n",
+                 sc.clients, sc.target_hit_ratio, r.qps, r.p50_ms, r.p95_ms,
+                 r.observed_hit_rate, r.mismatches, r.errors);
+  }
+
+  size_t total_mismatches = 0, total_errors = 0;
+  for (const ScenarioResult& r : results) {
+    total_mismatches += r.mismatches;
+    total_errors += r.errors;
+  }
+  const bool ok = total_mismatches == 0 && total_errors == 0;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"serve_throughput\",\n");
+  std::printf("  \"dataset\": {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu},\n",
+              d.name.c_str(), d.graph.node_count(), d.graph.edge_count());
+  std::printf("  \"workload\": {\"requests_per_scenario\": %zu, \"k\": %zu},\n",
+              total_requests, k);
+  std::printf("  \"scenarios\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::printf(
+        "    {\"clients\": %d, \"target_hit_ratio\": %.1f, "
+        "\"distinct_queries\": %zu, \"qps\": %.1f, \"p50_ms\": %.2f, "
+        "\"p95_ms\": %.2f, \"p99_ms\": %.2f, \"observed_hit_rate\": %.3f}%s\n",
+        r.scenario.clients, r.scenario.target_hit_ratio, r.distinct_queries,
+        r.qps, r.p50_ms, r.p95_ms, r.p99_ms, r.observed_hit_rate,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"identity\": {\"mismatches\": %zu, \"errors\": %zu, \"served_equals_direct\": %s}\n",
+              total_mismatches, total_errors, ok ? "true" : "false");
+  std::printf("}\n");
+
+  std::fprintf(stderr, "identity: %s\n",
+               ok ? "served results bitwise identical to direct TopK"
+                  : "MISMATCH — serving diverges from direct execution");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+#ifndef STAR_COMMON_DEADLINE_H_
+#define STAR_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace star {
+
+/// A latency budget for one request, anchored to the monotonic clock.
+/// Default-constructed deadlines are infinite (never expire), so existing
+/// call sites pay nothing. Cheap to copy; immutable after construction.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  Deadline() : at_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (ms <= 0 is already expired).
+  static Deadline AfterMillis(double ms) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  /// Already expired at construction. Used to test the prompt-rejection
+  /// path without sleeping.
+  static Deadline Expired() {
+    return Deadline(Clock::now() - std::chrono::milliseconds(1));
+  }
+
+  bool infinite() const { return at_ == Clock::time_point::max(); }
+
+  /// True once the budget is spent. Reads the clock — hot loops should
+  /// check through CancelChecker, which amortizes this call.
+  bool expired() const { return !infinite() && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry: +inf when infinite, <= 0 when expired.
+  double remaining_millis() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  explicit Deadline(Clock::time_point at) : at_(at) {}
+  Clock::time_point at_;
+};
+
+/// Cooperative cancellation state shared by a request's issuer and its
+/// executor: an explicit cancel flag plus a deadline. The issuer keeps the
+/// object alive for the whole execution and may Cancel() from any thread;
+/// executors poll ShouldStop() (or a CancelChecker) at loop checkpoints
+/// and wind down with whatever partial results they have. Non-copyable —
+/// pass by pointer (nullptr = never cancelled).
+class Cancellation {
+ public:
+  Cancellation() = default;
+  explicit Cancellation(Deadline deadline) : deadline_(deadline) {}
+
+  Cancellation(const Cancellation&) = delete;
+  Cancellation& operator=(const Cancellation&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  /// True when the request should stop: explicitly cancelled or past its
+  /// deadline. Consults the clock on every call.
+  bool ShouldStop() const { return cancelled() || deadline_.expired(); }
+
+ private:
+  Deadline deadline_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Amortized cancellation checkpoint for hot loops: the atomic flag is
+/// read on every call, the clock only once per kStride calls (the first
+/// call always checks, so an already-expired deadline stops immediately).
+/// One checker per loop / per worker thread; copying resets the stride.
+class CancelChecker {
+ public:
+  CancelChecker() = default;
+  explicit CancelChecker(const Cancellation* cancel) : cancel_(cancel) {}
+
+  bool ShouldStop() {
+    if (cancel_ == nullptr) return false;
+    if (cancel_->cancelled()) return true;
+    const Deadline& d = cancel_->deadline();
+    if (d.infinite()) return false;
+    if (count_++ % kStride != 0) return false;
+    return d.expired();
+  }
+
+  const Cancellation* cancellation() const { return cancel_; }
+
+ private:
+  static constexpr uint32_t kStride = 64;
+  const Cancellation* cancel_ = nullptr;
+  uint32_t count_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_DEADLINE_H_

@@ -18,6 +18,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kCorruptData,
+  /// A request's latency budget expired before it finished; the carrier
+  /// (e.g. serve::QueryResponse) may still hold partial results.
+  kDeadlineExceeded,
+  /// A bounded service rejected the request at admission instead of
+  /// queueing it unboundedly; safe to retry later.
+  kOverloaded,
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the success path
@@ -47,6 +53,12 @@ class Status {
   }
   static Status CorruptData(std::string msg) {
     return Status(StatusCode::kCorruptData, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -99,6 +111,8 @@ inline std::string Status::ToString() const {
     case StatusCode::kFailedPrecondition: name = "FailedPrecondition"; break;
     case StatusCode::kIoError: name = "IoError"; break;
     case StatusCode::kCorruptData: name = "CorruptData"; break;
+    case StatusCode::kDeadlineExceeded: name = "DeadlineExceeded"; break;
+    case StatusCode::kOverloaded: name = "Overloaded"; break;
   }
   return std::string(name) + ": " + message_;
 }

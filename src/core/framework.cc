@@ -53,13 +53,27 @@ std::vector<double> StarFramework::NodeWeights(
 }
 
 std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
+  return TopK(q, k, nullptr);
+}
+
+std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
+                                            const Cancellation* cancel) {
   stats_ = FrameworkStats{};
   std::vector<GraphMatch> out;
   if (q.node_count() == 0 || k == 0) return out;
 
+  // Pre-expired deadline / pre-cancelled request: return before building
+  // the scorer so not a single candidate is retrieved or scored.
+  CancelChecker cancel_check(cancel);
+  if (cancel_check.ShouldStop()) {
+    stats_.cancelled = true;
+    return out;
+  }
+
   // Scorer shared by decomposition sampling and all star searches, so
   // candidate lists and score memos are computed once per query.
   QueryScorer scorer(graph_, q, ensemble_, options_.match, index_);
+  scorer.set_cancellation(cancel);
 
   const std::vector<StarQuery> stars =
       DecomposeQuery(q, options_.decomposition, &scorer);
@@ -70,6 +84,7 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
     StarSearch::Options so;
     so.strategy = options_.strategy;
     so.k_hint = k;
+    so.cancel = cancel;
     StarSearch search(scorer, stars[0], so);
     const auto matches = search.TopK(k);
     out.reserve(matches.size());
@@ -77,12 +92,14 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
     stats_.star_depths = {matches.size()};
     stats_.total_depth = matches.size();
     stats_.search = search.stats();
+    stats_.cancelled = stats_.search.cancelled;
     return out;
   }
 
   // General query: build one monotone stream per star and fold them with
   // left-deep α-scheme rank joins (§VI-A).
   std::vector<StarMatchStream*> stream_ptrs;
+  std::vector<RankJoin*> join_ptrs;
   std::unique_ptr<CoveredMatchIterator> pipeline;
   // Keep the searches' scorer alive: all streams reference `scorer`.
   for (size_t i = 0; i < stars.size(); ++i) {
@@ -90,19 +107,27 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
     so.strategy = options_.strategy;
     so.k_hint = 0;  // joins may need arbitrarily deep star streams
     so.node_weights = NodeWeights(q, stars, i);
+    so.cancel = cancel;
     auto stream = std::make_unique<StarMatchStream>(
         std::make_unique<StarSearch>(scorer, stars[i], so));
     stream_ptrs.push_back(stream.get());
     if (pipeline == nullptr) {
       pipeline = std::move(stream);
     } else {
-      pipeline = std::make_unique<RankJoin>(std::move(pipeline),
-                                            std::move(stream),
-                                            options_.match.enforce_injective);
+      auto join = std::make_unique<RankJoin>(std::move(pipeline),
+                                             std::move(stream),
+                                             options_.match.enforce_injective,
+                                             cancel);
+      join_ptrs.push_back(join.get());
+      pipeline = std::move(join);
     }
   }
 
   while (out.size() < k) {
+    if (cancel_check.ShouldStop()) {
+      stats_.cancelled = true;
+      break;
+    }
     auto m = pipeline->Next();
     if (!m.has_value()) break;
     out.push_back(std::move(*m));
@@ -114,6 +139,8 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
     stats_.total_depth += s->depth();
     stats_.search.Merge(s->search().stats());
   }
+  stats_.cancelled |= stats_.search.cancelled;
+  for (const RankJoin* j : join_ptrs) stats_.cancelled |= j->cancelled();
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/decomposition.h"
 #include "core/match.h"
 #include "core/rank_join.h"
@@ -33,6 +34,10 @@ struct StarOptions {
 
 /// Per-query execution diagnostics.
 struct FrameworkStats {
+  /// True if a cancellation checkpoint fired anywhere in the query: the
+  /// returned matches are then a (correctly ordered) prefix of the exact
+  /// top-k rather than the complete answer.
+  bool cancelled = false;
   size_t num_stars = 0;
   /// Matches pulled from each star stream (the search depths |L_i|).
   std::vector<size_t> star_depths;
@@ -57,6 +62,16 @@ class StarFramework {
   /// Top-k matches of q in descending score order. Exact under the
   /// configured matching semantics (ties broken arbitrarily).
   std::vector<GraphMatch> TopK(const query::QueryGraph& q, size_t k);
+
+  /// Cancellable variant: `cancel` (nullable, must outlive the call) is
+  /// polled at every hot-loop checkpoint — candidate scoring, stark
+  /// enumeration, stard propagation, reserve activation, rank-join pulls.
+  /// Once it fires the call winds down and returns the matches emitted so
+  /// far (a prefix of the exact top-k, possibly empty), with
+  /// last_stats().cancelled set. An already-expired deadline returns
+  /// before any candidate retrieval.
+  std::vector<GraphMatch> TopK(const query::QueryGraph& q, size_t k,
+                               const Cancellation* cancel);
 
   /// Diagnostics of the most recent TopK call.
   const FrameworkStats& last_stats() const { return stats_; }

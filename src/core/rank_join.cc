@@ -41,8 +41,8 @@ double StarMatchStream::UpperBound() const { return search_->UpperBound(); }
 
 RankJoin::RankJoin(std::unique_ptr<CoveredMatchIterator> left,
                    std::unique_ptr<CoveredMatchIterator> right,
-                   bool enforce_injective)
-    : enforce_injective_(enforce_injective) {
+                   bool enforce_injective, const Cancellation* cancel)
+    : enforce_injective_(enforce_injective), cancel_check_(cancel) {
   left_.input = std::move(left);
   right_.input = std::move(right);
   covered_ = left_.input->covered_mask() | right_.input->covered_mask();
@@ -133,6 +133,12 @@ double RankJoin::Threshold() const {
 
 std::optional<GraphMatch> RankJoin::Next() {
   while (true) {
+    if (cancel_check_.ShouldStop()) {
+      // Buffered results below the threshold may be out of order relative
+      // to unseen joins, so the stream simply ends here.
+      cancelled_ = true;
+      return std::nullopt;
+    }
     const double threshold = Threshold();
     if (!results_.empty() && results_.top().score >= threshold) {
       GraphMatch out = results_.top();

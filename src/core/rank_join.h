@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/match.h"
 #include "core/star_search.h"
 
@@ -69,15 +70,21 @@ class RankJoin : public CoveredMatchIterator {
     size_t results_formed = 0;
   };
 
+  /// `cancel` (optional) cooperatively stops the pull loop: once it
+  /// fires, Next() reports exhaustion and already-returned results remain
+  /// a valid prefix. Must outlive the join.
   RankJoin(std::unique_ptr<CoveredMatchIterator> left,
            std::unique_ptr<CoveredMatchIterator> right,
-           bool enforce_injective);
+           bool enforce_injective, const Cancellation* cancel = nullptr);
 
   std::optional<GraphMatch> Next() override;
   double UpperBound() const override;
   uint64_t covered_mask() const override { return covered_; }
 
   const Stats& stats() const { return stats_; }
+
+  /// True if a cancellation checkpoint stopped the pull loop.
+  bool cancelled() const { return cancelled_; }
 
  private:
   struct Side {
@@ -108,6 +115,8 @@ class RankJoin : public CoveredMatchIterator {
   uint64_t covered_ = 0;
   std::vector<int> shared_nodes_;
   bool enforce_injective_;
+  CancelChecker cancel_check_;
+  bool cancelled_ = false;
 
   struct ResultOrder {
     bool operator()(const GraphMatch& a, const GraphMatch& b) const {

@@ -28,6 +28,7 @@ StarQuery MakeStarQuery(const QueryGraph& q) {
 
 StarSearch::StarSearch(QueryScorer& scorer, StarQuery star, Options options)
     : scorer_(scorer), star_(std::move(star)), options_(std::move(options)) {
+  cancel_check_ = CancelChecker(options_.cancel);
   leaf_nodes_.reserve(star_.edges.size());
   for (const int e : star_.edges) {
     leaf_nodes_.push_back(scorer_.query().OtherEnd(e, star_.pivot));
@@ -45,6 +46,9 @@ std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
   const scoring::MatchConfig& cfg = scorer_.config();
   const size_t s = star_.edges.size();
   const int d = std::max(1, cfg.d);
+  // Local checker: BuildEnumerator runs on pool workers in the parallel
+  // stark path, so the owning-thread cancel_check_ can't be shared.
+  CancelChecker cancel_check(options_.cancel);
 
   // Best combined contribution per (leaf, candidate node) under the walk
   // semantics: the direct edges give relsim (h = 1); any node reachable by
@@ -70,6 +74,10 @@ std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
   // The per-leaf relation scores differ, so this loop is leaf-specific.
   ++stats.nodes_expanded;
   for (const Neighbor& nb : g.Neighbors(pivot)) {
+    if (cancel_check.ShouldStop()) {
+      stats.cancelled = true;
+      break;
+    }
     const NodeId w = nb.node;
     if (cfg.enforce_injective && w == pivot) continue;
     for (size_t i = 0; i < s; ++i) {
@@ -97,11 +105,20 @@ std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
     for (int h = 2; h <= d; ++h) {
       const double decay = scorer_.PathDecay(h);
       if (decay < cfg.edge_threshold) break;
+      if (cancel_check.ShouldStop()) {
+        stats.cancelled = true;
+        break;
+      }
       std::unordered_set<NodeId> next;
       for (const NodeId x : layer) {
+        if (cancel_check.ShouldStop()) {
+          stats.cancelled = true;
+          break;
+        }
         ++stats.nodes_expanded;
         for (const Neighbor& nb : g.Neighbors(x)) next.insert(nb.node);
       }
+      if (stats.cancelled) break;
       // Credit each node once, at its smallest walk length (max decay).
       for (const NodeId w : next) {
         if (reached.insert(w).second) consider(w, decay);
@@ -143,7 +160,12 @@ void StarSearch::InitializeStark() {
     std::vector<StarSearchStats> worker_stats(threads);
     ParallelFor(candidates.size(), threads,
                 [&](size_t lo, size_t hi, int chunk) {
+                  CancelChecker cancel_check(options_.cancel);
                   for (size_t i = lo; i < hi; ++i) {
+                    if (cancel_check.ShouldStop()) {
+                      worker_stats[chunk].cancelled = true;
+                      break;  // unbuilt slots stay null and are skipped
+                    }
                     built[i] = BuildEnumerator(candidates[i].node,
                                                candidates[i].score * pivot_weight,
                                                worker_stats[chunk]);
@@ -152,6 +174,7 @@ void StarSearch::InitializeStark() {
                 });
     for (const StarSearchStats& ws : worker_stats) stats_.Merge(ws);
     for (size_t i = 0; i < candidates.size(); ++i) {
+      if (built[i] == nullptr) continue;  // skipped after cancellation
       const auto top1 = built[i]->PeekScore();
       if (!top1.has_value()) continue;
       ReserveEntry entry;
@@ -163,6 +186,10 @@ void StarSearch::InitializeStark() {
     }
   } else {
     for (const ScoredCandidate& c : candidates) {
+      if (cancel_check_.ShouldStop()) {
+        stats_.cancelled = true;
+        break;
+      }
       auto enumerator = BuildEnumerator(c.node, c.score * pivot_weight, stats_);
       const auto top1 = enumerator->PeekScore();
       if (!top1.has_value()) continue;
@@ -317,6 +344,7 @@ void StarSearch::InitializeStard() {
 
   // All d propagation rounds for one leaf (§V-B, Example 6).
   const auto propagate = [&](size_t i, StarSearchStats& stats) {
+    CancelChecker cancel_check(options_.cancel);
     const int leaf = leaf_nodes_[i];
     const auto& leaf_node = scorer_.query().node(leaf);
     // Untyped wildcards would flood the graph with messages (every node is
@@ -336,6 +364,10 @@ void StarSearch::InitializeStard() {
     // value uses the direct edge's relation similarity.
     const double leaf_weight = NodeWeight(leaf);
     for (const ScoredCandidate& c : scorer_.Candidates(leaf)) {
+      if (cancel_check.ShouldStop()) {
+        stats.cancelled = true;
+        return;
+      }
       const double base = c.score * leaf_weight;
       const Message m{c.node, base, 1};
       for (const Neighbor& nb : g.Neighbors(c.node)) {
@@ -361,6 +393,10 @@ void StarSearch::InitializeStard() {
       std::vector<FrontierEntry> next;
       std::vector<std::pair<NodeId, double>> next_overflow;
       for (const FrontierEntry& fe : frontier) {
+        if (cancel_check.ShouldStop()) {
+          stats.cancelled = true;
+          return;
+        }
         Message fwd = fe.msg;
         fwd.hops = h;
         for (const Neighbor& nb : g.Neighbors(fe.at)) {
@@ -413,8 +449,15 @@ void StarSearch::InitializeStard() {
   stats_.pivot_candidates = candidates.size();
   const double pivot_weight = NodeWeight(star_.pivot);
   std::vector<ReserveEntry> entries(candidates.size());
-  ParallelFor(candidates.size(), threads, [&](size_t lo, size_t hi, int) {
+  std::vector<uint8_t> chunk_cancelled(
+      static_cast<size_t>(std::max(threads, 1)), 0);
+  ParallelFor(candidates.size(), threads, [&](size_t lo, size_t hi, int chunk) {
+    CancelChecker cancel_check(options_.cancel);
     for (size_t idx = lo; idx < hi; ++idx) {
+      if (cancel_check.ShouldStop()) {
+        chunk_cancelled[chunk] = 1;
+        break;  // unprocessed entries stay invalid
+      }
       const ScoredCandidate& c = candidates[idx];
       double estimate = c.score * pivot_weight;
       bool feasible = true;
@@ -447,6 +490,9 @@ void StarSearch::InitializeStard() {
       entries[idx].pivot_score = c.score * pivot_weight;
     }
   });
+  for (const uint8_t c : chunk_cancelled) {
+    if (c) stats_.cancelled = true;
+  }
   reserve_.reserve(candidates.size());
   for (ReserveEntry& e : entries) {
     if (e.pivot != graph::kInvalidNode) reserve_.push_back(std::move(e));
@@ -512,6 +558,12 @@ void StarSearch::InitializeHybrid() {
 void StarSearch::Initialize() {
   if (initialized_) return;
   initialized_ = true;
+  // Pre-expired deadlines / already-cancelled requests skip the strategy
+  // initialization entirely: no candidate retrieval, no graph scan.
+  if (cancel_check_.ShouldStop()) {
+    stats_.cancelled = true;
+    return;
+  }
   const WallTimer wall;
   const CpuTimer cpu;
   const text::KernelStats kernel_before = scorer_.kernel_stats();
@@ -541,6 +593,10 @@ void StarSearch::ActivateReserve() {
   while (reserve_pos_ < reserve_.size() &&
          (queue_.empty() ||
           reserve_[reserve_pos_].bound >= queue_.top().score)) {
+    if (cancel_check_.ShouldStop()) {
+      stats_.cancelled = true;
+      break;
+    }
     ReserveEntry& entry = reserve_[reserve_pos_++];
     std::unique_ptr<PivotEnumerator> enumerator =
         entry.prebuilt != nullptr
@@ -555,7 +611,15 @@ void StarSearch::ActivateReserve() {
 
 std::optional<StarMatch> StarSearch::Next() {
   Initialize();
+  if (cancel_check_.ShouldStop()) {
+    stats_.cancelled = true;
+    return std::nullopt;  // already-emitted matches stay a valid prefix
+  }
   ActivateReserve();
+  // Re-check: if ActivateReserve wound down early, the queue top may not
+  // be the true next-best match, so nothing more is emitted (cancellation
+  // is monotone, so the checkpoint that fired there fires here too).
+  if (stats_.cancelled && cancel_check_.ShouldStop()) return std::nullopt;
   if (queue_.empty()) return std::nullopt;
   const QueueEntry top = queue_.top();
   queue_.pop();

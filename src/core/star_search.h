@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/match.h"
 #include "core/pivot_enumerator.h"
 #include "query/query_graph.h"
@@ -57,6 +58,12 @@ struct StarSearchStats {
   size_t fn_feature_evals = 0;
   size_t fn_features_skipped = 0;
 
+  /// True if a cancellation checkpoint fired during this search: some
+  /// phase wound down early, so emitted matches are a (still correctly
+  /// ordered) prefix of the exact result. Never set without a
+  /// Options::cancel token.
+  bool cancelled = false;
+
   /// Accumulates the countable counters (wall/CPU times are summed too,
   /// so aggregate stats report totals across stars).
   void Merge(const StarSearchStats& o) {
@@ -71,6 +78,7 @@ struct StarSearchStats {
     fn_early_exits += o.fn_early_exits;
     fn_feature_evals += o.fn_feature_evals;
     fn_features_skipped += o.fn_features_skipped;
+    cancelled |= o.cancelled;
   }
 };
 
@@ -96,6 +104,12 @@ class StarSearch {
     /// = all 1 (standalone star query). Joining streams whose per-node
     /// weights sum to 1 yields exactly the Eq. 2 score.
     std::vector<double> node_weights;
+    /// Cooperative cancellation (deadline and/or explicit cancel). When it
+    /// fires, initialization phases wind down early and Next() reports
+    /// exhaustion; matches already emitted remain valid, making the stream
+    /// a prefix of the exact one. Must outlive the search. nullptr = run
+    /// to completion.
+    const Cancellation* cancel = nullptr;
   };
 
   /// The scorer must outlive the search; `star.edges` must all be incident
@@ -161,6 +175,7 @@ class StarSearch {
   query::StarQuery star_;
   Options options_;
   std::vector<int> leaf_nodes_;  // query node per star edge
+  CancelChecker cancel_check_;   // owning-thread checkpoints
 
   bool initialized_ = false;
   std::vector<ReserveEntry> reserve_;  // sorted descending by bound

@@ -1,0 +1,56 @@
+#ifndef STAR_QUERY_QUERY_CANONICAL_H_
+#define STAR_QUERY_QUERY_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace star::query {
+
+/// An insertion-order-insensitive canonical form of a QueryGraph: two
+/// graphs that differ only in the order nodes/edges were added (i.e. are
+/// isomorphic under a label/type/relation-preserving relabeling) produce
+/// the same signature, and two graphs with the same signature are such
+/// relabelings of each other. This is what makes a normalized-query result
+/// cache correct: the signature can be a cache key with no false hits.
+///
+/// Method: Weisfeiler-Leman color refinement over (wildcard, label, type)
+/// node attributes and (relation, neighbor color) edge views, then the
+/// lexicographically smallest serialization over orderings consistent with
+/// the final color classes. Refinement alone distinguishes almost every
+/// real query; the bounded permutation search only runs over residual
+/// symmetric groups (e.g. identically-labeled leaves), which are tiny for
+/// paper-scale queries. If the residual symmetry exceeds
+/// kMaxCanonicalOrderings, the signature falls back to refinement order —
+/// still deterministic and collision-free, merely insertion-order
+/// sensitive for those pathological queries (a missed cache hit, never a
+/// wrong one; `exact` reports it).
+struct CanonicalQuery {
+  /// Full canonical serialization (nodes, then sorted edge list).
+  std::string signature;
+  /// FNV-1a hash of `signature` (for hash-map keying; the signature is
+  /// still what must be compared on lookup).
+  uint64_t hash = 0;
+  /// Canonical rank of each original node index.
+  std::vector<int> node_rank;
+  /// False when the permutation cap forced the refinement-order fallback.
+  bool exact = true;
+};
+
+/// Orderings explored across residual color-class symmetries before
+/// falling back (product of factorials of tied-class sizes).
+inline constexpr size_t kMaxCanonicalOrderings = 20'160;  // 8!/2
+
+CanonicalQuery CanonicalizeQuery(const QueryGraph& q);
+
+/// Convenience: CanonicalizeQuery(q).hash.
+uint64_t CanonicalQueryHash(const QueryGraph& q);
+
+/// True when a and b have identical canonical signatures.
+bool CanonicallyEqual(const QueryGraph& a, const QueryGraph& b);
+
+}  // namespace star::query
+
+#endif  // STAR_QUERY_QUERY_CANONICAL_H_

@@ -124,7 +124,9 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
     // Wildcard scoring is pure (type check / constant), so workers may use
     // NodeScore directly — it never touches the memo for wildcards.
     ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int) {
+      CancelChecker cancel_check(cancel_);
       for (size_t i = lo; i < hi; ++i) {
+        if (cancel_check.ShouldStop()) break;  // rest stay 0 (non-candidates)
         scores[i] = NodeScore(query_node, nodes[i]);
       }
     });
@@ -140,7 +142,12 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
       static_cast<size_t>(std::max(threads, 1)));
   ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int chunk) {
     text::KernelStats* ks = &worker_stats[chunk];
+    CancelChecker cancel_check(cancel_);
     for (size_t i = lo; i < hi; ++i) {
+      // Cancellation leaves the rest of the chunk unscored: miss[] stays 0
+      // for those entries, so the merge below never memoizes a guessed
+      // score, and their 0.0 falls below any positive candidate threshold.
+      if (cancel_check.ShouldStop()) break;
       // The memo is read-only during the parallel section.
       const auto it = cache.find(nodes[i]);
       if (it != cache.end()) {
@@ -171,6 +178,10 @@ const std::vector<ScoredCandidate>& QueryScorer::Candidates(
   candidates_ready_[query_node] = true;
   auto& out = candidates_[query_node];
   const query::QueryNode& qn = query_.node(query_node);
+
+  // Cancelled requests skip retrieval + scoring outright; the empty list
+  // is only ever seen by the doomed request that owns this scorer.
+  if (cancel_ != nullptr && cancel_->ShouldStop()) return out;
 
   // Retrieval: the node ids to score (index semantics unchanged).
   std::vector<NodeId> pool;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "graph/knowledge_graph.h"
 #include "graph/label_index.h"
 #include "query/query_graph.h"
@@ -153,6 +154,15 @@ class QueryScorer {
   const MatchConfig& config() const { return config_; }
   const graph::LabelIndex* index() const { return index_; }
 
+  /// Attaches a cooperative cancellation token (nullable; must outlive
+  /// the scorer's use). The bulk scoring paths (Candidates / BulkScore)
+  /// poll it and wind down early once it fires: candidate lists built
+  /// after that point may be truncated — but never contain a wrong score —
+  /// which is acceptable only because a cancelled request abandons its
+  /// scorer. Cached exact scores are never polluted by a cancellation
+  /// (skipped entries are left out of the memo, not guessed).
+  void set_cancellation(const Cancellation* cancel) { cancel_ = cancel; }
+
   /// Number of F_N evaluations performed (diagnostic for benches).
   size_t node_score_evaluations() const { return node_evals_; }
 
@@ -191,6 +201,7 @@ class QueryScorer {
   const text::SimilarityEnsemble& ensemble_;
   MatchConfig config_;
   const graph::LabelIndex* index_;
+  const Cancellation* cancel_ = nullptr;
 
   // Ontology ids resolved once: per query node and per graph type id.
   std::vector<int> query_node_onto_type_;

@@ -1,0 +1,243 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/thread_pool.h"
+#include "query/query_canonical.h"
+
+namespace star::serve {
+
+namespace {
+
+// Key-segment separator, below any canonical-signature byte's meaning.
+constexpr char kSep = '\x1d';
+
+void AppendU64(std::string& s, uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  s += buf;
+  s += kSep;
+}
+
+// Bit-exact double encoding: two configs key equal iff every scoring
+// parameter is the identical double, with no decimal round-trip fuzz.
+void AppendDouble(std::string& s, double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  AppendU64(s, bits);
+}
+
+/// Serializes every StarOptions field that can change results. `threads`
+/// and `use_scoring_kernel` are deliberately excluded: both carry a
+/// bit-identity contract (DESIGN.md "Threading model" / "Scoring kernel"),
+/// so results are interchangeable across their settings.
+std::string ConfigKey(const core::StarOptions& o) {
+  std::string s;
+  AppendU64(s, static_cast<uint64_t>(o.strategy));
+  AppendDouble(s, o.match.node_threshold);
+  AppendDouble(s, o.match.edge_threshold);
+  AppendDouble(s, o.match.lambda);
+  AppendU64(s, static_cast<uint64_t>(o.match.d));
+  AppendU64(s, o.match.max_candidates);
+  AppendU64(s, o.match.max_retrieval);
+  AppendDouble(s, o.match.wildcard_node_score);
+  AppendU64(s, o.match.enforce_injective ? 1 : 0);
+  AppendU64(s, static_cast<uint64_t>(o.decomposition.strategy));
+  AppendDouble(s, o.decomposition.lambda_tradeoff);
+  AppendU64(s, o.decomposition.sample_size);
+  AppendDouble(s, o.decomposition.connectivity_p);
+  AppendU64(s, o.decomposition.seed);
+  AppendU64(s, static_cast<uint64_t>(o.decomposition.max_enumeration_nodes));
+  AppendDouble(s, o.alpha);
+  return s;
+}
+
+}  // namespace
+
+QueryService::QueryService(const graph::KnowledgeGraph& g,
+                           const text::SimilarityEnsemble& ensemble,
+                           const graph::LabelIndex* index,
+                           ServiceOptions options)
+    : graph_(g),
+      ensemble_(ensemble),
+      index_(index),
+      options_([&options] {
+        options.max_inflight = std::max(1, options.max_inflight);
+        return std::move(options);
+      }()),
+      config_key_(ConfigKey(options_.star)),
+      cache_(options_.cache_capacity) {
+  // Workers chain through the queue, so max_inflight pool threads suffice
+  // for the serving layer itself (engine-internal ParallelFor calls nested
+  // inside a worker degrade to inline-serial by design).
+  ThreadPool::Global().EnsureWorkers(options_.max_inflight);
+}
+
+QueryService::~QueryService() {
+  std::unique_lock<std::mutex> lock(mu_);
+  accepting_ = false;
+  // Workers drain the queue before retiring, so inflight_ == 0 implies the
+  // queue is empty and every admitted promise has been fulfilled.
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+std::string QueryService::CacheKey(const query::QueryGraph& q,
+                                   size_t k) const {
+  std::string key = query::CanonicalizeQuery(q).signature;
+  key += kSep;
+  key += config_key_;
+  AppendU64(key, k);
+  return key;
+}
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
+  if (req.deadline.infinite() && options_.default_timeout_ms > 0) {
+    req.deadline = Deadline::AfterMillis(options_.default_timeout_ms);
+  }
+  auto p = std::make_shared<Pending>(std::move(req));
+  std::future<QueryResponse> fut = p->promise.get_future();
+
+  Status reject = Status::Ok();
+  if (p->req.k == 0) {
+    reject = Status::InvalidArgument("k must be >= 1");
+  } else if (p->req.query.node_count() == 0) {
+    reject = Status::InvalidArgument("query has no nodes");
+  } else if (p->req.query.node_count() > 64) {
+    reject = Status::InvalidArgument(
+        "query exceeds 64 nodes (rank-join coverage mask limit)");
+  }
+
+  bool dispatch = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (!reject.ok()) {
+      ++stats_.rejected_invalid;
+    } else if (!accepting_) {
+      reject = Status::Overloaded("service is shutting down");
+      ++stats_.rejected_overload;
+    } else if (inflight_ < options_.max_inflight) {
+      ++inflight_;
+      dispatch = true;
+    } else if (queue_.size() < options_.max_queue) {
+      queue_.push_back(p);
+    } else {
+      reject = Status::Overloaded("admission queue full");
+      ++stats_.rejected_overload;
+    }
+  }
+
+  if (!reject.ok()) {
+    QueryResponse resp;
+    resp.status = std::move(reject);
+    p->promise.set_value(std::move(resp));
+  } else if (dispatch) {
+    ThreadPool::Global().Submit(
+        [this, p]() mutable { WorkerLoop(std::move(p)); });
+  }
+  return fut;
+}
+
+QueryResponse QueryService::Execute(QueryRequest req) {
+  return Submit(std::move(req)).get();
+}
+
+void QueryService::InvalidateCache() { cache_.Invalidate(); }
+
+void QueryService::WorkerLoop(std::shared_ptr<Pending> p) {
+  for (;;) {
+    Finish(*p, Run(*p));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      if (--inflight_ == 0) idle_cv_.notify_all();
+      return;
+    }
+    p = std::move(queue_.front());
+    queue_.pop_front();
+  }
+}
+
+QueryResponse QueryService::Run(Pending& p) {
+  QueryResponse resp;
+  resp.queue_ms = p.queued.ElapsedMillis();
+  if (options_.before_execute) options_.before_execute();
+
+  // A request that expired while queued is answered without touching the
+  // graph: resp.framework stays zeroed (no candidate retrieval, no scan).
+  CancelChecker entry_check(&p.cancel);
+  if (entry_check.ShouldStop()) {
+    resp.status = Status::DeadlineExceeded("deadline expired while queued");
+    resp.partial = true;
+    return resp;
+  }
+
+  WallTimer exec;
+  const bool use_cache = options_.cache_capacity > 0 && p.req.use_cache;
+  std::string key;
+  uint64_t generation = 0;
+  if (use_cache) {
+    key = CacheKey(p.req.query, p.req.k);
+    generation = cache_.generation();
+    if (auto hit = cache_.Lookup(key)) {
+      resp.matches = *std::move(hit);
+      resp.cache_hit = true;
+      resp.status = Status::Ok();
+      resp.exec_ms = exec.ElapsedMillis();
+      return resp;
+    }
+  }
+
+  core::StarFramework fw(graph_, ensemble_, index_, options_.star);
+  resp.matches = fw.TopK(p.req.query, p.req.k, &p.cancel);
+  resp.exec_ms = exec.ElapsedMillis();
+  resp.framework = fw.last_stats();
+  if (resp.framework.cancelled) {
+    resp.partial = true;
+    resp.status = Status::DeadlineExceeded(
+        "deadline expired during execution; matches are a top-k prefix");
+  } else {
+    resp.status = Status::Ok();
+    // Only complete answers enter the cache, and only if no invalidation
+    // happened since the lookup — hits stay bitwise identical to fresh runs.
+    if (use_cache) cache_.Insert(key, resp.matches, generation);
+  }
+  return resp;
+}
+
+void QueryService::Finish(Pending& p, QueryResponse resp) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (resp.status.code()) {
+      case StatusCode::kOk:
+        ++stats_.completed;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        break;
+      default:
+        break;
+    }
+    stats_.total_queue_ms += resp.queue_ms;
+    stats_.total_exec_ms += resp.exec_ms;
+    stats_.max_queue_ms = std::max(stats_.max_queue_ms, resp.queue_ms);
+    stats_.max_exec_ms = std::max(stats_.max_exec_ms, resp.exec_ms);
+  }
+  p.promise.set_value(std::move(resp));
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  const CacheStats c = cache_.stats();
+  s.cache_hits = c.hits;
+  s.cache_misses = c.misses;
+  return s;
+}
+
+}  // namespace star::serve

@@ -1,0 +1,192 @@
+#ifndef STAR_SERVE_QUERY_SERVICE_H_
+#define STAR_SERVE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/framework.h"
+#include "serve/result_cache.h"
+
+namespace star::serve {
+
+struct ServiceOptions {
+  /// Engine configuration shared by every request (fixed for the service's
+  /// lifetime; it is part of the cache key contract).
+  core::StarOptions star;
+
+  /// Requests executing concurrently. Admission beyond this queues.
+  int max_inflight = 4;
+
+  /// Requests waiting for a worker. Admission beyond max_inflight +
+  /// max_queue is rejected with kOverloaded — the queue is bounded so an
+  /// overloaded service degrades by shedding load, not by growing latency
+  /// without bound.
+  size_t max_queue = 64;
+
+  /// Result-cache entries (0 disables caching entirely).
+  size_t cache_capacity = 128;
+
+  /// Deadline applied to requests that arrive without one, measured from
+  /// admission (so it covers queue wait). 0 = no implicit deadline.
+  double default_timeout_ms = 0.0;
+
+  /// Test hook: runs on the worker thread immediately before each request
+  /// executes (after dequeue, before the deadline checkpoint). Lets tests
+  /// hold workers busy deterministically to exercise admission control.
+  std::function<void()> before_execute;
+};
+
+struct QueryRequest {
+  query::QueryGraph query;
+  size_t k = 10;
+  /// Infinite by default; the service substitutes default_timeout_ms.
+  Deadline deadline;
+  /// Per-request cache opt-out (e.g. for freshness-critical callers).
+  bool use_cache = true;
+};
+
+struct QueryResponse {
+  /// Ok: `matches` is the exact top-k. DeadlineExceeded: `matches` is a
+  /// correctly ordered prefix of it (possibly empty) and `partial` is set.
+  /// Overloaded / InvalidArgument: rejected at admission, `matches` empty.
+  Status status;
+  std::vector<core::GraphMatch> matches;
+  bool cache_hit = false;
+  bool partial = false;
+  /// Admission-to-execution wait (includes promise dispatch overhead).
+  double queue_ms = 0.0;
+  /// Execution wall time (cache lookup or fresh engine run).
+  double exec_ms = 0.0;
+  /// Engine diagnostics; zero-initialized unless a fresh execution ran
+  /// (tests use pivot_candidates == 0 to prove an expired request did no
+  /// candidate retrieval).
+  core::FrameworkStats framework;
+};
+
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;          // OK responses (cache hits included)
+  uint64_t rejected_overload = 0;  // kOverloaded at admission
+  uint64_t rejected_invalid = 0;   // kInvalidArgument at admission
+  uint64_t deadline_exceeded = 0;  // kDeadlineExceeded (queued or mid-run)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double total_queue_ms = 0.0;
+  double total_exec_ms = 0.0;
+  double max_queue_ms = 0.0;
+  double max_exec_ms = 0.0;
+
+  double cache_hit_rate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+/// A concurrent query-serving front end over StarFramework: owns no graph
+/// data itself but holds warm references to the shared read-only state
+/// (graph, similarity ensemble, label index) and serves many clients on
+/// the process-wide thread pool.
+///
+/// Guarantees:
+///  - Admission control: at most max_inflight requests execute at once and
+///    at most max_queue wait; everything beyond that is rejected
+///    *synchronously* with kOverloaded (the returned future is already
+///    ready — no hidden unbounded queue).
+///  - Deadlines: each request's deadline is threaded into every engine hot
+///    loop as a cooperative cancellation token. An expired request returns
+///    kDeadlineExceeded with whatever prefix of the top-k was already
+///    emitted; a request that expires while queued returns promptly
+///    without touching the graph.
+///  - Result cache: normalized-query LRU keyed by the canonical query
+///    signature (insertion-order insensitive), the matching semantics, and
+///    k. Hits are bitwise identical to fresh execution. InvalidateCache()
+///    bumps a generation counter so in-flight stale results never land.
+///
+/// Thread safety: all public methods are safe to call from any thread.
+/// The referenced graph/ensemble/index must outlive the service and stay
+/// unmodified while it serves (matching StarFramework's contract).
+class QueryService {
+ public:
+  QueryService(const graph::KnowledgeGraph& g,
+               const text::SimilarityEnsemble& ensemble,
+               const graph::LabelIndex* index, ServiceOptions options);
+
+  /// Blocks until every admitted request has completed. New submissions
+  /// are rejected with kOverloaded during shutdown.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits (or rejects) the request and returns a future for its
+  /// response. Rejection (kOverloaded, kInvalidArgument) resolves the
+  /// future before Submit returns.
+  std::future<QueryResponse> Submit(QueryRequest req);
+
+  /// Synchronous convenience: Submit and wait.
+  QueryResponse Execute(QueryRequest req);
+
+  /// Drops all cached results and bumps the cache generation. Call after
+  /// mutating the underlying graph/index between serving windows.
+  void InvalidateCache();
+
+  ServiceStats stats() const;
+  CacheStats cache_stats() const { return cache_.stats(); }
+  const ServiceOptions& options() const { return options_; }
+
+  /// The normalized cache key for (q, k) under this service's
+  /// configuration. Exposed for tests and cache diagnostics.
+  std::string CacheKey(const query::QueryGraph& q, size_t k) const;
+
+ private:
+  struct Pending {
+    QueryRequest req;
+    std::promise<QueryResponse> promise;
+    WallTimer queued;      // started at admission
+    Cancellation cancel;   // owns the request's deadline
+
+    explicit Pending(QueryRequest r)
+        : req(std::move(r)), cancel(req.deadline) {}
+  };
+
+  /// Worker body: runs `p`, then keeps draining the queue until empty.
+  void WorkerLoop(std::shared_ptr<Pending> p);
+
+  /// Executes one admitted request (cache lookup / engine run / deadline
+  /// handling). Runs on a pool worker.
+  QueryResponse Run(Pending& p);
+
+  /// Records response stats and fulfills the promise.
+  void Finish(Pending& p, QueryResponse resp);
+
+  const graph::KnowledgeGraph& graph_;
+  const text::SimilarityEnsemble& ensemble_;
+  const graph::LabelIndex* index_;
+  const ServiceOptions options_;
+  /// Fingerprint of every result-affecting configuration field (excludes
+  /// threads / use_scoring_kernel, which carry bit-identity contracts).
+  std::string config_key_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  bool accepting_ = true;
+  int inflight_ = 0;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  ServiceStats stats_;
+};
+
+}  // namespace star::serve
+
+#endif  // STAR_SERVE_QUERY_SERVICE_H_

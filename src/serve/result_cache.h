@@ -1,0 +1,119 @@
+#ifndef STAR_SERVE_RESULT_CACHE_H_
+#define STAR_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/match.h"
+
+namespace star::serve {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Inserts dropped because Invalidate() ran after the value was computed.
+  uint64_t stale_drops = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Thread-safe LRU cache of completed top-k result lists, keyed by the
+/// normalized query key (canonical query signature + matching semantics +
+/// k — see QueryService::CacheKey). A hit is bitwise identical to
+/// re-running the query: only complete (non-cancelled) OK results are ever
+/// inserted, and the generation check below keeps results computed against
+/// superseded state out.
+///
+/// Invalidation contract: Lookup callers capture generation() before
+/// computing a fresh value and pass it to Insert. Invalidate() bumps the
+/// generation and clears the cache, so values computed against the old
+/// graph/index state can never land after the bump.
+class ResultCache {
+ public:
+  /// capacity 0 disables the cache (lookups miss, inserts drop).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+    lru_.clear();
+    index_.clear();
+  }
+
+  std::optional<std::vector<core::GraphMatch>> Lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    ++stats_.hits;
+    return it->second->second;
+  }
+
+  void Insert(const std::string& key, std::vector<core::GraphMatch> value,
+              uint64_t generation) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (generation != generation_) {
+      ++stats_.stale_drops;
+      return;
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_.emplace(key, lru_.begin());
+    ++stats_.insertions;
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+ private:
+  using Entry = std::pair<std::string, std::vector<core::GraphMatch>>;
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  uint64_t generation_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace star::serve
+
+#endif  // STAR_SERVE_RESULT_CACHE_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
+
 namespace star {
 namespace {
 
@@ -20,7 +22,18 @@ TEST(StatusTest, ErrorFactories) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::CorruptData("x").code(), StatusCode::kCorruptData);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
   EXPECT_FALSE(Status::IoError("x").ok());
+}
+
+TEST(StatusTest, ServingCodesAreErrors) {
+  EXPECT_FALSE(Status::DeadlineExceeded("late").ok());
+  EXPECT_FALSE(Status::Overloaded("full").ok());
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Overloaded("full").ToString(), "Overloaded: full");
 }
 
 TEST(StatusTest, ToStringIncludesMessage) {
@@ -51,6 +64,52 @@ TEST(ResultTest, MoveOnlyValue) {
 TEST(ResultTest, ArrowOperator) {
   Result<std::string> r(std::string("hello"));
   EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(DeadlineTest, InfiniteByDefault) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_millis(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, ExpiredFactoryIsExpired) {
+  const Deadline d = Deadline::Expired();
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_millis(), 0.0);
+}
+
+TEST(DeadlineTest, AfterMillisExpiresInTheFuture) {
+  const Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 0.0);
+  EXPECT_TRUE(Deadline::AfterMillis(-1).expired());
+}
+
+TEST(CancellationTest, CancelFlagStopsChecker) {
+  Cancellation c;
+  CancelChecker check(&c);
+  EXPECT_FALSE(check.ShouldStop());
+  c.Cancel();
+  EXPECT_TRUE(c.cancelled());
+  EXPECT_TRUE(check.ShouldStop());
+}
+
+TEST(CancellationTest, ExpiredDeadlineStopsOnFirstCheck) {
+  Cancellation c(Deadline::Expired());
+  CancelChecker check(&c);
+  // The first call consults the clock, so pre-expired deadlines stop
+  // immediately instead of after a checkpoint stride.
+  EXPECT_TRUE(check.ShouldStop());
+  EXPECT_TRUE(c.ShouldStop());
+}
+
+TEST(CancellationTest, NullCheckerNeverStops) {
+  CancelChecker check(nullptr);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(check.ShouldStop());
 }
 
 }  // namespace
