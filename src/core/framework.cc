@@ -92,7 +92,10 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
     stats_.star_depths = {matches.size()};
     stats_.total_depth = matches.size();
     stats_.search = search.stats();
-    stats_.cancelled = stats_.search.cancelled;
+    // The scorer's own checkpoints (bulk scoring, candidate retrieval) can
+    // observe an expiry that the search-level checkers miss; its sticky
+    // truncation flag makes sure such a run is never reported complete.
+    stats_.cancelled = stats_.search.cancelled || scorer.truncated();
     return out;
   }
 
@@ -141,6 +144,7 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
   }
   stats_.cancelled |= stats_.search.cancelled;
   for (const RankJoin* j : join_ptrs) stats_.cancelled |= j->cancelled();
+  stats_.cancelled |= scorer.truncated();
   return out;
 }
 

@@ -611,15 +611,18 @@ void StarSearch::ActivateReserve() {
 
 std::optional<StarMatch> StarSearch::Next() {
   Initialize();
-  if (cancel_check_.ShouldStop()) {
+  if (stats_.cancelled || cancel_check_.ShouldStop()) {
     stats_.cancelled = true;
     return std::nullopt;  // already-emitted matches stay a valid prefix
   }
   ActivateReserve();
-  // Re-check: if ActivateReserve wound down early, the queue top may not
-  // be the true next-best match, so nothing more is emitted (cancellation
-  // is monotone, so the checkpoint that fired there fires here too).
-  if (stats_.cancelled && cancel_check_.ShouldStop()) return std::nullopt;
+  // Re-check: if any checkpoint fired, activation wound down early and
+  // queue_.top() may not be the true next-best match, so nothing more is
+  // emitted. stats_.cancelled is read directly — the amortized ShouldStop
+  // only consults the clock every kStride calls and can return false right
+  // after the checkpoint inside ActivateReserve observed the expiry, which
+  // would break the correctly-ordered-prefix guarantee.
+  if (stats_.cancelled) return std::nullopt;
   if (queue_.empty()) return std::nullopt;
   const QueueEntry top = queue_.top();
   queue_.pop();

@@ -123,13 +123,21 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
   if (qn.wildcard) {
     // Wildcard scoring is pure (type check / constant), so workers may use
     // NodeScore directly — it never touches the memo for wildcards.
-    ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int) {
+    std::vector<uint8_t> chunk_cancelled(
+        static_cast<size_t>(std::max(threads, 1)), 0);
+    ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int chunk) {
       CancelChecker cancel_check(cancel_);
       for (size_t i = lo; i < hi; ++i) {
-        if (cancel_check.ShouldStop()) break;  // rest stay 0 (non-candidates)
+        if (cancel_check.ShouldStop()) {  // rest stay 0 (non-candidates)
+          chunk_cancelled[chunk] = 1;
+          break;
+        }
         scores[i] = NodeScore(query_node, nodes[i]);
       }
     });
+    for (const uint8_t c : chunk_cancelled) {
+      if (c) truncated_ = true;
+    }
     return scores;
   }
   const bool kernel = config_.use_scoring_kernel;
@@ -140,6 +148,7 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
   // always < threads) and merged serially after the join.
   std::vector<text::KernelStats> worker_stats(
       static_cast<size_t>(std::max(threads, 1)));
+  std::vector<uint8_t> chunk_cancelled(worker_stats.size(), 0);
   ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int chunk) {
     text::KernelStats* ks = &worker_stats[chunk];
     CancelChecker cancel_check(cancel_);
@@ -147,7 +156,10 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
       // Cancellation leaves the rest of the chunk unscored: miss[] stays 0
       // for those entries, so the merge below never memoizes a guessed
       // score, and their 0.0 falls below any positive candidate threshold.
-      if (cancel_check.ShouldStop()) break;
+      if (cancel_check.ShouldStop()) {
+        chunk_cancelled[chunk] = 1;
+        break;
+      }
       // The memo is read-only during the parallel section.
       const auto it = cache.find(nodes[i]);
       if (it != cache.end()) {
@@ -169,19 +181,26 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
     if (cache.emplace(nodes[i], scores[i]).second) ++node_evals_;
   }
   for (const text::KernelStats& ks : worker_stats) kernel_stats_.Merge(ks);
+  for (const uint8_t c : chunk_cancelled) {
+    if (c) truncated_ = true;
+  }
   return scores;
 }
 
 const std::vector<ScoredCandidate>& QueryScorer::Candidates(
     int query_node) const {
   if (candidates_ready_[query_node]) return candidates_[query_node];
-  candidates_ready_[query_node] = true;
   auto& out = candidates_[query_node];
-  const query::QueryNode& qn = query_.node(query_node);
 
-  // Cancelled requests skip retrieval + scoring outright; the empty list
-  // is only ever seen by the doomed request that owns this scorer.
-  if (cancel_ != nullptr && cancel_->ShouldStop()) return out;
+  // Cancelled requests skip retrieval + scoring outright. The list is NOT
+  // marked ready (the empty result is never memoized as definitive) and the
+  // truncation is recorded so the run as a whole reports itself partial.
+  if (cancel_ != nullptr && cancel_->ShouldStop()) {
+    truncated_ = true;
+    return out;
+  }
+  candidates_ready_[query_node] = true;
+  const query::QueryNode& qn = query_.node(query_node);
 
   // Retrieval: the node ids to score (index semantics unchanged).
   std::vector<NodeId> pool;

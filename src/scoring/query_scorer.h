@@ -158,10 +158,20 @@ class QueryScorer {
   /// the scorer's use). The bulk scoring paths (Candidates / BulkScore)
   /// poll it and wind down early once it fires: candidate lists built
   /// after that point may be truncated — but never contain a wrong score —
-  /// which is acceptable only because a cancelled request abandons its
-  /// scorer. Cached exact scores are never polluted by a cancellation
-  /// (skipped entries are left out of the memo, not guessed).
+  /// and every such wind-down sets the sticky truncated() flag so the run
+  /// reports itself partial instead of posing as complete. Cached exact
+  /// scores are never polluted by a cancellation (skipped entries are left
+  /// out of the memo, not guessed).
   void set_cancellation(const Cancellation* cancel) { cancel_ = cancel; }
+
+  /// True once any cancellation checkpoint fired inside this scorer — some
+  /// candidate list or bulk-score result may be truncated. Monotone and
+  /// sticky; owning-thread read (parallel workers report through per-chunk
+  /// flags that are merged serially after the join). StarFramework folds
+  /// this into FrameworkStats.cancelled so a truncated run can never be
+  /// reported as a complete answer even when the engine's own amortized
+  /// checkpoints all missed the expiry.
+  bool truncated() const { return truncated_; }
 
   /// Number of F_N evaluations performed (diagnostic for benches).
   size_t node_score_evaluations() const { return node_evals_; }
@@ -246,6 +256,9 @@ class QueryScorer {
   mutable std::vector<std::unordered_map<uint64_t, double>> pair_edge_cache_;
   mutable size_t node_evals_ = 0;
   mutable text::KernelStats kernel_stats_;
+  // Sticky truncation flag (see truncated()); written only on the owning
+  // thread — parallel sections report via per-chunk flags merged serially.
+  mutable bool truncated_ = false;
 };
 
 }  // namespace star::scoring

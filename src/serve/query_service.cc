@@ -194,7 +194,14 @@ QueryResponse QueryService::Run(Pending& p) {
   resp.matches = fw.TopK(p.req.query, p.req.k, &p.cancel);
   resp.exec_ms = exec.ElapsedMillis();
   resp.framework = fw.last_stats();
-  if (resp.framework.cancelled) {
+  // The engine's hot-loop checkers amortize clock reads (64-call stride),
+  // so a deadline can expire mid-run, truncate work, and still leave
+  // FrameworkStats.cancelled unset. Cancellation is monotone, so one
+  // unamortized ShouldStop here catches every such truncation before the
+  // result is declared complete — in particular, a possibly-truncated
+  // result must never be inserted into the cache, where it would be served
+  // as the definitive answer for its key until eviction.
+  if (resp.framework.cancelled || p.cancel.ShouldStop()) {
     resp.partial = true;
     resp.status = Status::DeadlineExceeded(
         "deadline expired during execution; matches are a top-k prefix");

@@ -204,6 +204,27 @@ TEST(QueryScorerTest, NoIndexScansAllNodes) {
   EXPECT_DOUBLE_EQ(cands[0].score, 1.0);
 }
 
+TEST(QueryScorerTest, CancelledCandidatesNotMemoizedAndTruncationRecorded) {
+  Fixture fx;
+  const int u = fx.q.AddNode("Brad");
+  QueryScorer scorer(fx.g, fx.q, fx.ensemble, TestConfig(), &fx.index);
+  EXPECT_FALSE(scorer.truncated());
+
+  Cancellation cancelled;
+  cancelled.Cancel();
+  scorer.set_cancellation(&cancelled);
+  EXPECT_TRUE(scorer.Candidates(u).empty());
+  // The cancelled early-return must be visible (truncated) and must not
+  // memoize the empty list as this node's definitive candidate set.
+  EXPECT_TRUE(scorer.truncated());
+
+  scorer.set_cancellation(nullptr);
+  EXPECT_FALSE(scorer.Candidates(u).empty());
+  // The flag is sticky: once any checkpoint fired, the session stays
+  // marked so no caller can report its output as complete.
+  EXPECT_TRUE(scorer.truncated());
+}
+
 TEST(QueryScorerTest, EvaluationCounterGrows) {
   Fixture fx;
   const int u = fx.q.AddNode("Brad Pitt");
