@@ -1,11 +1,26 @@
 #ifndef STAR_COMMON_STRING_UTIL_H_
 #define STAR_COMMON_STRING_UTIL_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace star {
+
+/// Heterogeneous hash for string-keyed unordered containers: with
+/// std::equal_to<> as the key-equality functor, find()/contains() accept
+/// std::string_view (and const char*) directly, so probes no longer
+/// allocate a temporary std::string per lookup. Hashes through
+/// std::hash<std::string_view>, which std::hash<std::string> is required
+/// to agree with.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// ASCII lowercase copy.
 std::string ToLower(std::string_view s);

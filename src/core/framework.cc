@@ -1,6 +1,11 @@
 #include "core/framework.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "query/query_canonical.h"
 
 namespace star::core {
 
@@ -11,10 +16,60 @@ using query::StarQuery;
 using scoring::QueryScorer;
 using text::SimilarityEnsemble;
 
+namespace {
+
+// Key-segment separator, below any canonical-signature byte's meaning.
+constexpr char kSep = '\x1d';
+
+void AppendU64(std::string& s, uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  s += buf;
+  s += kSep;
+}
+
+// Bit-exact double encoding: two configs key equal iff every scoring
+// parameter is the identical double, with no decimal round-trip fuzz.
+void AppendDouble(std::string& s, double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  AppendU64(s, bits);
+}
+
+}  // namespace
+
+std::string StarOptionsFingerprint(const StarOptions& o, bool has_index) {
+  std::string s;
+  AppendU64(s, static_cast<uint64_t>(o.strategy));
+  AppendDouble(s, o.match.node_threshold);
+  AppendDouble(s, o.match.edge_threshold);
+  AppendDouble(s, o.match.lambda);
+  AppendU64(s, static_cast<uint64_t>(o.match.d));
+  AppendU64(s, o.match.max_candidates);
+  AppendU64(s, o.match.max_retrieval);
+  AppendDouble(s, o.match.wildcard_node_score);
+  AppendU64(s, o.match.enforce_injective ? 1 : 0);
+  AppendU64(s, static_cast<uint64_t>(o.decomposition.strategy));
+  AppendDouble(s, o.decomposition.lambda_tradeoff);
+  AppendU64(s, o.decomposition.sample_size);
+  AppendDouble(s, o.decomposition.connectivity_p);
+  AppendU64(s, o.decomposition.seed);
+  AppendU64(s, static_cast<uint64_t>(o.decomposition.max_enumeration_nodes));
+  AppendDouble(s, o.alpha);
+  AppendU64(s, has_index ? 1 : 0);
+  return s;
+}
+
 StarFramework::StarFramework(const KnowledgeGraph& g,
                              const SimilarityEnsemble& ensemble,
                              const LabelIndex* index, StarOptions options)
-    : graph_(g), ensemble_(ensemble), index_(index), options_(options) {}
+    : graph_(g),
+      ensemble_(ensemble),
+      index_(index),
+      options_(options),
+      config_fingerprint_(
+          StarOptionsFingerprint(options_, index_ != nullptr)) {}
 
 std::vector<double> StarFramework::NodeWeights(
     const QueryGraph& q, const std::vector<StarQuery>& stars,
@@ -56,6 +111,25 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
   return TopK(q, k, nullptr);
 }
 
+void StarFramework::SeedCandidateLists(const QueryGraph& q,
+                                       const QueryScorer& scorer,
+                                       std::vector<std::string>* node_keys,
+                                       std::vector<bool>* seeded) {
+  node_keys->resize(q.node_count());
+  seeded->assign(q.node_count(), false);
+  for (int u = 0; u < q.node_count(); ++u) {
+    std::string& key = (*node_keys)[u];
+    key = config_fingerprint_;
+    key += 'N';
+    key += query::CanonicalNodeSignature(q.node(u));
+    if (const auto list = options_.reuse->LookupCandidates(key)) {
+      scorer.SeedCandidates(u, *list);
+      (*seeded)[u] = true;
+      ++stats_.candidate_lists_seeded;
+    }
+  }
+}
+
 std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
                                             const Cancellation* cancel) {
   stats_ = FrameworkStats{};
@@ -75,44 +149,50 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
   QueryScorer scorer(graph_, q, ensemble_, options_.match, index_);
   scorer.set_cancellation(cancel);
 
+  // Cross-query reuse: capture the generation BEFORE any lookup, then seed
+  // warm candidate lists into the scorer so decomposition sampling and
+  // every star search skip retrieval + F_N scoring for shared node shapes.
+  ReuseCache* const reuse = options_.reuse;
+  const uint64_t generation = reuse ? reuse->generation() : 0;
+  std::vector<std::string> node_keys;
+  std::vector<bool> seeded;
+  if (reuse != nullptr) SeedCandidateLists(q, scorer, &node_keys, &seeded);
+
   const std::vector<StarQuery> stars =
       DecomposeQuery(q, options_.decomposition, &scorer);
   stats_.num_stars = stars.size();
+  const bool single = stars.size() == 1;
 
-  if (stars.size() == 1) {
-    // Pure star query: the engine output is final (Fig. 4 step 2 only).
-    StarSearch::Options so;
-    so.strategy = options_.strategy;
-    so.k_hint = k;
-    so.cancel = cancel;
-    StarSearch search(scorer, stars[0], so);
-    const auto matches = search.TopK(k);
-    out.reserve(matches.size());
-    for (const auto& m : matches) out.push_back(search.ToGraphMatch(m));
-    stats_.star_depths = {matches.size()};
-    stats_.total_depth = matches.size();
-    stats_.search = search.stats();
-    // The scorer's own checkpoints (bulk scoring, candidate retrieval) can
-    // observe an expiry that the search-level checkers miss; its sticky
-    // truncation flag makes sure such a run is never reported complete.
-    stats_.cancelled = stats_.search.cancelled || scorer.truncated();
-    return out;
-  }
-
-  // General query: build one monotone stream per star and fold them with
-  // left-deep α-scheme rank joins (§VI-A).
-  std::vector<StarMatchStream*> stream_ptrs;
+  // One memo-aware monotone stream per star. Single-star queries use the
+  // stream directly (Fig. 4 step 2 only); general queries fold the streams
+  // with left-deep α-scheme rank joins (§VI-A). Star cache keys combine
+  // the config fingerprint with the canonical star signature; lookups
+  // compare the full key string, never a hash.
+  std::vector<CachedStarStream*> stream_ptrs;
   std::vector<RankJoin*> join_ptrs;
   std::unique_ptr<CoveredMatchIterator> pipeline;
   // Keep the searches' scorer alive: all streams reference `scorer`.
   for (size_t i = 0; i < stars.size(); ++i) {
     StarSearch::Options so;
     so.strategy = options_.strategy;
-    so.k_hint = 0;  // joins may need arbitrarily deep star streams
-    so.node_weights = NodeWeights(q, stars, i);
+    // Joins may need arbitrarily deep star streams; a standalone star
+    // never pulls past k, so Prop. 3 pruning applies.
+    so.k_hint = single ? k : 0;
+    if (!single) so.node_weights = NodeWeights(q, stars, i);
     so.cancel = cancel;
-    auto stream = std::make_unique<StarMatchStream>(
-        std::make_unique<StarSearch>(scorer, stars[i], so));
+    std::string star_key;
+    if (reuse != nullptr) {
+      const query::CanonicalStar canon =
+          query::CanonicalizeStar(q, stars[i], so.node_weights);
+      if (canon.exact) {
+        star_key = config_fingerprint_;
+        star_key += 'S';
+        star_key += canon.signature;
+      }
+    }
+    auto stream = std::make_unique<CachedStarStream>(
+        scorer, stars[i], std::move(so), reuse, std::move(star_key),
+        generation);
     stream_ptrs.push_back(stream.get());
     if (pipeline == nullptr) {
       pipeline = std::move(stream);
@@ -137,14 +217,35 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
   }
 
   stats_.star_depths.clear();
-  for (StarMatchStream* s : stream_ptrs) {
+  for (CachedStarStream* s : stream_ptrs) {
     stats_.star_depths.push_back(s->depth());
     stats_.total_depth += s->depth();
-    stats_.search.Merge(s->search().stats());
+    stats_.search.Merge(s->stats());
+    if (s->probed()) {
+      s->cache_hit() ? ++stats_.star_cache_hits : ++stats_.star_cache_misses;
+      if (s->resumed()) ++stats_.star_cache_resumes;
+    }
   }
+  // The scorer's own checkpoints (bulk scoring, candidate retrieval) can
+  // observe an expiry that the search-level checkers miss; its sticky
+  // truncation flag makes sure such a run is never reported complete.
   stats_.cancelled |= stats_.search.cancelled;
   for (const RankJoin* j : join_ptrs) stats_.cancelled |= j->cancelled();
   stats_.cancelled |= scorer.truncated();
+
+  // Publish to the reuse cache — only when the whole run finished without
+  // any cancellation anywhere, so a truncated partial (stream prefix or
+  // candidate list) can never be replayed as the definitive answer.
+  if (reuse != nullptr && !stats_.cancelled) {
+    for (CachedStarStream* s : stream_ptrs) s->CommitToCache();
+    for (int u = 0; u < q.node_count(); ++u) {
+      if (seeded[u]) continue;
+      if (const auto* list = scorer.CandidatesIfReady(u)) {
+        reuse->InsertCandidates(node_keys[u], *list, generation);
+        ++stats_.candidate_lists_inserted;
+      }
+    }
+  }
   return out;
 }
 

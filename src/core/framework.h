@@ -4,10 +4,13 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "common/deadline.h"
 #include "core/decomposition.h"
 #include "core/match.h"
 #include "core/rank_join.h"
+#include "core/reuse_cache.h"
 #include "core/star_search.h"
 #include "graph/knowledge_graph.h"
 #include "graph/label_index.h"
@@ -30,7 +33,22 @@ struct StarOptions {
   /// shared node owns α of its F_N; with > 2 stars the remainder is split
   /// evenly.
   double alpha = 0.5;
+  /// Cross-query reuse cache (nullable, must outlive the framework and be
+  /// bound to the same graph/ensemble/index): candidate lists are seeded
+  /// into the scorer before decomposition and star match streams replay
+  /// their memoized prefixes. Hits are bitwise identical to cold
+  /// execution; cancelled/truncated runs never insert.
+  ReuseCache* reuse = nullptr;
 };
+
+/// Serializes every StarOptions field that can change results (bit-exact
+/// doubles), plus whether a label index is attached — the retrieval
+/// semantics differ with and without one. `threads` and
+/// `use_scoring_kernel` are deliberately excluded: both carry a
+/// bit-identity contract (DESIGN.md "Threading model" / "Scoring kernel"),
+/// so results are interchangeable across their settings. Used as the
+/// config segment of serve-layer cache keys and of ReuseCache keys.
+std::string StarOptionsFingerprint(const StarOptions& o, bool has_index);
 
 /// Per-query execution diagnostics.
 struct FrameworkStats {
@@ -45,6 +63,17 @@ struct FrameworkStats {
   size_t total_depth = 0;
   /// Aggregated star-engine counters.
   StarSearchStats search;
+
+  /// Cross-query reuse activity (all zero when StarOptions::reuse is
+  /// unset). A star counts as a hit when its stream replayed a memoized
+  /// prefix; a resume additionally ran the engine past the prefix.
+  size_t star_cache_hits = 0;
+  size_t star_cache_misses = 0;
+  size_t star_cache_resumes = 0;
+  /// Candidate lists injected into the scorer from the reuse cache /
+  /// harvested into it after a clean run.
+  size_t candidate_lists_seeded = 0;
+  size_t candidate_lists_inserted = 0;
 };
 
 /// The STAR top-k query engine (Fig. 4): decomposes a general graph query
@@ -85,10 +114,21 @@ class StarFramework {
                                   const std::vector<query::StarQuery>& stars,
                                   size_t star_index) const;
 
+  /// Probes the reuse cache for each query node's candidate list and seeds
+  /// hits into the scorer (before decomposition, so its sampling reuses
+  /// them too). Fills node_keys/seeded for the post-run harvest.
+  void SeedCandidateLists(const query::QueryGraph& q,
+                          const scoring::QueryScorer& scorer,
+                          std::vector<std::string>* node_keys,
+                          std::vector<bool>* seeded);
+
   const graph::KnowledgeGraph& graph_;
   const text::SimilarityEnsemble& ensemble_;
   const graph::LabelIndex* index_;
   StarOptions options_;
+  /// StarOptionsFingerprint of options_ — the config segment every
+  /// ReuseCache key starts with.
+  std::string config_fingerprint_;
   FrameworkStats stats_;
 };
 

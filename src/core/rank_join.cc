@@ -36,6 +36,102 @@ std::optional<GraphMatch> StarMatchStream::Next() {
 double StarMatchStream::UpperBound() const { return search_->UpperBound(); }
 
 // ---------------------------------------------------------------------------
+// CachedStarStream
+// ---------------------------------------------------------------------------
+
+CachedStarStream::CachedStarStream(scoring::QueryScorer& scorer,
+                                   query::StarQuery star,
+                                   StarSearch::Options options,
+                                   ReuseCache* cache, std::string key,
+                                   uint64_t generation)
+    : cache_(cache),
+      key_(std::move(key)),
+      generation_(generation),
+      search_(std::make_unique<StarSearch>(scorer, std::move(star),
+                                           std::move(options))) {
+  StarMatch probe;
+  probe.pivot = 0;
+  probe.leaves.assign(search_->star().edges.size(), 0);
+  const GraphMatch gm = search_->ToGraphMatch(probe);
+  for (size_t u = 0; u < gm.mapping.size(); ++u) {
+    if (gm.mapping[u] != graph::kInvalidNode) covered_ |= uint64_t{1} << u;
+  }
+  if (probed()) {
+    entry_ = cache_->LookupStarTopList(key_);
+    // A malformed entry (bounds not aligned with matches) can never replay
+    // faithfully; treat it as a miss rather than trusting it.
+    if (entry_.has_value() &&
+        (entry_->matches == nullptr || entry_->bounds == nullptr ||
+         entry_->bounds->size() != entry_->matches->size() + 1)) {
+      entry_.reset();
+    }
+  }
+}
+
+std::optional<GraphMatch> CachedStarStream::Next() {
+  if (entry_.has_value()) {
+    const auto& cached = *entry_->matches;
+    if (pos_ < cached.size()) {
+      ++depth_;
+      return search_->ToGraphMatch(cached[pos_++]);
+    }
+    if (entry_->exhausted) return std::nullopt;
+    if (!resumed_) {
+      // The consumer outran the recording: fast-forward the cold engine
+      // past the replayed prefix (the engine is deterministic per
+      // canonical star, so discarded pull i is exactly cached[i]) and
+      // carry the recording forward from there.
+      resumed_ = true;
+      record_matches_ = cached;
+      record_bounds_ = *entry_->bounds;
+      for (size_t i = 0; i < cached.size(); ++i) {
+        if (!search_->Next().has_value()) break;  // cancelled mid-skip
+      }
+    }
+  }
+  return LivePull();
+}
+
+std::optional<GraphMatch> CachedStarStream::LivePull() {
+  if (probed() && record_bounds_.size() == depth_) {
+    // The engine bound after depth_ pulls — the value a consumer reads
+    // between this pull and the previous one. Replays surface exactly
+    // these recorded bounds so warm rank joins take identical decisions.
+    record_bounds_.push_back(search_->UpperBound());
+  }
+  auto m = search_->Next();
+  if (!m.has_value()) {
+    if (!search_->stats().cancelled) live_exhausted_ = true;
+    return std::nullopt;
+  }
+  if (probed()) record_matches_.push_back(*m);
+  ++depth_;
+  return search_->ToGraphMatch(*m);
+}
+
+double CachedStarStream::UpperBound() const {
+  if (entry_.has_value() && !resumed_) {
+    return (*entry_->bounds)[pos_];
+  }
+  return search_->UpperBound();
+}
+
+void CachedStarStream::CommitToCache() {
+  if (!probed()) return;
+  if (entry_.has_value() && !resumed_) return;  // nothing new learned
+  if (record_matches_.empty() && !live_exhausted_) return;
+  if (record_bounds_.size() == record_matches_.size()) {
+    record_bounds_.push_back(search_->UpperBound());
+  }
+  // An interrupted fast-forward can leave the recording misaligned with
+  // the bounds; such a recording can never replay faithfully, so drop it.
+  if (record_bounds_.size() != record_matches_.size() + 1) return;
+  cache_->InsertStarTopList(key_, std::move(record_matches_),
+                            std::move(record_bounds_), live_exhausted_,
+                            generation_);
+}
+
+// ---------------------------------------------------------------------------
 // RankJoin
 // ---------------------------------------------------------------------------
 

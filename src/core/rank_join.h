@@ -12,6 +12,7 @@
 
 #include "common/deadline.h"
 #include "core/match.h"
+#include "core/reuse_cache.h"
 #include "core/star_search.h"
 
 namespace star::core {
@@ -47,6 +48,78 @@ class StarMatchStream : public CoveredMatchIterator {
   std::unique_ptr<StarSearch> search_;
   uint64_t covered_ = 0;
   size_t depth_ = 0;
+};
+
+/// A StarMatchStream with a cross-query memo: probes a ReuseCache for the
+/// canonical star's recorded stream prefix and replays it instead of
+/// driving the engine; when the consumer outruns the prefix the cold
+/// search resumes exactly where the recording left off (the engine is
+/// deterministic per canonical star, so skipping the replayed pulls lands
+/// it in the identical state). Replay also surfaces the RECORDED
+/// between-pull upper bounds, so a rank join fed by a warm stream makes
+/// bit-for-bit the same pull and emit decisions as one fed cold — warm
+/// results are bitwise identical to cold execution, including tie order.
+///
+/// With cache == nullptr or an empty key (non-exact canonical star) the
+/// stream behaves exactly like StarMatchStream: cold engine, no recording.
+/// Cold/extending runs record what they emit; CommitToCache() publishes
+/// the recording — callers must only invoke it when the whole query run
+/// finished without any cancellation, so truncated partials never enter
+/// the cache.
+class CachedStarStream : public CoveredMatchIterator {
+ public:
+  /// `scorer` and `cache` (nullable) must outlive the stream. `key` is the
+  /// full star cache key (config fingerprint + canonical star signature);
+  /// empty disables memoization for this stream. `generation` is the cache
+  /// generation captured before any engine work (passed to the insert).
+  CachedStarStream(scoring::QueryScorer& scorer, query::StarQuery star,
+                   StarSearch::Options options, ReuseCache* cache,
+                   std::string key, uint64_t generation);
+
+  std::optional<GraphMatch> Next() override;
+  double UpperBound() const override;
+  uint64_t covered_mask() const override { return covered_; }
+
+  /// Matches emitted so far (replayed + live).
+  size_t depth() const { return depth_; }
+
+  /// True when the stream probed the cache at all (cache attached and the
+  /// canonical star was exact).
+  bool probed() const { return cache_ != nullptr && !key_.empty(); }
+  /// True when the probe found a recorded prefix.
+  bool cache_hit() const { return entry_.has_value(); }
+  /// True when the consumer outran the recorded prefix and the cold
+  /// engine resumed.
+  bool resumed() const { return resumed_; }
+
+  /// Engine counters (all zero for a pure replay — no engine work ran).
+  const StarSearchStats& stats() const { return search_->stats(); }
+
+  /// Inserts/extends the cache entry from what this stream emitted. Call
+  /// ONLY after the whole query completed with no cancellation anywhere
+  /// (framework-level gate); no-op when nothing new was learned.
+  void CommitToCache();
+
+ private:
+  /// One live engine pull with bound recording; nullopt on exhaustion.
+  std::optional<GraphMatch> LivePull();
+
+  ReuseCache* cache_;
+  std::string key_;
+  uint64_t generation_ = 0;
+  std::unique_ptr<StarSearch> search_;
+  uint64_t covered_ = 0;
+
+  std::optional<StarTopList> entry_;  // recorded prefix, if any
+  size_t pos_ = 0;                    // replay cursor into entry_
+  bool resumed_ = false;              // cold engine took over after replay
+  bool live_exhausted_ = false;       // engine reported genuine exhaustion
+  size_t depth_ = 0;
+
+  /// Recording: combined prefix + live emissions, maintained only when
+  /// probed(). record_bounds_[i] is the engine upper bound after i pulls.
+  std::vector<StarMatch> record_matches_;
+  std::vector<double> record_bounds_;
 };
 
 /// Hash rank join of two monotone match streams (starjoin, Fig. 9; HRJN

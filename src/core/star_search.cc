@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "query/query_canonical.h"
 
 namespace star::core {
 
@@ -29,6 +30,27 @@ StarQuery MakeStarQuery(const QueryGraph& q) {
 StarSearch::StarSearch(QueryScorer& scorer, StarQuery star, Options options)
     : scorer_(scorer), star_(std::move(star)), options_(std::move(options)) {
   cancel_check_ = CancelChecker(options_.cancel);
+  // Canonical execution order: process edges sorted by their canonical
+  // record (relation attr, leaf attrs, leaf weight) instead of insertion
+  // order. Emission order, floating-point summation order and tie-breaking
+  // all follow edge order, so this makes the whole stream a function of
+  // the canonical star — the property the cross-query star cache replays
+  // rely on. Ties keep insertion order (such stars are never memoized).
+  if (star_.edges.size() > 1) {
+    const QueryGraph& q = scorer_.query();
+    std::vector<std::pair<std::string, int>> keyed;
+    keyed.reserve(star_.edges.size());
+    for (const int e : star_.edges) {
+      keyed.emplace_back(
+          query::CanonicalStarEdgeRecord(
+              q, e, star_.pivot, NodeWeight(q.OtherEnd(e, star_.pivot))),
+          e);
+    }
+    std::stable_sort(
+        keyed.begin(), keyed.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 0; i < keyed.size(); ++i) star_.edges[i] = keyed[i].second;
+  }
   leaf_nodes_.reserve(star_.edges.size());
   for (const int e : star_.edges) {
     leaf_nodes_.push_back(scorer_.query().OtherEnd(e, star_.pivot));

@@ -113,7 +113,10 @@ class StarSearch {
   };
 
   /// The scorer must outlive the search; `star.edges` must all be incident
-  /// to `star.pivot` in scorer's query graph.
+  /// to `star.pivot` in scorer's query graph. Edges are internally
+  /// reordered into canonical record order (query_canonical.h), so the
+  /// emitted stream — scores, tie order, everything — is invariant under
+  /// edge insertion order; star() reflects the reordering.
   StarSearch(scoring::QueryScorer& scorer, query::StarQuery star,
              Options options);
 

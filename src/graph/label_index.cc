@@ -9,6 +9,29 @@
 
 namespace star::graph {
 
+namespace {
+
+/// Calls `fn(gram)` for every character trigram of `low` (an
+/// already-lowercased token), as string_views into `low` — the same gram
+/// multiset text::CharNGrams(low, 3) materializes, without the per-gram
+/// string allocations.
+template <typename Fn>
+void ForEachTrigram(std::string_view low, Fn&& fn) {
+  if (low.size() < 3) {
+    if (!low.empty()) fn(low);
+    return;
+  }
+  for (size_t i = 0; i + 3 <= low.size(); ++i) fn(low.substr(i, 3));
+}
+
+/// Trigram count of `low` under the ForEachTrigram/CharNGrams convention.
+size_t TrigramCount(std::string_view low) {
+  if (low.size() < 3) return low.empty() ? 0 : 1;
+  return low.size() - 2;
+}
+
+}  // namespace
+
 LabelIndex::LabelIndex(const KnowledgeGraph& g) : node_count_(g.node_count()) {
   for (NodeId v = 0; v < g.node_count(); ++v) {
     for (const auto& token : SplitTokens(ToLower(g.NodeLabel(v)))) {
@@ -31,17 +54,20 @@ LabelIndex::LabelIndex(const KnowledgeGraph& g) : node_count_(g.node_count()) {
 
 std::vector<std::string> LabelIndex::FuzzyTokens(std::string_view token,
                                                  double min_overlap) const {
-  const auto grams = text::CharNGrams(ToLower(token), 3);
+  static thread_local std::string low;
+  ToLowerInto(token, &low);
   std::vector<std::string> out;
-  if (grams.empty()) return out;
+  const size_t gram_count = TrigramCount(low);
+  if (gram_count == 0) return out;
   std::unordered_map<uint32_t, size_t> hits;
-  for (const auto& gram : grams) {
+  ForEachTrigram(low, [&](std::string_view gram) {
     const auto it = trigram_postings_.find(gram);
-    if (it == trigram_postings_.end()) continue;
+    if (it == trigram_postings_.end()) return;
     for (const uint32_t id : it->second) ++hits[id];
-  }
+  });
   const size_t needed = std::max<size_t>(
-      1, static_cast<size_t>(min_overlap * static_cast<double>(grams.size())));
+      1,
+      static_cast<size_t>(min_overlap * static_cast<double>(gram_count)));
   // Cap the expansion to the best-overlapping tokens so that one typo'd
   // token cannot flood retrieval with half the vocabulary.
   constexpr size_t kMaxExpansion = 8;
@@ -58,16 +84,20 @@ std::vector<std::string> LabelIndex::FuzzyTokens(std::string_view token,
 }
 
 std::vector<NodeId> LabelIndex::CandidatesByLabel(std::string_view label) const {
+  static thread_local std::string low;
+  static thread_local std::vector<std::string> toks;
+  ToLowerInto(label, &low);
+  SplitTokensInto(low, &toks);
   std::vector<NodeId> out;
-  for (const auto& token : SplitTokens(ToLower(label))) {
-    const auto it = token_postings_.find(token);
+  for (const auto& token : toks) {
+    const auto it = token_postings_.find(std::string_view(token));
     if (it != token_postings_.end()) {
       out.insert(out.end(), it->second.begin(), it->second.end());
       continue;
     }
     // Unknown token: fuzzy trigram expansion (typos, morphology).
     for (const auto& similar : FuzzyTokens(token)) {
-      const auto& postings = token_postings_.at(similar);
+      const auto& postings = token_postings_.find(std::string_view(similar))->second;
       out.insert(out.end(), postings.begin(), postings.end());
     }
   }
@@ -96,6 +126,10 @@ std::vector<NodeId> LabelIndex::Candidates(std::string_view label,
 std::vector<NodeId> LabelIndex::RankedCandidates(std::string_view label,
                                                  int32_t type,
                                                  size_t cap) const {
+  static thread_local std::string low;
+  static thread_local std::vector<std::string> toks;
+  ToLowerInto(label, &low);
+  SplitTokensInto(low, &toks);
   std::unordered_map<NodeId, double> weight;
   const double n = static_cast<double>(std::max<size_t>(1, node_count_));
   const auto add_postings = [&](const std::vector<NodeId>& postings,
@@ -105,14 +139,15 @@ std::vector<NodeId> LabelIndex::RankedCandidates(std::string_view label,
         scale * std::log(1.0 + n / static_cast<double>(postings.size()));
     for (const NodeId v : postings) weight[v] += w;
   };
-  for (const auto& token : SplitTokens(ToLower(label))) {
-    const auto it = token_postings_.find(token);
+  for (const auto& token : toks) {
+    const auto it = token_postings_.find(std::string_view(token));
     if (it != token_postings_.end()) {
       add_postings(it->second, 1.0);
       continue;
     }
     for (const auto& similar : FuzzyTokens(token)) {
-      add_postings(token_postings_.at(similar), 0.5);
+      add_postings(token_postings_.find(std::string_view(similar))->second,
+                   0.5);
     }
   }
   if (type >= 0) {
@@ -141,7 +176,9 @@ std::vector<NodeId> LabelIndex::RankedCandidates(std::string_view label,
 
 const std::vector<NodeId>& LabelIndex::Postings(std::string_view token) const {
   static const std::vector<NodeId>* empty = new std::vector<NodeId>();
-  const auto it = token_postings_.find(ToLower(token));
+  static thread_local std::string low;
+  ToLowerInto(token, &low);
+  const auto it = token_postings_.find(std::string_view(low));
   return it == token_postings_.end() ? *empty : it->second;
 }
 

@@ -1,11 +1,13 @@
 #ifndef STAR_GRAPH_LABEL_INDEX_H_
 #define STAR_GRAPH_LABEL_INDEX_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/string_util.h"
 #include "graph/knowledge_graph.h"
 
 namespace star::graph {
@@ -55,11 +57,18 @@ class LabelIndex {
   size_t token_count() const { return token_postings_.size(); }
 
  private:
-  std::unordered_map<std::string, std::vector<NodeId>> token_postings_;
+  /// String-keyed maps are transparent so retrieval probes pass
+  /// string_views straight through — no temporary std::string per lookup
+  /// on the hot candidate-retrieval path.
+  template <typename V>
+  using StringMap = std::unordered_map<std::string, V, TransparentStringHash,
+                                       std::equal_to<>>;
+
+  StringMap<std::vector<NodeId>> token_postings_;
   std::unordered_map<int32_t, std::vector<NodeId>> type_postings_;
   // Fuzzy layer: every indexed token, and trigram -> token ids.
   std::vector<std::string> tokens_;
-  std::unordered_map<std::string, std::vector<uint32_t>> trigram_postings_;
+  StringMap<std::vector<uint32_t>> trigram_postings_;
   size_t node_count_ = 0;
 };
 

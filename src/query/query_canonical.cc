@@ -1,6 +1,8 @@
 #include "query/query_canonical.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <utility>
 
@@ -109,6 +111,19 @@ std::string Serialize(const QueryGraph& q, const std::vector<int>& order) {
   return out;
 }
 
+// Bit-exact double encoding (16 hex chars of the IEEE-754 image): two
+// weights key equal iff they are the identical double, with no decimal
+// round-trip fuzz. Mirrors the serve layer's config fingerprinting.
+void AppendDoubleBits(std::string& s, double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  s += buf;
+}
+
 uint64_t Fnv1a64(const std::string& s) {
   uint64_t h = 1469598103934665603ULL;
   for (const char c : s) {
@@ -210,6 +225,48 @@ uint64_t CanonicalQueryHash(const QueryGraph& q) {
 
 bool CanonicallyEqual(const QueryGraph& a, const QueryGraph& b) {
   return CanonicalizeQuery(a).signature == CanonicalizeQuery(b).signature;
+}
+
+std::string CanonicalStarEdgeRecord(const QueryGraph& q, int edge, int pivot,
+                                    double leaf_weight) {
+  const QueryEdge& qe = q.edge(edge);
+  std::string r = EdgeAttr(qe);
+  r += kField;
+  r += NodeAttr(q.node(q.OtherEnd(edge, pivot)));
+  r += kField;
+  AppendDoubleBits(r, leaf_weight);
+  return r;
+}
+
+std::string CanonicalNodeSignature(const QueryNode& n) { return NodeAttr(n); }
+
+CanonicalStar CanonicalizeStar(const QueryGraph& q, const StarQuery& star,
+                               const std::vector<double>& node_weights) {
+  const auto weight = [&node_weights](int u) {
+    return node_weights.empty() ? 1.0 : node_weights[u];
+  };
+  CanonicalStar out;
+  out.signature = "P";
+  out.signature += NodeAttr(q.node(star.pivot));
+  out.signature += kField;
+  AppendDoubleBits(out.signature, weight(star.pivot));
+
+  std::vector<std::string> records;
+  records.reserve(star.edges.size());
+  for (const int e : star.edges) {
+    records.push_back(CanonicalStarEdgeRecord(
+        q, e, star.pivot, weight(q.OtherEnd(e, star.pivot))));
+  }
+  std::sort(records.begin(), records.end());
+  for (size_t i = 0; i + 1 < records.size(); ++i) {
+    if (records[i] == records[i + 1]) out.exact = false;
+  }
+  for (const std::string& r : records) {
+    out.signature += kRecord;
+    out.signature += r;
+  }
+  out.hash = Fnv1a64(out.signature);
+  return out;
 }
 
 }  // namespace star::query

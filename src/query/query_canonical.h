@@ -51,6 +51,50 @@ uint64_t CanonicalQueryHash(const QueryGraph& q);
 /// True when a and b have identical canonical signatures.
 bool CanonicallyEqual(const QueryGraph& a, const QueryGraph& b);
 
+/// An insertion-order-insensitive canonical form of ONE star subquery: the
+/// pivot's attributes and ownership weight followed by the sorted multiset
+/// of edge records (relation attr, leaf attrs, bit-exact leaf weight).
+/// Two stars — possibly from different queries — produce the same
+/// signature iff pivot, leaves, predicates and α-weights all agree, which
+/// is exactly the condition under which the star engines produce the same
+/// match stream. Matching *semantics* (thresholds, d, injectivity, …) are
+/// deliberately not part of this signature; cache keys prepend a
+/// StarOptionsFingerprint for that.
+struct CanonicalStar {
+  /// Pivot record + sorted edge records.
+  std::string signature;
+  /// FNV-1a hash of `signature` (hash-map keying only; lookups must still
+  /// compare the full signature — the map key is the signature itself).
+  uint64_t hash = 0;
+  /// False when two edge records tie exactly (identical relation, leaf
+  /// attributes and weight). The signature is still deterministic, but a
+  /// tie means the canonical edge order is not unique, so such stars are
+  /// never memoized across queries (a missed cache hit, never a wrong
+  /// one).
+  bool exact = true;
+};
+
+/// Canonical record of one star edge: relation attribute, leaf node
+/// attributes, and the bit-exact α-weight of the leaf. This is the unit
+/// CanonicalizeStar sorts — and the key StarSearch orders its edges by, so
+/// execution order is a function of the canonical star, not of edge
+/// insertion order.
+std::string CanonicalStarEdgeRecord(const QueryGraph& q, int edge, int pivot,
+                                    double leaf_weight);
+
+/// Canonical attribute record of one query node (wildcard flag, label,
+/// type). Two query nodes with equal records have identical candidate
+/// lists under a fixed graph/index/config — the star cache keys candidate
+/// lists by this.
+std::string CanonicalNodeSignature(const QueryNode& n);
+
+/// Canonicalizes one star of q. `node_weights` are the α-scheme ownership
+/// weights (StarSearch::Options::node_weights); empty means weight 1.0 for
+/// every node (standalone star query), encoded identically to an explicit
+/// all-ones vector so the two key equal.
+CanonicalStar CanonicalizeStar(const QueryGraph& q, const StarQuery& star,
+                               const std::vector<double>& node_weights = {});
+
 }  // namespace star::query
 
 #endif  // STAR_QUERY_QUERY_CANONICAL_H_

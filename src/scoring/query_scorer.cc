@@ -259,6 +259,18 @@ const std::vector<ScoredCandidate>& QueryScorer::Candidates(
   return out;
 }
 
+void QueryScorer::SeedCandidates(int query_node,
+                                 const std::vector<ScoredCandidate>& list) const {
+  if (candidates_ready_[query_node]) return;
+  candidates_[query_node] = list;
+  candidates_ready_[query_node] = true;
+}
+
+const std::vector<ScoredCandidate>* QueryScorer::CandidatesIfReady(
+    int query_node) const {
+  return candidates_ready_[query_node] ? &candidates_[query_node] : nullptr;
+}
+
 double QueryScorer::CandidateScore(int query_node, graph::NodeId v) const {
   const query::QueryNode& qn = query_.node(query_node);
   if (qn.wildcard && qn.type_name.empty()) {

@@ -72,6 +72,24 @@ class QueryScorer {
   /// defines the candidate semantics for *all* algorithms in the library.
   const std::vector<ScoredCandidate>& Candidates(int query_node) const;
 
+  /// Injects a precomputed candidate list for `query_node` (cross-query
+  /// reuse): the list must be exactly what Candidates(query_node) would
+  /// compute — same node attributes, config, graph and index — and must be
+  /// COMPLETE (never a cancellation-truncated prefix). No-op if the list
+  /// was already computed. Only the candidate memo is seeded; F_N score
+  /// memos refill on demand with identical values, so every downstream
+  /// read stays bit-identical to an unseeded run.
+  void SeedCandidates(int query_node,
+                      const std::vector<ScoredCandidate>& list) const;
+
+  /// The memoized candidate list of `query_node` if it has been computed
+  /// (or seeded) this session, nullptr otherwise. Never triggers
+  /// computation. NOTE: a ready list can still be truncated when a
+  /// cancellation fired mid-BulkScore — callers harvesting lists for a
+  /// cross-query cache must first check that the whole run finished
+  /// cleanly (truncated() is false).
+  const std::vector<ScoredCandidate>* CandidatesIfReady(int query_node) const;
+
   /// Membership score in Candidates(query_node): F_N if v is a candidate,
   /// -1 otherwise. O(1) after the first call per query node. Untyped
   /// wildcards short-circuit to the wildcard score (every node matches).

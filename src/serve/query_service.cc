@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 
 #include "common/thread_pool.h"
 #include "query/query_canonical.h"
@@ -21,40 +20,6 @@ void AppendU64(std::string& s, uint64_t v) {
   s += kSep;
 }
 
-// Bit-exact double encoding: two configs key equal iff every scoring
-// parameter is the identical double, with no decimal round-trip fuzz.
-void AppendDouble(std::string& s, double d) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(d));
-  std::memcpy(&bits, &d, sizeof(bits));
-  AppendU64(s, bits);
-}
-
-/// Serializes every StarOptions field that can change results. `threads`
-/// and `use_scoring_kernel` are deliberately excluded: both carry a
-/// bit-identity contract (DESIGN.md "Threading model" / "Scoring kernel"),
-/// so results are interchangeable across their settings.
-std::string ConfigKey(const core::StarOptions& o) {
-  std::string s;
-  AppendU64(s, static_cast<uint64_t>(o.strategy));
-  AppendDouble(s, o.match.node_threshold);
-  AppendDouble(s, o.match.edge_threshold);
-  AppendDouble(s, o.match.lambda);
-  AppendU64(s, static_cast<uint64_t>(o.match.d));
-  AppendU64(s, o.match.max_candidates);
-  AppendU64(s, o.match.max_retrieval);
-  AppendDouble(s, o.match.wildcard_node_score);
-  AppendU64(s, o.match.enforce_injective ? 1 : 0);
-  AppendU64(s, static_cast<uint64_t>(o.decomposition.strategy));
-  AppendDouble(s, o.decomposition.lambda_tradeoff);
-  AppendU64(s, o.decomposition.sample_size);
-  AppendDouble(s, o.decomposition.connectivity_p);
-  AppendU64(s, o.decomposition.seed);
-  AppendU64(s, static_cast<uint64_t>(o.decomposition.max_enumeration_nodes));
-  AppendDouble(s, o.alpha);
-  return s;
-}
-
 }  // namespace
 
 QueryService::QueryService(const graph::KnowledgeGraph& g,
@@ -66,10 +31,14 @@ QueryService::QueryService(const graph::KnowledgeGraph& g,
       index_(index),
       options_([&options] {
         options.max_inflight = std::max(1, options.max_inflight);
+        options.star.reuse = nullptr;  // the service wires its own cache
         return std::move(options);
       }()),
-      config_key_(ConfigKey(options_.star)),
-      cache_(options_.cache_capacity) {
+      config_key_(core::StarOptionsFingerprint(options_.star,
+                                               index_ != nullptr)),
+      cache_(options_.cache_capacity),
+      star_cache_(options_.star_cache_capacity,
+                  options_.star_cache_capacity) {
   // Workers chain through the queue, so max_inflight pool threads suffice
   // for the serving layer itself (engine-internal ParallelFor calls nested
   // inside a worker degrade to inline-serial by design).
@@ -80,7 +49,8 @@ QueryService::~QueryService() {
   std::unique_lock<std::mutex> lock(mu_);
   accepting_ = false;
   // Workers drain the queue before retiring, so inflight_ == 0 implies the
-  // queue is empty and every admitted promise has been fulfilled.
+  // queue is empty and every admitted promise has been fulfilled. Flights
+  // settle when their leader does, so no follower outlives the wait either.
   idle_cv_.wait(lock, [this] { return inflight_ == 0; });
 }
 
@@ -110,7 +80,16 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
         "query exceeds 64 nodes (rank-join coverage mask limit)");
   }
 
+  // Normalized key, computed outside the lock (canonicalization walks the
+  // query). Shared by the result cache and the coalescing map; a cache
+  // opt-out also opts out of coalescing (such callers want an execution of
+  // their own).
+  const bool keyed = reject.ok() && p->req.use_cache &&
+                     (options_.cache_capacity > 0 || options_.enable_coalescing);
+  if (keyed) p->key = CacheKey(p->req.query, p->req.k);
+
   bool dispatch = false;
+  bool coalesced = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
@@ -119,14 +98,35 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
     } else if (!accepting_) {
       reject = Status::Overloaded("service is shutting down");
       ++stats_.rejected_overload;
-    } else if (inflight_ < options_.max_inflight) {
-      ++inflight_;
-      dispatch = true;
-    } else if (queue_.size() < options_.max_queue) {
-      queue_.push_back(p);
     } else {
-      reject = Status::Overloaded("admission queue full");
-      ++stats_.rejected_overload;
+      if (options_.enable_coalescing && keyed) {
+        const auto it = flights_.find(p->key);
+        if (it != flights_.end()) {
+          // Identical request already in flight: ride along. Consumes no
+          // worker slot and no queue capacity.
+          it->second->followers.push_back(p);
+          ++stats_.coalesced_followers;
+          coalesced = true;
+        }
+      }
+      if (!coalesced) {
+        bool admitted = false;
+        if (inflight_ < options_.max_inflight) {
+          ++inflight_;
+          dispatch = true;
+          admitted = true;
+        } else if (queue_.size() < options_.max_queue) {
+          queue_.push_back(p);
+          admitted = true;
+        } else {
+          reject = Status::Overloaded("admission queue full");
+          ++stats_.rejected_overload;
+        }
+        if (admitted && options_.enable_coalescing && keyed) {
+          p->flight = std::make_shared<Flight>();
+          flights_.emplace(p->key, p->flight);
+        }
+      }
     }
   }
 
@@ -145,11 +145,20 @@ QueryResponse QueryService::Execute(QueryRequest req) {
   return Submit(std::move(req)).get();
 }
 
-void QueryService::InvalidateCache() { cache_.Invalidate(); }
+void QueryService::InvalidateCache() {
+  cache_.Invalidate();
+  star_cache_.Invalidate();
+}
 
 void QueryService::WorkerLoop(std::shared_ptr<Pending> p) {
   for (;;) {
-    Finish(*p, Run(*p));
+    QueryResponse resp = Run(*p);
+    if (auto promoted = FinishAndSettle(std::move(p), std::move(resp))) {
+      // A follower inherited the flight after the leader's deadline
+      // expired; run it on this worker's slot before draining the queue.
+      p = std::move(promoted);
+      continue;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     if (queue_.empty()) {
       if (--inflight_ == 0) idle_cv_.notify_all();
@@ -176,13 +185,11 @@ QueryResponse QueryService::Run(Pending& p) {
 
   WallTimer exec;
   const bool use_cache = options_.cache_capacity > 0 && p.req.use_cache;
-  std::string key;
   uint64_t generation = 0;
   if (use_cache) {
-    key = CacheKey(p.req.query, p.req.k);
     generation = cache_.generation();
-    if (auto hit = cache_.Lookup(key)) {
-      resp.matches = *std::move(hit);
+    if (auto hit = cache_.Lookup(p.key)) {
+      resp.matches = *hit;  // the copy happens outside the cache mutex
       resp.cache_hit = true;
       resp.status = Status::Ok();
       resp.exec_ms = exec.ElapsedMillis();
@@ -190,7 +197,11 @@ QueryResponse QueryService::Run(Pending& p) {
     }
   }
 
-  core::StarFramework fw(graph_, ensemble_, index_, options_.star);
+  core::StarOptions star_options = options_.star;
+  if (options_.star_cache_capacity > 0 && p.req.use_cache) {
+    star_options.reuse = &star_cache_;
+  }
+  core::StarFramework fw(graph_, ensemble_, index_, star_options);
   resp.matches = fw.TopK(p.req.query, p.req.k, &p.cancel);
   resp.exec_ms = exec.ElapsedMillis();
   resp.framework = fw.last_stats();
@@ -209,30 +220,97 @@ QueryResponse QueryService::Run(Pending& p) {
     resp.status = Status::Ok();
     // Only complete answers enter the cache, and only if no invalidation
     // happened since the lookup — hits stay bitwise identical to fresh runs.
-    if (use_cache) cache_.Insert(key, resp.matches, generation);
+    if (use_cache) cache_.Insert(p.key, resp.matches, generation);
   }
   return resp;
 }
 
-void QueryService::Finish(Pending& p, QueryResponse resp) {
+void QueryService::RecordLocked(const QueryResponse& resp) {
+  switch (resp.status.code()) {
+    case StatusCode::kOk:
+      ++stats_.completed;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++stats_.deadline_exceeded;
+      break;
+    default:
+      break;
+  }
+  stats_.total_queue_ms += resp.queue_ms;
+  stats_.total_exec_ms += resp.exec_ms;
+  stats_.max_queue_ms = std::max(stats_.max_queue_ms, resp.queue_ms);
+  stats_.max_exec_ms = std::max(stats_.max_exec_ms, resp.exec_ms);
+}
+
+std::shared_ptr<QueryService::Pending> QueryService::FinishAndSettle(
+    std::shared_ptr<Pending> p, QueryResponse resp) {
+  // Followers to answer now; on leader failure these are the expired ones.
+  std::vector<std::shared_ptr<Pending>> deliver;
+  std::shared_ptr<Pending> promoted;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    switch (resp.status.code()) {
-      case StatusCode::kOk:
-        ++stats_.completed;
-        break;
-      case StatusCode::kDeadlineExceeded:
-        ++stats_.deadline_exceeded;
-        break;
-      default:
-        break;
+    RecordLocked(resp);
+    if (p->flight != nullptr) {
+      std::shared_ptr<Flight> flight = std::move(p->flight);
+      if (resp.status.ok()) {
+        deliver = std::move(flight->followers);
+        flights_.erase(p->key);
+      } else {
+        // The leader's own deadline expired. Its partial answer reflects
+        // the LEADER's budget, not the followers'; promote the first
+        // still-live follower to re-run under its own deadline and answer
+        // only the followers that are themselves already expired.
+        std::vector<std::shared_ptr<Pending>> keep;
+        for (auto& f : flight->followers) {
+          if (promoted == nullptr && !f->cancel.ShouldStop()) {
+            promoted = std::move(f);
+          } else if (f->cancel.ShouldStop()) {
+            deliver.push_back(std::move(f));
+          } else {
+            keep.push_back(std::move(f));
+          }
+        }
+        if (promoted != nullptr) {
+          flight->followers = std::move(keep);
+          promoted->flight = std::move(flight);  // same key → map unchanged
+          ++stats_.coalesce_promotions;
+        } else {
+          flights_.erase(p->key);
+        }
+      }
     }
-    stats_.total_queue_ms += resp.queue_ms;
-    stats_.total_exec_ms += resp.exec_ms;
-    stats_.max_queue_ms = std::max(stats_.max_queue_ms, resp.queue_ms);
-    stats_.max_exec_ms = std::max(stats_.max_exec_ms, resp.exec_ms);
   }
-  p.promise.set_value(std::move(resp));
+
+  const bool leader_ok = resp.status.ok();
+  std::vector<QueryResponse> follower_resps;
+  follower_resps.reserve(deliver.size());
+  for (const auto& f : deliver) {
+    QueryResponse fr;
+    fr.queue_ms = f->queued.ElapsedMillis();
+    // A follower that outlived its own deadline while riding along gets
+    // the honest answer: nothing was computed on its behalf in time.
+    if (leader_ok && !f->cancel.ShouldStop()) {
+      fr.status = Status::Ok();
+      fr.matches = resp.matches;  // copied outside the service mutex
+      fr.cache_hit = resp.cache_hit;
+      fr.coalesced = true;
+    } else {
+      fr.status = Status::DeadlineExceeded(
+          "deadline expired while coalesced with an identical request");
+      fr.partial = true;
+    }
+    follower_resps.push_back(std::move(fr));
+  }
+  if (!deliver.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const QueryResponse& fr : follower_resps) RecordLocked(fr);
+  }
+
+  p->promise.set_value(std::move(resp));
+  for (size_t i = 0; i < deliver.size(); ++i) {
+    deliver[i]->promise.set_value(std::move(follower_resps[i]));
+  }
+  return promoted;
 }
 
 ServiceStats QueryService::stats() const {

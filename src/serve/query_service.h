@@ -9,14 +9,17 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "core/framework.h"
 #include "serve/result_cache.h"
+#include "serve/star_cache.h"
 
 namespace star::serve {
 
@@ -36,6 +39,17 @@ struct ServiceOptions {
 
   /// Result-cache entries (0 disables caching entirely).
   size_t cache_capacity = 128;
+
+  /// Star-level reuse-cache entries per section (candidate lists and star
+  /// top-lists; 0 disables). Unlike the result cache, this one pays off
+  /// across DIFFERENT queries that share canonical stars or node shapes.
+  /// The service overrides `star.reuse` to point at its own cache.
+  size_t star_cache_capacity = 256;
+
+  /// Single-flight request coalescing: a request whose normalized cache
+  /// key matches one already executing attaches to that execution instead
+  /// of running (or queueing) its own. Requires use_cache on the request.
+  bool enable_coalescing = true;
 
   /// Deadline applied to requests that arrive without one, measured from
   /// admission (so it covers queue wait). 0 = no implicit deadline.
@@ -63,6 +77,9 @@ struct QueryResponse {
   Status status;
   std::vector<core::GraphMatch> matches;
   bool cache_hit = false;
+  /// True when this response was copied from a coalesced leader's
+  /// execution rather than a run (or cache lookup) of its own.
+  bool coalesced = false;
   bool partial = false;
   /// Admission-to-execution wait (includes promise dispatch overhead).
   double queue_ms = 0.0;
@@ -82,6 +99,10 @@ struct ServiceStats {
   uint64_t deadline_exceeded = 0;  // kDeadlineExceeded (queued or mid-run)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Requests answered by attaching to an identical in-flight execution.
+  uint64_t coalesced_followers = 0;
+  /// Followers promoted to leader after their leader's deadline expired.
+  uint64_t coalesce_promotions = 0;
   double total_queue_ms = 0.0;
   double total_exec_ms = 0.0;
   double max_queue_ms = 0.0;
@@ -112,6 +133,17 @@ struct ServiceStats {
 ///    signature (insertion-order insensitive), the matching semantics, and
 ///    k. Hits are bitwise identical to fresh execution. InvalidateCache()
 ///    bumps a generation counter so in-flight stale results never land.
+///  - Star-level reuse: fresh executions run against a shared StarCache of
+///    canonical-star stream prefixes and per-node candidate lists, so
+///    DIFFERENT queries that overlap in template structure skip the
+///    overlapping work. Warm results stay bitwise identical to cold ones.
+///  - Single-flight coalescing: duplicate requests (same normalized cache
+///    key) attach to the in-flight leader and receive copies of its
+///    result — N identical concurrent requests cost one execution. A
+///    follower whose own deadline expires is answered kDeadlineExceeded at
+///    delivery without detaching the rest; if the LEADER's deadline
+///    expires, a live follower is promoted and re-runs (its own deadline
+///    governs), so one short-deadline client can't poison the flight.
 ///
 /// Thread safety: all public methods are safe to call from any thread.
 /// The referenced graph/ensemble/index must outlive the service and stay
@@ -137,12 +169,14 @@ class QueryService {
   /// Synchronous convenience: Submit and wait.
   QueryResponse Execute(QueryRequest req);
 
-  /// Drops all cached results and bumps the cache generation. Call after
-  /// mutating the underlying graph/index between serving windows.
+  /// Drops all cached state (result cache AND star-level reuse cache) and
+  /// bumps both generations. Call after mutating the underlying
+  /// graph/index between serving windows.
   void InvalidateCache();
 
   ServiceStats stats() const;
   CacheStats cache_stats() const { return cache_.stats(); }
+  StarCacheStats star_cache_stats() const { return star_cache_.stats(); }
   const ServiceOptions& options() const { return options_; }
 
   /// The normalized cache key for (q, k) under this service's
@@ -150,25 +184,46 @@ class QueryService {
   std::string CacheKey(const query::QueryGraph& q, size_t k) const;
 
  private:
+  struct Pending;
+
+  /// One in-flight execution that duplicates may attach to. Guarded by
+  /// mu_; the leader holds a reference through Pending::flight, the key →
+  /// flight map through flights_.
+  struct Flight {
+    std::vector<std::shared_ptr<Pending>> followers;
+  };
+
   struct Pending {
     QueryRequest req;
     std::promise<QueryResponse> promise;
     WallTimer queued;      // started at admission
     Cancellation cancel;   // owns the request's deadline
+    /// Normalized cache key; empty when neither caching nor coalescing
+    /// applies to this request.
+    std::string key;
+    /// Set on the flight LEADER only (followers are reached through it).
+    std::shared_ptr<Flight> flight;
 
     explicit Pending(QueryRequest r)
         : req(std::move(r)), cancel(req.deadline) {}
   };
 
-  /// Worker body: runs `p`, then keeps draining the queue until empty.
+  /// Worker body: runs `p` (and any follower promoted from its flight),
+  /// then keeps draining the queue until empty.
   void WorkerLoop(std::shared_ptr<Pending> p);
 
   /// Executes one admitted request (cache lookup / engine run / deadline
   /// handling). Runs on a pool worker.
   QueryResponse Run(Pending& p);
 
-  /// Records response stats and fulfills the promise.
-  void Finish(Pending& p, QueryResponse resp);
+  /// Records stats, settles the leader's flight (delivering the result to
+  /// every follower or promoting one), and fulfills the promises. Returns
+  /// the promoted follower the calling worker must run next, if any.
+  std::shared_ptr<Pending> FinishAndSettle(std::shared_ptr<Pending> p,
+                                           QueryResponse resp);
+
+  /// Folds one response into stats_. Caller holds mu_.
+  void RecordLocked(const QueryResponse& resp);
 
   const graph::KnowledgeGraph& graph_;
   const text::SimilarityEnsemble& ensemble_;
@@ -178,12 +233,18 @@ class QueryService {
   /// threads / use_scoring_kernel, which carry bit-identity contracts).
   std::string config_key_;
   ResultCache cache_;
+  StarCache star_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
   bool accepting_ = true;
   int inflight_ = 0;
   std::deque<std::shared_ptr<Pending>> queue_;
+  /// Key → in-flight execution accepting followers. An entry lives exactly
+  /// as long as some leader for that key is admitted (queued or running).
+  std::unordered_map<std::string, std::shared_ptr<Flight>,
+                     TransparentStringHash, std::equal_to<>>
+      flights_;
   ServiceStats stats_;
 };
 

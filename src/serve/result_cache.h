@@ -3,14 +3,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/string_util.h"
 #include "core/match.h"
 
 namespace star::serve {
@@ -36,12 +39,20 @@ struct CacheStats {
 /// inserted, and the generation check below keeps results computed against
 /// superseded state out.
 ///
+/// Result lists are stored behind shared_ptr, so a hit is a refcount bump
+/// and the critical section stays O(1) regardless of k — the (possibly
+/// large) match copy the caller needs happens outside the lock. The index
+/// supports heterogeneous string_view probes, so lookups with a composed
+/// key never allocate a temporary std::string.
+///
 /// Invalidation contract: Lookup callers capture generation() before
 /// computing a fresh value and pass it to Insert. Invalidate() bumps the
 /// generation and clears the cache, so values computed against the old
 /// graph/index state can never land after the bump.
 class ResultCache {
  public:
+  using MatchList = std::shared_ptr<const std::vector<core::GraphMatch>>;
+
   /// capacity 0 disables the cache (lookups miss, inserts drop).
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
@@ -53,25 +64,29 @@ class ResultCache {
   void Invalidate() {
     std::lock_guard<std::mutex> lock(mu_);
     ++generation_;
-    lru_.clear();
     index_.clear();
+    lru_.clear();
   }
 
-  std::optional<std::vector<core::GraphMatch>> Lookup(const std::string& key) {
+  /// nullptr = miss. The returned list stays valid for as long as the
+  /// caller holds the pointer, even across eviction or invalidation.
+  MatchList Lookup(std::string_view key) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
-      return std::nullopt;
+      return nullptr;
     }
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
     ++stats_.hits;
     return it->second->second;
   }
 
-  void Insert(const std::string& key, std::vector<core::GraphMatch> value,
+  void Insert(std::string_view key, std::vector<core::GraphMatch> value,
               uint64_t generation) {
     if (capacity_ == 0) return;
+    auto wrapped = std::make_shared<const std::vector<core::GraphMatch>>(
+        std::move(value));
     std::lock_guard<std::mutex> lock(mu_);
     if (generation != generation_) {
       ++stats_.stale_drops;
@@ -79,15 +94,17 @@ class ResultCache {
     }
     auto it = index_.find(key);
     if (it != index_.end()) {
-      it->second->second = std::move(value);
+      it->second->second = std::move(wrapped);
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
-    lru_.emplace_front(key, std::move(value));
-    index_.emplace(key, lru_.begin());
+    lru_.emplace_front(std::string(key), std::move(wrapped));
+    // The index key views the list node's string, which stays stable under
+    // splice (list nodes never move).
+    index_.emplace(std::string_view(lru_.front().first), lru_.begin());
     ++stats_.insertions;
     if (lru_.size() > capacity_) {
-      index_.erase(lru_.back().first);
+      index_.erase(std::string_view(lru_.back().first));
       lru_.pop_back();
       ++stats_.evictions;
     }
@@ -104,13 +121,15 @@ class ResultCache {
   }
 
  private:
-  using Entry = std::pair<std::string, std::vector<core::GraphMatch>>;
+  using Entry = std::pair<std::string, MatchList>;
 
   mutable std::mutex mu_;
   const size_t capacity_;
   uint64_t generation_ = 0;
   std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::string_view, std::list<Entry>::iterator,
+                     TransparentStringHash, std::equal_to<>>
+      index_;
   CacheStats stats_;
 };
 

@@ -1,0 +1,150 @@
+#ifndef STAR_SERVE_STAR_CACHE_H_
+#define STAR_SERVE_STAR_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/reuse_cache.h"
+
+namespace star::serve {
+
+struct StarCacheStats {
+  uint64_t candidate_hits = 0;
+  uint64_t candidate_misses = 0;
+  uint64_t candidate_insertions = 0;
+  uint64_t candidate_evictions = 0;
+  uint64_t toplist_hits = 0;
+  uint64_t toplist_misses = 0;
+  uint64_t toplist_insertions = 0;
+  uint64_t toplist_evictions = 0;
+  /// Inserts dropped because Invalidate() ran after the value was computed.
+  uint64_t stale_drops = 0;
+};
+
+/// Thread-safe, generation-counted LRU store behind core::ReuseCache: one
+/// section memoizes per-node candidate lists, the other per-star top-list
+/// prefixes with their recorded between-pull upper bounds. Keys are full
+/// canonical strings (config fingerprint + canonical signature) and every
+/// lookup compares the complete key via the hash map's equality — a hash
+/// collision can never surface a wrong entry.
+///
+/// Values are shared_ptr-wrapped so a hit is a refcount bump: the critical
+/// section does no copying, and readers keep replaying an entry safely even
+/// after it is evicted or invalidated (the replayed data stays valid; the
+/// generation gate only stops NEW inserts computed against old state).
+///
+/// Invalidation contract (same as ResultCache): callers capture
+/// generation() before computing, pass it to the insert; Invalidate() bumps
+/// the generation and clears both sections.
+class StarCache final : public core::ReuseCache {
+ public:
+  /// Per-section entry capacities; 0 disables that section (lookups miss,
+  /// inserts drop).
+  StarCache(size_t candidate_capacity, size_t toplist_capacity)
+      : candidate_capacity_(candidate_capacity),
+        toplist_capacity_(toplist_capacity) {}
+
+  uint64_t generation() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+    candidates_.Clear();
+    toplists_.Clear();
+  }
+
+  std::shared_ptr<const std::vector<scoring::ScoredCandidate>>
+  LookupCandidates(std::string_view key) override;
+
+  void InsertCandidates(std::string_view key,
+                        std::vector<scoring::ScoredCandidate> list,
+                        uint64_t generation) override;
+
+  std::optional<core::StarTopList> LookupStarTopList(
+      std::string_view key) override;
+
+  /// Keeps the deeper recording when an entry already exists: more matches
+  /// wins; at equal depth an exhausted recording supersedes an open one.
+  void InsertStarTopList(std::string_view key,
+                         std::vector<core::StarMatch> matches,
+                         std::vector<double> bounds, bool exhausted,
+                         uint64_t generation) override;
+
+  StarCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  size_t candidate_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return candidates_.lru.size();
+  }
+
+  size_t toplist_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return toplists_.lru.size();
+  }
+
+ private:
+  /// One LRU section: list front = most recently used; index does
+  /// heterogeneous string_view lookups so probes never allocate a key copy.
+  template <typename V>
+  struct Section {
+    using Entry = std::pair<std::string, V>;
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, typename std::list<Entry>::iterator,
+                       TransparentStringHash, std::equal_to<>>
+        index;
+
+    void Clear() {
+      index.clear();
+      lru.clear();
+    }
+
+    /// Returns the entry for `key` moved to the front, or nullptr.
+    Entry* Touch(std::string_view key) {
+      auto it = index.find(key);
+      if (it == index.end()) return nullptr;
+      lru.splice(lru.begin(), lru, it->second);
+      return &*it->second;
+    }
+
+    /// Inserts a fresh front entry and evicts past `capacity`. The index
+    /// keys view the list nodes' strings, which are stable under splice.
+    void InsertFront(std::string_view key, V value, size_t capacity,
+                     uint64_t* evictions) {
+      lru.emplace_front(std::string(key), std::move(value));
+      index.emplace(std::string_view(lru.front().first), lru.begin());
+      if (lru.size() > capacity) {
+        index.erase(std::string_view(lru.back().first));
+        lru.pop_back();
+        ++*evictions;
+      }
+    }
+  };
+
+  mutable std::mutex mu_;
+  const size_t candidate_capacity_;
+  const size_t toplist_capacity_;
+  uint64_t generation_ = 0;
+  Section<std::shared_ptr<const std::vector<scoring::ScoredCandidate>>>
+      candidates_;
+  Section<core::StarTopList> toplists_;
+  StarCacheStats stats_;
+};
+
+}  // namespace star::serve
+
+#endif  // STAR_SERVE_STAR_CACHE_H_
