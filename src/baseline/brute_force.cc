@@ -11,6 +11,14 @@ using scoring::QueryScorer;
 
 namespace {
 
+/// True when query node u is exempt from candidate-list semantics: the
+/// engines score untyped wildcards through CandidateScore's short-circuit
+/// (constant wildcard_node_score, no threshold, no cutoff), so the oracle
+/// must range them over all of V instead of Candidates(u).
+bool UntypedWildcard(const query::QueryGraph& q, int u) {
+  return q.node(u).wildcard && q.node(u).type_name.empty();
+}
+
 /// Shared enumeration core: calls `emit` for every valid complete match.
 void Enumerate(QueryScorer& scorer,
                const std::function<void(const GraphMatch&)>& emit) {
@@ -20,8 +28,23 @@ void Enumerate(QueryScorer& scorer,
   // Bulk-score every query node's candidate list up front: Candidates()
   // fans the online F_N evaluations across the worker pool
   // (MatchConfig::threads), which is where brute force spends most of its
-  // time before the enumeration even starts.
-  for (int u = 0; u < n; ++u) scorer.Candidates(u);
+  // time before the enumeration even starts. Untyped wildcards never build
+  // lists (mirrors the engines' leaf path).
+  for (int u = 0; u < n; ++u) {
+    if (!UntypedWildcard(q, u)) scorer.Candidates(u);
+  }
+  // Untyped wildcards range over every data node at the constant wildcard
+  // score (the engines' CandidateScore semantics); everything else over its
+  // shared candidate list.
+  std::vector<scoring::ScoredCandidate> all_nodes;
+  for (int u = 0; u < n && all_nodes.empty(); ++u) {
+    if (!UntypedWildcard(q, u)) continue;
+    all_nodes.reserve(scorer.graph().node_count());
+    for (graph::NodeId v = 0;
+         v < static_cast<graph::NodeId>(scorer.graph().node_count()); ++v) {
+      all_nodes.push_back({v, cfg.wildcard_node_score});
+    }
+  }
   GraphMatch current;
   current.mapping.assign(n, graph::kInvalidNode);
 
@@ -31,7 +54,9 @@ void Enumerate(QueryScorer& scorer,
       emit(current);
       return;
     }
-    for (const auto& cand : scorer.Candidates(u)) {
+    const auto& domain =
+        UntypedWildcard(q, u) ? all_nodes : scorer.Candidates(u);
+    for (const auto& cand : domain) {
       if (cfg.enforce_injective) {
         bool taken = false;
         for (int prev = 0; prev < u; ++prev) {
@@ -93,6 +118,27 @@ size_t BruteForceCountMatches(QueryScorer& scorer) {
   size_t count = 0;
   Enumerate(scorer, [&](const GraphMatch&) { ++count; });
   return count;
+}
+
+std::string BruteForceOracleCheck(const query::QueryGraph& q,
+                                  const scoring::MatchConfig& config) {
+  bool untyped_wildcard = false;
+  for (int u = 0; u < q.node_count(); ++u) {
+    if (q.node(u).wildcard && q.node(u).type_name.empty()) {
+      untyped_wildcard = true;
+      break;
+    }
+  }
+  if (!untyped_wildcard) return "";
+  if (config.max_candidates > 0) {
+    return "untyped wildcard with max_candidates cutoff: engine semantics "
+           "are pivot/leaf position dependent";
+  }
+  if (config.wildcard_node_score < config.node_threshold) {
+    return "untyped wildcard with wildcard_node_score below node_threshold: "
+           "engine semantics are pivot/leaf position dependent";
+  }
+  return "";
 }
 
 }  // namespace star::baseline

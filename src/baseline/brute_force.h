@@ -2,9 +2,12 @@
 #define STAR_BASELINE_BRUTE_FORCE_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/match.h"
+#include "query/query_graph.h"
+#include "scoring/match_config.h"
 #include "scoring/query_scorer.h"
 
 namespace star::baseline {
@@ -18,11 +21,33 @@ namespace star::baseline {
 /// A mapping is valid iff every node score passes node_threshold (wildcards
 /// always pass) and every query edge has a connection with F_E >=
 /// edge_threshold within d.
+///
+/// MatchConfig coverage: every option is honored with the engines' leaf
+/// semantics — node/edge thresholds and cutoffs via the shared Candidates()
+/// lists, lambda/d via PairEdgeScore, injectivity, and the untyped-wildcard
+/// exemption (such nodes range over ALL of V at wildcard_node_score,
+/// mirroring CandidateScore's short-circuit). The one configuration the
+/// oracle cannot model is flagged by BruteForceOracleCheck below — callers
+/// doing differential comparisons must consult it first.
 std::vector<core::GraphMatch> BruteForceTopK(scoring::QueryScorer& scorer,
                                              size_t k);
 
 /// Number of valid matches in total (diagnostics for tests).
 size_t BruteForceCountMatches(scoring::QueryScorer& scorer);
+
+/// "" when the brute-force oracle models (q, config) faithfully; otherwise
+/// a human-readable reason a differential comparison would be
+/// apples-to-oranges and the oracle cell must be skipped.
+///
+/// The only unmodelable region: untyped wildcard nodes are threshold- and
+/// cutoff-exempt in *leaf* position (CandidateScore short-circuits to
+/// wildcard_node_score) but go through the filtered/truncated Candidates()
+/// list in *pivot* position, so when a candidate cutoff is set or the
+/// wildcard score falls below node_threshold the engines' own semantics
+/// depend on where the decomposition places the node — no single oracle
+/// semantics can match both.
+std::string BruteForceOracleCheck(const query::QueryGraph& q,
+                                  const scoring::MatchConfig& config);
 
 }  // namespace star::baseline
 

@@ -87,6 +87,52 @@ class StarCache final : public core::ReuseCache {
     return stats_;
   }
 
+  /// Test-only fault injection (fuzz harness): adds `delta` to every
+  /// memoized star-top-list score and recorded bound, in place. A warm run
+  /// then replays the perturbed stream, which the harness's warm==cold
+  /// differential cell must flag. Returns the number of entries touched.
+  size_t CorruptTopListScoresForTest(double delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t touched = 0;
+    for (auto& [key, toplist] : toplists_.lru) {
+      auto matches =
+          std::make_shared<std::vector<core::StarMatch>>(*toplist.matches);
+      for (auto& m : *matches) m.score += delta;
+      auto bounds = std::make_shared<std::vector<double>>(*toplist.bounds);
+      for (double& b : *bounds) b += delta;
+      toplist.matches = std::move(matches);
+      toplist.bounds = std::move(bounds);
+      ++touched;
+    }
+    return touched;
+  }
+
+  /// Test-only fault injection: adds `delta` to every cached candidate
+  /// F_N (order-preserving, so replay machinery stays well-formed while
+  /// every score derived from a seeded list goes wrong). Returns entries
+  /// touched.
+  size_t CorruptCandidateScoresForTest(double delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t touched = 0;
+    for (auto& [key, list] : candidates_.lru) {
+      auto copy =
+          std::make_shared<std::vector<scoring::ScoredCandidate>>(*list);
+      for (auto& c : *copy) c.score += delta;
+      list = std::move(copy);
+      ++touched;
+    }
+    return touched;
+  }
+
+  /// Test-only: drops the top-list section (keeps candidates and the
+  /// generation). Forces a warm run down the candidate-seeded recompute
+  /// path — used with CorruptCandidateScoresForTest so poisoned lists are
+  /// actually consumed instead of being shadowed by memoized streams.
+  void ClearTopListsForTest() {
+    std::lock_guard<std::mutex> lock(mu_);
+    toplists_.Clear();
+  }
+
   size_t candidate_size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return candidates_.lru.size();

@@ -1,0 +1,720 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "baseline/belief_propagation.h"
+#include "baseline/brute_force.h"
+#include "baseline/graph_ta.h"
+#include "common/deadline.h"
+#include "common/random.h"
+#include "core/framework.h"
+#include "core/star_search.h"
+#include "graph/label_index.h"
+#include "query/query_graph.h"
+#include "scoring/query_scorer.h"
+#include "serve/star_cache.h"
+#include "text/ensemble.h"
+
+namespace star::testing {
+
+std::string CaseOutcome::Summary() const {
+  if (violations.empty()) return "";
+  const Violation& v = violations.front();
+  return v.check + " @ " + v.cell + ": " + v.detail;
+}
+
+namespace {
+
+/// Same tolerance the existing identity tests use for cross-algorithm
+/// score agreement (ties are broken arbitrarily across engines, so only
+/// score sequences compare — never mappings).
+constexpr double kEps = 1e-9;
+
+std::string StrPrintf(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+struct EngineResult {
+  std::vector<core::GraphMatch> matches;
+  core::FrameworkStats stats;
+};
+
+/// One matrix cell fully specified: the runner mutates copies of this to
+/// derive every cell from the case's base configuration.
+struct RunSpec {
+  const graph::KnowledgeGraph* graph = nullptr;
+  const graph::LabelIndex* index = nullptr;  // null = no-index semantics
+  const query::QueryGraph* query = nullptr;
+  scoring::MatchConfig config;
+  core::StarStrategy strategy = core::StarStrategy::kStard;
+  double alpha = 0.5;
+  core::DecompositionOptions decomposition;
+  size_t k = 5;
+  core::ReuseCache* reuse = nullptr;
+  const Cancellation* cancel = nullptr;
+};
+
+EngineResult Run(const text::SimilarityEnsemble& ensemble, const RunSpec& s) {
+  core::StarOptions o;
+  o.strategy = s.strategy;
+  o.match = s.config;
+  o.decomposition = s.decomposition;
+  o.alpha = s.alpha;
+  o.reuse = s.reuse;
+  core::StarFramework fw(*s.graph, ensemble, s.index, o);
+  EngineResult r;
+  r.matches = fw.TopK(*s.query, s.k, s.cancel);
+  r.stats = fw.last_stats();
+  return r;
+}
+
+std::vector<double> Scores(const std::vector<core::GraphMatch>& ms) {
+  std::vector<double> s;
+  s.reserve(ms.size());
+  for (const auto& m : ms) s.push_back(m.score);
+  return s;
+}
+
+std::string DescribeMatch(const core::GraphMatch& m) {
+  std::string out = StrPrintf("%.17g <-", m.score);
+  for (const graph::NodeId v : m.mapping) {
+    out += StrPrintf(" %d", static_cast<int>(v));
+  }
+  return out;
+}
+
+void AddViolation(CaseOutcome* out, std::string check, std::string cell,
+                  std::string detail) {
+  out->violations.push_back(
+      Violation{std::move(check), std::move(cell), std::move(detail)});
+}
+
+/// Structural invariants every engine result must satisfy regardless of
+/// which cell produced it.
+void CheckWellFormed(const std::string& cell, const EngineResult& r,
+                     const FuzzCase& c, bool expect_complete_run,
+                     CaseOutcome* out) {
+  if (r.matches.size() > c.k) {
+    AddViolation(out, "shape", cell,
+                 StrPrintf("returned %zu matches for k=%zu", r.matches.size(),
+                           c.k));
+  }
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < r.matches.size(); ++i) {
+    const auto& m = r.matches[i];
+    if (m.mapping.size() != static_cast<size_t>(c.query.node_count())) {
+      AddViolation(out, "shape", cell,
+                   StrPrintf("match %zu maps %zu of %d query nodes", i,
+                             m.mapping.size(), c.query.node_count()));
+      return;
+    }
+    if (!m.Complete()) {
+      AddViolation(out, "completeness", cell,
+                   StrPrintf("match %zu has unmapped query nodes: %s", i,
+                             DescribeMatch(m).c_str()));
+    }
+    if (c.config.enforce_injective && !m.Injective()) {
+      AddViolation(out, "injectivity", cell,
+                   StrPrintf("match %zu repeats a data node: %s", i,
+                             DescribeMatch(m).c_str()));
+    }
+    if (m.score > prev) {
+      AddViolation(out, "ordering", cell,
+                   StrPrintf("score increased at rank %zu: %.17g after %.17g",
+                             i, m.score, prev));
+    }
+    prev = m.score;
+  }
+  if (expect_complete_run && r.stats.cancelled) {
+    AddViolation(out, "spurious-cancel", cell,
+                 "cancelled flag set without a cancellation token");
+  }
+}
+
+/// Bitwise identity (exact double equality + identical mappings): the
+/// contract between cells of the SAME strategy (threads, kernel, reuse,
+/// k-prefix, deadline truncation), where tie decisions must replay exactly.
+bool SameMatch(const core::GraphMatch& a, const core::GraphMatch& b) {
+  return a.score == b.score && a.mapping == b.mapping;
+}
+
+void CheckBitwiseEqual(const std::string& check, const std::string& cell,
+                       const std::vector<core::GraphMatch>& ref,
+                       const std::vector<core::GraphMatch>& got,
+                       CaseOutcome* out) {
+  if (ref.size() != got.size()) {
+    AddViolation(out, check, cell,
+                 StrPrintf("size %zu vs reference %zu", got.size(),
+                           ref.size()));
+    return;
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (!SameMatch(ref[i], got[i])) {
+      AddViolation(
+          out, check, cell,
+          StrPrintf("rank %zu differs: got %s, reference %s", i,
+                    DescribeMatch(got[i]).c_str(),
+                    DescribeMatch(ref[i]).c_str()));
+      return;
+    }
+  }
+}
+
+/// `got` must be a bitwise prefix of `full`.
+void CheckBitwisePrefix(const std::string& check, const std::string& cell,
+                        const std::vector<core::GraphMatch>& full,
+                        const std::vector<core::GraphMatch>& got,
+                        CaseOutcome* out) {
+  if (got.size() > full.size()) {
+    AddViolation(out, check, cell,
+                 StrPrintf("prefix longer (%zu) than reference (%zu)",
+                           got.size(), full.size()));
+    return;
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (!SameMatch(full[i], got[i])) {
+      AddViolation(
+          out, check, cell,
+          StrPrintf("prefix rank %zu differs: got %s, reference %s", i,
+                    DescribeMatch(got[i]).c_str(),
+                    DescribeMatch(full[i]).c_str()));
+      return;
+    }
+  }
+}
+
+/// Score-sequence agreement within eps — the cross-engine comparison (tie
+/// order and therefore mappings legitimately differ).
+void CheckScoresNear(const std::string& check, const std::string& cell,
+                     const std::vector<double>& ref,
+                     const std::vector<double>& got, CaseOutcome* out) {
+  if (ref.size() != got.size()) {
+    AddViolation(out, check, cell,
+                 StrPrintf("size %zu vs reference %zu", got.size(),
+                           ref.size()));
+    return;
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (std::abs(ref[i] - got[i]) > kEps) {
+      AddViolation(out, check, cell,
+                   StrPrintf("rank %zu score %.17g vs reference %.17g", i,
+                             got[i], ref[i]));
+      return;
+    }
+  }
+}
+
+bool UntypedWildcard(const query::QueryGraph& q, int u) {
+  return q.node(u).wildcard && q.node(u).type_name.empty();
+}
+
+/// Recomputes each match's score from first principles through a fresh
+/// scorer: every mapped node must be a candidate (or wildcard-exempt),
+/// every query edge must have a valid connection, and the parts must sum
+/// to the reported score. Catches "agrees with itself but wrong" bugs that
+/// pure differential cells cannot.
+void CheckValidity(const std::string& cell,
+                   const std::vector<core::GraphMatch>& matches,
+                   scoring::QueryScorer& scorer, CaseOutcome* out) {
+  const query::QueryGraph& q = scorer.query();
+  const scoring::MatchConfig& cfg = scorer.config();
+  for (size_t i = 0; i < matches.size(); ++i) {
+    const auto& m = matches[i];
+    if (m.mapping.size() != static_cast<size_t>(q.node_count())) continue;
+    double sum = 0.0;
+    bool valid = true;
+    for (int u = 0; u < q.node_count() && valid; ++u) {
+      if (UntypedWildcard(q, u)) {
+        sum += cfg.wildcard_node_score;
+        continue;
+      }
+      const double s = scorer.CandidateScore(u, m.mapping[u]);
+      if (s < 0.0) {
+        AddViolation(out, "validity", cell,
+                     StrPrintf("match %zu maps query node %d to non-candidate "
+                               "%d: %s",
+                               i, u, static_cast<int>(m.mapping[u]),
+                               DescribeMatch(m).c_str()));
+        valid = false;
+        break;
+      }
+      sum += s;
+    }
+    for (int e = 0; e < q.edge_count() && valid; ++e) {
+      const auto& qe = q.edge(e);
+      const double fe =
+          scorer.PairEdgeScore(e, m.mapping[qe.u], m.mapping[qe.v]);
+      if (fe < 0.0) {
+        AddViolation(out, "validity", cell,
+                     StrPrintf("match %zu has no valid connection for query "
+                               "edge %d: %s",
+                               i, e, DescribeMatch(m).c_str()));
+        valid = false;
+        break;
+      }
+      sum += fe;
+    }
+    if (valid && std::abs(sum - m.score) > kEps) {
+      AddViolation(out, "validity", cell,
+                   StrPrintf("match %zu reports %.17g, recomputes to %.17g",
+                             i, m.score, sum));
+    }
+  }
+}
+
+/// Rebuilds q with node and edge insertion order permuted and edge
+/// endpoints randomly flipped — semantically the identical query.
+query::QueryGraph PermuteQuery(const query::QueryGraph& q, Rng& rng) {
+  const int n = q.node_count();
+  std::vector<int> perm(n);  // perm[old] = new index
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  std::vector<int> inv(n);
+  for (int i = 0; i < n; ++i) inv[perm[i]] = i;
+  query::QueryGraph nq;
+  for (int ni = 0; ni < n; ++ni) {
+    const auto& node = q.node(inv[ni]);
+    if (node.wildcard) {
+      nq.AddWildcardNode(node.type_name);
+    } else {
+      nq.AddNode(node.label, node.type_name);
+    }
+  }
+  std::vector<int> eorder(q.edge_count());
+  std::iota(eorder.begin(), eorder.end(), 0);
+  rng.Shuffle(eorder);
+  for (const int e : eorder) {
+    const auto& qe = q.edge(e);
+    int u = perm[qe.u];
+    int v = perm[qe.v];
+    if (rng.Chance(0.5)) std::swap(u, v);
+    nq.AddEdge(u, v, qe.wildcard_relation ? "" : qe.relation);
+  }
+  return nq;
+}
+
+/// Rebuilds g with node ids permuted (labels, types, and edges preserved;
+/// edge insertion order kept so only the id space changes).
+graph::KnowledgeGraph RelabelGraph(const graph::KnowledgeGraph& g, Rng& rng) {
+  const size_t n = g.node_count();
+  std::vector<graph::NodeId> perm(n);  // perm[old] = new id
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  std::vector<graph::NodeId> inv(n);
+  for (size_t i = 0; i < n; ++i) inv[perm[i]] = static_cast<graph::NodeId>(i);
+  graph::KnowledgeGraph::Builder b;
+  for (size_t ni = 0; ni < n; ++ni) {
+    const graph::NodeId old = inv[ni];
+    const int32_t t = g.NodeType(old);
+    b.AddNode(g.NodeLabel(old), t >= 0 ? g.TypeName(t) : "");
+  }
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.edge_count());
+       ++e) {
+    b.AddEdge(perm[g.EdgeSrc(e)], perm[g.EdgeDst(e)],
+              g.RelationName(g.EdgeRelation(e)));
+  }
+  return std::move(b).Build();
+}
+
+struct Strat {
+  core::StarStrategy s;
+  const char* name;
+};
+constexpr Strat kStrategies[] = {
+    {core::StarStrategy::kStark, "stark"},
+    {core::StarStrategy::kStard, "stard"},
+    {core::StarStrategy::kHybrid, "hybrid"},
+};
+// Index of the reference strategy (the paper's default engine) in
+// kStrategies; every cross-engine cell compares against its base run.
+constexpr size_t kRefStrategy = 1;
+
+}  // namespace
+
+CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
+  CaseOutcome out;
+  if (c.query.node_count() == 0 || c.graph.node_count() == 0) return out;
+
+  text::SimilarityEnsemble ensemble;
+  std::unique_ptr<graph::LabelIndex> index;
+  if (c.with_index) index = std::make_unique<graph::LabelIndex>(c.graph);
+
+  RunSpec base_spec;
+  base_spec.graph = &c.graph;
+  base_spec.index = index.get();
+  base_spec.query = &c.query;
+  base_spec.config = c.config;
+  base_spec.config.threads = 1;
+  base_spec.config.use_scoring_kernel = true;
+  base_spec.alpha = c.alpha;
+  base_spec.decomposition = c.decomposition;
+  base_spec.k = c.k;
+
+  // --- Base cells: every strategy at t=1, kernel on, no reuse/deadline ---
+  EngineResult base[3];
+  for (size_t i = 0; i < 3; ++i) {
+    RunSpec spec = base_spec;
+    spec.strategy = kStrategies[i].s;
+    base[i] = Run(ensemble, spec);
+    ++out.cells_run;
+    CheckWellFormed(std::string(kStrategies[i].name) + "/base", base[i], c,
+                    /*expect_complete_run=*/true, &out);
+  }
+  const std::vector<double> ref_scores = Scores(base[kRefStrategy].matches);
+  for (size_t i = 0; i < 3; ++i) {
+    if (i == kRefStrategy) continue;
+    CheckScoresNear("strategy-diff",
+                    std::string(kStrategies[i].name) + "/base", ref_scores,
+                    Scores(base[i].matches), &out);
+  }
+
+  {
+    scoring::QueryScorer vscorer(c.graph, c.query, ensemble, base_spec.config,
+                                 index.get());
+    CheckValidity("stard/base", base[kRefStrategy].matches, vscorer, &out);
+  }
+
+  // --- Thread x kernel matrix: bit-identity contract per strategy ---
+  if (opts.run_thread_kernel_matrix) {
+    struct TK {
+      int threads;
+      bool kernel;
+    };
+    constexpr TK kCells[] = {{4, true}, {1, false}, {4, false}};
+    for (size_t i = 0; i < 3; ++i) {
+      for (const TK& tk : kCells) {
+        RunSpec spec = base_spec;
+        spec.strategy = kStrategies[i].s;
+        spec.config.threads = tk.threads;
+        spec.config.use_scoring_kernel = tk.kernel;
+        const EngineResult r = Run(ensemble, spec);
+        ++out.cells_run;
+        const std::string cell =
+            StrPrintf("%s/t=%d/kernel=%d", kStrategies[i].name, tk.threads,
+                      tk.kernel ? 1 : 0);
+        CheckWellFormed(cell, r, c, true, &out);
+        CheckBitwiseEqual("thread-kernel-diff", cell, base[i].matches,
+                          r.matches, &out);
+      }
+    }
+  }
+
+  // --- Reuse cells: cold -> warm -> invalidated, all bitwise vs base ---
+  if (opts.run_reuse) {
+    for (size_t i = 0; i < 3; ++i) {
+      serve::StarCache cache(256, 256);
+      RunSpec spec = base_spec;
+      spec.strategy = kStrategies[i].s;
+      spec.reuse = &cache;
+
+      const EngineResult cold = Run(ensemble, spec);
+      ++out.cells_run;
+      CheckBitwiseEqual("reuse-cold",
+                        StrPrintf("%s/reuse=cold", kStrategies[i].name),
+                        base[i].matches, cold.matches, &out);
+
+      if (c.inject == BugInjection::kWarmTopListScores) {
+        cache.CorruptTopListScoresForTest(0.25);
+      } else if (c.inject == BugInjection::kWarmCandidateScores) {
+        cache.CorruptCandidateScoresForTest(0.25);
+        // Drop memoized streams so the poisoned candidate lists are
+        // actually consumed instead of being shadowed by replay.
+        cache.ClearTopListsForTest();
+      }
+      const EngineResult warm = Run(ensemble, spec);
+      ++out.cells_run;
+      CheckBitwiseEqual("reuse-warm",
+                        StrPrintf("%s/reuse=warm", kStrategies[i].name),
+                        base[i].matches, warm.matches, &out);
+
+      cache.Invalidate();
+      const EngineResult inval = Run(ensemble, spec);
+      ++out.cells_run;
+      CheckBitwiseEqual("reuse-invalidated",
+                        StrPrintf("%s/reuse=invalidated", kStrategies[i].name),
+                        base[i].matches, inval.matches, &out);
+    }
+  }
+
+  // --- Deadline cells ---
+  if (opts.run_deadline) {
+    {
+      const Cancellation expired{Deadline::Expired()};
+      RunSpec spec = base_spec;
+      spec.cancel = &expired;
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      if (!r.matches.empty()) {
+        AddViolation(&out, "deadline-expired", "stard/deadline=expired",
+                     StrPrintf("pre-expired deadline returned %zu matches",
+                               r.matches.size()));
+      }
+      if (!r.stats.cancelled) {
+        AddViolation(&out, "deadline-expired", "stard/deadline=expired",
+                     "cancelled flag not set on pre-expired deadline");
+      }
+    }
+    {
+      Cancellation cancelled_now;
+      cancelled_now.Cancel();
+      RunSpec spec = base_spec;
+      spec.cancel = &cancelled_now;
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      if (!r.matches.empty() || !r.stats.cancelled) {
+        AddViolation(&out, "cancel-immediate", "stard/cancelled",
+                     StrPrintf("pre-cancelled run returned %zu matches, "
+                               "cancelled=%d",
+                               r.matches.size(), r.stats.cancelled ? 1 : 0));
+      }
+    }
+    if (c.tight_deadline_ms > 0.0) {
+      const Cancellation tight{Deadline::AfterMillis(c.tight_deadline_ms)};
+      RunSpec spec = base_spec;
+      spec.cancel = &tight;
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      const std::string cell = "stard/deadline=tight";
+      CheckWellFormed(cell, r, c, /*expect_complete_run=*/false, &out);
+      if (r.stats.cancelled) {
+        CheckBitwisePrefix("deadline-prefix", cell,
+                           base[kRefStrategy].matches, r.matches, &out);
+      } else {
+        CheckBitwiseEqual("deadline-complete", cell,
+                          base[kRefStrategy].matches, r.matches, &out);
+      }
+    }
+  }
+
+  // --- Oracle + baseline cells (shared scorer: identical memo semantics,
+  // and the candidate lists double as the oracle cost estimate) ---
+  const std::string oracle_reason =
+      baseline::BruteForceOracleCheck(c.query, base_spec.config);
+  if ((opts.run_oracle || opts.run_baselines) && oracle_reason.empty()) {
+    scoring::QueryScorer oscorer(c.graph, c.query, ensemble, base_spec.config,
+                                 index.get());
+    double states = 1.0;
+    for (int u = 0; u < c.query.node_count(); ++u) {
+      states *= UntypedWildcard(c.query, u)
+                    ? static_cast<double>(c.graph.node_count())
+                    : static_cast<double>(oscorer.Candidates(u).size());
+    }
+    if (opts.run_oracle && states <= opts.max_oracle_states) {
+      const auto oracle = baseline::BruteForceTopK(oscorer, c.k);
+      out.oracle_ran = true;
+      ++out.cells_run;
+      CheckScoresNear("oracle-diff", "oracle", Scores(oracle), ref_scores,
+                      &out);
+    }
+    if (opts.run_baselines && states <= opts.max_oracle_states) {
+      baseline::GraphTa ta(oscorer, /*budget_ms=*/0.0);
+      const auto got = ta.TopK(c.k);
+      ++out.cells_run;
+      CheckScoresNear("graphta-diff", "graphta", ref_scores, Scores(got),
+                      &out);
+    }
+    // BP is exact only for acyclic queries without the global injectivity
+    // constraint (its model is pairwise) — its documented exactness domain.
+    if (opts.run_baselines && states <= opts.max_oracle_states &&
+        c.query.IsTree() && !base_spec.config.enforce_injective) {
+      baseline::BeliefPropagation bp(oscorer, baseline::BpOptions{});
+      const auto got = bp.TopK(c.k);
+      ++out.cells_run;
+      CheckScoresNear("bp-diff", "bp", ref_scores, Scores(got), &out);
+    }
+  }
+
+  // --- Metamorphic relations (no oracle needed) ---
+  if (opts.run_metamorphic) {
+    Rng mrng(c.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+
+    // M1: query node/edge insertion order and edge orientation are
+    // presentation only — scores must be invariant. Only without cutoffs:
+    // truncation keeps a pivot-dependent candidate subset, and the pivot
+    // choice is insertion-order-dependent, so truncated results
+    // legitimately differ across presentations.
+    if (c.query.node_count() >= 2 && c.config.max_candidates == 0 &&
+        c.config.max_retrieval == 0) {
+      const query::QueryGraph pq = PermuteQuery(c.query, mrng);
+      RunSpec spec = base_spec;
+      spec.query = &pq;
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      CheckScoresNear("meta-permutation", "stard/permuted-query", ref_scores,
+                      Scores(r.matches), &out);
+    }
+
+    // M2: the top-k score sequence is a bitwise prefix of the top-(k+3)
+    // one. Scores only: tie selection is k-dependent in the rank join
+    // (more pulls happen before the threshold stop), so mappings may
+    // permute within an exact-score tie group across k.
+    {
+      RunSpec spec = base_spec;
+      spec.k = c.k + 3;
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      const std::vector<double> big = Scores(r.matches);
+      if (ref_scores.size() > big.size()) {
+        AddViolation(&out, "meta-kprefix", "stard/k+3",
+                     StrPrintf("k=%zu returned %zu matches but k=%zu only %zu",
+                               c.k, ref_scores.size(), c.k + 3, big.size()));
+      } else {
+        for (size_t i = 0; i < ref_scores.size(); ++i) {
+          if (ref_scores[i] != big[i]) {
+            AddViolation(&out, "meta-kprefix", "stard/k+3",
+                         StrPrintf("score rank %zu: %.17g (k=%zu) vs %.17g "
+                                   "(k=%zu)",
+                                   i, ref_scores[i], c.k, big[i], c.k + 3));
+            break;
+          }
+        }
+      }
+    }
+
+    // M3: node-id relabeling changes nothing but the id space — score
+    // sequences must be invariant. Gated on no cutoffs: with a candidate
+    // cutoff, exact F_N ties at the truncation boundary are legitimately
+    // broken by node id, so relabeling may keep a different (equal-scoring
+    // at F_N, different connectivity) candidate.
+    if (c.config.max_candidates == 0 && c.config.max_retrieval == 0) {
+      const graph::KnowledgeGraph rg = RelabelGraph(c.graph, mrng);
+      std::unique_ptr<graph::LabelIndex> ridx;
+      if (c.with_index) ridx = std::make_unique<graph::LabelIndex>(rg);
+      RunSpec spec = base_spec;
+      spec.graph = &rg;
+      spec.index = ridx.get();
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      CheckScoresNear("meta-relabel", "stard/relabeled-graph", ref_scores,
+                      Scores(r.matches), &out);
+    }
+
+    // M4a: raising lambda only raises multi-hop F_E — every match stays
+    // valid with a non-decreasing score, so rank-wise scores and the match
+    // count must not drop.
+    auto check_monotone_up = [&](const char* check, const char* cell,
+                                 const scoring::MatchConfig& cfg2) {
+      RunSpec spec = base_spec;
+      spec.config = cfg2;
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      const std::vector<double> got = Scores(r.matches);
+      if (got.size() < ref_scores.size()) {
+        AddViolation(&out, check, cell,
+                     StrPrintf("match count dropped: %zu vs %zu", got.size(),
+                               ref_scores.size()));
+        return;
+      }
+      for (size_t i = 0; i < ref_scores.size(); ++i) {
+        if (got[i] < ref_scores[i] - kEps) {
+          AddViolation(&out, check, cell,
+                       StrPrintf("rank %zu score dropped: %.17g vs %.17g", i,
+                                 got[i], ref_scores[i]));
+          return;
+        }
+      }
+    };
+    if (c.config.lambda < 1.0) {
+      scoring::MatchConfig cfg2 = base_spec.config;
+      cfg2.lambda = std::min(1.0, cfg2.lambda + 0.1);
+      check_monotone_up("meta-monotone-lambda", "stard/lambda+0.1", cfg2);
+    }
+    if (c.config.d < 4) {
+      scoring::MatchConfig cfg2 = base_spec.config;
+      cfg2.d += 1;
+      check_monotone_up("meta-monotone-d", "stard/d+1", cfg2);
+    }
+
+    // M4b: raising thresholds shrinks the valid-match set and never raises
+    // a surviving match's score — rank-wise scores and count must not grow.
+    {
+      scoring::MatchConfig cfg2 = base_spec.config;
+      cfg2.node_threshold += 0.1;
+      cfg2.edge_threshold += 0.05;
+      RunSpec spec = base_spec;
+      spec.config = cfg2;
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      const std::vector<double> got = Scores(r.matches);
+      const char* cell = "stard/thresholds-raised";
+      if (got.size() > ref_scores.size()) {
+        AddViolation(&out, "meta-monotone-threshold", cell,
+                     StrPrintf("match count grew: %zu vs %zu", got.size(),
+                               ref_scores.size()));
+      } else {
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i] > ref_scores[i] + kEps) {
+            AddViolation(
+                &out, "meta-monotone-threshold", cell,
+                StrPrintf("rank %zu score grew: %.17g vs %.17g", i, got[i],
+                          ref_scores[i]));
+            break;
+          }
+        }
+      }
+    }
+
+    // M5: star streams must keep their rank-join contract — after every
+    // pull, UpperBound() caps the next emission and never exceeds the
+    // score just returned.
+    if (c.query.IsStar()) {
+      scoring::QueryScorer sscorer(c.graph, c.query, ensemble,
+                                   base_spec.config, index.get());
+      const query::StarQuery star = core::MakeStarQuery(c.query);
+      for (size_t i = 0; i < 3; ++i) {
+        core::StarSearch::Options so;
+        so.strategy = kStrategies[i].s;
+        core::StarSearch search(sscorer, star, so);
+        ++out.cells_run;
+        const std::string cell =
+            StrPrintf("%s/star-stream", kStrategies[i].name);
+        double prev = std::numeric_limits<double>::infinity();
+        double prev_bound = std::numeric_limits<double>::infinity();
+        for (size_t pulls = 0; pulls < 3 * c.k + 8; ++pulls) {
+          const auto m = search.Next();
+          if (!m) break;
+          if (m->score > prev) {
+            AddViolation(&out, "meta-upperbound", cell,
+                         StrPrintf("stream score increased: %.17g after "
+                                   "%.17g",
+                                   m->score, prev));
+            break;
+          }
+          if (m->score > prev_bound + kEps) {
+            AddViolation(&out, "meta-upperbound", cell,
+                         StrPrintf("emission %.17g above advertised bound "
+                                   "%.17g",
+                                   m->score, prev_bound));
+            break;
+          }
+          const double bound = search.UpperBound();
+          if (bound > m->score + kEps) {
+            AddViolation(&out, "meta-upperbound", cell,
+                         StrPrintf("bound %.17g above last emission %.17g",
+                                   bound, m->score));
+            break;
+          }
+          prev = m->score;
+          prev_bound = bound;
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace star::testing

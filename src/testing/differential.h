@@ -1,0 +1,68 @@
+#ifndef STAR_TESTING_DIFFERENTIAL_H_
+#define STAR_TESTING_DIFFERENTIAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "testing/fuzz_case.h"
+
+namespace star::testing {
+
+/// One failed check. `check` is a stable kind tag (the shrinker matches on
+/// it), `cell` names the matrix cell, `detail` is human-readable.
+struct Violation {
+  std::string check;
+  std::string cell;
+  std::string detail;
+};
+
+/// Which parts of the matrix to run. The defaults are the full matrix;
+/// the shrinker narrows them to the failing region for speed.
+struct RunnerOptions {
+  bool run_oracle = true;
+  /// graphTA always; BP only on acyclic non-injective cases (its exactness
+  /// domain).
+  bool run_baselines = true;
+  bool run_metamorphic = true;
+  bool run_reuse = true;
+  bool run_deadline = true;
+  bool run_thread_kernel_matrix = true;
+  /// Skip the brute-force cell when the product of candidate-list sizes
+  /// exceeds this (the oracle is exponential; the generator keeps cases
+  /// under the guard, but shrinking intermediates may not be).
+  double max_oracle_states = 4e6;
+};
+
+struct CaseOutcome {
+  std::vector<Violation> violations;
+  size_t cells_run = 0;
+  bool oracle_ran = false;
+
+  bool ok() const { return violations.empty(); }
+  /// First violation rendered as "check @ cell: detail" ("" when ok).
+  std::string Summary() const;
+};
+
+/// Runs the full differential + metamorphic matrix on one case:
+///
+///  - BruteForce oracle vs stark/stard/hybrid (framework) score identity;
+///  - graphTA (always) and BP (acyclic, non-injective) agreement;
+///  - bitwise identity across {1,4} threads x kernel on/off per strategy;
+///  - bitwise identity of reuse cold/warm/invalidated runs (with optional
+///    bug injection between cold and warm);
+///  - deadline cells: pre-expired => empty + cancelled; tight => bitwise
+///    prefix of the undeadlined run;
+///  - metamorphic relations needing no oracle: query node/edge permutation
+///    invariance, TopK(k) prefix-of TopK(k+3), graph node-id relabeling
+///    invariance, threshold/lambda/d monotonicity, and star-stream upper
+///    bound monotonicity.
+///
+/// Deterministic given (case, options) except the tight-deadline cell,
+/// whose *checks* are timing-independent (the contract holds wherever the
+/// expiry lands).
+CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts);
+
+}  // namespace star::testing
+
+#endif  // STAR_TESTING_DIFFERENTIAL_H_

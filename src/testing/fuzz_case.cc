@@ -1,0 +1,184 @@
+#include "testing/fuzz_case.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/random.h"
+#include "graph/graph_generator.h"
+#include "query/workload.h"
+
+namespace star::testing {
+
+const char* BugInjectionName(BugInjection b) {
+  switch (b) {
+    case BugInjection::kNone: return "none";
+    case BugInjection::kWarmTopListScores: return "warm-toplist";
+    case BugInjection::kWarmCandidateScores: return "warm-candidates";
+  }
+  return "none";
+}
+
+std::string FuzzCase::Describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu |V|=%zu |E|=%zu q=%d/%d k=%zu d=%d nt=%.3f et=%.3f "
+                "lambda=%.3f cut=%zu inj=%d idx=%d dl=%.2fms bug=%s",
+                static_cast<unsigned long long>(seed), graph.node_count(),
+                graph.edge_count(), query.node_count(), query.edge_count(), k,
+                config.d, config.node_threshold, config.edge_threshold,
+                config.lambda, config.max_candidates,
+                config.enforce_injective ? 1 : 0, with_index ? 1 : 0,
+                tight_deadline_ms, BugInjectionName(inject));
+  return buf;
+}
+
+FuzzProfile SmokeProfile() { return FuzzProfile{}; }
+
+FuzzProfile TieHeavyProfile() {
+  FuzzProfile p;
+  p.name = "ties";
+  // Tiny token pools collide labels; collided labels have identical F_N,
+  // so candidate lists, star streams, and rank joins are full of exact
+  // ties — the regime where tie-break determinism bugs live.
+  p.token_pool_min = 3;
+  p.token_pool_max = 6;
+  p.num_types = 3;
+  p.num_relations = 4;
+  p.node_threshold_min = 0.15;
+  p.node_threshold_max = 0.3;
+  p.edge_threshold_max = 0.05;
+  p.label_noise = 0.2;
+  p.partial_label = 0.6;
+  p.cutoff_prob = 0.5;  // cutoffs + ties stress deterministic truncation
+  return p;
+}
+
+FuzzProfile DeadlineProfile() {
+  FuzzProfile p;
+  p.name = "deadline";
+  p.min_nodes = 30;
+  p.max_nodes = 70;
+  p.edge_factor_min = 2.0;
+  p.edge_factor_max = 3.0;
+  p.max_query_nodes = 5;
+  p.tight_deadline_prob = 1.0;
+  p.tight_deadline_min_ms = 0.02;
+  p.tight_deadline_max_ms = 1.5;
+  return p;
+}
+
+FuzzProfile ProfileByName(const std::string& name) {
+  if (name == "ties") return TieHeavyProfile();
+  if (name == "deadline") return DeadlineProfile();
+  return SmokeProfile();
+}
+
+namespace {
+
+double UniformIn(Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+size_t SizeIn(Rng& rng, size_t lo, size_t hi) {
+  return lo + static_cast<size_t>(rng.Below(hi - lo + 1));
+}
+
+}  // namespace
+
+FuzzCase MakeFuzzCase(const FuzzProfile& profile, uint64_t seed) {
+  // Independent sub-streams so a tweak to one draw doesn't shift every
+  // later decision (keeps shrunk cases comparable to their parents).
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+
+  FuzzCase c;
+  c.seed = seed;
+  c.profile = profile.name;
+
+  graph::GeneratorConfig gc;
+  gc.num_nodes = SizeIn(rng, profile.min_nodes, profile.max_nodes);
+  gc.num_edges = static_cast<size_t>(
+      static_cast<double>(gc.num_nodes) *
+      UniformIn(rng, profile.edge_factor_min, profile.edge_factor_max));
+  gc.num_types = profile.num_types;
+  gc.num_relations = profile.num_relations;
+  gc.token_pool = SizeIn(rng, profile.token_pool_min, profile.token_pool_max);
+  gc.degree_skew =
+      UniformIn(rng, profile.degree_skew_min, profile.degree_skew_max);
+  gc.seed = rng.Next();
+  c.graph = graph::GenerateGraph(gc);
+
+  query::WorkloadOptions wo;
+  wo.variable_fraction = profile.variable_fraction;
+  wo.label_noise = profile.label_noise;
+  wo.partial_label = profile.partial_label;
+  wo.keep_relation = profile.keep_relation;
+  wo.keep_type = profile.keep_type;
+  query::WorkloadGenerator wg(c.graph, rng.Next());
+  const int qn =
+      static_cast<int>(SizeIn(rng, static_cast<size_t>(profile.min_query_nodes),
+                              static_cast<size_t>(profile.max_query_nodes)));
+  const double shape = rng.NextDouble();
+  if (shape < profile.cyclic_prob && qn >= 3) {
+    c.query = wg.RandomGraphQuery(qn, qn + 1, wo);  // one extra edge: a cycle
+  } else if (shape < profile.cyclic_prob + profile.path_prob && qn >= 2) {
+    c.query = wg.RandomPathQuery(qn, wo);
+  } else {
+    c.query = wg.RandomStarQuery(qn, wo);
+  }
+
+  c.config.node_threshold =
+      UniformIn(rng, profile.node_threshold_min, profile.node_threshold_max);
+  c.config.edge_threshold =
+      UniformIn(rng, profile.edge_threshold_min, profile.edge_threshold_max);
+  c.config.lambda = UniformIn(rng, profile.lambda_min, profile.lambda_max);
+  c.config.d = 1 + static_cast<int>(rng.Below(
+                       static_cast<uint64_t>(std::max(1, profile.max_d))));
+  c.config.enforce_injective = rng.Chance(profile.injective_prob);
+  if (rng.Chance(profile.cutoff_prob)) {
+    c.config.max_candidates = SizeIn(rng, 2, 6);
+  }
+  c.with_index = rng.Chance(profile.with_index_prob);
+  if (c.with_index && rng.Chance(profile.retrieval_cutoff_prob)) {
+    c.config.max_retrieval = SizeIn(rng, 4, 12);
+  }
+  c.k = SizeIn(rng, profile.min_k, profile.max_k);
+  c.decomposition.seed = rng.Next();
+  c.alpha = UniformIn(rng, 0.2, 0.8);
+  if (rng.Chance(profile.tight_deadline_prob)) {
+    c.tight_deadline_ms = UniformIn(rng, profile.tight_deadline_min_ms,
+                                    profile.tight_deadline_max_ms);
+  }
+  return c;
+}
+
+graph::KnowledgeGraph CopyGraph(const graph::KnowledgeGraph& g) {
+  graph::KnowledgeGraph::Builder b;
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.node_count());
+       ++v) {
+    const int32_t t = g.NodeType(v);
+    b.AddNode(g.NodeLabel(v), t >= 0 ? g.TypeName(t) : "");
+  }
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.edge_count());
+       ++e) {
+    b.AddEdge(g.EdgeSrc(e), g.EdgeDst(e), g.RelationName(g.EdgeRelation(e)));
+  }
+  return std::move(b).Build();
+}
+
+FuzzCase CopyCase(const FuzzCase& c) {
+  FuzzCase out;
+  out.seed = c.seed;
+  out.profile = c.profile;
+  out.graph = CopyGraph(c.graph);
+  out.query = c.query;
+  out.config = c.config;
+  out.alpha = c.alpha;
+  out.decomposition = c.decomposition;
+  out.k = c.k;
+  out.with_index = c.with_index;
+  out.tight_deadline_ms = c.tight_deadline_ms;
+  out.inject = c.inject;
+  return out;
+}
+
+}  // namespace star::testing

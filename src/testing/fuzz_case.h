@@ -1,0 +1,131 @@
+#ifndef STAR_TESTING_FUZZ_CASE_H_
+#define STAR_TESTING_FUZZ_CASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/framework.h"
+#include "graph/knowledge_graph.h"
+#include "query/query_graph.h"
+#include "scoring/match_config.h"
+
+namespace star::testing {
+
+/// A deliberately planted defect, used to prove the harness detects and
+/// shrinks real bugs end to end (the checks run against the true engine
+/// pipeline; only the named component is perturbed).
+enum class BugInjection {
+  kNone = 0,
+  /// serve::StarCache::CorruptTopListScoresForTest between the cold and
+  /// warm reuse runs: warm replays then emit perturbed scores, which the
+  /// warm==cold differential cell must flag.
+  kWarmTopListScores,
+  /// serve::StarCache::CorruptCandidateScoresForTest between cold and
+  /// warm: seeded candidate lists carry perturbed F_N, breaking warm
+  /// bitwise identity.
+  kWarmCandidateScores,
+};
+
+const char* BugInjectionName(BugInjection b);
+
+/// One self-contained fuzz input: a concrete graph, query, and matching
+/// configuration. Everything the differential matrix varies per cell
+/// (strategy, threads, kernel, reuse mode, deadline mode) is derived by
+/// the runner; everything that changes *results* lives here.
+struct FuzzCase {
+  /// Seed this case was generated from (provenance; replays keep it).
+  uint64_t seed = 0;
+  /// Profile name the case came from ("manual" for hand-built cases).
+  std::string profile = "manual";
+
+  graph::KnowledgeGraph graph;
+  query::QueryGraph query;
+  scoring::MatchConfig config;
+  /// Rank-join score split and decomposition knobs (result-affecting).
+  double alpha = 0.5;
+  core::DecompositionOptions decomposition;
+  size_t k = 5;
+  /// Whether a LabelIndex is attached (retrieval semantics differ).
+  bool with_index = true;
+  /// Tight-deadline cell budget in ms (0 disables the tight cell; the
+  /// pre-expired cell always runs).
+  double tight_deadline_ms = 0.0;
+  BugInjection inject = BugInjection::kNone;
+
+  /// One-line human description for logs.
+  std::string Describe() const;
+};
+
+/// Parameter ranges the case generator draws from. Every field is a
+/// closed range or probability; a (profile, seed) pair fully determines
+/// the case, so any run is reproducible from its seed alone.
+struct FuzzProfile {
+  std::string name = "default";
+
+  // --- graph shape ---
+  size_t min_nodes = 16, max_nodes = 40;
+  /// Edges = nodes * factor drawn from [min, max].
+  double edge_factor_min = 1.4, edge_factor_max = 2.6;
+  size_t num_types = 6;
+  size_t num_relations = 8;
+  /// Token pool per label part; small pools collide labels, which is what
+  /// produces exact F_N ties (the historic bug magnet).
+  size_t token_pool_min = 6, token_pool_max = 14;
+  double degree_skew_min = 0.4, degree_skew_max = 1.2;
+
+  // --- query shape ---
+  int min_query_nodes = 2, max_query_nodes = 4;
+  /// Shape mix: star with prob 1 - path_prob - cyclic_prob.
+  double path_prob = 0.25, cyclic_prob = 0.2;
+  double variable_fraction = 0.25;  // wildcard slots
+  double label_noise = 0.4;
+  double partial_label = 0.35;
+  double keep_relation = 0.5;
+  double keep_type = 0.5;
+
+  // --- matching semantics ---
+  double node_threshold_min = 0.2, node_threshold_max = 0.45;
+  double edge_threshold_min = 0.0, edge_threshold_max = 0.15;
+  double lambda_min = 0.3, lambda_max = 0.9;
+  int max_d = 3;
+  /// Probability of a candidate cutoff (then uniform in [2, 6]).
+  double cutoff_prob = 0.3;
+  /// Probability of a retrieval cutoff when an index is attached.
+  double retrieval_cutoff_prob = 0.2;
+  double injective_prob = 0.7;
+  double with_index_prob = 0.7;
+
+  // --- workload ---
+  size_t min_k = 1, max_k = 8;
+  /// Probability the case gets a tight-deadline cell, and its budget range.
+  double tight_deadline_prob = 0.0;
+  double tight_deadline_min_ms = 0.05, tight_deadline_max_ms = 1.0;
+};
+
+/// The default smoke profile: small graphs, mixed query shapes, oracle
+/// always feasible.
+FuzzProfile SmokeProfile();
+
+/// Tiny token pools and loose thresholds: exact score ties everywhere.
+FuzzProfile TieHeavyProfile();
+
+/// Adds tight-deadline cells on slightly larger graphs so expiries fire
+/// mid-run (prefix-contract coverage).
+FuzzProfile DeadlineProfile();
+
+/// Profile by name ("smoke", "ties", "deadline"); falls back to smoke.
+FuzzProfile ProfileByName(const std::string& name);
+
+/// Deterministically generates the case for (profile, seed).
+FuzzCase MakeFuzzCase(const FuzzProfile& profile, uint64_t seed);
+
+/// Structural deep copy of a graph (KnowledgeGraph is move-only; the
+/// shrinker and replay tooling rebuild modified copies through this).
+graph::KnowledgeGraph CopyGraph(const graph::KnowledgeGraph& g);
+
+/// Deep copy of a case (graph rebuilt via CopyGraph).
+FuzzCase CopyCase(const FuzzCase& c);
+
+}  // namespace star::testing
+
+#endif  // STAR_TESTING_FUZZ_CASE_H_

@@ -1,0 +1,40 @@
+#ifndef STAR_TESTING_SHRINKER_H_
+#define STAR_TESTING_SHRINKER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "testing/differential.h"
+#include "testing/fuzz_case.h"
+
+namespace star::testing {
+
+struct ShrinkOptions {
+  /// Matrix subset to evaluate candidates against (narrowing it to the
+  /// failing region makes shrinking much faster but risks losing
+  /// cross-cell failures; the default full matrix is safe).
+  RunnerOptions runner;
+  /// Budget on candidate evaluations (each runs the matrix once).
+  size_t max_attempts = 400;
+};
+
+struct ShrinkResult {
+  FuzzCase minimal;
+  /// Candidate evaluations spent.
+  size_t attempts = 0;
+  /// Accepted reductions (0 = the original was already minimal under the
+  /// transformation set).
+  size_t reductions = 0;
+};
+
+/// Greedy delta-debugging over (graph, query, config): repeatedly tries
+/// ordered reductions — shrink k, drop query edges/leaf nodes, remove
+/// graph node/edge chunks, zero out config knobs — and accepts any
+/// candidate on which RunDifferentialCase still reports a violation with
+/// `check == target_check`. Deterministic: same input, same minimal case.
+ShrinkResult ShrinkCase(const FuzzCase& c, const std::string& target_check,
+                        const ShrinkOptions& opts);
+
+}  // namespace star::testing
+
+#endif  // STAR_TESTING_SHRINKER_H_

@@ -1,0 +1,80 @@
+// Replays every file in tests/corpus/ through the full differential
+// matrix. Plain corpus files must run with zero violations; canary files
+// (inject != none) must trip exactly the reuse-warm check — they exist to
+// prove the harness still detects the class of bug they encode.
+//
+// Corpus files are generated with `star_fuzz --emit` and are fully
+// self-contained (graph + query + config + seed provenance), so a failure
+// here reproduces with: star_fuzz --replay tests/corpus/<file>.
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/differential.h"
+#include "testing/fuzz_case.h"
+#include "testing/replay.h"
+
+#ifndef STAR_CORPUS_DIR
+#error "STAR_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace star::testing {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(STAR_CORPUS_DIR)) {
+    if (entry.path().extension() == ".replay") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpusTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 10u);
+}
+
+TEST(FuzzCorpusTest, EveryFileRoundTrips) {
+  for (const auto& path : CorpusFiles()) {
+    FuzzCase c;
+    std::string err;
+    ASSERT_TRUE(LoadReplayFile(path, &c, &err)) << path << ": " << err;
+    FuzzCase reparsed;
+    ASSERT_TRUE(ParseReplay(SerializeReplay(c), &reparsed, &err))
+        << path << ": " << err;
+    EXPECT_EQ(SerializeReplay(reparsed), SerializeReplay(c)) << path;
+  }
+}
+
+TEST(FuzzCorpusTest, EveryFileReplaysClean) {
+  const RunnerOptions opts;
+  for (const auto& path : CorpusFiles()) {
+    FuzzCase c;
+    std::string err;
+    ASSERT_TRUE(LoadReplayFile(path, &c, &err)) << path << ": " << err;
+    const CaseOutcome o = RunDifferentialCase(c, opts);
+    if (c.inject == BugInjection::kNone) {
+      EXPECT_TRUE(o.ok()) << path << " (" << c.Describe() << ")\n  "
+                          << o.Summary();
+      continue;
+    }
+    // Canary: the injected bug must be flagged, and nothing else may be.
+    ASSERT_FALSE(o.violations.empty())
+        << path << ": injected bug not detected";
+    for (const auto& v : o.violations) {
+      EXPECT_EQ(v.check, "reuse-warm")
+          << path << ": unexpected violation " << v.check << " @ " << v.cell
+          << ": " << v.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace star::testing

@@ -1,0 +1,167 @@
+// Concurrency soak for the query serving layer: several client threads
+// hammer a small QueryService (tight admission limits so the queue and
+// overload paths are exercised) while a churn thread concurrently
+// invalidates the caches, and a slice of requests carries near-zero
+// deadlines. Run under TSan via the `tsan` ctest label.
+//
+// Invariants checked on every single response:
+//  - the future resolves (no lost wakeups — a bounded wait catches hangs);
+//  - status is one of Ok / DeadlineExceeded / Overloaded;
+//  - an Ok response is bitwise identical to a direct StarFramework run of
+//    the same template, regardless of cache state, coalescing, or churn;
+//  - a DeadlineExceeded response is partial and a bitwise prefix of it.
+
+#include "serve/query_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "query/workload.h"
+#include "test_helpers.h"
+
+namespace star::serve {
+namespace {
+
+using star::testing::SmallRandomGraph;
+using star::testing::TestConfig;
+
+struct SoakFixture {
+  graph::KnowledgeGraph graph;
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index;
+  std::vector<query::QueryGraph> templates;
+  std::vector<size_t> ks;
+  std::vector<std::vector<core::GraphMatch>> direct;
+
+  SoakFixture(const core::StarOptions& star)
+      : graph(SmallRandomGraph(909, 300, 700)), index(graph) {
+    query::WorkloadOptions wo;
+    query::WorkloadGenerator wg(graph, 5150);
+    templates.push_back(wg.RandomStarQuery(3, wo));
+    templates.push_back(wg.RandomStarQuery(4, wo));
+    templates.push_back(wg.RandomPathQuery(3, wo));
+    templates.push_back(wg.RandomGraphQuery(4, 4, wo));
+    ks = {3, 5, 7, 4};
+    for (size_t t = 0; t < templates.size(); ++t) {
+      core::StarFramework fw(graph, ensemble, &index, star);
+      direct.push_back(fw.TopK(templates[t], ks[t]));
+    }
+  }
+};
+
+void ExpectBitwisePrefix(const std::vector<core::GraphMatch>& full,
+                         const std::vector<core::GraphMatch>& got,
+                         const char* what) {
+  ASSERT_LE(got.size(), full.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].score, full[i].score) << what << " rank " << i;
+    EXPECT_EQ(got[i].mapping, full[i].mapping) << what << " rank " << i;
+  }
+}
+
+class ServiceSoakTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServiceSoakTest, ConcurrentClientsSurviveChurn) {
+  core::StarOptions star;
+  star.match = TestConfig(2);
+  SoakFixture fx(star);
+
+  ServiceOptions so;
+  so.star = star;
+  so.max_inflight = 3;
+  so.max_queue = 8;  // small bounds => the overload path actually fires
+  so.cache_capacity = 64;
+  so.star_cache_capacity = 128;
+  so.enable_coalescing = GetParam();
+  QueryService service(fx.graph, fx.ensemble, &fx.index, so);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 40;
+  constexpr int kBurst = 4;  // submit in bursts to build queue pressure
+
+  std::atomic<bool> stop_churn{false};
+  std::thread churn([&] {
+    while (!stop_churn.load(std::memory_order_relaxed)) {
+      service.InvalidateCache();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::atomic<int> ok_count{0}, deadline_count{0}, overload_count{0};
+  std::vector<std::thread> clients;
+  for (int cl = 0; cl < kClients; ++cl) {
+    clients.emplace_back([&, cl] {
+      struct InFlight {
+        std::future<QueryResponse> fut;
+        size_t tmpl;
+      };
+      std::vector<InFlight> burst;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const size_t t = static_cast<size_t>(cl * 17 + i) % fx.templates.size();
+        QueryRequest req;
+        req.query = fx.templates[t];
+        req.k = fx.ks[t];
+        if (i % 5 == 4) req.deadline = Deadline::AfterMillis(0.05);
+        burst.push_back({service.Submit(std::move(req)), t});
+        if (burst.size() < kBurst && i + 1 < kRequestsPerClient) continue;
+        for (auto& f : burst) {
+          // A lost wakeup shows up as a timeout here, not a hung test run.
+          ASSERT_EQ(f.fut.wait_for(std::chrono::seconds(60)),
+                    std::future_status::ready)
+              << "response future never resolved";
+          const QueryResponse resp = f.fut.get();
+          const auto& expected = fx.direct[f.tmpl];
+          switch (resp.status.code()) {
+            case StatusCode::kOk:
+              ok_count.fetch_add(1, std::memory_order_relaxed);
+              EXPECT_FALSE(resp.partial);
+              ASSERT_EQ(resp.matches.size(), expected.size());
+              ExpectBitwisePrefix(expected, resp.matches, "ok response");
+              break;
+            case StatusCode::kDeadlineExceeded:
+              deadline_count.fetch_add(1, std::memory_order_relaxed);
+              EXPECT_TRUE(resp.partial);
+              ExpectBitwisePrefix(expected, resp.matches, "partial response");
+              break;
+            case StatusCode::kOverloaded:
+              overload_count.fetch_add(1, std::memory_order_relaxed);
+              EXPECT_TRUE(resp.matches.empty());
+              break;
+            default:
+              ADD_FAILURE() << "unexpected status "
+                            << resp.status.ToString();
+          }
+        }
+        burst.clear();
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  stop_churn.store(true, std::memory_order_relaxed);
+  churn.join();
+
+  const int total = kClients * kRequestsPerClient;
+  EXPECT_EQ(ok_count + deadline_count + overload_count, total);
+  EXPECT_GT(ok_count.load(), 0) << "soak never completed a request";
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(total));
+  EXPECT_EQ(stats.rejected_invalid, 0u);
+  EXPECT_EQ(stats.completed + stats.rejected_overload +
+                stats.deadline_exceeded,
+            stats.submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Coalescing, ServiceSoakTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "On" : "Off";
+                         });
+
+}  // namespace
+}  // namespace star::serve
