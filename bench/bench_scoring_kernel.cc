@@ -1,5 +1,5 @@
 // Threshold-aware scoring kernel vs the canonical Score() path, with the
-// bit-identity contract checked in-bench. Three measurements on the
+// bit-identity contract checked in-bench. Four measurements on the
 // DBpediaLike preset:
 //
 //   1. per-pair: one query label against every graph label — Score(),
@@ -9,6 +9,8 @@
 //   2. bulk scan: Candidates() with no index (the paper's O(|V|) base
 //      case, candidate scoring is the whole cost), kernel off vs on.
 //   3. bulk indexed: Candidates() with the token/type index attached.
+//   4. bulk batch: the scalar kernel ON in both passes, only the SoA
+//      batched scorer toggled — isolates the batch layer's contribution.
 //
 // Every accepted kernel score is compared bitwise against Score(), and
 // both bulk passes must produce byte-identical candidate lists; any
@@ -123,8 +125,8 @@ struct BulkBench {
   size_t candidates = 0;
 };
 
-bool SameCandidates(const std::vector<scoring::ScoredCandidate>& a,
-                    const std::vector<scoring::ScoredCandidate>& b) {
+template <typename A, typename B>
+bool SameCandidates(const A& a, const B& b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
     if (a[i].node != b[i].node || a[i].score != b[i].score) return false;
@@ -133,26 +135,37 @@ bool SameCandidates(const std::vector<scoring::ScoredCandidate>& a,
 }
 
 /// Full Candidates() pass over every query node of every query, with a
-/// fresh scorer per query (online scoring is the measured cost).
+/// fresh scorer per query (online scoring is the measured cost). When
+/// `toggle_batch` is set the scalar kernel stays ON in both passes and
+/// only the SoA batch layer is toggled, isolating the batch kernel's
+/// contribution from the scalar early-exit kernel's.
 BulkBench RunBulkBench(const Dataset& d,
                        const std::vector<query::QueryGraph>& queries,
-                       bool with_index) {
+                       bool with_index, bool toggle_batch = false) {
   BulkBench r;
   auto base = BenchConfig(/*d=*/2);
   base.threads = 1;  // isolate the kernel's effect from thread scaling
   const graph::LabelIndex* index = with_index ? d.index.get() : nullptr;
   for (const auto& q : queries) {
     auto off_cfg = base;
-    off_cfg.use_scoring_kernel = false;
     auto on_cfg = base;
-    on_cfg.use_scoring_kernel = true;
+    if (toggle_batch) {
+      off_cfg.use_scoring_kernel = true;
+      off_cfg.use_batch_kernel = false;
+      on_cfg.use_scoring_kernel = true;
+      on_cfg.use_batch_kernel = true;
+    } else {
+      off_cfg.use_scoring_kernel = false;
+      on_cfg.use_scoring_kernel = true;
+    }
 
     std::vector<std::vector<scoring::ScoredCandidate>> off_lists;
     {
       WallTimer t;
       scoring::QueryScorer scorer(d.graph, q, *d.ensemble, off_cfg, index);
       for (int u = 0; u < q.node_count(); ++u) {
-        off_lists.push_back(scorer.Candidates(u));
+        const auto& list = scorer.Candidates(u);
+        off_lists.emplace_back(list.begin(), list.end());
       }
       r.off_ms += t.ElapsedMillis();
     }
@@ -200,12 +213,15 @@ int main() {
   const PairBench pair = RunPairBench(d, labels, threshold);
   const BulkBench scan = RunBulkBench(d, queries, /*with_index=*/false);
   const BulkBench indexed = RunBulkBench(d, queries, /*with_index=*/true);
+  const BulkBench batch = RunBulkBench(d, queries, /*with_index=*/false,
+                                       /*toggle_batch=*/true);
 
   const bool ok = pair.exact_bitwise && pair.accepted_bitwise &&
-                  scan.identical && indexed.identical;
+                  scan.identical && indexed.identical && batch.identical;
 
   std::printf("{\n");
   std::printf("  \"bench\": \"scoring_kernel\",\n");
+  PrintHostJson();
   std::printf("  \"dataset\": {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu},\n",
               d.name.c_str(), d.graph.node_count(), d.graph.edge_count());
   std::printf("  \"workload\": {\"queries\": %zu, \"query_labels\": %zu, \"threshold\": %.2f},\n",
@@ -233,11 +249,15 @@ int main() {
   std::printf("  \"bulk_indexed\": {\"kernel_off_ms\": %.1f, \"kernel_on_ms\": %.1f, \"speedup\": %.2f, \"candidates\": %zu},\n",
               indexed.off_ms, indexed.on_ms,
               Speedup(indexed.off_ms, indexed.on_ms), indexed.candidates);
-  std::printf("  \"identity\": {\"exact_bitwise\": %s, \"accepted_bitwise\": %s, \"bulk_scan_identical\": %s, \"bulk_indexed_identical\": %s}\n",
+  std::printf("  \"bulk_batch\": {\"batch_off_ms\": %.1f, \"batch_on_ms\": %.1f, \"speedup\": %.2f, \"candidates\": %zu},\n",
+              batch.off_ms, batch.on_ms, Speedup(batch.off_ms, batch.on_ms),
+              batch.candidates);
+  std::printf("  \"identity\": {\"exact_bitwise\": %s, \"accepted_bitwise\": %s, \"bulk_scan_identical\": %s, \"bulk_indexed_identical\": %s, \"bulk_batch_identical\": %s}\n",
               pair.exact_bitwise ? "true" : "false",
               pair.accepted_bitwise ? "true" : "false",
               scan.identical ? "true" : "false",
-              indexed.identical ? "true" : "false");
+              indexed.identical ? "true" : "false",
+              batch.identical ? "true" : "false");
   std::printf("}\n");
 
   std::fprintf(stderr, "identity: %s\n",

@@ -179,6 +179,7 @@ int main() {
 
   std::printf("{\n");
   std::printf("  \"bench\": \"serve_throughput\",\n");
+  PrintHostJson();
   std::printf("  \"dataset\": {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu},\n",
               d.name.c_str(), d.graph.node_count(), d.graph.edge_count());
   std::printf("  \"workload\": {\"requests_per_scenario\": %zu, \"k\": %zu},\n",

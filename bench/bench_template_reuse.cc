@@ -180,6 +180,7 @@ int main() {
   // Paired off→on speedups per client count (same workload, same machine).
   std::printf("{\n");
   std::printf("  \"bench\": \"template_reuse\",\n");
+  PrintHostJson();
   std::printf("  \"dataset\": {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu},\n",
               d.name.c_str(), d.graph.node_count(), d.graph.edge_count());
   std::printf(

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/belief_propagation.h"
@@ -43,6 +44,48 @@ namespace star::bench {
 inline size_t EnvSize(const char* name, size_t fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::strtoul(v, nullptr, 10) : fallback;
+}
+
+/// Compiler id + version of the build that produced this binary.
+inline std::string CompilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+/// One-line JSON object describing the host and build that produced a
+/// measurement. Committed BENCH_*.json numbers are only comparable within
+/// a host class, so every emitter includes this verbatim — in particular
+/// `hardware_threads` is what qualifies (or disqualifies) any scaling or
+/// throughput claim the surrounding numbers appear to make.
+/// STAR_BENCH_BUILD_TYPE / STAR_BENCH_BUILD_FLAGS are baked in by
+/// bench/CMakeLists.txt; they fall back to "unknown" for ad-hoc builds.
+inline std::string HostJson() {
+#if !defined(STAR_BENCH_BUILD_TYPE)
+#define STAR_BENCH_BUILD_TYPE "unknown"
+#endif
+#if !defined(STAR_BENCH_BUILD_FLAGS)
+#define STAR_BENCH_BUILD_FLAGS "unknown"
+#endif
+  std::string s = "{\"hardware_threads\": ";
+  s += std::to_string(std::thread::hardware_concurrency());
+  s += ", \"compiler\": \"" + CompilerString() + "\"";
+  s += ", \"build_type\": \"" STAR_BENCH_BUILD_TYPE "\"";
+  s += ", \"flags\": \"" STAR_BENCH_BUILD_FLAGS "\"}";
+  return s;
+}
+
+/// Prints the shared `"host"` member for a top-level JSON object.
+inline void PrintHostJson() {
+  std::printf("  \"host\": %s,\n", HostJson().c_str());
 }
 
 /// Owns a generated graph plus everything the scorers need.

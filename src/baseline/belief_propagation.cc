@@ -23,7 +23,8 @@ void BeliefPropagation::BuildDomains() {
   const QueryGraph& q = scorer_.query();
   domains_.resize(q.node_count());
   for (int u = 0; u < q.node_count(); ++u) {
-    domains_[u] = scorer_.Candidates(u);
+    const scoring::CandidateList& list = scorer_.Candidates(u);
+    domains_[u].assign(list.begin(), list.end());
     if (options_.domain_cap > 0 && domains_[u].size() > options_.domain_cap) {
       domains_[u].resize(options_.domain_cap);
     }

@@ -36,7 +36,7 @@ void Enumerate(QueryScorer& scorer,
   // Untyped wildcards range over every data node at the constant wildcard
   // score (the engines' CandidateScore semantics); everything else over its
   // shared candidate list.
-  std::vector<scoring::ScoredCandidate> all_nodes;
+  scoring::CandidateList all_nodes;
   for (int u = 0; u < n && all_nodes.empty(); ++u) {
     if (!UntypedWildcard(q, u)) continue;
     all_nodes.reserve(scorer.graph().node_count());

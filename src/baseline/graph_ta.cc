@@ -180,7 +180,7 @@ std::vector<GraphMatch> GraphTa::TopK(size_t k) {
   // Sorted candidate list per query node (Fig. 2 lines 1-4). Each list's
   // F_N scoring runs on the worker pool (MatchConfig::threads) inside
   // Candidates(); everything after this loop is single-threaded.
-  std::vector<const std::vector<scoring::ScoredCandidate>*> lists(n);
+  std::vector<const scoring::CandidateList*> lists(n);
   for (int u = 0; u < n; ++u) lists[u] = &scorer_.Candidates(u);
 
   double max_edges_total = 0.0;

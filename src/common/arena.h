@@ -1,0 +1,160 @@
+#ifndef STAR_COMMON_ARENA_H_
+#define STAR_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <memory_resource>
+#include <utility>
+#include <vector>
+
+namespace star::common {
+
+/// Monotonic per-request arena.
+///
+/// The cold query path allocates thousands of short-lived containers —
+/// candidate vectors, BFS frontiers, propagation buffers, join heaps —
+/// whose lifetimes all end together when the request finishes. The arena
+/// turns each of those mallocs into a pointer bump out of geometrically
+/// growing blocks and frees nothing until Reset(), which rewinds the
+/// arena in O(blocks) while KEEPING the largest block, so a serving
+/// worker that resets once per request reaches a steady state of zero
+/// allocation churn.
+///
+/// Deallocation is a no-op (monotonic): memory is reclaimed only by
+/// Reset() or destruction. Containers bound to the arena may therefore
+/// grow through realloc cycles without ever returning the stale copies —
+/// that waste is bounded by the geometric block growth and is the price
+/// of O(1) allocation.
+///
+/// Thread safety: NONE. An arena must only be used from one thread at a
+/// time; per-query engine code routes only its owning-thread (serial)
+/// allocations through the arena and leaves parallel-section scratch on
+/// the default resource (see DESIGN.md "Memory layout & batched
+/// scoring").
+///
+/// Use through the std::pmr interface: `resource()` returns a
+/// std::pmr::memory_resource whose allocate bumps this arena, suitable
+/// for std::pmr::vector and friends. The resource's identity is the
+/// arena, so two containers compare equal (and may splice/swap) iff they
+/// share the arena.
+class MonotonicArena {
+ public:
+  static constexpr size_t kDefaultFirstBlockBytes = 1 << 16;  // 64 KiB
+
+  explicit MonotonicArena(size_t first_block_bytes = kDefaultFirstBlockBytes)
+      : first_block_bytes_(first_block_bytes < kMinBlockBytes
+                               ? kMinBlockBytes
+                               : first_block_bytes),
+        resource_(this) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). Never
+  /// returns nullptr; opens a new block when the current one is full.
+  void* Allocate(size_t bytes, size_t align) {
+    if (bytes == 0) bytes = 1;
+    if (!blocks_.empty()) {
+      if (void* p = AllocateFromBack(bytes, align)) return p;
+    }
+    AddBlock(bytes + align);
+    return AllocateFromBack(bytes, align);
+  }
+
+  /// Rewinds the arena: every block's memory becomes reusable, all but
+  /// the largest block are returned to the heap. Everything previously
+  /// allocated from the arena is invalidated — callers must destroy (or
+  /// abandon) arena-backed containers first. After a warm-up request the
+  /// largest block covers the whole working set, so steady-state resets
+  /// free nothing and allocate nothing.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      size_t largest = 0;
+      for (size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[largest].size) largest = i;
+      }
+      Block keep = std::move(blocks_[largest]);
+      blocks_.clear();
+      blocks_.push_back(std::move(keep));
+    }
+    if (!blocks_.empty()) blocks_.back().used = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Total bytes handed out since the last Reset (excludes alignment
+  /// padding and unused block tails).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Bytes of heap currently owned by the arena's blocks.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  size_t block_count() const { return blocks_.size(); }
+
+  /// The std::pmr face of the arena (deallocate is a no-op). The pointer
+  /// is stable for the arena's lifetime.
+  std::pmr::memory_resource* resource() { return &resource_; }
+
+ private:
+  static constexpr size_t kMinBlockBytes = 1 << 10;  // 1 KiB
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  class Resource final : public std::pmr::memory_resource {
+   public:
+    explicit Resource(MonotonicArena* arena) : arena_(arena) {}
+
+   private:
+    void* do_allocate(size_t bytes, size_t align) override {
+      return arena_->Allocate(bytes, align);
+    }
+    void do_deallocate(void*, size_t, size_t) override {}
+    bool do_is_equal(
+        const std::pmr::memory_resource& other) const noexcept override {
+      return this == &other;
+    }
+
+    MonotonicArena* arena_;
+  };
+
+  /// Aligns the ABSOLUTE address, not just the block offset: operator
+  /// new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ on the block
+  /// base, so over-aligned requests (e.g. 64 for a cache-line array) need
+  /// the base's misalignment folded in. nullptr = block full.
+  void* AllocateFromBack(size_t bytes, size_t align) {
+    Block& b = blocks_.back();
+    const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+    const uintptr_t cur = base + b.used;
+    const uintptr_t aligned_addr = (cur + align - 1) & ~(uintptr_t{align} - 1);
+    const size_t aligned = static_cast<size_t>(aligned_addr - base);
+    if (aligned + bytes > b.size) return nullptr;
+    b.used = aligned + bytes;
+    bytes_allocated_ += bytes;
+    return b.data.get() + aligned;
+  }
+
+  void AddBlock(size_t at_least) {
+    size_t size = blocks_.empty() ? first_block_bytes_
+                                  : blocks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    Block b;
+    b.data = std::make_unique<std::byte[]>(size);
+    b.size = size;
+    blocks_.push_back(std::move(b));
+  }
+
+  size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t bytes_allocated_ = 0;
+  Resource resource_;
+};
+
+}  // namespace star::common
+
+#endif  // STAR_COMMON_ARENA_H_

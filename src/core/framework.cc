@@ -132,6 +132,16 @@ void StarFramework::SeedCandidateLists(const QueryGraph& q,
 
 std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
                                             const Cancellation* cancel) {
+  // Even one-shot callers benefit from per-query arena allocation (block
+  // reuse within the query); persistent-worker callers pass their own
+  // arena via the overload below and amortize the blocks across requests.
+  common::MonotonicArena arena;
+  return TopK(q, k, cancel, &arena);
+}
+
+std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
+                                            const Cancellation* cancel,
+                                            common::MonotonicArena* arena) {
   stats_ = FrameworkStats{};
   std::vector<GraphMatch> out;
   if (q.node_count() == 0 || k == 0) return out;
@@ -146,7 +156,7 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
 
   // Scorer shared by decomposition sampling and all star searches, so
   // candidate lists and score memos are computed once per query.
-  QueryScorer scorer(graph_, q, ensemble_, options_.match, index_);
+  QueryScorer scorer(graph_, q, ensemble_, options_.match, index_, arena);
   scorer.set_cancellation(cancel);
 
   // Cross-query reuse: capture the generation BEFORE any lookup, then seed
@@ -200,7 +210,8 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
       auto join = std::make_unique<RankJoin>(std::move(pipeline),
                                              std::move(stream),
                                              options_.match.enforce_injective,
-                                             cancel);
+                                             cancel,
+                                             scorer.transient_resource());
       join_ptrs.push_back(join.get());
       pipeline = std::move(join);
     }
@@ -241,7 +252,12 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
     for (int u = 0; u < q.node_count(); ++u) {
       if (seeded[u]) continue;
       if (const auto* list = scorer.CandidatesIfReady(u)) {
-        reuse->InsertCandidates(node_keys[u], *list, generation);
+        // The memoized list is arena-backed; the cache needs an owning
+        // heap copy that survives the arena reset.
+        reuse->InsertCandidates(
+            node_keys[u],
+            std::vector<scoring::ScoredCandidate>(list->begin(), list->end()),
+            generation);
         ++stats_.candidate_lists_inserted;
       }
     }

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "common/arena.h"
 #include "common/deadline.h"
 #include "core/decomposition.h"
 #include "core/match.h"
@@ -43,11 +44,12 @@ struct StarOptions {
 
 /// Serializes every StarOptions field that can change results (bit-exact
 /// doubles), plus whether a label index is attached — the retrieval
-/// semantics differ with and without one. `threads` and
-/// `use_scoring_kernel` are deliberately excluded: both carry a
-/// bit-identity contract (DESIGN.md "Threading model" / "Scoring kernel"),
-/// so results are interchangeable across their settings. Used as the
-/// config segment of serve-layer cache keys and of ReuseCache keys.
+/// semantics differ with and without one. `threads`, `use_scoring_kernel`
+/// and `use_batch_kernel` are deliberately excluded: all three carry a
+/// bit-identity contract (DESIGN.md "Threading model" / "Scoring kernel" /
+/// "Memory layout & batched scoring"), so results are interchangeable
+/// across their settings. Used as the config segment of serve-layer cache
+/// keys and of ReuseCache keys.
 std::string StarOptionsFingerprint(const StarOptions& o, bool has_index);
 
 /// Per-query execution diagnostics.
@@ -101,6 +103,19 @@ class StarFramework {
   /// before any candidate retrieval.
   std::vector<GraphMatch> TopK(const query::QueryGraph& q, size_t k,
                                const Cancellation* cancel);
+
+  /// Arena variant: `arena` (nullable, single-threaded, owned by the
+  /// caller) backs the query's transient state — candidate lists,
+  /// walk-ball scratch, the rank-join result heap. The caller must not
+  /// Reset() it until the returned matches have been consumed of every
+  /// reference into scorer state (the matches themselves own their
+  /// mappings and survive a reset). A serving worker that owns one arena
+  /// and resets it once per request reaches steady-state zero allocation
+  /// churn on the cold path. Results are bit-identical with and without
+  /// an arena.
+  std::vector<GraphMatch> TopK(const query::QueryGraph& q, size_t k,
+                               const Cancellation* cancel,
+                               common::MonotonicArena* arena);
 
   /// Diagnostics of the most recent TopK call.
   const FrameworkStats& last_stats() const { return stats_; }

@@ -137,8 +137,13 @@ void CachedStarStream::CommitToCache() {
 
 RankJoin::RankJoin(std::unique_ptr<CoveredMatchIterator> left,
                    std::unique_ptr<CoveredMatchIterator> right,
-                   bool enforce_injective, const Cancellation* cancel)
-    : enforce_injective_(enforce_injective), cancel_check_(cancel) {
+                   bool enforce_injective, const Cancellation* cancel,
+                   std::pmr::memory_resource* mem)
+    : enforce_injective_(enforce_injective),
+      cancel_check_(cancel),
+      results_(ResultOrder{},
+               std::pmr::vector<GraphMatch>(
+                   mem != nullptr ? mem : std::pmr::get_default_resource())) {
   left_.input = std::move(left);
   right_.input = std::move(right);
   covered_ = left_.input->covered_mask() | right_.input->covered_mask();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <queue>
 #include <string>
@@ -145,10 +146,14 @@ class RankJoin : public CoveredMatchIterator {
 
   /// `cancel` (optional) cooperatively stops the pull loop: once it
   /// fires, Next() reports exhaustion and already-returned results remain
-  /// a valid prefix. Must outlive the join.
+  /// a valid prefix. Must outlive the join. `mem` (optional) backs the
+  /// result heap's storage — pass the per-query arena resource from the
+  /// owning thread (the join runs entirely on it); null = default
+  /// resource.
   RankJoin(std::unique_ptr<CoveredMatchIterator> left,
            std::unique_ptr<CoveredMatchIterator> right,
-           bool enforce_injective, const Cancellation* cancel = nullptr);
+           bool enforce_injective, const Cancellation* cancel = nullptr,
+           std::pmr::memory_resource* mem = nullptr);
 
   std::optional<GraphMatch> Next() override;
   double UpperBound() const override;
@@ -196,7 +201,9 @@ class RankJoin : public CoveredMatchIterator {
       return a.score < b.score;
     }
   };
-  std::priority_queue<GraphMatch, std::vector<GraphMatch>, ResultOrder>
+  // Heap container on the per-query arena when one is attached (the join
+  // is owning-thread only, so the single-threaded arena is safe here).
+  std::priority_queue<GraphMatch, std::pmr::vector<GraphMatch>, ResultOrder>
       results_;
   Stats stats_;
 };

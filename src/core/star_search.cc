@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory_resource>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -62,7 +63,8 @@ StarSearch::StarSearch(QueryScorer& scorer, StarQuery star, Options options)
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
-    NodeId pivot, double pivot_score, StarSearchStats& stats) {
+    NodeId pivot, double pivot_score, StarSearchStats& stats,
+    std::pmr::memory_resource* mem) {
   ++stats.enumerators_built;
   const KnowledgeGraph& g = scorer_.graph();
   const scoring::MatchConfig& cfg = scorer_.config();
@@ -75,7 +77,9 @@ std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
   // Best combined contribution per (leaf, candidate node) under the walk
   // semantics: the direct edges give relsim (h = 1); any node reachable by
   // a walk of length h in [2, d] additionally offers lambda^(h-1).
-  std::vector<std::unordered_map<NodeId, double>> best(s);
+  // Fill-construction through a pmr outer vector uses-allocator-constructs
+  // the maps, so they inherit `mem`.
+  std::pmr::vector<std::pmr::unordered_map<NodeId, double>> best(s, mem);
 
   // CandidateScore defines leaf-match validity (threshold + index
   // semantics shared with every other algorithm in the library).
@@ -120,9 +124,9 @@ std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
   // lambda^(h-1) decreases, so each node is considered once at its first
   // layer appearance.
   if (d >= 2) {
-    std::unordered_set<NodeId> reached;  // nodes already credited a decay
+    std::pmr::unordered_set<NodeId> reached(mem);  // already credited a decay
     // W_1 = N(pivot); W_h = N(W_{h-1}) are exactly the walk-length-h sets.
-    std::unordered_set<NodeId> layer;
+    std::pmr::unordered_set<NodeId> layer(mem);
     for (const Neighbor& nb : g.Neighbors(pivot)) layer.insert(nb.node);
     for (int h = 2; h <= d; ++h) {
       const double decay = scorer_.PathDecay(h);
@@ -131,7 +135,7 @@ std::unique_ptr<PivotEnumerator> StarSearch::BuildEnumerator(
         stats.cancelled = true;
         break;
       }
-      std::unordered_set<NodeId> next;
+      std::pmr::unordered_set<NodeId> next(mem);
       for (const NodeId x : layer) {
         if (cancel_check.ShouldStop()) {
           stats.cancelled = true;
@@ -188,9 +192,11 @@ void StarSearch::InitializeStark() {
                       worker_stats[chunk].cancelled = true;
                       break;  // unbuilt slots stay null and are skipped
                     }
+                    // Pool workers must NOT touch the per-query arena.
                     built[i] = BuildEnumerator(candidates[i].node,
                                                candidates[i].score * pivot_weight,
-                                               worker_stats[chunk]);
+                                               worker_stats[chunk],
+                                               std::pmr::get_default_resource());
                     built[i]->PeekScore();  // stage top-1 off the main thread
                   }
                 });
@@ -212,7 +218,8 @@ void StarSearch::InitializeStark() {
         stats_.cancelled = true;
         break;
       }
-      auto enumerator = BuildEnumerator(c.node, c.score * pivot_weight, stats_);
+      auto enumerator = BuildEnumerator(c.node, c.score * pivot_weight, stats_,
+                                        scorer_.transient_resource());
       const auto top1 = enumerator->PeekScore();
       if (!top1.has_value()) continue;
       ReserveEntry entry;
@@ -364,6 +371,13 @@ void StarSearch::InitializeStard() {
   // is exactly the serial one.
   if (threads > 1) scorer_.WarmStarCaches(star_.pivot, star_.edges, leaf_nodes_);
 
+  // Propagation scratch lands on the per-query arena only when the
+  // ParallelFor below is guaranteed inline (the single-threaded arena must
+  // never be touched from pool workers).
+  std::pmr::memory_resource* const prop_mem =
+      (threads > 1 && s > 1) ? std::pmr::get_default_resource()
+                             : scorer_.transient_resource();
+
   // All d propagation rounds for one leaf (§V-B, Example 6).
   const auto propagate = [&](size_t i, StarSearchStats& stats) {
     CancelChecker cancel_check(options_.cancel);
@@ -378,9 +392,9 @@ void StarSearch::InitializeStard() {
       NodeId at;
       Message msg;
     };
-    std::unordered_map<NodeId, ForwardSet> forward;
-    std::vector<FrontierEntry> frontier;
-    std::vector<std::pair<NodeId, double>> overflow_frontier;
+    std::pmr::unordered_map<NodeId, ForwardSet> forward(prop_mem);
+    std::pmr::vector<FrontierEntry> frontier(prop_mem);
+    std::pmr::vector<std::pair<NodeId, double>> overflow_frontier(prop_mem);
 
     // Round 1: each leaf candidate sends to its neighbors; the arrival
     // value uses the direct edge's relation similarity.
@@ -412,8 +426,8 @@ void StarSearch::InitializeStard() {
     // Rounds 2..d: forward one hop; arrival value is base + lambda^(h-1).
     for (int h = 2; h <= d; ++h) {
       const double decay = scorer_.PathDecay(h);
-      std::vector<FrontierEntry> next;
-      std::vector<std::pair<NodeId, double>> next_overflow;
+      std::pmr::vector<FrontierEntry> next(prop_mem);
+      std::pmr::vector<std::pair<NodeId, double>> next_overflow(prop_mem);
       for (const FrontierEntry& fe : frontier) {
         if (cancel_check.ShouldStop()) {
           stats.cancelled = true;
@@ -623,7 +637,8 @@ void StarSearch::ActivateReserve() {
     std::unique_ptr<PivotEnumerator> enumerator =
         entry.prebuilt != nullptr
             ? std::move(entry.prebuilt)
-            : BuildEnumerator(entry.pivot, entry.pivot_score, stats_);
+            : BuildEnumerator(entry.pivot, entry.pivot_score, stats_,
+                              scorer_.transient_resource());
     const auto score = enumerator->PeekScore();
     if (!score.has_value()) continue;
     active_.push_back(std::move(enumerator));

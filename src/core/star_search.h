@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <queue>
 #include <vector>
@@ -169,10 +170,14 @@ class StarSearch {
   /// dist(v,x) = delta of NodeScore + RelationScore(r) * lambda^delta).
   /// Counters accumulate into `stats` — the parallel stark path passes a
   /// per-worker scratch struct and merges after the join, so the scorer
-  /// must be warmed (WarmStarCaches) before concurrent calls.
-  std::unique_ptr<PivotEnumerator> BuildEnumerator(graph::NodeId pivot,
-                                                   double pivot_score,
-                                                   StarSearchStats& stats);
+  /// must be warmed (WarmStarCaches) before concurrent calls. `mem` backs
+  /// the traversal's frontier sets and per-leaf accumulation maps:
+  /// owning-thread call sites pass the scorer's per-query arena resource,
+  /// pool-worker call sites MUST pass the default resource (the arena is
+  /// single-threaded).
+  std::unique_ptr<PivotEnumerator> BuildEnumerator(
+      graph::NodeId pivot, double pivot_score, StarSearchStats& stats,
+      std::pmr::memory_resource* mem);
 
   scoring::QueryScorer& scorer_;
   query::StarQuery star_;

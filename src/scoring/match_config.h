@@ -64,6 +64,16 @@ struct MatchConfig {
   /// scores are bit-identical either way — the toggle exists for A/B
   /// benchmarking (see DESIGN.md "Scoring kernel").
   bool use_scoring_kernel = true;
+
+  /// Use the batched SoA scoring kernel (ScoreBatchAgainstThreshold) for
+  /// bulk F_N evaluation: kBatchLanes candidates per pass with refined
+  /// per-lane upper bounds, per-chunk duplicate-label elision, and packed
+  /// gram / pre-resolved synonym lanes. Only takes effect together with
+  /// use_scoring_kernel. Candidate sets and scores are bit-identical with
+  /// the toggle on or off (see DESIGN.md "Memory layout & batched
+  /// scoring"); like use_scoring_kernel it is excluded from
+  /// StarOptionsFingerprint.
+  bool use_batch_kernel = true;
 };
 
 }  // namespace star::scoring

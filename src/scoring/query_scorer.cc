@@ -18,20 +18,30 @@ using text::SimilarityEnsemble;
 
 QueryScorer::QueryScorer(const KnowledgeGraph& g, const QueryGraph& q,
                          const SimilarityEnsemble& ensemble,
-                         const MatchConfig& config, const LabelIndex* index)
+                         const MatchConfig& config, const LabelIndex* index,
+                         common::MonotonicArena* arena)
     : graph_(g),
       query_(q),
       ensemble_(ensemble),
       config_(config),
       index_(index),
+      mem_(arena != nullptr ? arena->resource()
+                            : std::pmr::get_default_resource()),
       node_cache_(q.node_count()),
       relation_cache_(q.edge_count()),
-      candidates_(q.node_count()),
       candidates_ready_(q.node_count(), false),
       max_relation_score_(q.edge_count(), 1.0),
       max_relation_ready_(q.edge_count(), false),
       relation_table_(q.edge_count()),
-      relation_table_ready_(q.edge_count(), false) {
+      relation_table_ready_(q.edge_count(), false),
+      walk_mark_(mem_),
+      walk_layer_(mem_),
+      walk_next_(mem_) {
+  // Candidate lists bind to the transient resource individually:
+  // fill-construction would copy-construct elements, and pmr container
+  // copies take the DEFAULT resource, silently dropping the arena.
+  candidates_.reserve(q.node_count());
+  for (int u = 0; u < q.node_count(); ++u) candidates_.emplace_back(mem_);
   // Resolve type names into the ensemble's ontology once.
   query_node_onto_type_.resize(q.node_count(), -1);
   for (int u = 0; u < q.node_count(); ++u) {
@@ -50,10 +60,12 @@ QueryScorer::QueryScorer(const KnowledgeGraph& g, const QueryGraph& q,
     }
   }
   // Build the kernel's query-side views eagerly (one per query node) so
-  // they are immutable before any parallel section can share them.
+  // they are immutable before any parallel section can share them. The
+  // batched view embeds the scalar PreparedLabel, so one build serves
+  // both kernels.
   prepared_.reserve(q.node_count());
   for (int u = 0; u < q.node_count(); ++u) {
-    prepared_.push_back(ensemble_.Prepare(q.node(u).label));
+    prepared_.push_back(ensemble_.PrepareBatch(q.node(u).label));
   }
 }
 
@@ -103,8 +115,86 @@ double QueryScorer::ComputeNodeScore(int query_node, NodeId v, double threshold,
   const int32_t gt = graph_.NodeType(v);
   const int onto_data = gt >= 0 ? graph_type_onto_type_[gt] : -1;
   return ensemble_.ScoreAgainstThreshold(
-      prepared_[query_node], graph_.NodeLabel(v), threshold,
+      prepared_[query_node].prepared, graph_.NodeLabel(v), threshold,
       query_node_onto_type_[query_node], onto_data, stats);
+}
+
+void QueryScorer::ScoreChunkBatched(int query_node,
+                                    const std::vector<graph::NodeId>& nodes,
+                                    size_t lo, size_t hi, double threshold,
+                                    text::KernelStats* stats,
+                                    CancelChecker* cancel_check,
+                                    std::vector<double>* scores,
+                                    std::vector<uint8_t>* miss,
+                                    uint8_t* chunk_cancelled) const {
+  constexpr int kLanes = text::SimilarityEnsemble::kBatchLanes;
+  const text::SimilarityEnsemble::PreparedLabelBatch& batch =
+      prepared_[query_node];
+  const int query_type = query_node_onto_type_[query_node];
+  const auto& cache = node_cache_[query_node];
+
+  // Duplicate-label elision within the chunk: generated and real graphs
+  // repeat labels across nodes, and the kernel is a pure function of
+  // (label, type, threshold), so a repeated pair reuses the first lane's
+  // result bitwise. Keyed on the label bytes plus the ontology type id.
+  struct SeenKey {
+    std::string_view label;
+    int type;
+    bool operator==(const SeenKey&) const = default;
+  };
+  struct SeenKeyHash {
+    size_t operator()(const SeenKey& k) const {
+      return std::hash<std::string_view>{}(k.label) * 1000003u ^
+             static_cast<size_t>(k.type + 2);
+    }
+  };
+  std::unordered_map<SeenKey, double, SeenKeyHash> seen;
+
+  std::string_view lane_labels[kLanes];
+  int lane_types[kLanes];
+  size_t lane_index[kLanes];
+  size_t lanes = 0;
+  const auto flush = [&] {
+    if (lanes == 0) return;
+    double out[kLanes];
+    ensemble_.ScoreBatchAgainstThreshold(batch, lane_labels, lanes, threshold,
+                                         query_type, lane_types, out, stats);
+    for (size_t l = 0; l < lanes; ++l) {
+      (*scores)[lane_index[l]] = out[l];
+      // miss[] is only set here, after the score landed, so a
+      // cancellation that drops gathered-but-unflushed lanes can never
+      // let the merge step memoize an unscored 0.0.
+      (*miss)[lane_index[l]] = 1;
+      seen.emplace(SeenKey{lane_labels[l], lane_types[l]}, out[l]);
+    }
+    lanes = 0;
+  };
+  for (size_t i = lo; i < hi; ++i) {
+    if (cancel_check->ShouldStop()) {
+      *chunk_cancelled = 1;
+      break;
+    }
+    const graph::NodeId v = nodes[i];
+    const auto it = cache.find(v);
+    if (it != cache.end()) {
+      (*scores)[i] = it->second;
+      continue;
+    }
+    const std::string_view label = graph_.NodeLabel(v);
+    const int32_t gt = graph_.NodeType(v);
+    const int data_type = gt >= 0 ? graph_type_onto_type_[gt] : -1;
+    const auto dup = seen.find(SeenKey{label, data_type});
+    if (dup != seen.end()) {
+      (*scores)[i] = dup->second;
+      (*miss)[i] = 1;
+      continue;
+    }
+    lane_labels[lanes] = label;
+    lane_types[lanes] = data_type;
+    lane_index[lanes] = i;
+    if (++lanes == kLanes) flush();
+  }
+  flush();
 }
 
 std::vector<double> QueryScorer::ScoreNodesParallel(
@@ -141,6 +231,7 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
     return scores;
   }
   const bool kernel = config_.use_scoring_kernel;
+  const bool batch_kernel = kernel && config_.use_batch_kernel;
   const bool thresholded = kernel && threshold >= 0.0;
   auto& cache = node_cache_[query_node];
   std::vector<uint8_t> miss(nodes.size(), 0);
@@ -152,6 +243,12 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
   ParallelFor(nodes.size(), threads, [&](size_t lo, size_t hi, int chunk) {
     text::KernelStats* ks = &worker_stats[chunk];
     CancelChecker cancel_check(cancel_);
+    if (batch_kernel) {
+      ScoreChunkBatched(query_node, nodes, lo, hi, threshold, ks,
+                        &cancel_check, &scores, &miss,
+                        &chunk_cancelled[chunk]);
+      return;
+    }
     for (size_t i = lo; i < hi; ++i) {
       // Cancellation leaves the rest of the chunk unscored: miss[] stays 0
       // for those entries, so the merge below never memoizes a guessed
@@ -187,8 +284,7 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
   return scores;
 }
 
-const std::vector<ScoredCandidate>& QueryScorer::Candidates(
-    int query_node) const {
+const CandidateList& QueryScorer::Candidates(int query_node) const {
   if (candidates_ready_[query_node]) return candidates_[query_node];
   auto& out = candidates_[query_node];
 
@@ -262,12 +358,11 @@ const std::vector<ScoredCandidate>& QueryScorer::Candidates(
 void QueryScorer::SeedCandidates(int query_node,
                                  const std::vector<ScoredCandidate>& list) const {
   if (candidates_ready_[query_node]) return;
-  candidates_[query_node] = list;
+  candidates_[query_node].assign(list.begin(), list.end());
   candidates_ready_[query_node] = true;
 }
 
-const std::vector<ScoredCandidate>* QueryScorer::CandidatesIfReady(
-    int query_node) const {
+const CandidateList* QueryScorer::CandidatesIfReady(int query_node) const {
   return candidates_ready_[query_node] ? &candidates_[query_node] : nullptr;
 }
 

@@ -2,9 +2,11 @@
 #define STAR_SCORING_QUERY_SCORER_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/deadline.h"
 #include "graph/knowledge_graph.h"
 #include "graph/label_index.h"
@@ -19,6 +21,12 @@ struct ScoredCandidate {
   graph::NodeId node = graph::kInvalidNode;
   double score = 0.0;
 };
+
+/// Memoized candidate list type: pmr so per-query transient storage can
+/// live on a request arena (common/arena.h). A default-constructed
+/// CandidateList uses the global default resource, so code outside the
+/// arena'd query path is unaffected.
+using CandidateList = std::pmr::vector<ScoredCandidate>;
 
 /// Per-query scoring session: binds one QueryGraph to one KnowledgeGraph
 /// and computes every F_N / F_E *online* (the paper's central constraint —
@@ -55,11 +63,15 @@ class QueryScorer {
  public:
   /// `index` may be null, in which case candidate retrieval scans all of V
   /// (the paper's O(|V|) base case). All referenced objects must outlive
-  /// the scorer.
+  /// the scorer. `arena`, when given, backs the scorer's per-query
+  /// transient state (candidate lists, walk-ball scratch) — it must
+  /// outlive the scorer and must not be Reset() while the scorer lives;
+  /// null falls back to the global default resource.
   QueryScorer(const graph::KnowledgeGraph& g, const query::QueryGraph& q,
               const text::SimilarityEnsemble& ensemble,
               const MatchConfig& config,
-              const graph::LabelIndex* index = nullptr);
+              const graph::LabelIndex* index = nullptr,
+              common::MonotonicArena* arena = nullptr);
 
   /// F_N(u, v): Eq. 1 score of mapping query node u to data node v.
   /// Wildcard nodes score `config.wildcard_node_score` for every v.
@@ -70,7 +82,7 @@ class QueryScorer {
   /// Computed lazily once per query node. When an index is attached,
   /// non-wildcard retrieval is index-backed (token/type postings), which
   /// defines the candidate semantics for *all* algorithms in the library.
-  const std::vector<ScoredCandidate>& Candidates(int query_node) const;
+  const CandidateList& Candidates(int query_node) const;
 
   /// Injects a precomputed candidate list for `query_node` (cross-query
   /// reuse): the list must be exactly what Candidates(query_node) would
@@ -88,7 +100,7 @@ class QueryScorer {
   /// cancellation fired mid-BulkScore — callers harvesting lists for a
   /// cross-query cache must first check that the whole run finished
   /// cleanly (truncated() is false).
-  const std::vector<ScoredCandidate>* CandidatesIfReady(int query_node) const;
+  const CandidateList* CandidatesIfReady(int query_node) const;
 
   /// Membership score in Candidates(query_node): F_N if v is a candidate,
   /// -1 otherwise. O(1) after the first call per query node. Untyped
@@ -200,6 +212,13 @@ class QueryScorer {
   /// serial step after the workers join.
   const text::KernelStats& kernel_stats() const { return kernel_stats_; }
 
+  /// Memory resource backing the scorer's per-query transient state (the
+  /// request arena when one was given, else the default resource). Engine
+  /// code may place OWNING-THREAD transient containers here — never
+  /// buffers allocated from pool workers: the arena is single-threaded
+  /// (see common/arena.h).
+  std::pmr::memory_resource* transient_resource() const { return mem_; }
+
  private:
   /// Ontology type id for a type name (-1 if no ontology / unknown).
   int OntologyType(const std::string& type_name) const;
@@ -220,9 +239,27 @@ class QueryScorer {
   /// Shared core of ScoreNodesParallel / Candidates: bulk F_N against a
   /// candidate threshold. Entries < threshold may be truncated upper
   /// bounds; the serial merge step memoizes only exact (kept) scores.
+  /// When config.use_batch_kernel is set (and the scoring kernel is on),
+  /// each worker chunk runs through the batched SoA kernel via
+  /// ScoreChunkBatched — results are bit-identical either way.
   std::vector<double> BulkScore(int query_node,
                                 const std::vector<graph::NodeId>& nodes,
                                 int threads, double threshold) const;
+
+  /// One worker chunk of BulkScore on the batched kernel: gathers memo
+  /// misses into kBatchLanes-wide lanes, elides duplicate (label, type)
+  /// pairs within the chunk (the kernel is deterministic, so the copied
+  /// score is exact), and scores each full batch in one
+  /// ScoreBatchAgainstThreshold call. Reads the node memo, writes only
+  /// this chunk's scores/miss entries and its own stats/cancel slots —
+  /// the same data contract as the scalar chunk loop.
+  void ScoreChunkBatched(int query_node,
+                         const std::vector<graph::NodeId>& nodes, size_t lo,
+                         size_t hi, double threshold, text::KernelStats* stats,
+                         CancelChecker* cancel_check,
+                         std::vector<double>* scores,
+                         std::vector<uint8_t>* miss,
+                         uint8_t* chunk_cancelled) const;
 
   const graph::KnowledgeGraph& graph_;
   const query::QueryGraph& query_;
@@ -230,13 +267,18 @@ class QueryScorer {
   MatchConfig config_;
   const graph::LabelIndex* index_;
   const Cancellation* cancel_ = nullptr;
+  // Resource for per-query transient state; declared before every pmr
+  // member so their constructors can bind to it. Never null.
+  std::pmr::memory_resource* mem_;
 
   // Ontology ids resolved once: per query node and per graph type id.
   std::vector<int> query_node_onto_type_;
   std::vector<int> graph_type_onto_type_;
   // Query-side kernel views, one per query node, built eagerly in the
-  // constructor (immutable afterwards, so worker threads share them).
-  std::vector<text::SimilarityEnsemble::PreparedLabel> prepared_;
+  // constructor (immutable afterwards, so worker threads share them). The
+  // batched view embeds the scalar PreparedLabel, so both kernels share
+  // one build.
+  std::vector<text::SimilarityEnsemble::PreparedLabelBatch> prepared_;
   // For typed wildcard query nodes: the required graph type id (-1 = none
   // matches / untyped wildcard).
   std::vector<int32_t> wildcard_graph_type_;
@@ -245,7 +287,7 @@ class QueryScorer {
   // relation -> similarity; candidate lists per query node.
   mutable std::vector<std::unordered_map<graph::NodeId, double>> node_cache_;
   mutable std::vector<std::unordered_map<uint32_t, double>> relation_cache_;
-  mutable std::vector<std::vector<ScoredCandidate>> candidates_;
+  mutable std::vector<CandidateList> candidates_;
   mutable std::vector<bool> candidates_ready_;
   mutable std::vector<std::unordered_map<graph::NodeId, double>>
       candidate_score_map_;
@@ -267,10 +309,10 @@ class QueryScorer {
   // WalkBall traversal scratch: epoch-stamped per-node marks (|V| flat
   // array, one epoch per BFS layer — no per-call hash maps) and the two
   // frontier buffers. Owning-thread only, like WalkBall itself.
-  mutable std::vector<uint32_t> walk_mark_;
+  mutable std::pmr::vector<uint32_t> walk_mark_;
   mutable uint32_t walk_epoch_ = 0;
-  mutable std::vector<graph::NodeId> walk_layer_;
-  mutable std::vector<graph::NodeId> walk_next_;
+  mutable std::pmr::vector<graph::NodeId> walk_layer_;
+  mutable std::pmr::vector<graph::NodeId> walk_next_;
   mutable std::vector<std::unordered_map<uint64_t, double>> pair_edge_cache_;
   mutable size_t node_evals_ = 0;
   mutable text::KernelStats kernel_stats_;

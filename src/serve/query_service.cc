@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "query/query_canonical.h"
 
@@ -54,13 +55,45 @@ QueryService::~QueryService() {
   idle_cv_.wait(lock, [this] { return inflight_ == 0; });
 }
 
-std::string QueryService::CacheKey(const query::QueryGraph& q,
-                                   size_t k) const {
-  std::string key = query::CanonicalizeQuery(q).signature;
+std::string QueryService::KeyFromSignature(std::string signature,
+                                           size_t k) const {
+  std::string key = std::move(signature);
   key += kSep;
   key += config_key_;
   AppendU64(key, k);
   return key;
+}
+
+std::string QueryService::CacheKey(const query::QueryGraph& q,
+                                   size_t k) const {
+  return KeyFromSignature(query::CanonicalizeQuery(q).signature, k);
+}
+
+std::vector<core::GraphMatch> QueryService::RemapMatches(
+    const std::vector<core::GraphMatch>& matches,
+    const std::vector<int>& from_rank, const std::vector<int>& to_rank) {
+  if (from_rank == to_rank) return matches;  // verbatim replay: plain copy
+  const size_t n = from_rank.size();
+  // Two hops through canonical rank space: canon[r] is the data node the
+  // source match assigned to the query node of rank r; the caller's node u
+  // then reads canon[to_rank[u]]. Equal signatures guarantee both rank
+  // vectors are permutations of [0, n) over structurally identical nodes,
+  // so the remapped mapping is a match of the caller's query with the
+  // same (bitwise) score.
+  std::vector<graph::NodeId> canon(n);
+  std::vector<core::GraphMatch> out;
+  out.reserve(matches.size());
+  for (const core::GraphMatch& m : matches) {
+    core::GraphMatch r = m;
+    for (size_t u = 0; u < n; ++u) {
+      canon[static_cast<size_t>(from_rank[u])] = m.mapping[u];
+    }
+    for (size_t u = 0; u < n; ++u) {
+      r.mapping[u] = canon[static_cast<size_t>(to_rank[u])];
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
@@ -86,7 +119,14 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
   // their own).
   const bool keyed = reject.ok() && p->req.use_cache &&
                      (options_.cache_capacity > 0 || options_.enable_coalescing);
-  if (keyed) p->key = CacheKey(p->req.query, p->req.k);
+  if (keyed) {
+    query::CanonicalQuery canon = query::CanonicalizeQuery(p->req.query);
+    p->key = KeyFromSignature(std::move(canon.signature), p->req.k);
+    // Kept alongside the key: a hit (or coalesced flight) sharing this key
+    // may have run an equivalent reordering of this query, and delivery
+    // remaps its mappings through these ranks into this caller's order.
+    p->node_rank = std::move(canon.node_rank);
+  }
 
   bool dispatch = false;
   bool coalesced = false;
@@ -189,7 +229,10 @@ QueryResponse QueryService::Run(Pending& p) {
   if (use_cache) {
     generation = cache_.generation();
     if (auto hit = cache_.Lookup(p.key)) {
-      resp.matches = *hit;  // the copy happens outside the cache mutex
+      // Copy (and, when the entry was inserted by a reordered-equivalent
+      // query, remap into this caller's node order) outside the cache
+      // mutex. Verbatim replays take the plain-copy fast path inside.
+      resp.matches = RemapMatches(hit->matches, hit->node_rank, p.node_rank);
       resp.cache_hit = true;
       resp.status = Status::Ok();
       resp.exec_ms = exec.ElapsedMillis();
@@ -202,7 +245,15 @@ QueryResponse QueryService::Run(Pending& p) {
     star_options.reuse = &star_cache_;
   }
   core::StarFramework fw(graph_, ensemble_, index_, star_options);
-  resp.matches = fw.TopK(p.req.query, p.req.k, &p.cancel);
+  // Per-worker request arena: pool threads persist across requests, so
+  // after warm-up the largest block absorbs each request's transient
+  // state (candidate lists, traversal frontiers, the rank-join heap) with
+  // zero allocation churn. Reset ONCE per request, before the query runs;
+  // everything the framework allocated from it last request is dead by
+  // then (responses own plain heap copies).
+  static thread_local common::MonotonicArena arena;
+  arena.Reset();
+  resp.matches = fw.TopK(p.req.query, p.req.k, &p.cancel, &arena);
   resp.exec_ms = exec.ElapsedMillis();
   resp.framework = fw.last_stats();
   // The engine's hot-loop checkers amortize clock reads (64-call stride),
@@ -220,7 +271,7 @@ QueryResponse QueryService::Run(Pending& p) {
     resp.status = Status::Ok();
     // Only complete answers enter the cache, and only if no invalidation
     // happened since the lookup — hits stay bitwise identical to fresh runs.
-    if (use_cache) cache_.Insert(p.key, resp.matches, generation);
+    if (use_cache) cache_.Insert(p.key, resp.matches, p.node_rank, generation);
   }
   return resp;
 }
@@ -291,7 +342,11 @@ std::shared_ptr<QueryService::Pending> QueryService::FinishAndSettle(
     // the honest answer: nothing was computed on its behalf in time.
     if (leader_ok && !f->cancel.ShouldStop()) {
       fr.status = Status::Ok();
-      fr.matches = resp.matches;  // copied outside the service mutex
+      // Copied — and remapped into the follower's node order when it is a
+      // reordered equivalent of the leader — outside the service mutex.
+      // resp.matches is in the LEADER's node order (fresh runs trivially;
+      // cache hits were remapped to it in Run).
+      fr.matches = RemapMatches(resp.matches, p->node_rank, f->node_rank);
       fr.cache_hit = resp.cache_hit;
       fr.coalesced = true;
     } else {

@@ -131,8 +131,14 @@ struct ServiceStats {
 ///    without touching the graph.
 ///  - Result cache: normalized-query LRU keyed by the canonical query
 ///    signature (insertion-order insensitive), the matching semantics, and
-///    k. Hits are bitwise identical to fresh execution. InvalidateCache()
-///    bumps a generation counter so in-flight stale results never land.
+///    k. Hits are bitwise identical to fresh execution. Because the key is
+///    insertion-order insensitive, a hit (or a coalesced flight) may be
+///    served from an *equivalent reordering* of the caller's query; each
+///    cache entry therefore stores the inserter's canonical node ranks,
+///    and hit mappings are remapped into the caller's node order before
+///    delivery (scores are untouched — they are node-order invariant).
+///    InvalidateCache() bumps a generation counter so in-flight stale
+///    results never land.
 ///  - Star-level reuse: fresh executions run against a shared StarCache of
 ///    canonical-star stream prefixes and per-node candidate lists, so
 ///    DIFFERENT queries that overlap in template structure skip the
@@ -201,6 +207,10 @@ class QueryService {
     /// Normalized cache key; empty when neither caching nor coalescing
     /// applies to this request.
     std::string key;
+    /// Canonical rank of each of this request's query nodes (parallel to
+    /// `key`: set exactly when the request is keyed). Used to remap
+    /// mappings between reordered-equivalent queries that share a key.
+    std::vector<int> node_rank;
     /// Set on the flight LEADER only (followers are reached through it).
     std::shared_ptr<Flight> flight;
 
@@ -224,6 +234,21 @@ class QueryService {
 
   /// Folds one response into stats_. Caller holds mu_.
   void RecordLocked(const QueryResponse& resp);
+
+  /// Re-expresses `matches` (whose mappings use the node order of the
+  /// query with canonical ranks `from_rank`) in the node order of an
+  /// equivalent query with ranks `to_rank`. Both rank vectors must come
+  /// from queries with the same canonical signature. Scores pass through
+  /// bitwise; when the ranks already agree the matches are returned
+  /// unchanged (the verbatim-replay fast path).
+  static std::vector<core::GraphMatch> RemapMatches(
+      const std::vector<core::GraphMatch>& matches,
+      const std::vector<int>& from_rank, const std::vector<int>& to_rank);
+
+  /// Composes the normalized key from an already-computed canonical
+  /// signature. Shared by CacheKey and Submit (which canonicalizes once
+  /// and also keeps the node ranks for remapping).
+  std::string KeyFromSignature(std::string signature, size_t k) const;
 
   const graph::KnowledgeGraph& graph_;
   const text::SimilarityEnsemble& ensemble_;

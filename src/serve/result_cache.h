@@ -32,6 +32,18 @@ struct CacheStats {
   }
 };
 
+/// A completed top-k result list together with the canonical node ranks of
+/// the query that produced it. The cache key is insertion-order
+/// insensitive, so a hit may come from an *equivalent reordering* of the
+/// caller's query: `node_rank[u]` (the canonical rank of the inserter's
+/// node u, from query::CanonicalizeQuery) is what lets the service remap
+/// `matches[i].mapping` — expressed in the inserter's node order — into
+/// the caller's node order before returning it.
+struct CachedResult {
+  std::vector<core::GraphMatch> matches;
+  std::vector<int> node_rank;
+};
+
 /// Thread-safe LRU cache of completed top-k result lists, keyed by the
 /// normalized query key (canonical query signature + matching semantics +
 /// k — see QueryService::CacheKey). A hit is bitwise identical to
@@ -51,7 +63,7 @@ struct CacheStats {
 /// graph/index state can never land after the bump.
 class ResultCache {
  public:
-  using MatchList = std::shared_ptr<const std::vector<core::GraphMatch>>;
+  using MatchList = std::shared_ptr<const CachedResult>;
 
   /// capacity 0 disables the cache (lookups miss, inserts drop).
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
@@ -82,11 +94,14 @@ class ResultCache {
     return it->second->second;
   }
 
+  /// `node_rank` must be the canonical ranks of the inserting query's
+  /// nodes (see CachedResult); hits on reordered-equivalent queries depend
+  /// on it to restore the caller's node order.
   void Insert(std::string_view key, std::vector<core::GraphMatch> value,
-              uint64_t generation) {
+              std::vector<int> node_rank, uint64_t generation) {
     if (capacity_ == 0) return;
-    auto wrapped = std::make_shared<const std::vector<core::GraphMatch>>(
-        std::move(value));
+    auto wrapped = std::make_shared<const CachedResult>(
+        CachedResult{std::move(value), std::move(node_rank)});
     std::lock_guard<std::mutex> lock(mu_);
     if (generation != generation_) {
       ++stats_.stale_drops;

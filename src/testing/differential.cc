@@ -359,6 +359,7 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
   base_spec.config = c.config;
   base_spec.config.threads = 1;
   base_spec.config.use_scoring_kernel = true;
+  base_spec.config.use_batch_kernel = true;
   base_spec.alpha = c.alpha;
   base_spec.decomposition = c.decomposition;
   base_spec.k = c.k;
@@ -388,26 +389,38 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
   }
 
   // --- Thread x kernel matrix: bit-identity contract per strategy ---
+  // The batch cells toggle the SoA batched scorer beneath the scalar
+  // kernel (batch only engages when the kernel itself is on): every
+  // lane the batch kernel accepts must be bitwise identical to the
+  // scalar kernel's score, so batch=0 runs must reproduce the base
+  // (batch=1) matches byte for byte.
   if (opts.run_thread_kernel_matrix) {
     struct TK {
       int threads;
       bool kernel;
+      bool batch;
     };
-    constexpr TK kCells[] = {{4, true}, {1, false}, {4, false}};
+    constexpr TK kCells[] = {{4, true, true},
+                             {1, false, false},
+                             {4, false, false},
+                             {1, true, false},
+                             {4, true, false}};
     for (size_t i = 0; i < 3; ++i) {
       for (const TK& tk : kCells) {
         RunSpec spec = base_spec;
         spec.strategy = kStrategies[i].s;
         spec.config.threads = tk.threads;
         spec.config.use_scoring_kernel = tk.kernel;
+        spec.config.use_batch_kernel = tk.batch;
         const EngineResult r = Run(ensemble, spec);
         ++out.cells_run;
         const std::string cell =
-            StrPrintf("%s/t=%d/kernel=%d", kStrategies[i].name, tk.threads,
-                      tk.kernel ? 1 : 0);
+            StrPrintf("%s/t=%d/kernel=%d/batch=%d", kStrategies[i].name,
+                      tk.threads, tk.kernel ? 1 : 0, tk.batch ? 1 : 0);
         CheckWellFormed(cell, r, c, true, &out);
-        CheckBitwiseEqual("thread-kernel-diff", cell, base[i].matches,
-                          r.matches, &out);
+        CheckBitwiseEqual(tk.kernel && !tk.batch ? "batch-kernel-diff"
+                                                 : "thread-kernel-diff",
+                          cell, base[i].matches, r.matches, &out);
       }
     }
   }

@@ -107,6 +107,37 @@ double FastJaro(const std::string& a, const std::string& b) {
   if (n == 0 && m == 0) return 1.0;
   if (n == 0 || m == 0) return 0.0;
   const size_t window = std::max(n, m) / 2 == 0 ? 0 : std::max(n, m) / 2 - 1;
+  if (n <= 64 && m <= 64) {
+    // Match bookkeeping in two 64-bit masks: same greedy pairing as the
+    // vector<bool> path below (ascending i, first unmatched j in window),
+    // so matches/transpositions — and the resulting double — are
+    // bitwise identical, without the per-pair bitset clearing. This is
+    // also the Monge-Elkan inner loop, where labels are single tokens.
+    uint64_t a_mask = 0, b_mask = 0;
+    size_t matches = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t lo = i > window ? i - window : 0;
+      const size_t hi = std::min(m, i + window + 1);
+      const char ai = a[i];
+      for (size_t j = lo; j < hi; ++j) {
+        if (((b_mask >> j) & 1u) != 0 || ai != b[j]) continue;
+        a_mask |= uint64_t{1} << i;
+        b_mask |= uint64_t{1} << j;
+        ++matches;
+        break;
+      }
+    }
+    if (matches == 0) return 0.0;
+    size_t t = 0, j = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (((a_mask >> i) & 1u) == 0) continue;
+      while (((b_mask >> j) & 1u) == 0) ++j;
+      if (a[i] != b[j]) ++t;
+      ++j;
+    }
+    const double mm = static_cast<double>(matches);
+    return (mm / n + mm / m + (mm - t / 2.0) / mm) / 3.0;
+  }
   static thread_local std::vector<bool> a_match, b_match;
   a_match.assign(n, false);
   b_match.assign(m, false);
@@ -205,7 +236,7 @@ bool ContainsDigit(const std::string& s) {
   return false;
 }
 
-bool LooksNumeric(const std::string& s) {
+bool LooksNumeric(std::string_view s) {
   const std::string_view t = Trim(s);
   if (t.empty()) return false;
   const char c = t[0];
@@ -250,6 +281,46 @@ constexpr int kCostRank[SimilarityEnsemble::kFeatureCount] = {
     4,  // kSmithWaterman
     3,  // kBigramDice
     4,  // kTokenSequenceEdit
+    1,  // kDate
+    2,  // kNumeralAware
+};
+
+// Sweep-stage grouping for the batched kernel's evaluation order
+// (index-aligned with the Feature enum). Within a group features keep
+// the (weight desc, index asc) order; groups run cheap-and-informative
+// first so sub-threshold lanes exit before the DPs and sparse probes:
+// 0 = O(1) facts, 1 = linear scans, 2 = token-set measures,
+// 3 = character scans with refined caps, 4 = phonetic/synonym probes,
+// 5 = gram/sparse-vector measures, 6 = O(n*m) DPs, 7 = Monge-Elkan.
+constexpr int kBatchGroup[SimilarityEnsemble::kFeatureCount] = {
+    0,  // kExact
+    0,  // kCaseInsensitive
+    6,  // kLevenshtein
+    6,  // kDamerauLevenshtein
+    3,  // kJaro
+    3,  // kJaroWinkler
+    1,  // kPrefix
+    1,  // kSuffix
+    3,  // kContainment
+    2,  // kTokenJaccard
+    2,  // kTokenDice
+    2,  // kTokenOverlap
+    5,  // kNGramJaccard
+    2,  // kAcronym
+    1,  // kAbbreviation
+    0,  // kLengthRatio
+    0,  // kNumeric
+    6,  // kLcs
+    4,  // kPhonetic
+    4,  // kSynonym
+    5,  // kTfIdfCosine
+    0,  // kTypeOntology
+    7,  // kMongeElkan
+    6,  // kLongestCommonSubstring
+    0,  // kHamming
+    6,  // kSmithWaterman
+    5,  // kBigramDice
+    2,  // kTokenSequenceEdit
     1,  // kDate
     2,  // kNumeralAware
 };
@@ -418,6 +489,54 @@ size_t SortedIntersectionCount(const std::vector<std::string>& a,
   return inter;
 }
 
+// Packs a 1-3 byte gram into a uint32 (length tag + big-endian bytes).
+// Injective for grams this short, so a packed sorted-unique vector has
+// exactly the size and pairwise intersection counts of its string
+// counterpart — Jaccard/Dice stay bitwise identical, without per-gram
+// string compares.
+uint32_t PackGram(const char* s, size_t len) {
+  uint32_t v = static_cast<uint32_t>(len) << 24;
+  for (size_t i = 0; i < len; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(s[i]))
+         << (8 * (2 - i));
+  }
+  return v;
+}
+
+// Packed equivalent of GramsInto (same degenerate short-string
+// convention: strings shorter than n contribute themselves).
+void PackedGramsInto(const std::string& s, size_t n,
+                     std::vector<uint32_t>* dst) {
+  dst->clear();
+  if (s.size() < n) {
+    if (!s.empty()) dst->push_back(PackGram(s.data(), s.size()));
+  } else {
+    dst->reserve(s.size() - n + 1);
+    for (size_t i = 0; i + n <= s.size(); ++i) {
+      dst->push_back(PackGram(s.data() + i, n));
+    }
+  }
+  std::sort(dst->begin(), dst->end());
+  dst->erase(std::unique(dst->begin(), dst->end()), dst->end());
+}
+
+size_t PackedIntersectionCount(const std::vector<uint32_t>& a,
+                               const std::vector<uint32_t>& b) {
+  size_t inter = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
 /// Data-side per-pair scratch of the kernel. One thread_local instance;
 /// every view is derived lazily from the lowercased data label, at most
 /// once per pair, into buffers that are reused across pairs (steady-state
@@ -427,6 +546,8 @@ struct KernelScratch {
   std::vector<std::string> tokens;         // in split order
   std::vector<std::string> tokens_sorted;  // sorted, unique
   std::vector<std::string> bigrams, trigrams;
+  std::vector<uint32_t> bigrams_packed, trigrams_packed;  // batch kernel
+  std::vector<int> syn_groups;  // per-token synonym groups (batch kernel)
   std::string initials;
   std::vector<std::string> soundex;   // non-empty per-token codes
   std::vector<std::string> numerals;  // numeral-normalized tokens
@@ -438,13 +559,16 @@ struct KernelScratch {
   bool has_tokens = false, has_tokens_sorted = false, has_bigrams = false,
        has_trigrams = false, has_initials = false, has_soundex = false,
        has_numerals = false, has_tfidf = false, has_quantity = false,
-       has_year = false, has_trio = false, has_jaro = false;
+       has_year = false, has_trio = false, has_jaro = false,
+       has_bigrams_packed = false, has_trigrams_packed = false,
+       has_syn_groups = false;
 
   void Reset(std::string_view d) {
     ToLowerInto(d, &lb);
     has_tokens = has_tokens_sorted = has_bigrams = has_trigrams =
         has_initials = has_soundex = has_numerals = has_tfidf = has_quantity =
-            has_year = has_trio = has_jaro = false;
+            has_year = has_trio = has_jaro = has_bigrams_packed =
+                has_trigrams_packed = has_syn_groups = false;
   }
 
   void EnsureTokens() {
@@ -470,6 +594,26 @@ struct KernelScratch {
     if (has_trigrams) return;
     GramsInto(lb, 3, &trigrams);
     has_trigrams = true;
+  }
+
+  void EnsureBigramsPacked() {
+    if (has_bigrams_packed) return;
+    PackedGramsInto(lb, 2, &bigrams_packed);
+    has_bigrams_packed = true;
+  }
+
+  void EnsureTrigramsPacked() {
+    if (has_trigrams_packed) return;
+    PackedGramsInto(lb, 3, &trigrams_packed);
+    has_trigrams_packed = true;
+  }
+
+  void EnsureSynGroups(const SynonymDictionary& dict) {
+    if (has_syn_groups) return;
+    EnsureTokens();
+    syn_groups.clear();
+    for (const auto& t : tokens) syn_groups.push_back(dict.GroupOfLower(t));
+    has_syn_groups = true;
   }
 
   void EnsureInitials() {
@@ -544,10 +688,14 @@ struct KernelScratch {
 
 // One feature value, bitwise equal to what Score() would fold in for the
 // same pair (same guards, same shared intermediates, same expressions).
+// When `batch` is non-null (the batched kernel), the n-gram and synonym
+// features run on packed grams / pre-resolved group ids — identical
+// values from cheaper representations.
 double EvalKernelFeature(int feature, const SimilarityEnsemble::Context& ctx,
                          const SimilarityEnsemble::PreparedLabel& p,
                          KernelScratch& sc, std::string_view d, int query_type,
-                         int data_type) {
+                         int data_type,
+                         const SimilarityEnsemble::PreparedLabelBatch* batch) {
   using E = SimilarityEnsemble;
   switch (feature) {
     case E::kExact:
@@ -591,6 +739,15 @@ double EvalKernelFeature(int feature, const SimilarityEnsemble::Context& ctx,
       return static_cast<double>(sc.trio_inter) / std::min(na, nb);
     }
     case E::kNGramJaccard: {
+      if (batch != nullptr) {
+        sc.EnsureTrigramsPacked();
+        const auto& qa = batch->trigrams_packed;
+        if (qa.empty() && sc.trigrams_packed.empty()) return 1.0;
+        const size_t inter =
+            PackedIntersectionCount(qa, sc.trigrams_packed);
+        const size_t uni = qa.size() + sc.trigrams_packed.size() - inter;
+        return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+      }
       sc.EnsureTrigrams();
       if (p.trigrams.empty() && sc.trigrams.empty()) return 1.0;
       const size_t inter = SortedIntersectionCount(p.trigrams, sc.trigrams);
@@ -651,9 +808,42 @@ double EvalKernelFeature(int feature, const SimilarityEnsemble::Context& ctx,
       }
       return 0.0;
     }
-    case E::kSynonym:
-      return ctx.synonyms != nullptr ? ctx.synonyms->Similarity(p.label, d)
-                                     : 0.0;
+    case E::kSynonym: {
+      if (ctx.synonyms == nullptr) return 0.0;
+      if (batch != nullptr) {
+        // SynonymDictionary::Similarity replayed on pre-resolved group
+        // ids: whole-label check first, then the shorter side's tokens
+        // against the longer side's (equality or shared group), exactly
+        // the double loop the dictionary runs — same hits, same ratio.
+        const SynonymDictionary& dict = *ctx.synonyms;
+        if (p.lower == sc.lb) return 1.0;
+        const int gd = dict.GroupOfLower(sc.lb);
+        if (batch->label_syn_group >= 0 && batch->label_syn_group == gd) {
+          return 1.0;
+        }
+        sc.EnsureTokens();
+        if (p.tokens.empty() || sc.tokens.empty()) return 0.0;
+        sc.EnsureSynGroups(dict);
+        const bool query_shorter = p.tokens.size() <= sc.tokens.size();
+        const auto& ts = query_shorter ? p.tokens : sc.tokens;
+        const auto& tl = query_shorter ? sc.tokens : p.tokens;
+        const auto& gs = query_shorter ? batch->token_syn_groups
+                                       : sc.syn_groups;
+        const auto& gl = query_shorter ? sc.syn_groups
+                                       : batch->token_syn_groups;
+        size_t hits = 0;
+        for (size_t i = 0; i < ts.size(); ++i) {
+          for (size_t j = 0; j < tl.size(); ++j) {
+            if (ts[i] == tl[j] || (gs[i] >= 0 && gs[i] == gl[j])) {
+              ++hits;
+              break;
+            }
+          }
+        }
+        return static_cast<double>(hits) / ts.size();
+      }
+      return ctx.synonyms->Similarity(p.label, d);
+    }
     case E::kTfIdfCosine: {
       if (ctx.tfidf == nullptr || !ctx.tfidf->finalized()) return 0.0;
       sc.EnsureTfidf(d, *ctx.tfidf);
@@ -682,6 +872,14 @@ double EvalKernelFeature(int feature, const SimilarityEnsemble::Context& ctx,
     case E::kSmithWaterman:
       return FastSmithWaterman(p.lower, sc.lb);
     case E::kBigramDice: {
+      if (batch != nullptr) {
+        sc.EnsureBigramsPacked();
+        const auto& qa = batch->bigrams_packed;
+        if (qa.empty() && sc.bigrams_packed.empty()) return 1.0;
+        if (qa.empty() || sc.bigrams_packed.empty()) return 0.0;
+        const size_t inter = PackedIntersectionCount(qa, sc.bigrams_packed);
+        return 2.0 * inter / (qa.size() + sc.bigrams_packed.size());
+      }
       sc.EnsureBigrams();
       if (p.bigrams.empty() && sc.bigrams.empty()) return 1.0;
       if (p.bigrams.empty() || sc.bigrams.empty()) return 0.0;
@@ -897,6 +1095,22 @@ void SimilarityEnsemble::RebuildEvalOrder() {
   for (size_t k = eval_order_.size(); k-- > 0;) {
     remaining_mass_[k] = remaining_mass_[k + 1] + weights_[eval_order_[k]];
   }
+  // The batched kernel sweeps every positive-weight feature (no forced
+  // prefix — its stage-A refined-cap bound already did the cheap-reject
+  // work), grouped cheap-first so surviving lanes still exit before the
+  // DPs whenever their per-lane bound drops below the threshold.
+  batch_order_.clear();
+  batch_order_.reserve(kFeatureCount);
+  for (int i = 0; i < kFeatureCount; ++i) {
+    if (weights_[i] > 0.0) batch_order_.push_back(i);
+  }
+  std::sort(batch_order_.begin(), batch_order_.end(), [this](int a, int b) {
+    if (kBatchGroup[a] != kBatchGroup[b]) {
+      return kBatchGroup[a] < kBatchGroup[b];
+    }
+    if (weights_[a] != weights_[b]) return weights_[a] > weights_[b];
+    return a < b;
+  });
 }
 
 SimilarityEnsemble::PreparedLabel SimilarityEnsemble::Prepare(
@@ -931,6 +1145,40 @@ SimilarityEnsemble::PreparedLabel SimilarityEnsemble::Prepare(
   return p;
 }
 
+SimilarityEnsemble::PreparedLabelBatch SimilarityEnsemble::PrepareBatch(
+    std::string_view label) const {
+  return PrepareBatch(Prepare(label));
+}
+
+SimilarityEnsemble::PreparedLabelBatch SimilarityEnsemble::PrepareBatch(
+    PreparedLabel prepared) const {
+  PreparedLabelBatch b;
+  b.prepared = std::move(prepared);
+  const PreparedLabel& p = b.prepared;
+  // Packing is injective for grams of <= 3 bytes and the string grams are
+  // already unique, so sorting the packed values yields exactly the same
+  // set — intersection counts (and the Jaccard/Dice ratios) are bitwise
+  // identical to the string-gram path.
+  b.bigrams_packed.reserve(p.bigrams.size());
+  for (const auto& g : p.bigrams) {
+    b.bigrams_packed.push_back(PackGram(g.data(), g.size()));
+  }
+  std::sort(b.bigrams_packed.begin(), b.bigrams_packed.end());
+  b.trigrams_packed.reserve(p.trigrams.size());
+  for (const auto& g : p.trigrams) {
+    b.trigrams_packed.push_back(PackGram(g.data(), g.size()));
+  }
+  std::sort(b.trigrams_packed.begin(), b.trigrams_packed.end());
+  if (context_.synonyms != nullptr) {
+    b.label_syn_group = context_.synonyms->GroupOfLower(p.lower);
+    b.token_syn_groups.reserve(p.tokens.size());
+    for (const auto& t : p.tokens) {
+      b.token_syn_groups.push_back(context_.synonyms->GroupOfLower(t));
+    }
+  }
+  return b;
+}
+
 double SimilarityEnsemble::ScoreAgainstThreshold(const PreparedLabel& prepared,
                                                  std::string_view data_label,
                                                  double threshold,
@@ -961,7 +1209,7 @@ double SimilarityEnsemble::ScoreAgainstThreshold(const PreparedLabel& prepared,
     }
     const int i = eval_order_[k];
     f[i] = EvalKernelFeature(i, context_, prepared, sc, data_label, query_type,
-                             data_type);
+                             data_type, nullptr);
     partial += weights_[i] * f[i];
   }
   if (stats != nullptr) stats->features_evaluated += order;
@@ -971,6 +1219,196 @@ double SimilarityEnsemble::ScoreAgainstThreshold(const PreparedLabel& prepared,
   double s = 0.0;
   for (int i = 0; i < kFeatureCount; ++i) s += weights_[i] * f[i];
   return s;
+}
+
+void SimilarityEnsemble::ScoreBatchAgainstThreshold(
+    const PreparedLabelBatch& batch, const std::string_view* data_labels,
+    size_t count, double threshold, int query_type, const int* data_types,
+    double* out, KernelStats* stats) const {
+  constexpr int L = kBatchLanes;
+  if (count == 0) return;
+  const PreparedLabel& p = batch.prepared;
+  if (stats != nullptr) stats->pairs += count;
+  const size_t order = batch_order_.size();
+
+  // Stage 0: per-lane O(1) facts and the case-insensitive-equality
+  // shortcut. The shortcut MUST precede any bound rejection: its 1.0 is
+  // definitional (Score() returns it for equal-length garbage caps too),
+  // so an equal lane can score above its refined bound.
+  bool survive[L] = {};
+  double eq[L] = {};       // byte lengths equal
+  double rr[L] = {};       // min/max byte-length ratio
+  double minlen[L] = {};   // min byte length
+  double tri_max[L] = {};  // max distinct char 3-grams of the data label
+  double bi_max[L] = {};   // max distinct char 2-grams of the data label
+  double tok_max[L] = {};  // max token count of the data label
+  double num_ok[L] = {};   // data label passes the numeric guard
+  double dlen[L] = {};     // data byte length
+  const size_t m = p.label.size();  // ToLower preserves byte length
+  for (size_t l = 0; l < count; ++l) {
+    const std::string_view d = data_labels[l];
+    if (!p.label.empty() && EqualIgnoreCase(p.label, d)) {
+      out[l] = 1.0;
+      continue;
+    }
+    survive[l] = true;
+    const size_t n = d.size();
+    dlen[l] = static_cast<double>(n);
+    eq[l] = n == m ? 1.0 : 0.0;
+    rr[l] = (n == 0 && m == 0)
+                ? 1.0
+                : static_cast<double>(std::min(n, m)) / std::max(n, m);
+    minlen[l] = static_cast<double>(std::min(n, m));
+    tri_max[l] = n >= 3 ? static_cast<double>(n - 2) : (n > 0 ? 1.0 : 0.0);
+    bi_max[l] = n >= 2 ? static_cast<double>(n - 1) : (n > 0 ? 1.0 : 0.0);
+    tok_max[l] = static_cast<double>((n + 1) / 2);
+    num_ok[l] = LooksNumeric(d) ? 1.0 : 0.0;
+  }
+
+  // Stage A (thresholded mode only): refined per-lane caps from the O(1)
+  // facts, then a lane-parallel bound. Each row below provably dominates
+  // its feature (see DESIGN.md "Memory layout & batched scoring"); the
+  // arithmetic is branch-light over contiguous double lanes so the
+  // compiler can vectorize it.
+  double caps[kFeatureCount][L];
+  if (threshold >= 0.0) {
+    const double qtri = static_cast<double>(p.trigrams.size());
+    const double qbi = static_cast<double>(p.bigrams.size());
+    const double qtok = static_cast<double>(p.tokens.size());
+    const double qnum = static_cast<double>(p.numerals.size());
+    const double qini = static_cast<double>(p.initials.size());
+    const bool acr_q = p.tokens.size() == 1 && p.lower.size() >= 2;
+    const double qlen = static_cast<double>(p.lower.size());
+    const double phon = p.soundex.empty() ? 0.0 : 1.0;
+    const double date = p.contains_digit ? 1.0 : 0.0;
+    const double tfidf = (context_.tfidf != nullptr &&
+                          context_.tfidf->finalized() && !p.tfidf.empty())
+                             ? 1.0
+                             : 0.0;
+    const double syn = context_.synonyms != nullptr ? 1.0 : 0.0;
+    const double onto = context_.ontology != nullptr ? 1.0 : 0.0;
+    for (int l = 0; l < L; ++l) {
+      // Length-equality features: anything normalized over a fixed-length
+      // alignment (or exact equality) is 0 when lengths differ.
+      caps[kExact][l] = eq[l];
+      caps[kCaseInsensitive][l] = eq[l];
+      caps[kHamming][l] = eq[l];
+      // Edit-family features normalized by max length: distance >= the
+      // length gap, so similarity <= min/max. LCS/substring <= min/max
+      // for the same reason; LengthRatio IS min/max.
+      caps[kLevenshtein][l] = rr[l];
+      caps[kDamerauLevenshtein][l] = rr[l];
+      caps[kLcs][l] = rr[l];
+      caps[kLongestCommonSubstring][l] = rr[l];
+      caps[kContainment][l] = rr[l];
+      caps[kLengthRatio][l] = rr[l];
+      // Jaro: matches <= min, so jaro <= (1 + min/max + 1)/3; Winkler
+      // adds at most 0.4*(1 - jaro) on top.
+      const double jb = (2.0 + rr[l]) / 3.0;
+      caps[kJaro][l] = jb;
+      caps[kJaroWinkler][l] = 0.6 * jb + 0.4;
+      // Abbreviation: equal lengths degrade to exact equality (cap 1 only
+      // via eq); otherwise the subsequence branch needs min >= 2 and
+      // yields min/max * 0.5 + 0.5.
+      caps[kAbbreviation][l] =
+          eq[l] != 0.0 ? 1.0 : (minlen[l] < 2.0 ? 0.0 : 0.5 * rr[l] + 0.5);
+      // Guard-gated features: 0 unless the query-side (or per-lane) guard
+      // that the feature itself checks first can pass.
+      caps[kNumeric][l] = p.looks_numeric ? 1.0 : num_ok[l];
+      caps[kDate][l] = date;
+      caps[kPhonetic][l] = phon;
+      caps[kTfIdfCosine][l] = tfidf;
+      caps[kSynonym][l] = syn;
+      caps[kTypeOntology][l] = onto;
+      // Gram/token set measures: a data label of n bytes has at most
+      // n-2 distinct trigrams, n-1 distinct bigrams, (n+1)/2 tokens.
+      caps[kNGramJaccard][l] =
+          qtri > 0.0 ? std::min(qtri, tri_max[l]) / qtri : 1.0;
+      caps[kBigramDice][l] = (qbi > 0.0 && bi_max[l] < qbi)
+                                 ? 2.0 * bi_max[l] / (qbi + bi_max[l])
+                                 : 1.0;
+      caps[kTokenSequenceEdit][l] =
+          qtok > tok_max[l] ? tok_max[l] / qtok : 1.0;
+      caps[kNumeralAware][l] = qnum > tok_max[l] ? 0.0 : 1.0;
+      caps[kAcronym][l] = ((acr_q && qlen >= 2.0 && qlen <= tok_max[l]) ||
+                           (qini == dlen[l] && dlen[l] >= 2.0))
+                              ? 1.0
+                              : 0.0;
+      // No useful O(1) cap (normalized by the shorter side / token-pair
+      // maxima): these stay at the trivial bound of 1.
+      caps[kPrefix][l] = 1.0;
+      caps[kSuffix][l] = 1.0;
+      caps[kSmithWaterman][l] = 1.0;
+      caps[kMongeElkan][l] = 1.0;
+      caps[kTokenJaccard][l] = 1.0;
+      caps[kTokenDice][l] = 1.0;
+      caps[kTokenOverlap][l] = 1.0;
+    }
+    double bound[L] = {};
+    for (size_t k = 0; k < order; ++k) {
+      const double w = weights_[batch_order_[k]];
+      const double* row = caps[batch_order_[k]];
+      for (int l = 0; l < L; ++l) bound[l] += w * row[l];
+    }
+    // Reject lanes whose refined bound cannot reach the threshold. The
+    // 1e-9 margin absorbs both accumulation-order rounding and the
+    // sub-ulp rounding of the cap arithmetic, so no lane whose canonical
+    // score is >= threshold is ever rejected here.
+    for (size_t l = 0; l < count; ++l) {
+      if (!survive[l] || bound[l] >= threshold - 1e-9) continue;
+      out[l] = bound[l];
+      survive[l] = false;
+      if (stats != nullptr) {
+        ++stats->early_exits;
+        stats->features_skipped += order;
+      }
+    }
+  }
+
+  // Stage B: surviving lanes run the scalar sweep in batch order with a
+  // per-lane refined remaining mass (suffix sums of w * cap), sharing the
+  // batch's packed grams and synonym group ids. Completed lanes replay
+  // the weighted sum in canonical feature order, exactly like
+  // ScoreAgainstThreshold — so every kept value is bitwise Score().
+  static thread_local KernelScratch sc;
+  for (size_t l = 0; l < count; ++l) {
+    if (!survive[l]) continue;
+    const std::string_view d = data_labels[l];
+    const int data_type = data_types != nullptr ? data_types[l] : -1;
+    sc.Reset(d);
+    double remaining[kFeatureCount + 1];
+    if (threshold >= 0.0) {
+      remaining[order] = 0.0;
+      for (size_t k = order; k-- > 0;) {
+        remaining[k] = remaining[k + 1] +
+                       weights_[batch_order_[k]] * caps[batch_order_[k]][l];
+      }
+    }
+    double f[kFeatureCount] = {};
+    double partial = 0.0;
+    bool exited = false;
+    for (size_t k = 0; k < order; ++k) {
+      if (threshold >= 0.0 && partial + remaining[k] < threshold - 1e-9) {
+        out[l] = partial + remaining[k];
+        if (stats != nullptr) {
+          ++stats->early_exits;
+          stats->features_evaluated += k;
+          stats->features_skipped += order - k;
+        }
+        exited = true;
+        break;
+      }
+      const int i = batch_order_[k];
+      f[i] = EvalKernelFeature(i, context_, p, sc, d, query_type, data_type,
+                               &batch);
+      partial += weights_[i] * f[i];
+    }
+    if (exited) continue;
+    if (stats != nullptr) stats->features_evaluated += order;
+    double s = 0.0;
+    for (int i = 0; i < kFeatureCount; ++i) s += weights_[i] * f[i];
+    out[l] = s;
+  }
 }
 
 const std::vector<std::string>& SimilarityEnsemble::FeatureNames() {

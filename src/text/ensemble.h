@@ -179,6 +179,72 @@ class SimilarityEnsemble {
   /// Human-readable feature names, index-aligned with Features().
   static const std::vector<std::string>& FeatureNames();
 
+  // -------------------------------------------------------------------
+  // Batched scoring kernel (structure-of-arrays)
+  // -------------------------------------------------------------------
+  //
+  // ScoreAgainstThreshold's remaining-mass bound assumes every unevaluated
+  // feature can still contribute its full weight, so at uniform weights a
+  // garbage pair must consume ~2/3 of the feature order — including the
+  // alignment DPs, n-gram builds, soundex codes and synonym probes — before
+  // the bound can drop below a 0.4 threshold. The batched kernel replaces
+  // that trivial tail bound with per-lane *refined caps* derived from O(1)
+  // facts (label lengths, query-side guard flags, token/gram counts):
+  // Levenshtein-family features are capped by min/max length, Jaro by
+  // (2 + min/max)/3, exact/Hamming by length equality, the numeric/date/
+  // phonetic/tf-idf features by query-side guards, and so on. The cap and
+  // bound arithmetic runs lane-parallel over kBatchLanes candidates at a
+  // time (contiguous double lanes, auto-vectorizable), and the per-feature
+  // sweep evaluates cheap features first so sub-threshold lanes exit
+  // before any DP, gram build or hash probe.
+  //
+  // Exactness: identical contract to ScoreAgainstThreshold. Lanes whose
+  // evaluation completes replay the weighted sum in canonical feature
+  // order (bitwise equal to Score()); rejected lanes return a sound
+  // sub-threshold upper bound (each cap provably dominates its feature,
+  // and the 1e-9 exit margin absorbs the sub-ulp rounding of the cap
+  // arithmetic exactly as it absorbs accumulation-order rounding).
+
+  /// Lanes evaluated per batch kernel invocation.
+  static constexpr int kBatchLanes = 8;
+
+  /// Query-side SoA view for the batched kernel: the scalar PreparedLabel
+  /// plus packed n-gram lanes and pre-resolved synonym group ids. Built
+  /// once per query node; immutable afterwards, so concurrent
+  /// ScoreBatchAgainstThreshold calls may share it.
+  struct PreparedLabelBatch {
+    PreparedLabel prepared;
+    /// Sorted unique character n-grams, packed (length, bytes) -> uint32.
+    /// Packing is injective for grams of <= 3 bytes, so intersection
+    /// counts — and therefore the Jaccard/Dice values — are bitwise
+    /// identical to the string-gram path.
+    std::vector<uint32_t> bigrams_packed;
+    std::vector<uint32_t> trigrams_packed;
+    /// Synonym group id per prepared.tokens entry (-1 = no group), plus
+    /// the whole-label group. Empty when the context has no dictionary.
+    std::vector<int> token_syn_groups;
+    int label_syn_group = -1;
+  };
+
+  /// Builds the batched query-side view (Prepare() plus the SoA lanes).
+  PreparedLabelBatch PrepareBatch(std::string_view label) const;
+  /// Wraps an existing PreparedLabel without re-deriving it.
+  PreparedLabelBatch PrepareBatch(PreparedLabel prepared) const;
+
+  /// F_N of the prepared query label against `count` (<= kBatchLanes) data
+  /// labels at once. Per-lane results land in out[0..count): bitwise equal
+  /// to Score() whenever the value is >= threshold (always when
+  /// threshold < 0), otherwise a sub-threshold upper bound — the same
+  /// contract as ScoreAgainstThreshold, so the two kernels and Score()
+  /// agree bitwise on every kept candidate. `data_types` (nullable) gives
+  /// the per-lane ontology type id. Thread-safe; `stats` is the caller's.
+  void ScoreBatchAgainstThreshold(const PreparedLabelBatch& batch,
+                                  const std::string_view* data_labels,
+                                  size_t count, double threshold,
+                                  int query_type, const int* data_types,
+                                  double* out,
+                                  KernelStats* stats = nullptr) const;
+
  private:
   /// Recomputes eval_order_ / remaining_mass_ from weights_: the O(1)
   /// pre-filters first, then positive-weight features by (weight desc,
@@ -191,6 +257,11 @@ class SimilarityEnsemble {
   std::vector<int> eval_order_;
   /// remaining_mass_[k] = sum of weights_[eval_order_[j]] for j >= k.
   std::vector<double> remaining_mass_;
+  /// Positive-weight features in the batched kernel's sweep order:
+  /// cheap-and-informative first (O(1) pre-filters, linear scans, token
+  /// set measures), the refined-cap-bounded DPs and sparse measures last,
+  /// so sub-threshold lanes exit before touching them.
+  std::vector<int> batch_order_;
 };
 
 }  // namespace star::text

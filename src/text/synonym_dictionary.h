@@ -1,12 +1,26 @@
 #ifndef STAR_TEXT_SYNONYM_DICTIONARY_H_
 #define STAR_TEXT_SYNONYM_DICTIONARY_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace star::text {
+
+/// Heterogeneous string hashing so group lookups can take string_views
+/// (e.g. tokens living in a scorer's scratch) without a temporary
+/// std::string per probe.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// A symmetric thesaurus mapping terms into synonym groups.
 /// Supports the paper's "teacher" ~ "educator" style transformations.
@@ -30,6 +44,15 @@ class SynonymDictionary {
   /// overlap ratio between the two strings' token sets.
   double Similarity(std::string_view a, std::string_view b) const;
 
+  /// Group id of an already-lowercased term, or -1 if unknown. Two terms
+  /// are synonyms iff they are equal or share a non-negative group id —
+  /// the batched scoring kernel pre-resolves ids on both sides so the
+  /// token-level Similarity loop needs no per-pair hash probes.
+  int GroupOfLower(std::string_view lower_term) const {
+    const auto it = group_of_.find(lower_term);
+    return it == group_of_.end() ? -1 : it->second;
+  }
+
   /// Number of distinct terms known to the dictionary.
   size_t term_count() const { return group_of_.size(); }
 
@@ -41,7 +64,8 @@ class SynonymDictionary {
   int GroupOf(const std::string& lower_term) const;
   int EnsureGroup(std::string_view term);
 
-  std::unordered_map<std::string, int> group_of_;
+  std::unordered_map<std::string, int, TransparentStringHash, std::equal_to<>>
+      group_of_;
   int next_group_ = 0;
 };
 

@@ -1,0 +1,344 @@
+// Property tests of the SoA batched scoring kernel (PrepareBatch /
+// ScoreBatchAgainstThreshold) and its wiring through QueryScorer's bulk
+// path (MatchConfig::use_batch_kernel):
+//  - per-lane results must be BITWISE equal to Score() (and to the scalar
+//    thresholded kernel) whenever accepted, and a sound sub-threshold
+//    upper bound otherwise, for every ragged lane count 1..kBatchLanes;
+//  - the end-to-end pipeline (Candidates, star top-k, framework top-k)
+//    must be bit-identical with the batch kernel on or off, across every
+//    star strategy and thread count, including candidate sets whose size
+//    is not a multiple of the lane width;
+//  - duplicated data labels straddling the threshold must come out
+//    identical to the scalar path — the per-chunk (label, type) memo may
+//    only ever hold fully evaluated scores, never rejected-lane bounds.
+// The *ParallelDeterminism* suite here is picked up by the TSan CI filter.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/framework.h"
+#include "core/star_search.h"
+#include "query/workload.h"
+#include "scoring/query_scorer.h"
+#include "test_helpers.h"
+#include "text/ensemble.h"
+#include "text/synonym_dictionary.h"
+#include "text/tfidf.h"
+#include "text/type_ontology.h"
+
+namespace star {
+namespace {
+
+using core::StarSearch;
+using core::StarStrategy;
+using star::testing::ScorerFixture;
+using star::testing::SmallRandomGraph;
+using star::testing::TestConfig;
+using text::SimilarityEnsemble;
+
+// Mixes case, digits and every SplitTokens delimiter; avoids "inf"/"nan"
+// (see test_scoring_kernel.cc for why).
+std::string RandomLabel(Rng& rng, size_t max_len = 12) {
+  static const std::string kAlphabet = "abcDEF 12._-";
+  std::string s;
+  const size_t len = rng.Below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng.Below(kAlphabet.size())]);
+  }
+  return s;
+}
+
+std::vector<std::string> LabelCorpus(uint64_t seed, size_t n) {
+  std::vector<std::string> labels = {
+      "",           "Brad Pitt",  "brad pitt", "Brad Garrett",
+      "JFK",        "Intl",       "Part II",   "Part 2",
+      "12 km",      "12000 m",    "  ",        "a_b-c",
+      "aaaa",       "aaab",       "Rocky 3",   "Rocky Three",
+  };
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) labels.push_back(RandomLabel(rng));
+  return labels;
+}
+
+/// Context-complete ensemble (synonyms + ontology + tf-idf over the
+/// corpus) so every feature family participates in the batch sweep.
+struct FullContextEnsemble {
+  text::SynonymDictionary synonyms = text::SynonymDictionary::BuiltIn();
+  text::TypeOntology ontology = text::TypeOntology::BuiltIn();
+  text::TfIdfModel tfidf;
+  std::unique_ptr<SimilarityEnsemble> ensemble;
+
+  explicit FullContextEnsemble(const std::vector<std::string>& corpus) {
+    for (const auto& l : corpus) tfidf.AddDocument(l);
+    tfidf.Finalize();
+    SimilarityEnsemble::Context ctx;
+    ctx.synonyms = &synonyms;
+    ctx.tfidf = &tfidf;
+    ctx.ontology = &ontology;
+    ensemble = std::make_unique<SimilarityEnsemble>(ctx);
+  }
+};
+
+/// Every lane of every ragged batch width against the scalar kernel and
+/// Score(): accepted lanes bitwise equal, rejected lanes truly below.
+void ExpectBatchMatchesScalar(const SimilarityEnsemble& e,
+                              const std::vector<std::string>& corpus) {
+  constexpr int kLanes = SimilarityEnsemble::kBatchLanes;
+  for (const auto& q : corpus) {
+    const auto batch = e.PrepareBatch(q);
+    const auto prepared = e.Prepare(q);
+    for (const double t : {SimilarityEnsemble::kNoThreshold, 0.05, 0.4, 0.8}) {
+      // Ragged widths: every count 1..kBatchLanes, sliding the window so
+      // lane composition varies (partial final batches are the common
+      // case in a chunked bulk scan).
+      for (int count = 1; count <= kLanes; ++count) {
+        for (size_t start = 0; start + size_t(count) <= corpus.size();
+             start += size_t(count) * 3 + 1) {
+          std::vector<std::string_view> views;
+          for (int i = 0; i < count; ++i) {
+            views.push_back(corpus[start + size_t(i)]);
+          }
+          double out[SimilarityEnsemble::kBatchLanes];
+          e.ScoreBatchAgainstThreshold(batch, views.data(), views.size(), t,
+                                       /*query_type=*/-1,
+                                       /*data_types=*/nullptr, out);
+          for (int i = 0; i < count; ++i) {
+            const std::string& d = corpus[start + size_t(i)];
+            const double scalar = e.ScoreAgainstThreshold(prepared, d, t);
+            const double exact = e.Score(q, d);
+            if (t == SimilarityEnsemble::kNoThreshold || out[i] >= t) {
+              EXPECT_EQ(out[i], exact)
+                  << "q=\"" << q << "\" d=\"" << d << "\" t=" << t
+                  << " count=" << count << " lane=" << i;
+              EXPECT_EQ(out[i], scalar)
+                  << "q=\"" << q << "\" d=\"" << d << "\" t=" << t;
+            } else {
+              // Rejected lanes: a sound upper bound — the true score must
+              // genuinely be below the threshold (no false rejects).
+              EXPECT_LT(exact, t) << "q=\"" << q << "\" d=\"" << d
+                                  << "\" t=" << t << " bound=" << out[i];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, RaggedLanesMatchScalarKernelBitwise) {
+  ExpectBatchMatchesScalar(SimilarityEnsemble(), LabelCorpus(211, 40));
+}
+
+TEST(BatchKernelTest, FullContextRaggedLanesMatchScalarKernelBitwise) {
+  const auto corpus = LabelCorpus(212, 40);
+  FullContextEnsemble full(corpus);
+  ExpectBatchMatchesScalar(*full.ensemble, corpus);
+}
+
+TEST(BatchKernelTest, TypedLanesMatchScalarKernelBitwise) {
+  // With ontology types attached per lane, the type feature participates;
+  // the batch path must still agree with the scalar kernel bitwise.
+  const auto corpus = LabelCorpus(213, 20);
+  FullContextEnsemble full(corpus);
+  const SimilarityEnsemble& e = *full.ensemble;
+  const int person = full.ontology.FindType("Person");
+  const int film = full.ontology.FindType("Film");
+  const int types[4] = {person, film, -1, person};
+  const auto batch = e.PrepareBatch("Brad Pitt");
+  const auto prepared = e.Prepare("Brad Pitt");
+  const std::string_view data[4] = {"Brad Garrett", "Troy", "Boyhood",
+                                    "brad pitt"};
+  for (const double t : {SimilarityEnsemble::kNoThreshold, 0.3, 0.6}) {
+    double out[SimilarityEnsemble::kBatchLanes];
+    e.ScoreBatchAgainstThreshold(batch, data, 4, t, person, types, out);
+    for (int i = 0; i < 4; ++i) {
+      const double scalar =
+          e.ScoreAgainstThreshold(prepared, data[i], t, person, types[i]);
+      if (t == SimilarityEnsemble::kNoThreshold || out[i] >= t) {
+        EXPECT_EQ(out[i], scalar) << "lane " << i << " t=" << t;
+      } else {
+        EXPECT_LT(scalar, t) << "lane " << i << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, BatchStatsCountEveryLane) {
+  SimilarityEnsemble e;
+  text::KernelStats stats;
+  const auto batch = e.PrepareBatch("Benjamin Button");
+  const std::string_view data[5] = {"Benjamin Button", "Benjamin B.", "zzzz",
+                                    "", "qqqq qqqq"};
+  double out[SimilarityEnsemble::kBatchLanes];
+  e.ScoreBatchAgainstThreshold(batch, data, 5, /*threshold=*/0.9, -1, nullptr,
+                               out, &stats);
+  EXPECT_EQ(stats.pairs, 5u);
+  // "zzzz" & co. cannot reach 0.9: bound rejection must fire and skip
+  // feature evaluations for those lanes.
+  EXPECT_GT(stats.early_exits, 0u);
+  EXPECT_GT(stats.features_skipped, 0u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: batch kernel on vs off must be bit-identical through
+// Candidates, star top-k and framework top-k — for every strategy, thread
+// count, and candidate-set sizes not divisible by the lane width. Named
+// to match the ThreadSanitizer job's *ParallelDeterminism* filter.
+// ---------------------------------------------------------------------
+
+// Generic over candidate containers (std::vector and the arena-backed
+// scoring::CandidateList compare element-wise the same way).
+template <typename A, typename B>
+void ExpectSameCandidates(const A& a, const B& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node) << "position " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "position " << i;  // bitwise
+  }
+}
+
+void ExpectSameGraphMatches(const std::vector<core::GraphMatch>& a,
+                            const std::vector<core::GraphMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mapping, b[i].mapping) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;
+  }
+}
+
+TEST(BatchKernelParallelDeterminismTest, CandidatesIdenticalBatchOnOff) {
+  // 13 and 27 nodes: full scans end in ragged tail batches (13 = 8+5,
+  // 27 = 3*8+3), the case a lane-count bug would corrupt.
+  for (const size_t nodes : {13u, 27u, 40u}) {
+    const auto g = SmallRandomGraph(/*seed=*/61 + nodes, nodes, nodes * 2);
+    query::WorkloadGenerator wg(g, /*seed=*/37);
+    const auto q = wg.RandomStarQuery(4, query::WorkloadOptions{});
+    for (const bool with_index : {false, true}) {
+      for (const int threads : {1, 4}) {
+        auto off_cfg = TestConfig(/*d=*/2);
+        off_cfg.threads = threads;
+        off_cfg.use_batch_kernel = false;
+        auto on_cfg = off_cfg;
+        on_cfg.use_batch_kernel = true;
+        ScorerFixture off(g, q, off_cfg, with_index);
+        ScorerFixture on(g, q, on_cfg, with_index);
+        for (int u = 0; u < q.node_count(); ++u) {
+          ExpectSameCandidates(off.scorer->Candidates(u),
+                               on.scorer->Candidates(u));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelParallelDeterminismTest, StarTopKIdenticalBatchOnOff) {
+  const auto g = SmallRandomGraph(/*seed=*/43, /*nodes=*/36, /*edges=*/80);
+  query::WorkloadGenerator wg(g, /*seed=*/29);
+  for (int d = 1; d <= 2; ++d) {
+    const auto q = wg.RandomStarQuery(4, query::WorkloadOptions{});
+    for (const StarStrategy strategy :
+         {StarStrategy::kStark, StarStrategy::kStard, StarStrategy::kHybrid}) {
+      for (const int threads : {1, 4}) {
+        auto off_cfg = TestConfig(d);
+        off_cfg.threads = threads;
+        off_cfg.use_batch_kernel = false;
+        auto on_cfg = off_cfg;
+        on_cfg.use_batch_kernel = true;
+        ScorerFixture off(g, q, off_cfg);
+        ScorerFixture on(g, q, on_cfg);
+        StarSearch::Options so;
+        so.strategy = strategy;
+        StarSearch off_search(*off.scorer, core::MakeStarQuery(q), so);
+        StarSearch on_search(*on.scorer, core::MakeStarQuery(q), so);
+        const auto off_top = off_search.TopK(10);
+        const auto on_top = on_search.TopK(10);
+        ASSERT_EQ(off_top.size(), on_top.size());
+        for (size_t i = 0; i < off_top.size(); ++i) {
+          EXPECT_EQ(off_top[i].pivot, on_top[i].pivot) << "rank " << i;
+          EXPECT_EQ(off_top[i].leaves, on_top[i].leaves) << "rank " << i;
+          EXPECT_EQ(off_top[i].score, on_top[i].score) << "rank " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelParallelDeterminismTest, FrameworkTopKIdenticalAcrossKernels) {
+  // The full three-way contract: batch kernel, scalar kernel, and the
+  // canonical Score() path must all produce byte-identical top-k.
+  const auto g = SmallRandomGraph(/*seed=*/53, /*nodes=*/32, /*edges=*/72);
+  query::WorkloadGenerator wg(g, /*seed=*/11);
+  const auto q = wg.RandomStarQuery(5, query::WorkloadOptions{});
+  text::SimilarityEnsemble ensemble;
+  const graph::LabelIndex index(g);
+  for (const StarStrategy strategy :
+       {StarStrategy::kStark, StarStrategy::kStard}) {
+    core::StarOptions base;
+    base.strategy = strategy;
+    base.match = TestConfig(/*d=*/2);
+    base.match.threads = 1;
+
+    auto batch_opts = base;
+    batch_opts.match.use_batch_kernel = true;
+    auto scalar_opts = base;
+    scalar_opts.match.use_batch_kernel = false;
+    auto canonical_opts = base;
+    canonical_opts.match.use_scoring_kernel = false;
+
+    core::StarFramework batch_fw(g, ensemble, &index, batch_opts);
+    core::StarFramework scalar_fw(g, ensemble, &index, scalar_opts);
+    core::StarFramework canonical_fw(g, ensemble, &index, canonical_opts);
+    const auto batch_top = batch_fw.TopK(q, 10);
+    ExpectSameGraphMatches(batch_top, scalar_fw.TopK(q, 10));
+    ExpectSameGraphMatches(batch_top, canonical_fw.TopK(q, 10));
+  }
+}
+
+TEST(BatchKernelParallelDeterminismTest,
+     DuplicateSubThresholdLabelsStayIdentical) {
+  // Many repeated labels straddling the node threshold: the batch path's
+  // per-chunk (label, type) memo sees the same key in accepted and
+  // rejected lanes. If a rejected lane's truncated bound ever leaked into
+  // the memo (or an accepted score were dropped), the duplicate positions
+  // would diverge from the scalar path.
+  graph::KnowledgeGraph::Builder b;
+  std::vector<graph::NodeId> nodes;
+  for (int i = 0; i < 9; ++i) nodes.push_back(b.AddNode("Brad Pitt", "Actor"));
+  for (int i = 0; i < 9; ++i) nodes.push_back(b.AddNode("Brandt", "Actor"));
+  for (int i = 0; i < 9; ++i) nodes.push_back(b.AddNode("zzzz", "Actor"));
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    b.AddEdge(nodes[i], nodes[i + 1], "knows");
+  }
+  const auto g = std::move(b).Build();
+
+  query::QueryGraph q;
+  const int a = q.AddNode("Brad Pitt");
+  const int c = q.AddWildcardNode("");
+  q.AddEdge(a, c, "knows");
+
+  for (const bool with_index : {false, true}) {
+    for (const int threads : {1, 4}) {
+      auto off_cfg = TestConfig(/*d=*/1);
+      off_cfg.node_threshold = 0.40;  // "Brandt" near, "zzzz" far below
+      off_cfg.threads = threads;
+      off_cfg.use_batch_kernel = false;
+      auto on_cfg = off_cfg;
+      on_cfg.use_batch_kernel = true;
+      ScorerFixture off(g, q, off_cfg, with_index);
+      ScorerFixture on(g, q, on_cfg, with_index);
+      for (int u = 0; u < q.node_count(); ++u) {
+        ExpectSameCandidates(off.scorer->Candidates(u),
+                             on.scorer->Candidates(u));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace star

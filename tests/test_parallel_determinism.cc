@@ -27,8 +27,10 @@ using star::testing::TestConfig;
 
 constexpr int kParallelThreads = 4;
 
-void ExpectSameCandidates(const std::vector<scoring::ScoredCandidate>& a,
-                          const std::vector<scoring::ScoredCandidate>& b) {
+// Generic over candidate containers (std::vector and the arena-backed
+// scoring::CandidateList compare element-wise the same way).
+template <typename A, typename B>
+void ExpectSameCandidates(const A& a, const B& b) {
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].node, b[i].node) << "position " << i;

@@ -144,7 +144,24 @@ TEST(QueryServiceTest, CacheKeyIsInsertionOrderInsensitive) {
   EXPECT_FALSE(first.cache_hit);
   EXPECT_TRUE(second.cache_hit) << "textually identical query parsed in a "
                                    "different order must hit the cache";
-  ExpectIdenticalMatches(second.matches, first.matches);
+  // The hit must be expressed in the CALLER's node order, not the
+  // inserter's: B's node u is A's node 2-u (Award/Director/Brad vs
+  // Brad/Director/Award), so the cached mappings come back reversed while
+  // the scores pass through bitwise.
+  ASSERT_EQ(second.matches.size(), first.matches.size());
+  for (size_t i = 0; i < first.matches.size(); ++i) {
+    ASSERT_EQ(second.matches[i].mapping.size(), 3u);
+    EXPECT_EQ(second.matches[i].score, first.matches[i].score) << "match " << i;
+    for (int u = 0; u < 3; ++u) {
+      EXPECT_EQ(second.matches[i].mapping[size_t(u)],
+                first.matches[i].mapping[size_t(2 - u)])
+          << "match " << i << " node " << u;
+    }
+  }
+  // And it must be bitwise identical to actually running the reordered
+  // query — the service-level contract callers observe.
+  ExpectIdenticalMatches(second.matches,
+                         fx.Direct(BradAwardQueryReordered(), 5, so.star));
 }
 
 TEST(QueryServiceTest, DifferentKOrCacheOptOutMisses) {
@@ -192,20 +209,20 @@ TEST(QueryServiceTest, StaleGenerationResultNeverLandsInCache) {
   ResultCache cache(8);
   const uint64_t gen = cache.generation();
   cache.Invalidate();
-  cache.Insert("key", {core::GraphMatch{}}, gen);
+  cache.Insert("key", {core::GraphMatch{}}, {0}, gen);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().stale_drops, 1u);
-  cache.Insert("key", {core::GraphMatch{}}, cache.generation());
+  cache.Insert("key", {core::GraphMatch{}}, {0}, cache.generation());
   EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(QueryServiceTest, LruEvictsOldestEntry) {
   ResultCache cache(2);
   const uint64_t gen = cache.generation();
-  cache.Insert("a", {}, gen);
-  cache.Insert("b", {}, gen);
+  cache.Insert("a", {}, {}, gen);
+  cache.Insert("b", {}, {}, gen);
   ASSERT_TRUE(cache.Lookup("a") != nullptr);  // refresh a
-  cache.Insert("c", {}, gen);                 // evicts b
+  cache.Insert("c", {}, {}, gen);             // evicts b
   EXPECT_TRUE(cache.Lookup("a") != nullptr);
   EXPECT_TRUE(cache.Lookup("b") == nullptr);
   EXPECT_TRUE(cache.Lookup("c") != nullptr);

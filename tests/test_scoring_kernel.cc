@@ -226,8 +226,10 @@ TEST(ScoringKernelTest, StatsCountPairsExitsAndSkips) {
 // ThreadSanitizer job's *ParallelDeterminism* filter.
 // ---------------------------------------------------------------------
 
-void ExpectSameCandidates(const std::vector<scoring::ScoredCandidate>& a,
-                          const std::vector<scoring::ScoredCandidate>& b) {
+// Generic over candidate containers (std::vector and the arena-backed
+// scoring::CandidateList compare element-wise the same way).
+template <typename A, typename B>
+void ExpectSameCandidates(const A& a, const B& b) {
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].node, b[i].node) << "position " << i;
