@@ -85,7 +85,8 @@ int RunQuery(const graph::KnowledgeGraph& g, const query::QueryGraph& q) {
     for (int u = 0; u < q.node_count(); ++u) {
       const auto v = matches[r].mapping[u];
       std::printf(" [%s -> %s/%s]", q.node(u).label.c_str(),
-                  g.NodeLabel(v).c_str(), g.TypeName(g.NodeType(v)).c_str());
+                  std::string(g.NodeLabel(v)).c_str(),
+                  std::string(g.TypeName(g.NodeType(v))).c_str());
     }
     std::printf("\n");
   }

@@ -29,7 +29,7 @@ void TrainWeights(const graph::KnowledgeGraph& g,
                   text::SimilarityEnsemble& ensemble) {
   std::vector<std::string> labels;
   for (graph::NodeId v = 0; v < g.node_count() && labels.size() < 3000; v += 7) {
-    labels.push_back(g.NodeLabel(v));
+    labels.emplace_back(g.NodeLabel(v));
   }
   Rng rng(2024);
   const auto pairs = text::GenerateTrainingPairs(labels, 400, rng);
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
                 matches.size(), stard.stats().messages_sent);
     for (size_t r = 0; r < matches.size() && r < 3; ++r) {
       std::printf("    #%zu score=%.3f pivot=%s\n", r + 1, matches[r].score,
-                  g.NodeLabel(matches[r].pivot).c_str());
+                  std::string(g.NodeLabel(matches[r].pivot)).c_str());
     }
 
     // The same query through the other engines, same scorer semantics.

@@ -53,10 +53,12 @@ void PrintMatches(const KnowledgeGraph& g, const QueryGraph& q,
     std::printf("  #%zu  score=%.3f  ", rank + 1, matches[rank].score);
     for (int u = 0; u < q.node_count(); ++u) {
       const auto v = matches[rank].mapping[u];
+      const std::string vl = v == star::graph::kInvalidNode
+                                 ? "(unmapped)"
+                                 : std::string(g.NodeLabel(v));
       std::printf("%s%s -> %s", u > 0 ? ", " : "",
                   q.node(u).wildcard ? "?" : q.node(u).label.c_str(),
-                  v == star::graph::kInvalidNode ? "(unmapped)"
-                                                 : g.NodeLabel(v).c_str());
+                  vl.c_str());
     }
     std::printf("\n");
   }

@@ -93,9 +93,10 @@ std::string FormatExplanation(const scoring::QueryScorer& scorer,
   char buf[256];
   for (const auto& n : explanation.nodes) {
     const auto& qn = q.node(n.query_node);
-    std::snprintf(buf, sizeof(buf), "  node %-14s -> %-24s F_N=%.3f\n",
+    const std::string_view gl = g.NodeLabel(n.node);
+    std::snprintf(buf, sizeof(buf), "  node %-14s -> %-24.*s F_N=%.3f\n",
                   qn.wildcard ? "?" : qn.label.c_str(),
-                  g.NodeLabel(n.node).c_str(), n.score);
+                  static_cast<int>(gl.size()), gl.data(), n.score);
     out += buf;
   }
   for (const auto& e : explanation.edges) {

@@ -1,0 +1,32 @@
+#include "graph/csr_codec.h"
+
+#include "graph/knowledge_graph.h"
+
+namespace star::graph::csr {
+
+void EncodeAdjacency(const Neighbor* list, size_t n,
+                     std::vector<uint8_t>* arena) {
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Neighbor& nb = list[i];
+    AppendVarint32(nb.node - prev, arena);
+    AppendVarint32((nb.relation << 1) | nb.forward, arena);
+    prev = nb.node;
+  }
+}
+
+const uint8_t* DecodeAdjacency(const uint8_t* p, size_t n, Neighbor* out) {
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t delta, rel_dir;
+    p = DecodeVarint32(p, &delta);
+    p = DecodeVarint32(p, &rel_dir);
+    prev += delta;
+    out[i].node = prev;
+    out[i].relation = rel_dir >> 1;
+    out[i].forward = rel_dir & 1;
+  }
+  return p;
+}
+
+}  // namespace star::graph::csr

@@ -1,0 +1,127 @@
+#ifndef STAR_GRAPH_CSR_CODEC_H_
+#define STAR_GRAPH_CSR_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace star::graph {
+struct Neighbor;
+}  // namespace star::graph
+
+namespace star::graph::csr {
+
+// Delta-varint codec for the compressed data-plane layout (format v1).
+//
+// Two record kinds share the same LEB128 varint primitive:
+//
+//  * Adjacency lists (KnowledgeGraph kCompressed): the canonical-order
+//    neighbor list of one node, encoded as pairs
+//        varint(node_delta) varint(relation << 1 | forward)
+//    where node_delta is the difference to the previous entry's node id
+//    (the first entry's delta is its absolute id). Canonical order sorts
+//    by (node, relation, forward), so deltas are non-negative (parallel
+//    edges repeat a node id with delta 0).
+//
+//  * Postings lists (LabelIndex kCompressed): a strictly ascending id
+//    sequence encoded as varint(first), then varint(gap - 1) per
+//    successor (ids never repeat, so gaps are >= 1 and the -1 buys one
+//    byte at gap 128).
+//
+// Both live in one contiguous byte arena per structure, addressed by
+// per-entry byte offsets (the codec-behind-an-index idiom): decoding is
+// a forward scan of one entry's slice, never a search. The format is an
+// in-memory layout, not a wire format — it may change freely between
+// versions as long as Build() and the decoders agree.
+
+/// Appends v as LEB128 (7 bits per byte, high bit = continuation).
+inline void AppendVarint32(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Decodes one varint starting at p; returns the position past it.
+/// Trusted input: the caller guarantees p points into an arena written by
+/// AppendVarint32 (no bounds or overlong checks on the hot decode path).
+inline const uint8_t* DecodeVarint32(const uint8_t* p, uint32_t* v) {
+  uint32_t x = *p++;
+  if (x < 0x80) {
+    *v = x;
+    return p;
+  }
+  x &= 0x7F;
+  for (int shift = 7;; shift += 7) {
+    const uint32_t b = *p++;
+    if (b < 0x80) {
+      x |= b << shift;
+      break;
+    }
+    x |= (b & 0x7F) << shift;
+  }
+  *v = x;
+  return p;
+}
+
+/// Appends a strictly ascending id list (postings) to the arena.
+inline void EncodePostings(const uint32_t* ids, size_t n,
+                           std::vector<uint8_t>* arena) {
+  if (n == 0) return;
+  AppendVarint32(ids[0], arena);
+  for (size_t i = 1; i < n; ++i) AppendVarint32(ids[i] - ids[i - 1] - 1, arena);
+}
+
+/// Appends one canonical-order neighbor list to the adjacency arena.
+void EncodeAdjacency(const Neighbor* list, size_t n,
+                     std::vector<uint8_t>* arena);
+
+/// Decodes `n` entries starting at p into out; returns the position past
+/// the last entry. `out` must hold n entries.
+const uint8_t* DecodeAdjacency(const uint8_t* p, size_t n, Neighbor* out);
+
+/// Streaming decoder over one postings list, in either layout: a raw
+/// ascending id span (flat) or a delta-varint slice (compressed). Used by
+/// LabelIndex retrieval so Candidates / RankedCandidates never materialize
+/// an intermediate vector per token.
+class PostingsCursor {
+ public:
+  /// Flat layout: iterate a raw id span.
+  PostingsCursor(const uint32_t* ids, size_t count)
+      : flat_(ids), bytes_(nullptr), remaining_(count) {}
+
+  /// Compressed layout: decode a delta-varint slice holding `count` ids.
+  PostingsCursor(const uint8_t* bytes, size_t count)
+      : flat_(nullptr), bytes_(bytes), remaining_(count) {}
+
+  /// Total ids left to read (== list size before the first Next()).
+  size_t remaining() const { return remaining_; }
+
+  /// Reads the next id into *v; false when exhausted.
+  bool Next(uint32_t* v) {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    if (flat_ != nullptr) {
+      *v = *flat_++;
+      return true;
+    }
+    uint32_t delta;
+    bytes_ = DecodeVarint32(bytes_, &delta);
+    prev_ = first_ ? delta : prev_ + delta + 1;
+    first_ = false;
+    *v = prev_;
+    return true;
+  }
+
+ private:
+  const uint32_t* flat_;
+  const uint8_t* bytes_;
+  size_t remaining_;
+  uint32_t prev_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace star::graph::csr
+
+#endif  // STAR_GRAPH_CSR_CODEC_H_

@@ -1,8 +1,12 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -12,9 +16,9 @@ namespace {
 
 // Type/relation names may not contain whitespace in the file format;
 // encode spaces as underscores and empty names as a single underscore.
-std::string EncodeName(const std::string& name) {
+std::string EncodeName(std::string_view name) {
   if (name.empty()) return "_";
-  std::string out = name;
+  std::string out(name);
   for (char& c : out) {
     if (c == ' ' || c == '\t') c = '_';
   }
@@ -52,14 +56,35 @@ Status SaveGraphToFile(const KnowledgeGraph& g, const std::string& path) {
   return SaveGraph(g, out);
 }
 
-Result<KnowledgeGraph> LoadGraph(std::istream& in) {
-  std::string line;
-  if (!std::getline(in, line) || Trim(line) != "star-kg v1") {
+Result<KnowledgeGraph> LoadGraph(std::istream& in, GraphLayout layout) {
+  // Slurp once; the buffer is the only size-dependent allocation the parse
+  // itself makes (lines are viewed, records counted, builder pre-sized).
+  const std::string buf{std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>()};
+  std::vector<std::string_view> lines;
+  lines.reserve(std::count(buf.begin(), buf.end(), '\n') + 1);
+  for (size_t pos = 0; pos < buf.size();) {
+    size_t eol = buf.find('\n', pos);
+    if (eol == std::string::npos) eol = buf.size();
+    lines.emplace_back(buf.data() + pos, eol - pos);
+    pos = eol + 1;
+  }
+  if (lines.empty() || Trim(lines[0]) != "star-kg v1") {
     return Status::CorruptData("missing 'star-kg v1' header");
   }
+  size_t node_lines = 0, edge_lines = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view t = Trim(lines[i]);
+    if (t.size() >= 2 && t[1] == '\t') {
+      node_lines += t[0] == 'N';
+      edge_lines += t[0] == 'E';
+    }
+  }
   KnowledgeGraph::Builder builder;
+  builder.Reserve(node_lines, edge_lines);
   size_t line_no = 1;
-  while (std::getline(in, line)) {
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
     ++line_no;
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
@@ -92,13 +117,14 @@ Result<KnowledgeGraph> LoadGraph(std::istream& in) {
       return fail("unknown record type '" + fields[0] + "'");
     }
   }
-  return std::move(builder).Build();
+  return std::move(builder).Build(layout);
 }
 
-Result<KnowledgeGraph> LoadGraphFromFile(const std::string& path) {
+Result<KnowledgeGraph> LoadGraphFromFile(const std::string& path,
+                                         GraphLayout layout) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
-  return LoadGraph(in);
+  return LoadGraph(in, layout);
 }
 
 }  // namespace star::graph

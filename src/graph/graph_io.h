@@ -29,11 +29,15 @@ Status SaveGraph(const KnowledgeGraph& g, std::ostream& out);
 Status SaveGraphToFile(const KnowledgeGraph& g, const std::string& path);
 
 /// Parses a graph from the stream. Returns CorruptData with a line number
-/// on malformed input.
-Result<KnowledgeGraph> LoadGraph(std::istream& in);
+/// on malformed input. The loader slurps the stream once, counts records,
+/// and pre-sizes the builder (Builder::Reserve), so arrays never reallocate
+/// during the build regardless of file size.
+Result<KnowledgeGraph> LoadGraph(std::istream& in,
+                                 GraphLayout layout = GraphLayout::kFlat);
 
 /// Reads a graph from a file path.
-Result<KnowledgeGraph> LoadGraphFromFile(const std::string& path);
+Result<KnowledgeGraph> LoadGraphFromFile(
+    const std::string& path, GraphLayout layout = GraphLayout::kFlat);
 
 }  // namespace star::graph
 

@@ -85,7 +85,9 @@ GraphStats ComputeGraphStats(const KnowledgeGraph& g, size_t top_n) {
   // Type / relation frequencies.
   std::unordered_map<std::string, size_t> type_counts;
   for (NodeId v = 0; v < s.nodes; ++v) {
-    if (g.NodeType(v) >= 0) ++type_counts[g.TypeName(g.NodeType(v))];
+    if (g.NodeType(v) >= 0) {
+      ++type_counts[std::string(g.TypeName(g.NodeType(v)))];
+    }
   }
   std::unordered_map<std::string, size_t> relation_counts;
   for (EdgeId e = 0; e < s.edges; ++e) {
@@ -93,6 +95,7 @@ GraphStats ComputeGraphStats(const KnowledgeGraph& g, size_t top_n) {
   }
   s.top_types = TopCounts(type_counts, top_n);
   s.top_relations = TopCounts(relation_counts, top_n);
+  s.footprint = g.Footprint();
   return s;
 }
 

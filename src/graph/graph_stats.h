@@ -35,6 +35,8 @@ struct GraphStats {
   /// Most frequent node types / relation labels with their counts.
   std::vector<std::pair<std::string, size_t>> top_types;
   std::vector<std::pair<std::string, size_t>> top_relations;
+  /// Resident bytes per structure under the graph's layout.
+  GraphFootprint footprint;
 };
 
 /// Computes all statistics in O(|V| + |E|) (plus sorting for percentiles).

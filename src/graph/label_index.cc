@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
 
 #include "common/string_util.h"
-#include "text/similarity.h"
 
 namespace star::graph {
 
@@ -30,76 +30,225 @@ size_t TrigramCount(std::string_view low) {
   return low.size() - 2;
 }
 
+template <typename T>
+size_t VecBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+template <typename T>
+size_t VecSlack(const std::vector<T>& v) {
+  return (v.capacity() - v.size()) * sizeof(T);
+}
+
+constexpr uint32_t kEmptySlot = static_cast<uint32_t>(-1);
+
 }  // namespace
 
-LabelIndex::LabelIndex(const KnowledgeGraph& g) : node_count_(g.node_count()) {
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    for (const auto& token : SplitTokens(ToLower(g.NodeLabel(v)))) {
-      auto [it, inserted] = token_postings_.try_emplace(token);
-      auto& postings = it->second;
-      if (postings.empty() || postings.back() != v) postings.push_back(v);
-      if (inserted) {
-        const uint32_t token_id = static_cast<uint32_t>(tokens_.size());
-        tokens_.push_back(token);
-        for (const auto& gram : text::CharNGrams(token, 3)) {
-          auto& ids = trigram_postings_[gram];
-          if (ids.empty() || ids.back() != token_id) ids.push_back(token_id);
-        }
-      }
-    }
-    const int32_t t = g.NodeType(v);
-    if (t >= 0) type_postings_[t].push_back(v);
+void LabelIndex::FlatDict::Build(const std::vector<std::string>& sorted_terms) {
+  size_t pool_size = 0;
+  for (const std::string& t : sorted_terms) pool_size += t.size();
+  pool_.reserve(pool_size);
+  offsets_.reserve(sorted_terms.size() + 1);
+  offsets_.push_back(0);
+  for (const std::string& t : sorted_terms) {
+    pool_.append(t);
+    offsets_.push_back(static_cast<uint32_t>(pool_.size()));
+  }
+  pool_.shrink_to_fit();
+  // Open addressing at load factor <= 0.5 (power-of-two capacity).
+  size_t cap = 2;
+  while (cap < sorted_terms.size() * 2) cap <<= 1;
+  probe_.assign(cap, kEmptySlot);
+  mask_ = static_cast<uint32_t>(cap - 1);
+  for (uint32_t id = 0; id < sorted_terms.size(); ++id) {
+    uint32_t h = static_cast<uint32_t>(
+                     std::hash<std::string_view>{}(Term(id))) &
+                 mask_;
+    while (probe_[h] != kEmptySlot) h = (h + 1) & mask_;
+    probe_[h] = id;
   }
 }
 
-std::vector<std::string> LabelIndex::FuzzyTokens(std::string_view token,
-                                                 double min_overlap) const {
+int64_t LabelIndex::FlatDict::Find(std::string_view term) const {
+  if (probe_.empty()) return -1;
+  uint32_t h =
+      static_cast<uint32_t>(std::hash<std::string_view>{}(term)) & mask_;
+  while (true) {
+    const uint32_t slot = probe_[h];
+    if (slot == kEmptySlot) return -1;
+    if (Term(slot) == term) return slot;
+    h = (h + 1) & mask_;
+  }
+}
+
+size_t LabelIndex::FlatDict::ByteSize() const {
+  return pool_.capacity() + VecBytes(offsets_) + VecBytes(probe_);
+}
+
+size_t LabelIndex::FlatDict::Slack() const {
+  return (pool_.capacity() - pool_.size()) + VecSlack(offsets_) +
+         VecSlack(probe_);
+}
+
+void LabelIndex::PostingsStore::Append(const std::vector<uint32_t>& ids) {
+  counts_.push_back(counts_.back() + static_cast<uint32_t>(ids.size()));
+  if (layout_ == GraphLayout::kFlat) {
+    ids_.insert(ids_.end(), ids.begin(), ids.end());
+  } else {
+    csr::EncodePostings(ids.data(), ids.size(), &bytes_);
+  }
+  byte_offsets_.push_back(static_cast<uint32_t>(bytes_.size()));
+}
+
+void LabelIndex::PostingsStore::Finish() {
+  counts_.shrink_to_fit();
+  ids_.shrink_to_fit();
+  bytes_.shrink_to_fit();
+  if (layout_ == GraphLayout::kFlat) {
+    byte_offsets_ = {0};  // unused in this layout; keep it empty-sized
+  }
+  byte_offsets_.shrink_to_fit();
+}
+
+size_t LabelIndex::PostingsStore::ByteSize() const {
+  return VecBytes(counts_) + VecBytes(ids_) + VecBytes(bytes_) +
+         VecBytes(byte_offsets_);
+}
+
+size_t LabelIndex::PostingsStore::Slack() const {
+  return VecSlack(counts_) + VecSlack(ids_) + VecSlack(bytes_) +
+         VecSlack(byte_offsets_);
+}
+
+LabelIndex::LabelIndex(const KnowledgeGraph& g, GraphLayout layout)
+    : layout_(layout),
+      token_postings_(layout),
+      type_postings_(layout),
+      trigram_postings_(layout),
+      node_count_(g.node_count()) {
+  // Pass 1: collect per-token and per-type postings (ascending node ids,
+  // adjacent-deduplicated) into transient containers.
+  std::unordered_map<std::string, std::vector<NodeId>, TransparentStringHash,
+                     std::equal_to<>>
+      tok_map;
+  std::vector<std::vector<NodeId>> type_lists(g.type_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const auto& token : SplitTokens(ToLower(g.NodeLabel(v)))) {
+      auto& postings = tok_map[token];
+      if (postings.empty() || postings.back() != v) postings.push_back(v);
+    }
+    const int32_t t = g.NodeType(v);
+    if (t >= 0) type_lists[t].push_back(v);
+  }
+
+  // Pass 2: freeze into the sorted dictionary + arena. Token id == lex
+  // rank, so trigram postings built in id order are already ascending.
+  std::vector<std::string> terms;
+  terms.reserve(tok_map.size());
+  for (const auto& [token, postings] : tok_map) terms.push_back(token);
+  std::sort(terms.begin(), terms.end());
+  token_dict_.Build(terms);
+  for (const std::string& term : terms) {
+    token_postings_.Append(tok_map.find(std::string_view(term))->second);
+  }
+  token_postings_.Finish();
+
+  std::unordered_map<std::string, std::vector<uint32_t>, TransparentStringHash,
+                     std::equal_to<>>
+      tri_map;
+  for (uint32_t id = 0; id < terms.size(); ++id) {
+    ForEachTrigram(terms[id], [&](std::string_view gram) {
+      auto it = tri_map.find(gram);
+      if (it == tri_map.end()) {
+        it = tri_map.emplace(std::string(gram), std::vector<uint32_t>()).first;
+      }
+      auto& ids = it->second;
+      if (ids.empty() || ids.back() != id) ids.push_back(id);
+    });
+  }
+  std::vector<std::string> grams;
+  grams.reserve(tri_map.size());
+  for (const auto& [gram, ids] : tri_map) grams.push_back(gram);
+  std::sort(grams.begin(), grams.end());
+  trigram_dict_.Build(grams);
+  for (const std::string& gram : grams) {
+    trigram_postings_.Append(tri_map.find(std::string_view(gram))->second);
+  }
+  trigram_postings_.Finish();
+
+  for (const auto& list : type_lists) type_postings_.Append(list);
+  type_postings_.Finish();
+}
+
+std::vector<uint32_t> LabelIndex::FuzzyTokenIds(std::string_view token,
+                                                double min_overlap) const {
   static thread_local std::string low;
   ToLowerInto(token, &low);
-  std::vector<std::string> out;
+  std::vector<uint32_t> out;
   const size_t gram_count = TrigramCount(low);
   if (gram_count == 0) return out;
   std::unordered_map<uint32_t, size_t> hits;
   ForEachTrigram(low, [&](std::string_view gram) {
-    const auto it = trigram_postings_.find(gram);
-    if (it == trigram_postings_.end()) return;
-    for (const uint32_t id : it->second) ++hits[id];
+    const int64_t gid = trigram_dict_.Find(gram);
+    if (gid < 0) return;
+    auto cursor = trigram_postings_.Cursor(static_cast<size_t>(gid));
+    uint32_t id;
+    while (cursor.Next(&id)) ++hits[id];
   });
   const size_t needed = std::max<size_t>(
       1,
       static_cast<size_t>(min_overlap * static_cast<double>(gram_count)));
   // Cap the expansion to the best-overlapping tokens so that one typo'd
-  // token cannot flood retrieval with half the vocabulary.
+  // token cannot flood retrieval with half the vocabulary. Ties break on
+  // token id asc (== lexicographic, ids are lex ranks): a total order, so
+  // the cap cut is deterministic and layout-independent.
   constexpr size_t kMaxExpansion = 8;
   std::vector<std::pair<size_t, uint32_t>> ranked;
   for (const auto& [id, count] : hits) {
     if (count >= needed) ranked.emplace_back(count, id);
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
   if (ranked.size() > kMaxExpansion) ranked.resize(kMaxExpansion);
-  for (const auto& [count, id] : ranked) out.push_back(tokens_[id]);
+  out.reserve(ranked.size());
+  for (const auto& [count, id] : ranked) out.push_back(id);
+  // Ascending ids == lexicographic token order; retrieval iterates (and
+  // FP-sums) expansions in this order.
   std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<NodeId> LabelIndex::CandidatesByLabel(std::string_view label) const {
+std::vector<std::string> LabelIndex::FuzzyTokens(std::string_view token,
+                                                 double min_overlap) const {
+  std::vector<std::string> out;
+  for (const uint32_t id : FuzzyTokenIds(token, min_overlap)) {
+    out.emplace_back(token_dict_.Term(id));
+  }
+  return out;
+}
+
+std::vector<NodeId> LabelIndex::CandidatesByLabel(
+    std::string_view label) const {
   static thread_local std::string low;
   static thread_local std::vector<std::string> toks;
   ToLowerInto(label, &low);
   SplitTokensInto(low, &toks);
   std::vector<NodeId> out;
+  const auto append = [&](size_t token_id) {
+    auto cursor = token_postings_.Cursor(token_id);
+    out.reserve(out.size() + cursor.remaining());
+    uint32_t v;
+    while (cursor.Next(&v)) out.push_back(v);
+  };
   for (const auto& token : toks) {
-    const auto it = token_postings_.find(std::string_view(token));
-    if (it != token_postings_.end()) {
-      out.insert(out.end(), it->second.begin(), it->second.end());
+    const int64_t id = token_dict_.Find(token);
+    if (id >= 0) {
+      append(static_cast<size_t>(id));
       continue;
     }
     // Unknown token: fuzzy trigram expansion (typos, morphology).
-    for (const auto& similar : FuzzyTokens(token)) {
-      const auto& postings = token_postings_.find(std::string_view(similar))->second;
-      out.insert(out.end(), postings.begin(), postings.end());
-    }
+    for (const uint32_t similar : FuzzyTokenIds(token, 0.5)) append(similar);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -107,8 +256,15 @@ std::vector<NodeId> LabelIndex::CandidatesByLabel(std::string_view label) const 
 }
 
 std::vector<NodeId> LabelIndex::CandidatesByType(int32_t type) const {
-  const auto it = type_postings_.find(type);
-  return it == type_postings_.end() ? std::vector<NodeId>() : it->second;
+  std::vector<NodeId> out;
+  if (type < 0 || static_cast<size_t>(type) >= type_postings_.lists()) {
+    return out;
+  }
+  auto cursor = type_postings_.Cursor(static_cast<size_t>(type));
+  out.reserve(cursor.remaining());
+  uint32_t v;
+  while (cursor.Next(&v)) out.push_back(v);
+  return out;
 }
 
 std::vector<NodeId> LabelIndex::Candidates(std::string_view label,
@@ -132,27 +288,27 @@ std::vector<NodeId> LabelIndex::RankedCandidates(std::string_view label,
   SplitTokensInto(low, &toks);
   std::unordered_map<NodeId, double> weight;
   const double n = static_cast<double>(std::max<size_t>(1, node_count_));
-  const auto add_postings = [&](const std::vector<NodeId>& postings,
-                                double scale) {
-    if (postings.empty()) return;
+  const auto add_store = [&](const PostingsStore& store, size_t i,
+                             double scale) {
+    auto cursor = store.Cursor(i);
+    if (cursor.remaining() == 0) return;
     const double w =
-        scale * std::log(1.0 + n / static_cast<double>(postings.size()));
-    for (const NodeId v : postings) weight[v] += w;
+        scale * std::log(1.0 + n / static_cast<double>(cursor.remaining()));
+    uint32_t v;
+    while (cursor.Next(&v)) weight[v] += w;
   };
   for (const auto& token : toks) {
-    const auto it = token_postings_.find(std::string_view(token));
-    if (it != token_postings_.end()) {
-      add_postings(it->second, 1.0);
+    const int64_t id = token_dict_.Find(token);
+    if (id >= 0) {
+      add_store(token_postings_, static_cast<size_t>(id), 1.0);
       continue;
     }
-    for (const auto& similar : FuzzyTokens(token)) {
-      add_postings(token_postings_.find(std::string_view(similar))->second,
-                   0.5);
+    for (const uint32_t similar : FuzzyTokenIds(token, 0.5)) {
+      add_store(token_postings_, similar, 0.5);
     }
   }
-  if (type >= 0) {
-    const auto it = type_postings_.find(type);
-    if (it != type_postings_.end()) add_postings(it->second, 1e-3);
+  if (type >= 0 && static_cast<size_t>(type) < type_postings_.lists()) {
+    add_store(type_postings_, static_cast<size_t>(type), 1e-3);
   }
 
   std::vector<std::pair<double, NodeId>> ranked;
@@ -174,12 +330,29 @@ std::vector<NodeId> LabelIndex::RankedCandidates(std::string_view label,
   return out;
 }
 
-const std::vector<NodeId>& LabelIndex::Postings(std::string_view token) const {
-  static const std::vector<NodeId>* empty = new std::vector<NodeId>();
+std::vector<NodeId> LabelIndex::Postings(std::string_view token) const {
   static thread_local std::string low;
   ToLowerInto(token, &low);
-  const auto it = token_postings_.find(std::string_view(low));
-  return it == token_postings_.end() ? *empty : it->second;
+  std::vector<NodeId> out;
+  const int64_t id = token_dict_.Find(low);
+  if (id < 0) return out;
+  auto cursor = token_postings_.Cursor(static_cast<size_t>(id));
+  out.reserve(cursor.remaining());
+  uint32_t v;
+  while (cursor.Next(&v)) out.push_back(v);
+  return out;
+}
+
+IndexFootprint LabelIndex::MemoryFootprint() const {
+  IndexFootprint f;
+  f.token_bytes = token_dict_.ByteSize();
+  f.postings_bytes = token_postings_.ByteSize();
+  f.type_bytes = type_postings_.ByteSize();
+  f.trigram_bytes = trigram_dict_.ByteSize() + trigram_postings_.ByteSize();
+  f.capacity_slack = token_dict_.Slack() + token_postings_.Slack() +
+                     type_postings_.Slack() + trigram_dict_.Slack() +
+                     trigram_postings_.Slack();
+  return f;
 }
 
 }  // namespace star::graph

@@ -1,16 +1,32 @@
 #ifndef STAR_GRAPH_LABEL_INDEX_H_
 #define STAR_GRAPH_LABEL_INDEX_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/string_util.h"
+#include "graph/csr_codec.h"
 #include "graph/knowledge_graph.h"
 
 namespace star::graph {
+
+/// Resident-byte report of one LabelIndex (bench_data_layout.cc compares
+/// layouts). `capacity_slack` sums unused heap bytes across all owned
+/// arrays — the build shrinks everything, so it stays 0.
+struct IndexFootprint {
+  size_t token_bytes = 0;     ///< token dictionary (pool + offsets + probe)
+  size_t postings_bytes = 0;  ///< token postings arena
+  size_t type_bytes = 0;      ///< per-type postings arena
+  size_t trigram_bytes = 0;   ///< trigram dictionary + token-id postings
+  size_t capacity_slack = 0;
+
+  size_t total() const {
+    return token_bytes + postings_bytes + type_bytes + trigram_bytes;
+  }
+};
 
 /// Inverted index from lowercased label tokens (and type ids) to node ids.
 ///
@@ -18,10 +34,19 @@ namespace star::graph {
 /// all of V to find candidate matches for a query node, we union the
 /// postings of the query label's tokens. Matching-score computation stays
 /// online (Eq. 1 is never indexed), only candidate *retrieval* is.
+///
+/// Storage is a sorted flat token dictionary (one interned char pool,
+/// hash-probe accelerated lookup) over a contiguous postings arena; the
+/// same `GraphLayout` knob as KnowledgeGraph selects raw id arrays (kFlat)
+/// or delta-varint slices (kCompressed), decoded through
+/// csr::PostingsCursor. Retrieval outputs are identical across layouts.
 class LabelIndex {
  public:
   /// Builds the index over every node label of g. O(total label tokens).
-  explicit LabelIndex(const KnowledgeGraph& g);
+  explicit LabelIndex(const KnowledgeGraph& g,
+                      GraphLayout layout = GraphLayout::kFlat);
+
+  GraphLayout layout() const { return layout_; }
 
   /// Nodes whose label shares at least one token with `label` (dedup'd,
   /// ascending ids). Query tokens with no exact posting fall back to
@@ -31,7 +56,10 @@ class LabelIndex {
   /// Empty query labels produce no candidates.
   std::vector<NodeId> CandidatesByLabel(std::string_view label) const;
 
-  /// Indexed tokens sharing >= `min_overlap` of `token`'s trigrams.
+  /// Indexed tokens sharing >= `min_overlap` of `token`'s trigrams,
+  /// sorted lexicographically. The expansion cap keeps the
+  /// best-overlapping tokens, ties broken lexicographically (a total
+  /// order, so the result is deterministic and layout-independent).
   std::vector<std::string> FuzzyTokens(std::string_view token,
                                        double min_overlap = 0.5) const;
 
@@ -51,24 +79,90 @@ class LabelIndex {
   std::vector<NodeId> RankedCandidates(std::string_view label, int32_t type,
                                        size_t cap) const;
 
-  /// Posting list of one token (empty if unknown).
-  const std::vector<NodeId>& Postings(std::string_view token) const;
+  /// Posting list of one token (empty if unknown). Materialized on demand
+  /// (the compressed layout has no raw array to reference).
+  std::vector<NodeId> Postings(std::string_view token) const;
 
-  size_t token_count() const { return token_postings_.size(); }
+  size_t token_count() const { return token_dict_.size(); }
+
+  /// Resident bytes per structure (and unused capacity across them).
+  IndexFootprint MemoryFootprint() const;
 
  private:
-  /// String-keyed maps are transparent so retrieval probes pass
-  /// string_views straight through — no temporary std::string per lookup
-  /// on the hot candidate-retrieval path.
-  template <typename V>
-  using StringMap = std::unordered_map<std::string, V, TransparentStringHash,
-                                       std::equal_to<>>;
+  /// Sorted flat term dictionary: unique terms interned into one pool in
+  /// lexicographic order (term id == lex rank), with an open-addressing
+  /// probe table over the pool for hash-speed exact lookup.
+  class FlatDict {
+   public:
+    /// Takes sorted unique terms.
+    void Build(const std::vector<std::string>& sorted_terms);
 
-  StringMap<std::vector<NodeId>> token_postings_;
-  std::unordered_map<int32_t, std::vector<NodeId>> type_postings_;
-  // Fuzzy layer: every indexed token, and trigram -> token ids.
-  std::vector<std::string> tokens_;
-  StringMap<std::vector<uint32_t>> trigram_postings_;
+    /// Term id, or -1 if absent.
+    int64_t Find(std::string_view term) const;
+
+    std::string_view Term(size_t id) const {
+      return {pool_.data() + offsets_[id], offsets_[id + 1] - offsets_[id]};
+    }
+
+    size_t size() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+    size_t ByteSize() const;
+    size_t Slack() const;
+
+   private:
+    std::string pool_;
+    std::vector<uint32_t> offsets_;  // size + 1
+    std::vector<uint32_t> probe_;    // power-of-two open addressing
+    uint32_t mask_ = 0;
+  };
+
+  /// Contiguous arena of id lists (the codec-behind-an-index idiom):
+  /// list i is counts_[i]..counts_[i+1] in the flat id array, or the
+  /// byte_offsets_[i] slice of the varint arena, depending on layout.
+  class PostingsStore {
+   public:
+    explicit PostingsStore(GraphLayout layout = GraphLayout::kFlat)
+        : layout_(layout) {}
+
+    /// Appends one strictly ascending id list.
+    void Append(const std::vector<uint32_t>& ids);
+
+    /// Number of appended lists.
+    size_t lists() const { return counts_.size() - 1; }
+
+    size_t Count(size_t i) const { return counts_[i + 1] - counts_[i]; }
+
+    csr::PostingsCursor Cursor(size_t i) const {
+      if (layout_ == GraphLayout::kFlat) {
+        return {ids_.data() + counts_[i], Count(i)};
+      }
+      return {bytes_.data() + byte_offsets_[i], Count(i)};
+    }
+
+    void Finish();  ///< shrink_to_fit all arrays
+    size_t ByteSize() const;
+    size_t Slack() const;
+
+   private:
+    GraphLayout layout_;
+    std::vector<uint32_t> counts_{0};  // element-count prefix sums
+    std::vector<uint32_t> ids_;        // kFlat
+    std::vector<uint8_t> bytes_;       // kCompressed
+    // 32-bit offsets: the arena is smaller than the flat id array it
+    // replaces, which is itself bounded far below 4 GiB here.
+    std::vector<uint32_t> byte_offsets_{0};
+  };
+
+  /// Token ids (sorted by overlap desc, id asc, capped) whose trigram
+  /// overlap with `token` reaches `min_overlap`.
+  std::vector<uint32_t> FuzzyTokenIds(std::string_view token,
+                                      double min_overlap) const;
+
+  GraphLayout layout_ = GraphLayout::kFlat;
+  FlatDict token_dict_;
+  PostingsStore token_postings_;
+  PostingsStore type_postings_;  // one list per type id
+  FlatDict trigram_dict_;
+  PostingsStore trigram_postings_;  // token ids per trigram
   size_t node_count_ = 0;
 };
 

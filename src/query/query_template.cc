@@ -45,8 +45,8 @@ std::vector<QueryTemplate> MineTemplates(const KnowledgeGraph& g, int count,
          ++i) {
       const Neighbor& nb = nbrs[picks[i]];
       if (!used.insert(nb.node).second) continue;
-      tpl.leaves.push_back(
-          {g.RelationName(nb.relation), g.TypeName(g.NodeType(nb.node))});
+      tpl.leaves.push_back({g.RelationName(nb.relation),
+                            std::string(g.TypeName(g.NodeType(nb.node)))});
     }
     if (tpl.leaves.size() < static_cast<size_t>(num_leaves)) continue;
     std::sort(tpl.leaves.begin(), tpl.leaves.end(),
@@ -138,7 +138,7 @@ QueryGraph InstantiateTemplate(const KnowledgeGraph& g,
     if (!force_concrete && rng.Chance(std::min(0.5, options.variable_fraction))) {
       return q.AddWildcardNode(rng.Chance(options.keep_type) ? type_hint : "");
     }
-    std::string label = g.NodeLabel(v);
+    std::string label(g.NodeLabel(v));
     if (rng.Chance(options.partial_label)) {
       const auto tokens = SplitTokens(label);
       if (tokens.size() > 1) label = tokens[rng.Below(tokens.size())];

@@ -37,10 +37,11 @@ void WorkloadGenerator::FillNode(QueryGraph& q, NodeId v, bool force_concrete,
     // variables, e.g. "?x a dbo:Person").
     const bool typed = rng_.Chance(options.keep_type) &&
                        graph_.NodeType(v) >= 0;
-    q.AddWildcardNode(typed ? graph_.TypeName(graph_.NodeType(v)) : "");
+    q.AddWildcardNode(
+        typed ? std::string(graph_.TypeName(graph_.NodeType(v))) : "");
     return;
   }
-  std::string label = graph_.NodeLabel(v);
+  std::string label(graph_.NodeLabel(v));
   if (rng_.Chance(options.partial_label)) {
     const auto tokens = SplitTokens(label);
     if (tokens.size() > 1) label = tokens[rng_.Below(tokens.size())];
@@ -51,7 +52,7 @@ void WorkloadGenerator::FillNode(QueryGraph& q, NodeId v, bool force_concrete,
   const bool typed =
       rng_.Chance(options.keep_type) && graph_.NodeType(v) >= 0;
   q.AddNode(std::move(label),
-            typed ? graph_.TypeName(graph_.NodeType(v)) : "");
+            typed ? std::string(graph_.TypeName(graph_.NodeType(v))) : "");
 }
 
 QueryGraph WorkloadGenerator::RandomStarQuery(int num_nodes,
@@ -64,8 +65,8 @@ QueryGraph WorkloadGenerator::RandomStarQuery(int num_nodes,
   FillNode(q, pivot, /*force_concrete=*/true, options);
 
   // Distinct leaf neighbors, shuffled.
-  std::vector<Neighbor> nbrs(graph_.Neighbors(pivot).begin(),
-                             graph_.Neighbors(pivot).end());
+  const auto pivot_nbrs = graph_.Neighbors(pivot);
+  std::vector<Neighbor> nbrs(pivot_nbrs.begin(), pivot_nbrs.end());
   rng_.Shuffle(nbrs);
   std::unordered_set<NodeId> used = {pivot};
   int added = 0;
@@ -90,8 +91,8 @@ QueryGraph WorkloadGenerator::RandomPathQuery(int num_nodes,
   std::unordered_set<NodeId> used = {cur};
   for (int i = 1; i < num_nodes; ++i) {
     // Step to an unused neighbor.
-    std::vector<Neighbor> nbrs(graph_.Neighbors(cur).begin(),
-                               graph_.Neighbors(cur).end());
+    const auto cur_nbrs = graph_.Neighbors(cur);
+    std::vector<Neighbor> nbrs(cur_nbrs.begin(), cur_nbrs.end());
     rng_.Shuffle(nbrs);
     const Neighbor* next = nullptr;
     for (const Neighbor& nb : nbrs) {
@@ -123,8 +124,8 @@ QueryGraph WorkloadGenerator::RandomGraphQuery(int num_nodes, int num_edges,
   while (static_cast<int>(sample.size()) < num_nodes) {
     // Expand from a random sampled node.
     const NodeId from = sample[rng_.Below(sample.size())];
-    std::vector<Neighbor> nbrs(graph_.Neighbors(from).begin(),
-                               graph_.Neighbors(from).end());
+    const auto from_nbrs = graph_.Neighbors(from);
+    std::vector<Neighbor> nbrs(from_nbrs.begin(), from_nbrs.end());
     rng_.Shuffle(nbrs);
     bool grew = false;
     for (const Neighbor& nb : nbrs) {

@@ -4,7 +4,11 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <numeric>
+#include <string_view>
+#include <tuple>
+#include <utility>
 
 #include "common/thread_pool.h"
 
@@ -59,17 +63,50 @@ QueryScorer::QueryScorer(const KnowledgeGraph& g, const QueryGraph& q,
       wildcard_graph_type_[u] = g.FindTypeId(qn.type_name);
     }
   }
-  // Build the kernel's query-side views eagerly (one per query node) so
-  // they are immutable before any parallel section can share them. The
-  // batched view embeds the scalar PreparedLabel, so one build serves
-  // both kernels.
-  prepared_.reserve(q.node_count());
+  // Derived-view reuse: collapse query nodes onto signature
+  // representatives and dedupe kernel views by label, so repeated
+  // labels/types across query nodes build each derived view once.
+  std::map<std::tuple<bool, std::string_view, std::string_view>, int>
+      node_sig;
+  node_rep_.resize(q.node_count());
   for (int u = 0; u < q.node_count(); ++u) {
-    prepared_.push_back(ensemble_.PrepareBatch(q.node(u).label));
+    const auto& qn = q.node(u);
+    const auto [it, inserted] = node_sig.try_emplace(
+        std::make_tuple(qn.wildcard, std::string_view(qn.type_name),
+                        std::string_view(qn.label)),
+        u);
+    node_rep_[u] = it->second;
+  }
+  std::map<std::pair<bool, std::string_view>, int> edge_sig;
+  edge_rep_.resize(q.edge_count());
+  for (int e = 0; e < q.edge_count(); ++e) {
+    const auto& qe = q.edge(e);
+    const auto [it, inserted] = edge_sig.try_emplace(
+        std::make_pair(qe.wildcard_relation, std::string_view(qe.relation)),
+        e);
+    edge_rep_[e] = it->second;
+  }
+  // Build the kernel's query-side views eagerly (one per unique query
+  // label) so they are immutable before any parallel section can share
+  // them. The batched view embeds the scalar PreparedLabel, so one build
+  // serves both kernels.
+  std::map<std::string_view, uint32_t> label_view;
+  prepared_idx_.resize(q.node_count());
+  for (int u = 0; u < q.node_count(); ++u) {
+    const std::string_view label = q.node(u).label;
+    const auto it = label_view.find(label);
+    if (it != label_view.end()) {
+      prepared_idx_[u] = it->second;
+      continue;
+    }
+    const uint32_t idx = static_cast<uint32_t>(prepared_store_.size());
+    prepared_store_.push_back(ensemble_.PrepareBatch(label));
+    prepared_idx_[u] = idx;
+    label_view.emplace(label, idx);
   }
 }
 
-int QueryScorer::OntologyType(const std::string& type_name) const {
+int QueryScorer::OntologyType(std::string_view type_name) const {
   if (type_name.empty() || ensemble_.context().ontology == nullptr) return -1;
   return ensemble_.context().ontology->FindType(type_name);
 }
@@ -85,7 +122,7 @@ double QueryScorer::NodeScore(int query_node, NodeId v) const {
                ? config_.wildcard_node_score
                : 0.0;
   }
-  auto& cache = node_cache_[query_node];
+  auto& cache = node_cache_[node_rep_[query_node]];
   const auto it = cache.find(v);
   if (it != cache.end()) return it->second;
   ++node_evals_;
@@ -115,8 +152,9 @@ double QueryScorer::ComputeNodeScore(int query_node, NodeId v, double threshold,
   const int32_t gt = graph_.NodeType(v);
   const int onto_data = gt >= 0 ? graph_type_onto_type_[gt] : -1;
   return ensemble_.ScoreAgainstThreshold(
-      prepared_[query_node].prepared, graph_.NodeLabel(v), threshold,
-      query_node_onto_type_[query_node], onto_data, stats);
+      prepared_store_[prepared_idx_[query_node]].prepared,
+      graph_.NodeLabel(v), threshold, query_node_onto_type_[query_node],
+      onto_data, stats);
 }
 
 void QueryScorer::ScoreChunkBatched(int query_node,
@@ -129,9 +167,9 @@ void QueryScorer::ScoreChunkBatched(int query_node,
                                     uint8_t* chunk_cancelled) const {
   constexpr int kLanes = text::SimilarityEnsemble::kBatchLanes;
   const text::SimilarityEnsemble::PreparedLabelBatch& batch =
-      prepared_[query_node];
+      prepared_store_[prepared_idx_[query_node]];
   const int query_type = query_node_onto_type_[query_node];
-  const auto& cache = node_cache_[query_node];
+  const auto& cache = node_cache_[node_rep_[query_node]];
 
   // Duplicate-label elision within the chunk: generated and real graphs
   // repeat labels across nodes, and the kernel is a pure function of
@@ -233,7 +271,7 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
   const bool kernel = config_.use_scoring_kernel;
   const bool batch_kernel = kernel && config_.use_batch_kernel;
   const bool thresholded = kernel && threshold >= 0.0;
-  auto& cache = node_cache_[query_node];
+  auto& cache = node_cache_[node_rep_[query_node]];
   std::vector<uint8_t> miss(nodes.size(), 0);
   // Kernel counters are per worker chunk (ParallelFor chunk ids are
   // always < threads) and merged serially after the join.
@@ -285,6 +323,10 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
 }
 
 const CandidateList& QueryScorer::Candidates(int query_node) const {
+  // All reads and writes go through the signature representative: query
+  // nodes sharing (wildcard, type, label) retrieve and score one shared
+  // list (see node_rep_ in the header).
+  query_node = node_rep_[query_node];
   if (candidates_ready_[query_node]) return candidates_[query_node];
   auto& out = candidates_[query_node];
 
@@ -357,12 +399,14 @@ const CandidateList& QueryScorer::Candidates(int query_node) const {
 
 void QueryScorer::SeedCandidates(int query_node,
                                  const std::vector<ScoredCandidate>& list) const {
+  query_node = node_rep_[query_node];
   if (candidates_ready_[query_node]) return;
   candidates_[query_node].assign(list.begin(), list.end());
   candidates_ready_[query_node] = true;
 }
 
 const CandidateList* QueryScorer::CandidatesIfReady(int query_node) const {
+  query_node = node_rep_[query_node];
   return candidates_ready_[query_node] ? &candidates_[query_node] : nullptr;
 }
 
@@ -371,6 +415,7 @@ double QueryScorer::CandidateScore(int query_node, graph::NodeId v) const {
   if (qn.wildcard && qn.type_name.empty()) {
     return config_.wildcard_node_score;
   }
+  query_node = node_rep_[query_node];
   if (candidate_map_ready_.empty()) {
     candidate_map_ready_.assign(query_.node_count(), false);
     candidate_score_map_.resize(query_.node_count());
@@ -390,6 +435,7 @@ double QueryScorer::CandidateScore(int query_node, graph::NodeId v) const {
 double QueryScorer::RelationScore(int query_edge, uint32_t relation) const {
   const query::QueryEdge& qe = query_.edge(query_edge);
   if (qe.wildcard_relation) return 1.0;
+  query_edge = edge_rep_[query_edge];
   // Warmed edges answer from the dense table (pure lookup, thread-safe).
   if (relation_table_ready_[query_edge]) {
     return relation_table_[query_edge][relation];
@@ -405,6 +451,7 @@ double QueryScorer::RelationScore(int query_edge, uint32_t relation) const {
 
 const std::vector<double>& QueryScorer::RelationScoresAll(
     int query_edge) const {
+  query_edge = edge_rep_[query_edge];
   auto& table = relation_table_[query_edge];
   if (relation_table_ready_[query_edge]) return table;
   const query::QueryEdge& qe = query_.edge(query_edge);
@@ -458,6 +505,7 @@ double QueryScorer::MaxEdgeScore(int query_edge) const {
 double QueryScorer::MaxRelationScore(int query_edge) const {
   const query::QueryEdge& qe = query_.edge(query_edge);
   if (qe.wildcard_relation) return 1.0;
+  query_edge = edge_rep_[query_edge];
   if (max_relation_ready_[query_edge]) return max_relation_score_[query_edge];
   max_relation_ready_[query_edge] = true;
   double best = 0.0;
@@ -528,6 +576,7 @@ int QueryScorer::FirstWalkLength(graph::NodeId a, graph::NodeId b) const {
 double QueryScorer::PairEdgeScore(int query_edge, graph::NodeId a,
                                   graph::NodeId b) const {
   if (pair_edge_cache_.empty()) pair_edge_cache_.resize(query_.edge_count());
+  query_edge = edge_rep_[query_edge];
   // Normalize the symmetric key.
   graph::NodeId lo = a, hi = b;
   if (lo > hi) std::swap(lo, hi);

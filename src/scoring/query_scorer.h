@@ -221,7 +221,7 @@ class QueryScorer {
 
  private:
   /// Ontology type id for a type name (-1 if no ontology / unknown).
-  int OntologyType(const std::string& type_name) const;
+  int OntologyType(std::string_view type_name) const;
 
   /// Pure F_N computation (Eq. 1) for a non-wildcard query node: no memo
   /// access, no counters — safe to call from any thread (the ensemble
@@ -274,11 +274,26 @@ class QueryScorer {
   // Ontology ids resolved once: per query node and per graph type id.
   std::vector<int> query_node_onto_type_;
   std::vector<int> graph_type_onto_type_;
-  // Query-side kernel views, one per query node, built eagerly in the
-  // constructor (immutable afterwards, so worker threads share them). The
-  // batched view embeds the scalar PreparedLabel, so both kernels share
-  // one build.
-  std::vector<text::SimilarityEnsemble::PreparedLabelBatch> prepared_;
+  // Derived-view reuse across query nodes (per-query scope). F_N and
+  // candidate retrieval are pure functions of a query node's attribute
+  // signature (wildcard flag, type name, label text) plus immutable
+  // graph/config state, so nodes sharing a signature alias one
+  // representative's memos: node_rep_[u] is the first query node with u's
+  // signature, and every node-level memo below (F_N cache, candidate
+  // lists, candidate-score maps) is indexed through it. Likewise
+  // edge_rep_[e] aliases relation-similarity memos by (wildcard, relation
+  // label), and prepared_idx_[u] dedupes kernel views by label text —
+  // each view is built, and each postings list decoded, once per query
+  // rather than once per query node. Aliased reads are bitwise identical
+  // to unaliased ones, so results are unchanged.
+  std::vector<int> node_rep_;
+  std::vector<int> edge_rep_;
+  std::vector<uint32_t> prepared_idx_;
+  // Query-side kernel views, one per UNIQUE query label, built eagerly in
+  // the constructor (immutable afterwards, so worker threads share them).
+  // The batched view embeds the scalar PreparedLabel, so both kernels
+  // share one build. Indexed through prepared_idx_.
+  std::vector<text::SimilarityEnsemble::PreparedLabelBatch> prepared_store_;
   // For typed wildcard query nodes: the required graph type id (-1 = none
   // matches / untyped wildcard).
   std::vector<int32_t> wildcard_graph_type_;

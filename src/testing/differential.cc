@@ -319,7 +319,7 @@ graph::KnowledgeGraph RelabelGraph(const graph::KnowledgeGraph& g, Rng& rng) {
   for (size_t ni = 0; ni < n; ++ni) {
     const graph::NodeId old = inv[ni];
     const int32_t t = g.NodeType(old);
-    b.AddNode(g.NodeLabel(old), t >= 0 ? g.TypeName(t) : "");
+    b.AddNode(std::string(g.NodeLabel(old)), std::string(g.TypeName(t)));
   }
   for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.edge_count());
        ++e) {
@@ -459,6 +459,33 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
       CheckBitwiseEqual("reuse-invalidated",
                         StrPrintf("%s/reuse=invalidated", kStrategies[i].name),
                         base[i].matches, inval.matches, &out);
+    }
+  }
+
+  // --- Layout cells: compressed data plane, all bitwise vs flat base ---
+  // The delta-varint layout is a pure storage transform: rebuilding graph
+  // and index under kCompressed must reproduce every strategy's flat
+  // matches byte for byte (same ids, same score bits, same order).
+  if (opts.run_layout) {
+    const graph::KnowledgeGraph cg =
+        graph::CloneWithLayout(c.graph, graph::GraphLayout::kCompressed);
+    std::unique_ptr<graph::LabelIndex> cindex;
+    if (c.with_index) {
+      cindex = std::make_unique<graph::LabelIndex>(
+          cg, graph::GraphLayout::kCompressed);
+    }
+    for (size_t i = 0; i < 3; ++i) {
+      RunSpec spec = base_spec;
+      spec.graph = &cg;
+      spec.index = cindex.get();
+      spec.strategy = kStrategies[i].s;
+      const EngineResult r = Run(ensemble, spec);
+      ++out.cells_run;
+      const std::string cell =
+          StrPrintf("%s/layout=compressed", kStrategies[i].name);
+      CheckWellFormed(cell, r, c, true, &out);
+      CheckBitwiseEqual("layout-diff", cell, base[i].matches, r.matches,
+                        &out);
     }
   }
 

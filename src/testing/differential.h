@@ -28,6 +28,9 @@ struct RunnerOptions {
   bool run_reuse = true;
   bool run_deadline = true;
   bool run_thread_kernel_matrix = true;
+  /// Re-run every strategy over a kCompressed rebuild of the case's graph
+  /// and index; results must be bitwise identical to the flat base cells.
+  bool run_layout = true;
   /// Skip the brute-force cell when the product of candidate-list sizes
   /// exceeds this (the oracle is exponential; the generator keeps cases
   /// under the guard, but shrinking intermediates may not be).

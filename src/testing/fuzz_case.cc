@@ -156,7 +156,7 @@ graph::KnowledgeGraph CopyGraph(const graph::KnowledgeGraph& g) {
   for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.node_count());
        ++v) {
     const int32_t t = g.NodeType(v);
-    b.AddNode(g.NodeLabel(v), t >= 0 ? g.TypeName(t) : "");
+    b.AddNode(std::string(g.NodeLabel(v)), std::string(g.TypeName(t)));
   }
   for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.edge_count());
        ++e) {

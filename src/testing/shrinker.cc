@@ -72,7 +72,7 @@ graph::KnowledgeGraph FilterGraphNodes(const graph::KnowledgeGraph& g,
        ++v) {
     if (!keep[v]) continue;
     const int32_t t = g.NodeType(v);
-    remap[v] = b.AddNode(g.NodeLabel(v), t >= 0 ? g.TypeName(t) : "");
+    remap[v] = b.AddNode(std::string(g.NodeLabel(v)), std::string(g.TypeName(t)));
   }
   for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.edge_count());
        ++e) {
@@ -90,7 +90,7 @@ graph::KnowledgeGraph DropGraphEdgeRange(const graph::KnowledgeGraph& g,
   for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.node_count());
        ++v) {
     const int32_t t = g.NodeType(v);
-    b.AddNode(g.NodeLabel(v), t >= 0 ? g.TypeName(t) : "");
+    b.AddNode(std::string(g.NodeLabel(v)), std::string(g.TypeName(t)));
   }
   for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.edge_count());
        ++e) {

@@ -1,0 +1,215 @@
+// Property tests for the delta-varint data-plane codec (format v1):
+// varint roundtrips over boundary values, postings/adjacency encode-decode
+// identity, and PostingsCursor equivalence against materialized vectors.
+
+#include "graph/csr_codec.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/knowledge_graph.h"
+
+namespace star::graph::csr {
+namespace {
+
+TEST(CsrCodecVarint, BoundaryValuesRoundTrip) {
+  // Every LEB128 width boundary: 7-bit, 14-bit, 21-bit, 28-bit, 32-bit.
+  const uint32_t cases[] = {0,
+                            1,
+                            126,
+                            127,
+                            128,
+                            129,
+                            (1u << 14) - 1,
+                            1u << 14,
+                            (1u << 21) - 1,
+                            1u << 21,
+                            (1u << 28) - 1,
+                            1u << 28,
+                            std::numeric_limits<uint32_t>::max() - 1,
+                            std::numeric_limits<uint32_t>::max()};
+  for (const uint32_t v : cases) {
+    std::vector<uint8_t> buf;
+    AppendVarint32(v, &buf);
+    ASSERT_LE(buf.size(), 5u) << v;
+    uint32_t got = v + 1;
+    const uint8_t* end = DecodeVarint32(buf.data(), &got);
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(end, buf.data() + buf.size()) << v;
+  }
+}
+
+TEST(CsrCodecVarint, EncodedWidthMatchesValueMagnitude) {
+  std::vector<uint8_t> buf;
+  AppendVarint32(127, &buf);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  AppendVarint32(128, &buf);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  AppendVarint32(std::numeric_limits<uint32_t>::max(), &buf);
+  EXPECT_EQ(buf.size(), 5u);
+}
+
+TEST(CsrCodecVarint, RandomStreamRoundTrips) {
+  Rng rng(20260808);
+  std::vector<uint32_t> values;
+  std::vector<uint8_t> buf;
+  for (int i = 0; i < 5000; ++i) {
+    // Skew toward small values (the codec's real distribution) but keep
+    // full-range outliers in the mix.
+    const int shift = static_cast<int>(rng.Below(33));
+    const uint32_t v =
+        static_cast<uint32_t>(rng.Next()) >> (shift == 32 ? 0 : shift);
+    values.push_back(v);
+    AppendVarint32(v, &buf);
+  }
+  const uint8_t* p = buf.data();
+  for (const uint32_t want : values) {
+    uint32_t got = 0;
+    p = DecodeVarint32(p, &got);
+    ASSERT_EQ(got, want);
+  }
+  EXPECT_EQ(p, buf.data() + buf.size());
+}
+
+std::vector<uint32_t> Drain(PostingsCursor cursor) {
+  std::vector<uint32_t> out;
+  uint32_t v;
+  while (cursor.Next(&v)) out.push_back(v);
+  return out;
+}
+
+TEST(CsrCodecPostings, EmptyListEncodesToNothing) {
+  std::vector<uint8_t> arena;
+  EncodePostings(nullptr, 0, &arena);
+  EXPECT_TRUE(arena.empty());
+  PostingsCursor cursor(arena.data(), 0);
+  EXPECT_EQ(cursor.remaining(), 0u);
+  uint32_t v;
+  EXPECT_FALSE(cursor.Next(&v));
+}
+
+TEST(CsrCodecPostings, SingleAndAdversarialGapListsRoundTrip) {
+  const std::vector<std::vector<uint32_t>> lists = {
+      {0},
+      {std::numeric_limits<uint32_t>::max()},
+      {0, std::numeric_limits<uint32_t>::max()},
+      {0, 1, 2, 3, 4, 5, 6, 7},               // minimal gaps (gap-1 == 0)
+      {126, 253, 254, 382, 510},              // deltas straddling 127/128
+      {0, 128, 256, 16384, 2097152, 268435456},  // width-boundary jumps
+      {5, 6, 133, 134, 16517}};
+  for (const auto& ids : lists) {
+    std::vector<uint8_t> arena;
+    EncodePostings(ids.data(), ids.size(), &arena);
+    PostingsCursor cursor(arena.data(), ids.size());
+    EXPECT_EQ(Drain(std::move(cursor)), ids);
+  }
+}
+
+TEST(CsrCodecPostings, GapMinusOneSavesAByteAtGap128) {
+  // The strictly-ascending contract lets the encoder store gap-1: a run
+  // with gaps of exactly 128 stays one byte per id.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 10; ++i) ids.push_back(1 + i * 128);
+  std::vector<uint8_t> arena;
+  EncodePostings(ids.data(), ids.size(), &arena);
+  EXPECT_EQ(arena.size(), ids.size());  // one byte each, incl. first (id 1)
+}
+
+TEST(CsrCodecPostings, CursorMatchesMaterializedVectorOnRandomLists) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = rng.Below(64);
+    std::vector<uint32_t> ids;
+    uint32_t cur = static_cast<uint32_t>(rng.Below(1000));
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(cur);
+      // Occasional huge gaps stress multi-byte deltas.
+      cur += 1 + static_cast<uint32_t>(
+                     rng.Chance(0.1) ? rng.Below(1u << 20) : rng.Below(200));
+    }
+    std::vector<uint8_t> arena;
+    EncodePostings(ids.data(), ids.size(), &arena);
+
+    // Compressed cursor == flat cursor == source list.
+    EXPECT_EQ(Drain(PostingsCursor(arena.data(), ids.size())), ids);
+    EXPECT_EQ(Drain(PostingsCursor(ids.data(), ids.size())), ids);
+
+    // remaining() counts down in lockstep for both layouts.
+    PostingsCursor a(arena.data(), ids.size());
+    PostingsCursor b(ids.data(), ids.size());
+    uint32_t va, vb;
+    while (a.remaining() > 0) {
+      ASSERT_EQ(a.remaining(), b.remaining());
+      ASSERT_TRUE(a.Next(&va));
+      ASSERT_TRUE(b.Next(&vb));
+      ASSERT_EQ(va, vb);
+    }
+    EXPECT_FALSE(a.Next(&va));
+    EXPECT_FALSE(b.Next(&vb));
+  }
+}
+
+TEST(CsrCodecAdjacency, CanonicalListsRoundTrip) {
+  // Canonical order: (node, relation, forward) ascending; parallel edges
+  // repeat the node id (delta 0), both directions of a relation co-occur.
+  const std::vector<std::vector<Neighbor>> lists = {
+      {},
+      {{0, 0, 0}},
+      {{0, 0, 0}, {0, 0, 1}, {0, 7, 1}, {3, 2, 0}, {3, 2, 1}},
+      {{5, 1, 1}, {5, 1, 1}, {5, 3, 0}, {200, 0, 1}, {100000, 2, 0}},
+      {{kInvalidNode - 1, (1u << 30) - 1, 1}}};
+  for (const auto& list : lists) {
+    std::vector<uint8_t> arena;
+    EncodeAdjacency(list.data(), list.size(), &arena);
+    std::vector<Neighbor> got(list.size());
+    const uint8_t* end = DecodeAdjacency(arena.data(), list.size(), got.data());
+    EXPECT_EQ(end, arena.data() + arena.size());
+    ASSERT_EQ(got.size(), list.size());
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ(got[i], list[i]) << "entry " << i;
+    }
+  }
+}
+
+TEST(CsrCodecAdjacency, RandomCanonicalListsRoundTrip) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = rng.Below(48);
+    std::vector<Neighbor> list;
+    uint32_t node = static_cast<uint32_t>(rng.Below(100));
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Chance(0.7)) node += static_cast<uint32_t>(rng.Below(5000));
+      Neighbor nb;
+      nb.node = node;
+      nb.relation = static_cast<uint32_t>(rng.Below(1u << 16));
+      nb.forward = rng.Chance(0.5) ? 1 : 0;
+      list.push_back(nb);
+    }
+    std::vector<uint8_t> arena;
+    EncodeAdjacency(list.data(), list.size(), &arena);
+    std::vector<Neighbor> got(list.size());
+    DecodeAdjacency(arena.data(), list.size(), got.data());
+    for (size_t i = 0; i < list.size(); ++i) {
+      ASSERT_EQ(got[i], list[i]) << "trial " << trial << " entry " << i;
+    }
+  }
+}
+
+TEST(CsrCodecAdjacency, ArenaIsSmallerThanPodForClusteredLists) {
+  // Dense canonical lists (small deltas, small relation ids) are the
+  // common case; the arena must beat 8 bytes/entry comfortably there.
+  std::vector<Neighbor> list;
+  for (uint32_t i = 0; i < 1000; ++i) list.push_back({i * 3, i % 40, i % 2});
+  std::vector<uint8_t> arena;
+  EncodeAdjacency(list.data(), list.size(), &arena);
+  EXPECT_LT(arena.size(), list.size() * sizeof(Neighbor) / 2);
+}
+
+}  // namespace
+}  // namespace star::graph::csr

@@ -92,7 +92,9 @@ TEST(GraphGeneratorTest, LabelsShareTokens) {
   // With a tiny token pool, full-label collisions must occur — the
   // ambiguity knowledge-graph search must cope with.
   std::set<std::string> labels;
-  for (NodeId v = 0; v < g.node_count(); ++v) labels.insert(g.NodeLabel(v));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    labels.insert(std::string(g.NodeLabel(v)));
+  }
   EXPECT_LT(labels.size(), g.node_count());
 }
 
