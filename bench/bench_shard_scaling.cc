@@ -1,0 +1,293 @@
+// Sharded-execution scaling benchmark: drives serve::QueryService at
+// shard counts {1, 2, 4} across cache-hit-ratio scenarios and reports QPS
+// and latency percentiles (p50/p95) per cell, as JSON on stdout so runs
+// can be committed/diffed (BENCH_shard.json).
+//
+// Two gates make the numbers trustworthy:
+//  - Identity: every OK response (any shard count, cached or fresh) is
+//    checked bitwise against a direct StarFramework::TopK run of the same
+//    query; the process exits non-zero on any divergence.
+//  - Early termination: the same query pool runs through ShardEngine in
+//    lazy (bound-driven merge) and eager_gather (drain-everything) modes;
+//    lazy must issue strictly fewer shard pulls, quantifying how much
+//    cross-shard work the certified bounds prune.
+//
+// Usage: bench_shard_scaling [--quick]
+//   --quick shrinks the dataset and request count for CI smoke runs.
+//
+// Environment overrides:
+//   STAR_BENCH_NODES     dataset size (default 10000; 2000 with --quick)
+//   STAR_SHARD_REQUESTS  requests per scenario (default 96; 24 with --quick)
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/query_service.h"
+#include "shard/coordinator.h"
+#include "shard/partitioner.h"
+
+namespace star::bench {
+namespace {
+
+struct Scenario {
+  size_t shards;  // 1 = single-process backend
+  double target_hit_ratio;
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  size_t requests = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double observed_hit_rate = 0.0;
+  uint64_t shard_pulls = 0;
+  size_t mismatches = 0;
+  size_t errors = 0;
+};
+
+struct PullCounts {
+  size_t shards = 0;
+  size_t lazy = 0;
+  size_t eager = 0;
+  size_t mismatches = 0;
+};
+
+bool SameMatches(const std::vector<core::GraphMatch>& a,
+                 const std::vector<core::GraphMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].mapping != b[i].mapping || a[i].score != b[i].score) return false;
+  }
+  return true;
+}
+
+ScenarioResult RunScenario(const Dataset& d, const core::StarOptions& star,
+                           const std::vector<query::QueryGraph>& pool,
+                           const std::vector<std::vector<core::GraphMatch>>&
+                               expected,
+                           const Scenario& sc, size_t total_requests,
+                           size_t k) {
+  const bool cache_on = sc.target_hit_ratio > 0.0;
+  // With D distinct queries over T requests and an LRU holding them all,
+  // hit rate converges to (T - D) / T (same model as bench_serve).
+  const size_t distinct = std::max<size_t>(
+      1, cache_on ? static_cast<size_t>(
+                        total_requests * (1.0 - sc.target_hit_ratio) + 0.5)
+                  : pool.size());
+  const size_t use = std::min(distinct, pool.size());
+
+  serve::ServiceOptions so;
+  so.star = star;
+  so.max_inflight = 4;
+  so.max_queue = total_requests;
+  so.cache_capacity = cache_on ? use : 0;
+  so.shards = sc.shards;
+
+  serve::QueryService service(d.graph, *d.ensemble, d.index.get(), so);
+
+  constexpr int kClients = 4;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> errors{0};
+  std::vector<std::vector<double>> latencies(kClients);
+
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      latencies[c].reserve(total_requests / kClients + 1);
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= total_requests) return;
+        const size_t qi = i % use;
+        serve::QueryRequest req;
+        req.query = pool[qi];
+        req.k = k;
+        req.use_cache = cache_on;
+        WallTimer t;
+        const serve::QueryResponse resp = service.Execute(std::move(req));
+        latencies[c].push_back(t.ElapsedMillis());
+        if (!resp.status.ok()) {
+          errors.fetch_add(1);
+        } else if (!SameMatches(resp.matches, expected[qi])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  ScenarioResult r;
+  r.scenario = sc;
+  r.requests = total_requests;
+  r.qps = total_requests / wall.ElapsedSeconds();
+  StatAccumulator acc;
+  for (const auto& per_client : latencies) {
+    for (const double ms : per_client) acc.Add(ms);
+  }
+  r.p50_ms = acc.Percentile(0.50);
+  r.p95_ms = acc.Percentile(0.95);
+  r.observed_hit_rate = service.stats().cache_hit_rate();
+  r.shard_pulls = service.stats().shard_pulls;
+  r.mismatches = mismatches.load();
+  r.errors = errors.load();
+  return r;
+}
+
+/// Lazy bound-driven merging vs eager full gather over one cluster: the
+/// pull-counter gap is the early-termination saving the coordinator's
+/// certified shard bounds buy.
+PullCounts CountPulls(const Dataset& d, const core::StarOptions& star,
+                      const std::vector<query::QueryGraph>& pool,
+                      const std::vector<std::vector<core::GraphMatch>>&
+                          expected,
+                      size_t shards, size_t k) {
+  shard::ShardCluster::Options co;
+  co.partition.shards = shards;
+  co.partition.halo_depth = std::max(1, star.match.d);
+  shard::ShardCluster cluster(d.graph, *d.ensemble, d.index.get(),
+                              std::move(co));
+
+  PullCounts pc;
+  pc.shards = shards;
+  for (bool eager : {false, true}) {
+    for (size_t qi = 0; qi < pool.size(); ++qi) {
+      shard::ShardEngine::Options eo;
+      eo.star = star;
+      eo.eager_gather = eager;
+      shard::ShardEngine engine(cluster, eo);
+      const auto got = engine.TopK(pool[qi], k);
+      (eager ? pc.eager : pc.lazy) +=
+          engine.last_stats().shard.total_pulls;
+      // The eager mode drains streams but must not change answers.
+      if (!eager && !SameMatches(got, expected[qi])) ++pc.mismatches;
+    }
+  }
+  return pc;
+}
+
+}  // namespace
+}  // namespace star::bench
+
+int main(int argc, char** argv) {
+  using namespace star;
+  using namespace star::bench;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const size_t nodes = EnvSize("STAR_BENCH_NODES", quick ? 2000 : 10000);
+  const size_t total_requests =
+      EnvSize("STAR_SHARD_REQUESTS", quick ? 24 : 96);
+  const size_t k = 10;
+  const Dataset d = MakeDataset(graph::DBpediaLike(nodes));
+
+  core::StarOptions star;
+  star.match = BenchConfig(1);
+
+  const size_t pool_size = quick ? 12 : 48;
+  query::WorkloadGenerator wg(d.graph, /*seed=*/83);
+  std::vector<query::QueryGraph> pool;
+  std::vector<std::vector<core::GraphMatch>> expected;
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(wg.RandomStarQuery(3, BenchWorkloadOptions()));
+    core::StarFramework fw(d.graph, *d.ensemble, d.index.get(), star);
+    expected.push_back(fw.TopK(pool.back(), k));
+  }
+
+  const std::vector<Scenario> scenarios = {
+      {1, 0.0}, {1, 0.9},
+      {2, 0.0}, {2, 0.9},
+      {4, 0.0}, {4, 0.9},
+  };
+
+  std::vector<ScenarioResult> results;
+  for (const Scenario& sc : scenarios) {
+    results.push_back(
+        RunScenario(d, star, pool, expected, sc, total_requests, k));
+    const ScenarioResult& r = results.back();
+    std::fprintf(stderr,
+                 "[shard] shards=%zu hit=%.1f qps=%.1f p50=%.2fms p95=%.2fms "
+                 "pulls=%llu (%zu mismatches, %zu errors)\n",
+                 sc.shards, sc.target_hit_ratio, r.qps, r.p50_ms, r.p95_ms,
+                 static_cast<unsigned long long>(r.shard_pulls), r.mismatches,
+                 r.errors);
+  }
+
+  std::vector<PullCounts> pulls;
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    pulls.push_back(CountPulls(d, star, pool, expected, shards, k));
+    const PullCounts& pc = pulls.back();
+    std::fprintf(stderr,
+                 "[shard] early-termination shards=%zu: lazy=%zu eager=%zu "
+                 "pulls (%.1f%% pruned)\n",
+                 pc.shards, pc.lazy, pc.eager,
+                 pc.eager == 0
+                     ? 0.0
+                     : 100.0 * (1.0 - double(pc.lazy) / double(pc.eager)));
+  }
+
+  size_t total_mismatches = 0, total_errors = 0;
+  for (const ScenarioResult& r : results) {
+    total_mismatches += r.mismatches;
+    total_errors += r.errors;
+  }
+  bool pruned = true;
+  for (const PullCounts& pc : pulls) {
+    total_mismatches += pc.mismatches;
+    if (pc.lazy >= pc.eager) pruned = false;
+  }
+  const bool ok = total_mismatches == 0 && total_errors == 0 && pruned;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"shard_scaling\",\n");
+  PrintHostJson();
+  std::printf("  \"dataset\": {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu},\n",
+              d.name.c_str(), d.graph.node_count(), d.graph.edge_count());
+  std::printf("  \"workload\": {\"requests_per_scenario\": %zu, \"k\": %zu, "
+              "\"quick\": %s},\n",
+              total_requests, k, quick ? "true" : "false");
+  std::printf("  \"scenarios\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::printf(
+        "    {\"shards\": %zu, \"target_hit_ratio\": %.1f, \"qps\": %.1f, "
+        "\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"observed_hit_rate\": %.3f, "
+        "\"shard_pulls\": %llu}%s\n",
+        r.scenario.shards, r.scenario.target_hit_ratio, r.qps, r.p50_ms,
+        r.p95_ms, r.observed_hit_rate,
+        static_cast<unsigned long long>(r.shard_pulls),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"early_termination\": [\n");
+  for (size_t i = 0; i < pulls.size(); ++i) {
+    const PullCounts& pc = pulls[i];
+    std::printf(
+        "    {\"shards\": %zu, \"lazy_pulls\": %zu, \"eager_pulls\": %zu, "
+        "\"pruned_fraction\": %.3f}%s\n",
+        pc.shards, pc.lazy, pc.eager,
+        pc.eager == 0 ? 0.0 : 1.0 - double(pc.lazy) / double(pc.eager),
+        i + 1 < pulls.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"identity\": {\"mismatches\": %zu, \"errors\": %zu, "
+              "\"lazy_prunes_pulls\": %s, \"sharded_equals_direct\": %s}\n",
+              total_mismatches, total_errors, pruned ? "true" : "false",
+              ok ? "true" : "false");
+  std::printf("}\n");
+
+  std::fprintf(stderr, "identity: %s\n",
+               ok ? "sharded results bitwise identical to direct TopK, "
+                    "lazy merge prunes pulls"
+                  : "FAILED — divergence or no early-termination saving");
+  return ok ? 0 : 1;
+}

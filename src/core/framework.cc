@@ -71,9 +71,9 @@ StarFramework::StarFramework(const KnowledgeGraph& g,
       config_fingerprint_(
           StarOptionsFingerprint(options_, index_ != nullptr)) {}
 
-std::vector<double> StarFramework::NodeWeights(
-    const QueryGraph& q, const std::vector<StarQuery>& stars,
-    size_t star_index) const {
+std::vector<double> AlphaNodeWeights(const QueryGraph& q,
+                                     const std::vector<StarQuery>& stars,
+                                     size_t star_index, double alpha) {
   // Which stars touch each query node (pivot or leaf of an owned edge).
   std::vector<std::vector<size_t>> stars_of_node(q.node_count());
   for (size_t i = 0; i < stars.size(); ++i) {
@@ -98,13 +98,32 @@ std::vector<double> StarFramework::NodeWeights(
     if (owners.size() == 1) {
       weights[u] = 1.0;
     } else if (*owners.begin() == star_index) {
-      weights[u] = options_.alpha;  // the first (left) owner gets α
+      weights[u] = alpha;  // the first (left) owner gets α
     } else {
-      weights[u] = (1.0 - options_.alpha) /
-                   static_cast<double>(owners.size() - 1);
+      weights[u] = (1.0 - alpha) / static_cast<double>(owners.size() - 1);
     }
   }
   return weights;
+}
+
+std::string CandidateCacheKey(const std::string& config_fingerprint,
+                              const query::QueryNode& n) {
+  std::string key = config_fingerprint;
+  key += 'N';
+  key += query::CanonicalNodeSignature(n);
+  return key;
+}
+
+std::string StarCacheKey(const std::string& config_fingerprint,
+                         const QueryGraph& q, const StarQuery& star,
+                         const std::vector<double>& node_weights) {
+  const query::CanonicalStar canon =
+      query::CanonicalizeStar(q, star, node_weights);
+  if (!canon.exact) return {};
+  std::string key = config_fingerprint;
+  key += 'S';
+  key += canon.signature;
+  return key;
 }
 
 std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
@@ -119,9 +138,7 @@ void StarFramework::SeedCandidateLists(const QueryGraph& q,
   seeded->assign(q.node_count(), false);
   for (int u = 0; u < q.node_count(); ++u) {
     std::string& key = (*node_keys)[u];
-    key = config_fingerprint_;
-    key += 'N';
-    key += query::CanonicalNodeSignature(q.node(u));
+    key = CandidateCacheKey(config_fingerprint_, q.node(u));
     if (const auto list = options_.reuse->LookupCandidates(key)) {
       scorer.SeedCandidates(u, *list);
       (*seeded)[u] = true;
@@ -188,17 +205,12 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
     // Joins may need arbitrarily deep star streams; a standalone star
     // never pulls past k, so Prop. 3 pruning applies.
     so.k_hint = single ? k : 0;
-    if (!single) so.node_weights = NodeWeights(q, stars, i);
+    if (!single) so.node_weights = AlphaNodeWeights(q, stars, i, options_.alpha);
     so.cancel = cancel;
     std::string star_key;
     if (reuse != nullptr) {
-      const query::CanonicalStar canon =
-          query::CanonicalizeStar(q, stars[i], so.node_weights);
-      if (canon.exact) {
-        star_key = config_fingerprint_;
-        star_key += 'S';
-        star_key += canon.signature;
-      }
+      star_key = StarCacheKey(config_fingerprint_, q, stars[i],
+                              so.node_weights);
     }
     auto stream = std::make_unique<CachedStarStream>(
         scorer, stars[i], std::move(so), reuse, std::move(star_key),

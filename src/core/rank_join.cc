@@ -44,11 +44,17 @@ CachedStarStream::CachedStarStream(scoring::QueryScorer& scorer,
                                    StarSearch::Options options,
                                    ReuseCache* cache, std::string key,
                                    uint64_t generation)
+    : CachedStarStream(std::make_unique<StarSearch>(scorer, std::move(star),
+                                                    std::move(options)),
+                       cache, std::move(key), generation) {}
+
+CachedStarStream::CachedStarStream(std::unique_ptr<StarStreamEngine> engine,
+                                   ReuseCache* cache, std::string key,
+                                   uint64_t generation)
     : cache_(cache),
       key_(std::move(key)),
       generation_(generation),
-      search_(std::make_unique<StarSearch>(scorer, std::move(star),
-                                           std::move(options))) {
+      search_(std::move(engine)) {
   StarMatch probe;
   probe.pivot = 0;
   probe.leaves.assign(search_->star().edges.size(), 0);
@@ -185,9 +191,19 @@ std::optional<GraphMatch> RankJoin::Combine(const GraphMatch& a,
 }
 
 bool RankJoin::Pull(Side& self, Side& other) {
-  if (self.exhausted) return false;
+  if (self.exhausted || cancelled_) return false;
   auto m = self.input->Next();
   if (!m.has_value()) {
+    if (self.input->cancelled()) {
+      // The input stopped because it was cancelled, not because it ran
+      // dry. Its unseen matches could still tie (or beat) buffered join
+      // results, so marking it exhausted would drop its bound from the
+      // threshold and emit those results out of canonical order — the
+      // already-returned prefix would no longer be a prefix of the
+      // complete run. Poison the join instead.
+      cancelled_ = true;
+      return false;
+    }
     self.exhausted = true;
     return false;
   }
@@ -234,9 +250,11 @@ double RankJoin::Threshold() const {
 
 std::optional<GraphMatch> RankJoin::Next() {
   while (true) {
-    if (cancel_check_.ShouldStop()) {
+    if (cancelled_ || cancel_check_.ShouldStop()) {
       // Buffered results below the threshold may be out of order relative
-      // to unseen joins, so the stream simply ends here.
+      // to unseen joins, so the stream simply ends here. cancelled_ may
+      // already be set by Pull() observing a cancelled input — the
+      // checkpoint's clock stride must not grant extra emissions then.
       cancelled_ = true;
       return std::nullopt;
     }

@@ -26,6 +26,13 @@ class CoveredMatchIterator : public RankedMatchIterator {
  public:
   /// Bit u set <=> query node u is mapped by every match of this stream.
   virtual uint64_t covered_mask() const = 0;
+
+  /// True when the stream stopped because of a cancellation rather than
+  /// genuine exhaustion. A consumer must not treat a cancelled stream's
+  /// nullopt as "ran dry": the stream's unseen matches could still tie or
+  /// beat anything the consumer has buffered, so emitting past it would
+  /// break the canonical order.
+  virtual bool cancelled() const { return false; }
 };
 
 /// Adapts a StarSearch into a CoveredMatchIterator producing partial
@@ -39,6 +46,7 @@ class StarMatchStream : public CoveredMatchIterator {
   std::optional<GraphMatch> Next() override;
   double UpperBound() const override;
   uint64_t covered_mask() const override { return covered_; }
+  bool cancelled() const override { return search_->stats().cancelled; }
 
   /// Matches pulled so far — the star's search depth |L_i| (Fig. 14(d)).
   size_t depth() const { return depth_; }
@@ -77,9 +85,18 @@ class CachedStarStream : public CoveredMatchIterator {
                    StarSearch::Options options, ReuseCache* cache,
                    std::string key, uint64_t generation);
 
+  /// Same semantics over any StarStreamEngine (the sharded coordinator
+  /// wraps its merged per-shard stream this way). The engine must honor
+  /// the StarStreamEngine monotonicity contract; replay/resume then works
+  /// unchanged because the merged stream is deterministic per canonical
+  /// star, exactly like a cold StarSearch.
+  CachedStarStream(std::unique_ptr<StarStreamEngine> engine, ReuseCache* cache,
+                   std::string key, uint64_t generation);
+
   std::optional<GraphMatch> Next() override;
   double UpperBound() const override;
   uint64_t covered_mask() const override { return covered_; }
+  bool cancelled() const override { return search_->stats().cancelled; }
 
   /// Matches emitted so far (replayed + live).
   size_t depth() const { return depth_; }
@@ -108,7 +125,7 @@ class CachedStarStream : public CoveredMatchIterator {
   ReuseCache* cache_;
   std::string key_;
   uint64_t generation_ = 0;
-  std::unique_ptr<StarSearch> search_;
+  std::unique_ptr<StarStreamEngine> search_;
   uint64_t covered_ = 0;
 
   std::optional<StarTopList> entry_;  // recorded prefix, if any
@@ -161,8 +178,9 @@ class RankJoin : public CoveredMatchIterator {
 
   const Stats& stats() const { return stats_; }
 
-  /// True if a cancellation checkpoint stopped the pull loop.
-  bool cancelled() const { return cancelled_; }
+  /// True if a cancellation checkpoint stopped the pull loop, or an input
+  /// stream ended by cancellation (which poisons the join the same way).
+  bool cancelled() const override { return cancelled_; }
 
  private:
   struct Side {

@@ -28,30 +28,39 @@ StarQuery MakeStarQuery(const QueryGraph& q) {
   return s;
 }
 
-StarSearch::StarSearch(QueryScorer& scorer, StarQuery star, Options options)
-    : scorer_(scorer), star_(std::move(star)), options_(std::move(options)) {
-  cancel_check_ = CancelChecker(options_.cancel);
+query::StarQuery CanonicalizeStarEdgeOrder(
+    const QueryGraph& q, query::StarQuery star,
+    const std::vector<double>& node_weights) {
   // Canonical execution order: process edges sorted by their canonical
   // record (relation attr, leaf attrs, leaf weight) instead of insertion
   // order. Emission order, floating-point summation order and tie-breaking
   // all follow edge order, so this makes the whole stream a function of
   // the canonical star — the property the cross-query star cache replays
-  // rely on. Ties keep insertion order (such stars are never memoized).
-  if (star_.edges.size() > 1) {
-    const QueryGraph& q = scorer_.query();
+  // and the sharded coordinator's match reassembly rely on (coordinator
+  // and workers derive the identical order independently). Ties keep
+  // insertion order (such stars are never memoized).
+  if (star.edges.size() > 1) {
     std::vector<std::pair<std::string, int>> keyed;
-    keyed.reserve(star_.edges.size());
-    for (const int e : star_.edges) {
+    keyed.reserve(star.edges.size());
+    for (const int e : star.edges) {
+      const int leaf = q.OtherEnd(e, star.pivot);
+      const double w = node_weights.empty() ? 1.0 : node_weights[leaf];
       keyed.emplace_back(
-          query::CanonicalStarEdgeRecord(
-              q, e, star_.pivot, NodeWeight(q.OtherEnd(e, star_.pivot))),
-          e);
+          query::CanonicalStarEdgeRecord(q, e, star.pivot, w), e);
     }
     std::stable_sort(
         keyed.begin(), keyed.end(),
         [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (size_t i = 0; i < keyed.size(); ++i) star_.edges[i] = keyed[i].second;
+    for (size_t i = 0; i < keyed.size(); ++i) star.edges[i] = keyed[i].second;
   }
+  return star;
+}
+
+StarSearch::StarSearch(QueryScorer& scorer, StarQuery star, Options options)
+    : scorer_(scorer), star_(std::move(star)), options_(std::move(options)) {
+  cancel_check_ = CancelChecker(options_.cancel);
+  star_ = CanonicalizeStarEdgeOrder(scorer_.query(), std::move(star_),
+                                    options_.node_weights);
   leaf_nodes_.reserve(star_.edges.size());
   for (const int e : star_.edges) {
     leaf_nodes_.push_back(scorer_.query().OtherEnd(e, star_.pivot));
@@ -192,6 +201,10 @@ void StarSearch::InitializeStark() {
                       worker_stats[chunk].cancelled = true;
                       break;  // unbuilt slots stay null and are skipped
                     }
+                    if (options_.pivot_owned != nullptr &&
+                        !(*options_.pivot_owned)[candidates[i].node]) {
+                      continue;  // unowned pivots never enter the reserve
+                    }
                     // Pool workers must NOT touch the per-query arena.
                     built[i] = BuildEnumerator(candidates[i].node,
                                                candidates[i].score * pivot_weight,
@@ -218,6 +231,9 @@ void StarSearch::InitializeStark() {
         stats_.cancelled = true;
         break;
       }
+      if (options_.pivot_owned != nullptr && !(*options_.pivot_owned)[c.node]) {
+        continue;
+      }
       auto enumerator = BuildEnumerator(c.node, c.score * pivot_weight, stats_,
                                         scorer_.transient_resource());
       const auto top1 = enumerator->PeekScore();
@@ -232,7 +248,8 @@ void StarSearch::InitializeStark() {
   }
   std::sort(reserve_.begin(), reserve_.end(),
             [](const ReserveEntry& a, const ReserveEntry& b) {
-              return a.bound > b.bound;
+              if (a.bound != b.bound) return a.bound > b.bound;
+              return a.pivot < b.pivot;  // total order: shard-stable
             });
 }
 
@@ -495,6 +512,9 @@ void StarSearch::InitializeStard() {
         break;  // unprocessed entries stay invalid
       }
       const ScoredCandidate& c = candidates[idx];
+      if (options_.pivot_owned != nullptr && !(*options_.pivot_owned)[c.node]) {
+        continue;  // entry stays invalid (pivot == kInvalidNode)
+      }
       double estimate = c.score * pivot_weight;
       bool feasible = true;
       for (size_t i = 0; i < s; ++i) {
@@ -535,7 +555,8 @@ void StarSearch::InitializeStard() {
   }
   std::sort(reserve_.begin(), reserve_.end(),
             [](const ReserveEntry& a, const ReserveEntry& b) {
-              return a.bound > b.bound;
+              if (a.bound != b.bound) return a.bound > b.bound;
+              return a.pivot < b.pivot;  // total order: shard-stable
             });
 }
 
@@ -573,6 +594,9 @@ void StarSearch::InitializeHybrid() {
   const double pivot_weight = NodeWeight(star_.pivot);
   reserve_.reserve(candidates.size());
   for (const ScoredCandidate& c : candidates) {
+    if (options_.pivot_owned != nullptr && !(*options_.pivot_owned)[c.node]) {
+      continue;
+    }
     ReserveEntry entry;
     entry.bound = c.score * pivot_weight + leaf_ub_total;
     entry.pivot = c.node;
@@ -583,7 +607,8 @@ void StarSearch::InitializeHybrid() {
   // bound; std::sort kept for clarity and weighted edge cases.
   std::sort(reserve_.begin(), reserve_.end(),
             [](const ReserveEntry& a, const ReserveEntry& b) {
-              return a.bound > b.bound;
+              if (a.bound != b.bound) return a.bound > b.bound;
+              return a.pivot < b.pivot;  // total order: shard-stable
             });
 }
 
@@ -642,7 +667,7 @@ void StarSearch::ActivateReserve() {
     const auto score = enumerator->PeekScore();
     if (!score.has_value()) continue;
     active_.push_back(std::move(enumerator));
-    queue_.push(QueueEntry{*score, active_.size() - 1});
+    queue_.push(QueueEntry{*score, active_.size() - 1, entry.pivot});
   }
 }
 
@@ -666,7 +691,7 @@ std::optional<StarMatch> StarSearch::Next() {
   std::optional<StarMatch> m = active_[top.enumerator_index]->Next();
   const auto next_score = active_[top.enumerator_index]->PeekScore();
   if (next_score.has_value()) {
-    queue_.push(QueueEntry{*next_score, top.enumerator_index});
+    queue_.push(QueueEntry{*next_score, top.enumerator_index, top.pivot});
   }
   ++stats_.matches_emitted;
   return m;

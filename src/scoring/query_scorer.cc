@@ -322,22 +322,8 @@ std::vector<double> QueryScorer::BulkScore(int query_node,
   return scores;
 }
 
-const CandidateList& QueryScorer::Candidates(int query_node) const {
-  // All reads and writes go through the signature representative: query
-  // nodes sharing (wildcard, type, label) retrieve and score one shared
-  // list (see node_rep_ in the header).
+std::vector<NodeId> QueryScorer::RetrievalPool(int query_node) const {
   query_node = node_rep_[query_node];
-  if (candidates_ready_[query_node]) return candidates_[query_node];
-  auto& out = candidates_[query_node];
-
-  // Cancelled requests skip retrieval + scoring outright. The list is NOT
-  // marked ready (the empty result is never memoized as definitive) and the
-  // truncation is recorded so the run as a whole reports itself partial.
-  if (cancel_ != nullptr && cancel_->ShouldStop()) {
-    truncated_ = true;
-    return out;
-  }
-  candidates_ready_[query_node] = true;
   const query::QueryNode& qn = query_.node(query_node);
 
   // Retrieval: the node ids to score (index semantics unchanged).
@@ -365,6 +351,43 @@ const CandidateList& QueryScorer::Candidates(int query_node) const {
     pool.resize(graph_.node_count());
     std::iota(pool.begin(), pool.end(), NodeId{0});
   }
+  return pool;
+}
+
+std::vector<ScoredCandidate> QueryScorer::ScorePool(
+    int query_node, const std::vector<NodeId>& pool) const {
+  query_node = node_rep_[query_node];
+  const std::vector<double> scores = BulkScore(
+      query_node, pool, ResolveThreads(config_.threads), config_.node_threshold);
+  std::vector<ScoredCandidate> out;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (scores[i] >= config_.node_threshold) out.push_back({pool[i], scores[i]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.score > b.score ||
+                     (a.score == b.score && a.node < b.node);
+            });
+  return out;
+}
+
+const CandidateList& QueryScorer::Candidates(int query_node) const {
+  // All reads and writes go through the signature representative: query
+  // nodes sharing (wildcard, type, label) retrieve and score one shared
+  // list (see node_rep_ in the header).
+  query_node = node_rep_[query_node];
+  if (candidates_ready_[query_node]) return candidates_[query_node];
+  auto& out = candidates_[query_node];
+
+  // Cancelled requests skip retrieval + scoring outright. The list is NOT
+  // marked ready (the empty result is never memoized as definitive) and the
+  // truncation is recorded so the run as a whole reports itself partial.
+  if (cancel_ != nullptr && cancel_->ShouldStop()) {
+    truncated_ = true;
+    return out;
+  }
+  candidates_ready_[query_node] = true;
+  const std::vector<NodeId> pool = RetrievalPool(query_node);
 
   // Bulk F_N scoring — chunked across the pool (serial at threads = 1).
   // The candidate filter below keeps only scores >= node_threshold, so the

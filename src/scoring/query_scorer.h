@@ -94,6 +94,24 @@ class QueryScorer {
   void SeedCandidates(int query_node,
                       const std::vector<ScoredCandidate>& list) const;
 
+  /// The retrieval pool of `query_node`: the node ids Candidates() would
+  /// bulk-score, before any scoring or filtering (index-backed postings,
+  /// typed-wildcard postings, or the full-scan iota). Pure — never touches
+  /// the candidate memo. Sharded scatter calls this per shard (each shard
+  /// index is rebuilt over the full node table, so every shard computes
+  /// the identical pool) and intersects with its owned slice.
+  std::vector<graph::NodeId> RetrievalPool(int query_node) const;
+
+  /// Scores `pool` exactly as Candidates() would (bulk F_N at
+  /// node_threshold) and returns the surviving entries in the canonical
+  /// (score desc, node asc) order — WITHOUT max_candidates truncation and
+  /// WITHOUT memoizing the result as the node's candidate list. Per-node
+  /// scores are pure, so scoring a partition of the pool shard-by-shard
+  /// and merging preserves every bit of the single-process list; the
+  /// coordinator applies the max_candidates cut after the merge.
+  std::vector<ScoredCandidate> ScorePool(
+      int query_node, const std::vector<graph::NodeId>& pool) const;
+
   /// The memoized candidate list of `query_node` if it has been computed
   /// (or seeded) this session, nullptr otherwise. Never triggers
   /// computation. NOTE: a ready list can still be truncated when a

@@ -1,0 +1,571 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "common/timer.h"
+#include "core/decomposition.h"
+#include "core/rank_join.h"
+#include "core/star_search.h"
+
+namespace star::shard {
+
+using core::CachedStarStream;
+using core::GraphMatch;
+using core::RankJoin;
+using core::StarMatch;
+using core::StarSearchStats;
+using query::QueryGraph;
+using query::StarQuery;
+using scoring::ScoredCandidate;
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Per-query pull/emission accounting shared by every merged stream of one
+/// request (single coordinator thread — no synchronization needed).
+struct CoordCounters {
+  std::vector<size_t> shard_pulls;
+  size_t total_pulls = 0;
+  /// Star matches emitted across all merged streams so far.
+  size_t emissions = 0;
+  /// emissions at the moment of the most recent shard pull.
+  size_t last_pull_round = 0;
+  size_t boundary_pivot_hits = 0;
+};
+
+/// The canonical (score desc, pivot asc) merge of one star's per-shard
+/// streams, lazily driven: a shard is pulled only while its certified
+/// bound could still beat the best staged match. Because the per-shard
+/// streams are exact owned-pivot subsets of the global stream (same
+/// relative order) and the global engine breaks score ties toward the
+/// smaller pivot, the merged emissions — and the between-pull UpperBound()
+/// values — are bitwise identical to a single-process StarSearch.
+///
+/// A cancellation observed in any shard reply poisons the stream (no
+/// further emissions), keeping the already-emitted prefix correctly
+/// ordered; stats().cancelled reports it.
+class MergedShardStarStream final : public core::StarStreamEngine {
+ public:
+  MergedShardStarStream(const QueryGraph& q, StarQuery canonical_star,
+                        std::vector<ShardWorker*> workers,
+                        std::vector<uint64_t> sessions, size_t star_index,
+                        std::vector<double> initial_bounds, bool cancelled,
+                        const std::vector<uint8_t>* boundary_mask,
+                        CoordCounters* counters, bool eager_gather)
+      : query_(q),
+        star_(std::move(canonical_star)),
+        workers_(std::move(workers)),
+        sessions_(std::move(sessions)),
+        star_index_(star_index),
+        boundary_mask_(boundary_mask),
+        counters_(counters),
+        eager_gather_(eager_gather) {
+    stats_.cancelled = cancelled;
+    shards_.resize(workers_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s].bound = initial_bounds[s];
+    }
+    leaf_nodes_.reserve(star_.edges.size());
+    for (const int e : star_.edges) {
+      leaf_nodes_.push_back(query_.OtherEnd(e, star_.pivot));
+    }
+  }
+
+  std::optional<StarMatch> Next() override {
+    if (stats_.cancelled) return std::nullopt;
+    if (eager_gather_) return NextEager();
+    // Stage: pull any live, unstaged shard whose bound could still beat
+    // (or tie) the best staged match — largest bound first so the pull
+    // that is most likely to raise the emission floor happens earliest.
+    // Ties at the emission score MUST be staged too: a tying shard may
+    // hold an equal-score match with a smaller pivot id.
+    for (;;) {
+      const int best = BestStaged();
+      const double best_score =
+          best >= 0 ? shards_[best].staged->score : kNegInf;
+      int cand = -1;
+      double cand_bound = kNegInf;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        const ShardState& sh = shards_[s];
+        if (sh.exhausted || sh.staged.has_value()) continue;
+        if (cand < 0 || sh.bound > cand_bound) {
+          cand = static_cast<int>(s);
+          cand_bound = sh.bound;
+        }
+      }
+      if (cand < 0 || (best >= 0 && cand_bound < best_score)) break;
+      if (!PullShard(static_cast<size_t>(cand))) return std::nullopt;
+    }
+    const int best = BestStaged();
+    if (best < 0) return std::nullopt;
+    StarMatch m = std::move(*shards_[best].staged);
+    shards_[best].staged.reset();
+    Count(m);
+    return m;
+  }
+
+  double UpperBound() override {
+    if (eager_gather_ && drained_) {
+      return drain_pos_ < drained_.value().size()
+                 ? drained_.value()[drain_pos_].score
+                 : kNegInf;
+    }
+    double ub = kNegInf;
+    for (const ShardState& sh : shards_) {
+      if (sh.staged.has_value()) {
+        ub = std::max(ub, sh.staged->score);
+      } else if (!sh.exhausted) {
+        ub = std::max(ub, sh.bound);
+      }
+    }
+    return ub;
+  }
+
+  GraphMatch ToGraphMatch(const StarMatch& m) const override {
+    GraphMatch gm;
+    gm.mapping.assign(query_.node_count(), graph::kInvalidNode);
+    gm.mapping[star_.pivot] = m.pivot;
+    for (size_t i = 0; i < leaf_nodes_.size(); ++i) {
+      gm.mapping[leaf_nodes_[i]] = m.leaves[i];
+    }
+    gm.score = m.score;
+    return gm;
+  }
+
+  const StarQuery& star() const override { return star_; }
+  /// Only the cancelled flag is tracked here; engine work counters live on
+  /// the workers and are harvested per session at EndQuery.
+  const StarSearchStats& stats() const override { return stats_; }
+
+ private:
+  struct ShardState {
+    bool exhausted = false;
+    std::optional<StarMatch> staged;
+    double bound = kNegInf;  ///< certified bound on unpulled matches
+  };
+
+  int BestStaged() const {
+    int best = -1;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const auto& staged = shards_[s].staged;
+      if (!staged.has_value()) continue;
+      if (best < 0 || staged->score > shards_[best].staged->score ||
+          (staged->score == shards_[best].staged->score &&
+           staged->pivot < shards_[best].staged->pivot)) {
+        best = static_cast<int>(s);
+      }
+    }
+    return best;
+  }
+
+  /// One worker pull; false when the reply reports a cancellation (the
+  /// stream is poisoned and the caller must return nullopt).
+  bool PullShard(size_t s) {
+    ShardWorker::PullReply r =
+        workers_[s]->Pull(sessions_[s], star_index_).get();
+    ++counters_->shard_pulls[s];
+    ++counters_->total_pulls;
+    counters_->last_pull_round = counters_->emissions;
+    if (r.cancelled) {
+      stats_.cancelled = true;
+      return false;
+    }
+    shards_[s].bound = r.bound;
+    if (r.match.has_value()) {
+      shards_[s].staged = std::move(r.match);
+    } else {
+      shards_[s].exhausted = true;
+    }
+    return true;
+  }
+
+  void Count(const StarMatch& m) {
+    ++counters_->emissions;
+    if (boundary_mask_ != nullptr && (*boundary_mask_)[m.pivot] != 0) {
+      ++counters_->boundary_pivot_hits;
+    }
+  }
+
+  /// Full-gather baseline: drain every shard, then emit from the sorted
+  /// union. Equal (score, pivot) entries always come from one shard (a
+  /// pivot has one owner), so the stable sort reproduces the canonical
+  /// emission order; only the UpperBound() trajectory differs, which is
+  /// why this mode is excluded from rank-join identity gates.
+  std::optional<StarMatch> NextEager() {
+    if (!drained_.has_value()) {
+      drained_.emplace();
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        while (!shards_[s].exhausted) {
+          if (!PullShard(s)) return std::nullopt;
+          if (shards_[s].staged.has_value()) {
+            drained_->push_back(std::move(*shards_[s].staged));
+            shards_[s].staged.reset();
+          }
+        }
+      }
+      std::stable_sort(drained_->begin(), drained_->end(),
+                       [](const StarMatch& a, const StarMatch& b) {
+                         if (a.score != b.score) return a.score > b.score;
+                         return a.pivot < b.pivot;
+                       });
+    }
+    if (drain_pos_ >= drained_->size()) return std::nullopt;
+    StarMatch m = std::move((*drained_)[drain_pos_++]);
+    Count(m);
+    return m;
+  }
+
+  const QueryGraph& query_;
+  StarQuery star_;  // canonical edge order (matches worker-side searches)
+  std::vector<ShardWorker*> workers_;
+  std::vector<uint64_t> sessions_;
+  const size_t star_index_;
+  const std::vector<uint8_t>* boundary_mask_;
+  CoordCounters* counters_;
+  const bool eager_gather_;
+
+  std::vector<int> leaf_nodes_;  // query node per canonical star edge
+  std::vector<ShardState> shards_;
+  StarSearchStats stats_;
+
+  std::optional<std::vector<StarMatch>> drained_;  // eager mode only
+  size_t drain_pos_ = 0;
+};
+
+}  // namespace
+
+ShardCluster::ShardCluster(const graph::KnowledgeGraph& g,
+                           const text::SimilarityEnsemble& ensemble,
+                           const graph::LabelIndex* global_index,
+                           Options options)
+    : graph_(g),
+      ensemble_(ensemble),
+      index_(global_index),
+      partition_(ShardPartition::Build(g, options.partition)) {
+  workers_.reserve(partition_.shards());
+  for (size_t s = 0; s < partition_.shards(); ++s) {
+    // No global index => no-index retrieval semantics everywhere: the
+    // workers scan their (full, replicated) node tables like the global
+    // engine scans V, so candidate slices stay identical.
+    const graph::LabelIndex* shard_index =
+        index_ != nullptr ? &partition_.shard_index(s) : nullptr;
+    workers_.push_back(std::make_unique<ShardWorker>(
+        s, partition_.shard_graph(s), shard_index, partition_.owned_mask(s),
+        ensemble_, options.before_pull));
+  }
+}
+
+size_t ShardCluster::active_sessions() const {
+  size_t total = 0;
+  for (const auto& w : workers_) total += w->active_sessions();
+  return total;
+}
+
+ShardEngine::ShardEngine(ShardCluster& cluster, Options options)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      config_fingerprint_(StarOptionsFingerprint(options_.star,
+                                                 cluster_.index() != nullptr)) {
+  // The halo invariant: every owned pivot's depth-(d-1) neighborhood and
+  // d-round propagation state must be resident on its shard.
+  assert(options_.star.match.d <= cluster_.partition().halo_depth());
+}
+
+std::vector<GraphMatch> ShardEngine::TopK(const QueryGraph& q, size_t k,
+                                          const Cancellation* cancel,
+                                          common::MonotonicArena* arena) {
+  stats_ = core::FrameworkStats{};
+  std::vector<GraphMatch> out;
+  if (q.node_count() == 0 || k == 0) return out;
+
+  const WallTimer wall;
+  const size_t shards = cluster_.shards();
+  stats_.shard.shards = shards;
+  CoordCounters counters;
+  counters.shard_pulls.assign(shards, 0);
+  const auto finish = [&] {
+    stats_.shard.shard_pulls = counters.shard_pulls;
+    stats_.shard.total_pulls = counters.total_pulls;
+    stats_.shard.boundary_pivot_hits = counters.boundary_pivot_hits;
+    stats_.shard.early_termination_round = counters.last_pull_round;
+    stats_.shard.coordinator_wall_ms = wall.ElapsedMillis();
+  };
+
+  // Pre-expired deadline / pre-cancelled request: return before any
+  // session opens or candidate is retrieved, like the single-process path.
+  CancelChecker cancel_check(cancel);
+  if (cancel_check.ShouldStop()) {
+    stats_.cancelled = true;
+    finish();
+    return out;
+  }
+
+  // Coordinator-side scorer over the GLOBAL graph and index. Honesty note:
+  // the coordinator is not graph-free — decomposition sampling and
+  // rank-join bookkeeping read global candidate lists. What is distributed
+  // is the heavy lifting: bulk candidate scoring (scattered owned slices)
+  // and all star enumeration/propagation (worker-side, shard graphs only).
+  scoring::QueryScorer scorer(cluster_.graph(), q, cluster_.ensemble(),
+                              options_.star.match, cluster_.index(), arena);
+  scorer.set_cancellation(cancel);
+
+  // Cross-query reuse: same probe/seed protocol as StarFramework::TopK,
+  // with one extra step — warm lists also ship to every worker, which must
+  // observe the exact global list before building stars.
+  core::ReuseCache* const reuse = options_.star.reuse;
+  const uint64_t generation = reuse != nullptr ? reuse->generation() : 0;
+  std::vector<std::string> node_keys(q.node_count());
+  std::vector<bool> seeded(q.node_count(), false);
+  std::vector<std::shared_ptr<const std::vector<ScoredCandidate>>> node_lists(
+      q.node_count());
+  if (reuse != nullptr) {
+    for (int u = 0; u < q.node_count(); ++u) {
+      node_keys[u] = core::CandidateCacheKey(config_fingerprint_, q.node(u));
+      if (auto list = reuse->LookupCandidates(node_keys[u])) {
+        scorer.SeedCandidates(u, *list);
+        node_lists[u] = std::move(list);
+        seeded[u] = true;
+        ++stats_.candidate_lists_seeded;
+      }
+    }
+  }
+
+  // Open one session per shard. The closer guarantees every exit path ends
+  // every session (workers keep no per-request state past the reply).
+  struct SessionHandle {
+    ShardWorker* worker;
+    uint64_t id;
+  };
+  std::vector<SessionHandle> sessions;
+  sessions.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    ShardWorker& w = cluster_.worker(s);
+    sessions.push_back({&w, w.BeginQuery(&q, options_.star.match,
+                                         options_.star.strategy, cancel)});
+  }
+  struct SessionCloser {
+    std::vector<SessionHandle>* sessions;
+    bool harvested = false;
+    ~SessionCloser() {
+      if (harvested) return;
+      std::vector<std::future<ShardWorker::SessionStats>> futs;
+      futs.reserve(sessions->size());
+      for (SessionHandle& s : *sessions) futs.push_back(s.worker->EndQuery(s.id));
+      for (auto& f : futs) f.wait();
+    }
+  } closer{&sessions};
+
+  // Scatter: each shard scores its owned slice of every non-wildcard,
+  // non-cache-warm query node's retrieval pool; the shards share one pool
+  // (full replicated node tables), so the merged, canonically sorted
+  // union cut to max_candidates IS the single-process candidate list.
+  // Wildcard nodes are never scattered: their lists (typed) are computed
+  // worker-locally with identical results, and untyped wildcards build no
+  // lists at all.
+  {
+    std::vector<int> scatter_nodes;
+    for (int u = 0; u < q.node_count(); ++u) {
+      if (seeded[u] || q.node(u).wildcard) continue;
+      scatter_nodes.push_back(u);
+    }
+    stats_.shard.scatter_nodes = scatter_nodes.size();
+    std::vector<std::vector<std::future<ShardWorker::ScatterReply>>> futs(
+        scatter_nodes.size());
+    for (size_t i = 0; i < scatter_nodes.size(); ++i) {
+      for (SessionHandle& s : sessions) {
+        futs[i].push_back(s.worker->Scatter(s.id, scatter_nodes[i]));
+      }
+    }
+    bool truncated = false;
+    std::vector<std::vector<ScoredCandidate>> merged(scatter_nodes.size());
+    for (size_t i = 0; i < scatter_nodes.size(); ++i) {
+      for (auto& f : futs[i]) {
+        ShardWorker::ScatterReply r = f.get();
+        truncated |= r.truncated;
+        merged[i].insert(merged[i].end(), r.owned.begin(), r.owned.end());
+      }
+    }
+    if (truncated) {
+      // A slice may be incomplete; seeding it would violate the scorer's
+      // complete-list contract. Wind the whole query down to the (empty,
+      // trivially correct) prefix, exactly what an early expiry yields.
+      stats_.cancelled = true;
+      finish();
+      return out;
+    }
+    for (size_t i = 0; i < scatter_nodes.size(); ++i) {
+      const int u = scatter_nodes[i];
+      std::sort(merged[i].begin(), merged[i].end(),
+                [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.node < b.node;
+                });
+      // Same cutoff rule as QueryScorer::ScorePool (0 = unlimited); the
+      // (score desc, node asc) total order makes the merged cut identical
+      // to the single-process one for any scoring partition.
+      if (options_.star.match.max_candidates > 0 &&
+          merged[i].size() > options_.star.match.max_candidates) {
+        merged[i].resize(options_.star.match.max_candidates);
+      }
+      node_lists[u] = std::make_shared<const std::vector<ScoredCandidate>>(
+          std::move(merged[i]));
+      scorer.SeedCandidates(u, *node_lists[u]);
+    }
+  }
+
+  // Ship every assembled list (scattered or cache-warm) to every shard.
+  {
+    std::vector<std::future<void>> seed_futs;
+    for (int u = 0; u < q.node_count(); ++u) {
+      if (node_lists[u] == nullptr) continue;
+      for (SessionHandle& s : sessions) {
+        seed_futs.push_back(s.worker->Seed(s.id, u, node_lists[u]));
+      }
+    }
+    for (auto& f : seed_futs) f.get();
+  }
+
+  // Decomposition runs once, on the coordinator (its candidate reads are
+  // all seeded memo hits now).
+  const std::vector<StarQuery> stars =
+      core::DecomposeQuery(q, options_.star.decomposition, &scorer);
+  stats_.num_stars = stars.size();
+  const bool single = stars.size() == 1;
+
+  // Star specs (shared payload, one BuildStars message per shard) plus the
+  // coordinator's own canonical view of each star for match expansion.
+  auto specs = std::make_shared<std::vector<ShardWorker::StarSpec>>();
+  specs->reserve(stars.size());
+  std::vector<StarQuery> canonical;
+  std::vector<std::string> star_keys(stars.size());
+  canonical.reserve(stars.size());
+  for (size_t i = 0; i < stars.size(); ++i) {
+    ShardWorker::StarSpec spec;
+    spec.star = stars[i];
+    spec.k_hint = single ? k : 0;
+    if (!single) {
+      spec.node_weights =
+          core::AlphaNodeWeights(q, stars, i, options_.star.alpha);
+    }
+    if (reuse != nullptr) {
+      star_keys[i] =
+          core::StarCacheKey(config_fingerprint_, q, stars[i], spec.node_weights);
+    }
+    canonical.push_back(
+        core::CanonicalizeStarEdgeOrder(q, stars[i], spec.node_weights));
+    specs->push_back(std::move(spec));
+  }
+
+  std::vector<std::future<ShardWorker::BuildReply>> build_futs;
+  build_futs.reserve(shards);
+  for (SessionHandle& s : sessions) {
+    build_futs.push_back(s.worker->BuildStars(s.id, specs));
+  }
+  std::vector<ShardWorker::BuildReply> builds;
+  builds.reserve(shards);
+  bool build_cancelled = false;
+  for (auto& f : build_futs) {
+    builds.push_back(f.get());
+    build_cancelled |= builds.back().cancelled;
+  }
+
+  // Same left-deep pipeline as StarFramework::TopK, with each star's
+  // engine swapped for the merged per-shard stream.
+  std::vector<CachedStarStream*> stream_ptrs;
+  std::vector<RankJoin*> join_ptrs;
+  std::unique_ptr<core::CoveredMatchIterator> pipeline;
+  std::vector<ShardWorker*> workers;
+  std::vector<uint64_t> session_ids;
+  for (SessionHandle& s : sessions) {
+    workers.push_back(s.worker);
+    session_ids.push_back(s.id);
+  }
+  for (size_t i = 0; i < stars.size(); ++i) {
+    std::vector<double> bounds(shards, kNegInf);
+    for (size_t s = 0; s < shards; ++s) bounds[s] = builds[s].bounds[i];
+    auto engine = std::make_unique<MergedShardStarStream>(
+        q, canonical[i], workers, session_ids, i, std::move(bounds),
+        build_cancelled, &cluster_.partition().boundary_node_mask(), &counters,
+        options_.eager_gather);
+    auto stream = std::make_unique<CachedStarStream>(
+        std::move(engine), reuse, std::move(star_keys[i]), generation);
+    stream_ptrs.push_back(stream.get());
+    if (pipeline == nullptr) {
+      pipeline = std::move(stream);
+    } else {
+      auto join = std::make_unique<RankJoin>(
+          std::move(pipeline), std::move(stream),
+          options_.star.match.enforce_injective, cancel,
+          scorer.transient_resource());
+      join_ptrs.push_back(join.get());
+      pipeline = std::move(join);
+    }
+  }
+
+  while (out.size() < k) {
+    if (cancel_check.ShouldStop()) {
+      stats_.cancelled = true;
+      break;
+    }
+    auto m = pipeline->Next();
+    if (!m.has_value()) break;
+    out.push_back(std::move(*m));
+  }
+
+  stats_.star_depths.clear();
+  for (CachedStarStream* s : stream_ptrs) {
+    stats_.star_depths.push_back(s->depth());
+    stats_.total_depth += s->depth();
+    stats_.search.Merge(s->stats());
+    if (s->probed()) {
+      s->cache_hit() ? ++stats_.star_cache_hits : ++stats_.star_cache_misses;
+      if (s->resumed()) ++stats_.star_cache_resumes;
+    }
+  }
+
+  // Close every session and fold the workers' engine counters in.
+  {
+    std::vector<std::future<ShardWorker::SessionStats>> end_futs;
+    end_futs.reserve(shards);
+    for (SessionHandle& s : sessions) {
+      end_futs.push_back(s.worker->EndQuery(s.id));
+    }
+    for (auto& f : end_futs) {
+      ShardWorker::SessionStats st = f.get();
+      stats_.search.Merge(st.search);
+      stats_.cancelled |= st.truncated;
+    }
+    closer.harvested = true;
+  }
+
+  stats_.cancelled |= stats_.search.cancelled;
+  for (const RankJoin* j : join_ptrs) stats_.cancelled |= j->cancelled();
+  stats_.cancelled |= scorer.truncated();
+
+  // Publish to the reuse cache under the same no-cancellation-anywhere
+  // gate as the single-process engine.
+  if (reuse != nullptr && !stats_.cancelled) {
+    for (CachedStarStream* s : stream_ptrs) s->CommitToCache();
+    for (int u = 0; u < q.node_count(); ++u) {
+      if (seeded[u]) continue;
+      if (const auto* list = scorer.CandidatesIfReady(u)) {
+        reuse->InsertCandidates(
+            node_keys[u],
+            std::vector<ScoredCandidate>(list->begin(), list->end()),
+            generation);
+        ++stats_.candidate_lists_inserted;
+      }
+    }
+  }
+
+  finish();
+  return out;
+}
+
+}  // namespace star::shard

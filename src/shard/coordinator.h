@@ -1,0 +1,122 @@
+#ifndef STAR_SHARD_COORDINATOR_H_
+#define STAR_SHARD_COORDINATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/deadline.h"
+#include "core/framework.h"
+#include "core/match.h"
+#include "graph/knowledge_graph.h"
+#include "graph/label_index.h"
+#include "query/query_graph.h"
+#include "shard/partitioner.h"
+#include "shard/shard_worker.h"
+#include "text/ensemble.h"
+
+namespace star::shard {
+
+/// A partition plus its resident worker fleet: one ShardWorker (thread +
+/// shard graph + shard index) per shard, shared by every request routed at
+/// the cluster. Built once per service; all state here is immutable after
+/// construction, so any number of concurrent ShardEngine requests may use
+/// it (workers interleave their sessions).
+class ShardCluster {
+ public:
+  struct Options {
+    PartitionOptions partition;
+    /// Test hook: runs on the worker thread at the start of every star
+    /// pull (slow-shard injection for coordinator deadline tests).
+    std::function<void(size_t shard)> before_pull;
+  };
+
+  /// `g`, `ensemble` and `global_index` (nullable) must outlive the
+  /// cluster; the global graph/index serve the coordinator-side scorer,
+  /// the partition's shard graphs/indexes serve the workers.
+  ShardCluster(const graph::KnowledgeGraph& g,
+               const text::SimilarityEnsemble& ensemble,
+               const graph::LabelIndex* global_index, Options options);
+
+  size_t shards() const { return partition_.shards(); }
+  const ShardPartition& partition() const { return partition_; }
+  ShardWorker& worker(size_t s) { return *workers_[s]; }
+
+  const graph::KnowledgeGraph& graph() const { return graph_; }
+  const text::SimilarityEnsemble& ensemble() const { return ensemble_; }
+  const graph::LabelIndex* index() const { return index_; }
+
+  /// Total open sessions across all workers (0 whenever no request is in
+  /// flight — the no-leaked-session invariant tests assert).
+  size_t active_sessions() const;
+
+ private:
+  const graph::KnowledgeGraph& graph_;
+  const text::SimilarityEnsemble& ensemble_;
+  const graph::LabelIndex* index_;
+  ShardPartition partition_;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+};
+
+/// Scatter-gather top-k over a ShardCluster, bitwise identical to
+/// StarFramework::TopK on the unsharded graph — same matches, same score
+/// bits, same tie order, same reuse-cache interaction (one documented
+/// exception: candidate lists of typed wildcard nodes are computed
+/// worker-locally and never enter the cache; the values would be identical
+/// anyway).
+///
+/// Per query: candidate scoring is scattered (each worker scores its owned
+/// slice of the shared retrieval pool; the coordinator merges canonically,
+/// applies the max_candidates cut, and ships the merged list everywhere),
+/// decomposition runs once on the coordinator's global-graph scorer, and
+/// each star becomes a lazily merged per-shard stream: the coordinator
+/// pulls the shard with the largest certified bound until every live bound
+/// is dominated by a staged match, which terminates cross-shard work as
+/// early as the rank join's thresholds allow. Deadline/cancellation
+/// observations anywhere (coordinator or worker) wind the query down to a
+/// correctly ordered prefix, exactly like the single-process engine.
+///
+/// The engine object is cheap, per-request state only; construct one per
+/// query (concurrent requests each use their own engine over the shared
+/// cluster).
+class ShardEngine {
+ public:
+  struct Options {
+    core::StarOptions star;
+    /// Bench baseline, NOT identity-preserving at rank joins: drain every
+    /// shard's stream fully on first pull instead of bound-driven lazy
+    /// merging. Pull counters under lazy merging vs. this mode quantify
+    /// the early-termination saving.
+    bool eager_gather = false;
+  };
+
+  /// Requires options.star.match.d <= cluster.partition().halo_depth()
+  /// (the halo invariant that makes worker-local enumeration exact).
+  ShardEngine(ShardCluster& cluster, Options options);
+
+  /// Mirrors StarFramework::TopK(q, k, cancel, arena): descending-score
+  /// top-k; on cancellation a correctly ordered prefix with
+  /// last_stats().cancelled set. `arena` (nullable) backs coordinator-side
+  /// transient state; workers use their own per-session arenas.
+  std::vector<core::GraphMatch> TopK(const query::QueryGraph& q, size_t k,
+                                     const Cancellation* cancel = nullptr,
+                                     common::MonotonicArena* arena = nullptr);
+
+  /// Diagnostics of the most recent TopK call (shard counters in .shard).
+  const core::FrameworkStats& last_stats() const { return stats_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  ShardCluster& cluster_;
+  Options options_;
+  std::string config_fingerprint_;
+  core::FrameworkStats stats_;
+};
+
+}  // namespace star::shard
+
+#endif  // STAR_SHARD_COORDINATOR_H_

@@ -1,0 +1,187 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <utility>
+
+namespace star::shard {
+
+using graph::KnowledgeGraph;
+using graph::NodeId;
+
+namespace {
+
+// splitmix64 finalizer: a fixed, platform-independent mix so the hash
+// assignment is reproducible across runs, hosts, and standard libraries
+// (std::hash makes no such promise). Pinned by a regression test.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<uint32_t> AssignOwners(const KnowledgeGraph& g,
+                                   const PartitionOptions& options) {
+  const size_t n = g.node_count();
+  const size_t shards = options.shards;
+  std::vector<uint32_t> owner(n, 0);
+  if (shards <= 1) return owner;
+  if (options.policy == PartitionPolicy::kHash) {
+    for (size_t v = 0; v < n; ++v) {
+      owner[v] = static_cast<uint32_t>(SplitMix64(v) % shards);
+    }
+    return owner;
+  }
+  // kLabelRange: equal contiguous cuts of the (label, id)-sorted node
+  // sequence. Ties on identical labels keep id order, so the assignment
+  // is a total function of the node table.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    const auto la = g.NodeLabel(a);
+    const auto lb = g.NodeLabel(b);
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  for (size_t i = 0; i < n; ++i) {
+    owner[order[i]] = static_cast<uint32_t>(i * shards / n);
+  }
+  return owner;
+}
+
+}  // namespace
+
+ShardPartition ShardPartition::Build(const KnowledgeGraph& g,
+                                     const PartitionOptions& options) {
+  ShardPartition p;
+  p.options_ = options;
+  p.options_.shards = std::max<size_t>(1, options.shards);
+  const size_t shards = p.options_.shards;
+  const size_t n = g.node_count();
+  const size_t m = g.edge_count();
+  p.owner_ = AssignOwners(g, p.options_);
+
+  // Boundary table: every directed edge with endpoints on two shards.
+  p.boundary_node_mask_.assign(n, 0);
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    const uint32_t so = p.owner_[g.EdgeSrc(e)];
+    const uint32_t od = p.owner_[g.EdgeDst(e)];
+    if (so == od) continue;
+    p.boundary_edges_.push_back({e, so, od});
+    p.boundary_node_mask_[g.EdgeSrc(e)] = 1;
+    p.boundary_node_mask_[g.EdgeDst(e)] = 1;
+  }
+
+  p.stats_.shards = shards;
+  p.stats_.total_nodes = n;
+  p.stats_.total_edges = m;
+  p.stats_.cut_edges = p.boundary_edges_.size();
+  p.stats_.edge_cut_fraction =
+      m == 0 ? 0.0
+             : static_cast<double>(p.stats_.cut_edges) / static_cast<double>(m);
+  p.stats_.boundary_nodes = static_cast<size_t>(std::count(
+      p.boundary_node_mask_.begin(), p.boundary_node_mask_.end(), 1));
+  p.stats_.owned_nodes.assign(shards, 0);
+  for (size_t v = 0; v < n; ++v) ++p.stats_.owned_nodes[p.owner_[v]];
+  size_t max_owned = 0;
+  for (const size_t c : p.stats_.owned_nodes) max_owned = std::max(max_owned, c);
+  p.stats_.balance =
+      n == 0 ? 1.0
+             : static_cast<double>(max_owned * shards) / static_cast<double>(n);
+
+  // Build each shard: full node table in global id order (node ids, label
+  // interning and the type dictionary reproduce exactly), the full
+  // relation dictionary in global id order (bound computations iterate
+  // it), then the halo adjacency — every directed edge with at least one
+  // endpoint within hop-distance (halo_depth - 1) of the owned set. Edge
+  // ids inside a shard graph differ from global ids; nothing in the
+  // engine's result path observes an EdgeId, and each stored node's
+  // neighbor list contents are identical to the global graph's after the
+  // canonical (node, relation, forward) sort.
+  const int ball_radius = std::max(0, p.options_.halo_depth - 1);
+  p.stats_.shard_edges.assign(shards, 0);
+  p.stats_.halo_nodes.assign(shards, 0);
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->owned_mask.assign(n, 0);
+    for (size_t v = 0; v < n; ++v) {
+      if (p.owner_[v] == s) shard->owned_mask[v] = 1;
+    }
+
+    // BFS ball: dist(v, owned set) <= ball_radius.
+    std::vector<uint8_t> in_ball(shard->owned_mask);
+    std::vector<NodeId> frontier;
+    for (size_t v = 0; v < n; ++v) {
+      if (in_ball[v]) frontier.push_back(static_cast<NodeId>(v));
+    }
+    for (int hop = 0; hop < ball_radius; ++hop) {
+      std::vector<NodeId> next;
+      for (const NodeId v : frontier) {
+        for (const graph::Neighbor& nb : g.Neighbors(v)) {
+          if (!in_ball[nb.node]) {
+            in_ball[nb.node] = 1;
+            next.push_back(nb.node);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+
+    KnowledgeGraph::Builder b;
+    b.Reserve(n, 0);
+    for (size_t v = 0; v < n; ++v) {
+      b.AddNode(std::string(g.NodeLabel(v)), std::string(g.TypeName(g.NodeType(v))));
+    }
+    for (size_t r = 0; r < g.relation_count(); ++r) {
+      b.InternRelation(g.RelationName(static_cast<uint32_t>(r)));
+    }
+    size_t kept_edges = 0;
+    for (graph::EdgeId e = 0; e < m; ++e) {
+      const NodeId src = g.EdgeSrc(e);
+      const NodeId dst = g.EdgeDst(e);
+      if (!in_ball[src] && !in_ball[dst]) continue;
+      b.AddEdge(src, dst, g.RelationName(g.EdgeRelation(e)));
+      ++kept_edges;
+    }
+    shard->graph = std::move(b).Build(p.options_.layout);
+    shard->index =
+        std::make_unique<graph::LabelIndex>(shard->graph, p.options_.layout);
+
+    p.stats_.shard_edges[s] = kept_edges;
+    size_t halo = 0;
+    for (size_t v = 0; v < n; ++v) {
+      if (in_ball[v] && !shard->owned_mask[v]) ++halo;
+    }
+    p.stats_.halo_nodes[s] = halo;
+    p.stats_.footprints.push_back(shard->graph.Footprint());
+    p.shards_.push_back(std::move(shard));
+  }
+  return p;
+}
+
+std::string FormatPartitionReport(const ShardPartitionStats& stats) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "partition: shards=%zu nodes=%zu edges=%zu edge_cut=%.1f%% "
+                "balance=%.3f boundary_nodes=%zu\n",
+                stats.shards, stats.total_nodes, stats.total_edges,
+                100.0 * stats.edge_cut_fraction, stats.balance,
+                stats.boundary_nodes);
+  out += line;
+  for (size_t s = 0; s < stats.shards; ++s) {
+    const size_t bytes =
+        s < stats.footprints.size() ? stats.footprints[s].total() : 0;
+    std::snprintf(line, sizeof(line),
+                  "  shard %zu: owned=%zu halo=%zu edges=%zu resident=%zuB\n",
+                  s, stats.owned_nodes[s], stats.halo_nodes[s],
+                  stats.shard_edges[s], bytes);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace star::shard

@@ -1,0 +1,137 @@
+#ifndef STAR_SHARD_PARTITIONER_H_
+#define STAR_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "graph/label_index.h"
+
+namespace star::shard {
+
+/// How data nodes are assigned to shards. Both policies are fully
+/// deterministic: the same graph and shard count always produce the same
+/// assignment (a regression test pins the hash variant).
+enum class PartitionPolicy {
+  /// splitmix64 of the node id, mod shards. Uniform, locality-free —
+  /// the balance baseline.
+  kHash,
+  /// Nodes sorted by (label, id) and cut into equal contiguous ranges.
+  /// Keeps lexicographic label neighborhoods co-resident, which in real
+  /// KGs correlates with topic locality (lower edge cut on entity-name
+  /// clusters) and gives range-routing for free in a future RPC split.
+  kLabelRange,
+};
+
+struct PartitionOptions {
+  PartitionPolicy policy = PartitionPolicy::kHash;
+  size_t shards = 2;
+  /// Halo radius control: shard graphs replicate every edge with at least
+  /// one endpoint within hop-distance (halo_depth - 1) of the shard's
+  /// owned node set. halo_depth must be >= the MatchConfig::d of every
+  /// query served over the partition — then every owned pivot's
+  /// depth-(d-1) ball (stark traversal) and d-round message state (stard
+  /// propagation) are bitwise identical to the global graph's.
+  int halo_depth = 2;
+  /// Storage layout of the shard graphs (results are layout-invariant).
+  graph::GraphLayout layout = graph::GraphLayout::kFlat;
+};
+
+/// Partition-quality report (satellite of GraphStats: per-shard
+/// GraphFootprint plus the cut/balance metrics a placement decision needs).
+struct ShardPartitionStats {
+  size_t shards = 0;
+  size_t total_nodes = 0;
+  size_t total_edges = 0;
+  /// Directed edges whose endpoints live on different shards.
+  size_t cut_edges = 0;
+  /// cut_edges / total_edges (0 when the graph has no edges).
+  double edge_cut_fraction = 0.0;
+  /// max owned nodes * shards / total nodes — 1.0 is perfect balance.
+  double balance = 0.0;
+  /// Nodes incident to at least one cut edge.
+  size_t boundary_nodes = 0;
+  std::vector<size_t> owned_nodes;    ///< per shard
+  std::vector<size_t> shard_edges;    ///< directed edges stored per shard
+  std::vector<size_t> halo_nodes;     ///< non-owned nodes with edges stored
+  /// Resident bytes of each shard graph (its replicated node table plus
+  /// the halo adjacency).
+  std::vector<graph::GraphFootprint> footprints;
+};
+
+/// Cross-shard directed edge (owner(src) != owner(dst)).
+struct BoundaryEdge {
+  graph::EdgeId edge = 0;
+  uint32_t src_shard = 0;
+  uint32_t dst_shard = 0;
+};
+
+/// Deterministic split of a KnowledgeGraph into N shard graphs plus a
+/// boundary-edge table.
+///
+/// Every shard graph replicates the FULL node table (labels, types, and
+/// the type dictionary reproduce bit-for-bit because nodes are re-added in
+/// global id order) and the full relation dictionary (force-interned in
+/// global id order), but stores adjacency only for its owned nodes' halo
+/// (see PartitionOptions::halo_depth). Per-shard LabelIndex instances are
+/// rebuilt over the shard graphs; since retrieval reads only the node
+/// table, every shard index answers candidate retrieval exactly like an
+/// index over the global graph. These two invariants are what make
+/// shard-local scoring, bounds, and star enumeration bitwise identical to
+/// single-process execution for owned pivots.
+class ShardPartition {
+ public:
+  /// Splits g. O(|V| + |E| * halo_depth) plus the shard builds.
+  static ShardPartition Build(const graph::KnowledgeGraph& g,
+                              const PartitionOptions& options);
+
+  size_t shards() const { return shards_.size(); }
+  const PartitionOptions& options() const { return options_; }
+
+  uint32_t OwnerOf(graph::NodeId v) const { return owner_[v]; }
+  /// owned_mask(s)[v] != 0 iff shard s owns node v (StarSearch's
+  /// pivot_owned filter consumes this directly).
+  const std::vector<uint8_t>& owned_mask(size_t s) const {
+    return shards_[s]->owned_mask;
+  }
+  const graph::KnowledgeGraph& shard_graph(size_t s) const {
+    return shards_[s]->graph;
+  }
+  const graph::LabelIndex& shard_index(size_t s) const {
+    return *shards_[s]->index;
+  }
+
+  /// boundary_node_mask()[v] != 0 iff v is incident to a cut edge.
+  const std::vector<uint8_t>& boundary_node_mask() const {
+    return boundary_node_mask_;
+  }
+  const std::vector<BoundaryEdge>& boundary_edges() const {
+    return boundary_edges_;
+  }
+  const ShardPartitionStats& stats() const { return stats_; }
+  int halo_depth() const { return options_.halo_depth; }
+
+ private:
+  struct Shard {
+    graph::KnowledgeGraph graph;
+    std::unique_ptr<graph::LabelIndex> index;
+    std::vector<uint8_t> owned_mask;
+  };
+
+  PartitionOptions options_;
+  std::vector<uint32_t> owner_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<uint8_t> boundary_node_mask_;
+  std::vector<BoundaryEdge> boundary_edges_;
+  ShardPartitionStats stats_;
+};
+
+/// Human-readable partition-quality report (serve_demo / tools print it):
+/// one line per shard plus the cut/balance summary.
+std::string FormatPartitionReport(const ShardPartitionStats& stats);
+
+}  // namespace star::shard
+
+#endif  // STAR_SHARD_PARTITIONER_H_

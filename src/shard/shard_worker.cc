@@ -1,0 +1,207 @@
+#include "shard/shard_worker.h"
+
+#include <exception>
+#include <utility>
+
+namespace star::shard {
+
+ShardWorker::ShardWorker(size_t shard_id,
+                         const graph::KnowledgeGraph& shard_graph,
+                         const graph::LabelIndex* shard_index,
+                         const std::vector<uint8_t>& owned_mask,
+                         const text::SimilarityEnsemble& ensemble,
+                         std::function<void(size_t)> before_pull)
+    : shard_id_(shard_id),
+      graph_(shard_graph),
+      index_(shard_index),
+      owned_mask_(owned_mask),
+      ensemble_(ensemble),
+      before_pull_(std::move(before_pull)) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+ShardWorker::~ShardWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardWorker::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mailbox_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+void ShardWorker::Run() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !mailbox_.empty(); });
+      // Drain the mailbox even when stopping: every enqueued message holds
+      // a promise someone may be waiting on.
+      if (mailbox_.empty()) break;
+      task = std::move(mailbox_.front());
+      mailbox_.pop_front();
+    }
+    task();
+  }
+  sessions_.clear();
+}
+
+uint64_t ShardWorker::BeginQuery(const query::QueryGraph* query,
+                                 const scoring::MatchConfig& config,
+                                 core::StarStrategy strategy,
+                                 const Cancellation* cancel) {
+  const uint64_t id = next_session_.fetch_add(1, std::memory_order_relaxed);
+  active_sessions_.fetch_add(1, std::memory_order_acq_rel);
+  scoring::MatchConfig cfg = config;
+  Enqueue([this, id, query, cfg, strategy, cancel] {
+    Session& s = sessions_[id];
+    s.query = query;
+    s.config = cfg;
+    // Within-shard work runs serial on this thread: intra-query thread
+    // fan-out is replaced by the cross-shard fan-out itself. Forcing
+    // threads = 1 is result-neutral (the threading bit-identity contract)
+    // and keeps shard threads off the global pool — a pool whose workers
+    // are service threads BLOCKED on shard replies must never be what a
+    // shard's own scoring waits on.
+    s.config.threads = 1;
+    s.strategy = strategy;
+    s.cancel = cancel;
+    s.arena = std::make_unique<common::MonotonicArena>();
+    s.scorer = std::make_unique<scoring::QueryScorer>(
+        graph_, *query, ensemble_, s.config, index_, s.arena.get());
+    s.scorer->set_cancellation(cancel);
+  });
+  return id;
+}
+
+std::future<ShardWorker::ScatterReply> ShardWorker::Scatter(uint64_t session,
+                                                            int query_node) {
+  auto p = std::make_shared<std::promise<ScatterReply>>();
+  std::future<ScatterReply> fut = p->get_future();
+  Enqueue([this, session, query_node, p] {
+    try {
+      Session& s = sessions_.at(session);
+      const std::vector<graph::NodeId> pool =
+          s.scorer->RetrievalPool(query_node);
+      std::vector<graph::NodeId> mine;
+      for (const graph::NodeId v : pool) {
+        if (owned_mask_[v]) mine.push_back(v);
+      }
+      ScatterReply r;
+      r.owned = s.scorer->ScorePool(query_node, mine);
+      r.truncated = s.scorer->truncated();
+      p->set_value(std::move(r));
+    } catch (...) {
+      p->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+std::future<void> ShardWorker::Seed(
+    uint64_t session, int query_node,
+    std::shared_ptr<const std::vector<scoring::ScoredCandidate>> list) {
+  auto p = std::make_shared<std::promise<void>>();
+  std::future<void> fut = p->get_future();
+  Enqueue([this, session, query_node, list, p] {
+    try {
+      sessions_.at(session).scorer->SeedCandidates(query_node, *list);
+      p->set_value();
+    } catch (...) {
+      p->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+std::future<ShardWorker::BuildReply> ShardWorker::BuildStars(
+    uint64_t session, std::shared_ptr<const std::vector<StarSpec>> stars) {
+  auto p = std::make_shared<std::promise<BuildReply>>();
+  std::future<BuildReply> fut = p->get_future();
+  Enqueue([this, session, stars, p] {
+    try {
+      Session& s = sessions_.at(session);
+      BuildReply r;
+      r.bounds.reserve(stars->size());
+      for (const StarSpec& spec : *stars) {
+        core::StarSearch::Options so;
+        so.strategy = s.strategy;
+        so.k_hint = spec.k_hint;
+        so.node_weights = spec.node_weights;
+        so.cancel = s.cancel;
+        so.pivot_owned = &owned_mask_;
+        s.searches.push_back(std::make_unique<core::StarSearch>(
+            *s.scorer, spec.star, std::move(so)));
+        // UpperBound forces initialization here, on the worker thread, so
+        // the certified bound ships with the reply. Eager vs. the global
+        // engine's lazy init is a timing difference only: the reserve and
+        // stream contents are pure functions of the (seeded) scorer state.
+        r.bounds.push_back(s.searches.back()->UpperBound());
+        r.cancelled |= s.searches.back()->stats().cancelled;
+      }
+      r.cancelled |= s.scorer->truncated();
+      p->set_value(std::move(r));
+    } catch (...) {
+      p->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+std::future<ShardWorker::PullReply> ShardWorker::Pull(uint64_t session,
+                                                      size_t star_index) {
+  auto p = std::make_shared<std::promise<PullReply>>();
+  std::future<PullReply> fut = p->get_future();
+  Enqueue([this, session, star_index, p] {
+    try {
+      if (before_pull_) before_pull_(shard_id_);
+      Session& s = sessions_.at(session);
+      ++s.pulls;
+      core::StarSearch& search = *s.searches.at(star_index);
+      PullReply r;
+      r.match = search.Next();
+      r.cancelled = search.stats().cancelled;
+      r.bound = search.UpperBound();
+      p->set_value(std::move(r));
+    } catch (...) {
+      p->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+std::future<ShardWorker::SessionStats> ShardWorker::EndQuery(
+    uint64_t session) {
+  auto p = std::make_shared<std::promise<SessionStats>>();
+  std::future<SessionStats> fut = p->get_future();
+  Enqueue([this, session, p] {
+    try {
+      SessionStats st;
+      auto it = sessions_.find(session);
+      if (it != sessions_.end()) {
+        Session& s = it->second;
+        for (const auto& search : s.searches) {
+          st.search.Merge(search->stats());
+        }
+        st.truncated = s.scorer->truncated();
+        st.pulls = s.pulls;
+        sessions_.erase(it);
+        active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      p->set_value(std::move(st));
+    } catch (...) {
+      p->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+}  // namespace star::shard

@@ -1,0 +1,181 @@
+#ifndef STAR_SHARD_SHARD_WORKER_H_
+#define STAR_SHARD_SHARD_WORKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/deadline.h"
+#include "core/star_search.h"
+#include "graph/knowledge_graph.h"
+#include "graph/label_index.h"
+#include "query/query_graph.h"
+#include "scoring/match_config.h"
+#include "scoring/query_scorer.h"
+#include "text/ensemble.h"
+
+namespace star::shard {
+
+/// One shard's execution engine: owns the shard graph, per-query scorers
+/// and star searches, and a dedicated thread that processes coordinator
+/// messages one at a time. The shard boundary is message-passing only —
+/// the coordinator never touches shard graph state, and the worker never
+/// touches another shard's; the only shared objects are immutable query
+/// payloads (query graph, star specs, merged candidate lists) and the
+/// request's thread-safe Cancellation, all owned by the coordinator for
+/// the session's lifetime. This is the in-process stand-in for an RPC
+/// server: every method below maps to one message with a self-contained
+/// payload.
+///
+/// A worker serves multiple concurrent query *sessions* (one per in-flight
+/// request) by interleaving their messages; each session's scorer and
+/// searches are only ever touched from the worker thread, preserving the
+/// scorer's single-owning-thread contract.
+class ShardWorker {
+ public:
+  /// Per-star payload of BuildStars: the star subquery, its α-scheme
+  /// weights, and the standalone-star pruning hint (same values the
+  /// single-process framework passes to StarSearch).
+  struct StarSpec {
+    query::StarQuery star;
+    std::vector<double> node_weights;
+    size_t k_hint = 0;
+  };
+
+  struct ScatterReply {
+    /// This shard's owned slice of the query node's candidate list:
+    /// exact scores, canonical (score desc, node asc) order, no
+    /// max_candidates truncation (the coordinator truncates post-merge).
+    std::vector<scoring::ScoredCandidate> owned;
+    /// A cancellation fired mid-scoring; the slice may be incomplete.
+    bool truncated = false;
+  };
+
+  struct BuildReply {
+    /// StarSearch::UpperBound() of each star after initialization — the
+    /// shard's certified bound on any match it may still emit.
+    std::vector<double> bounds;
+    /// A cancellation fired during initialization; bounds may describe a
+    /// partial reserve, so the coordinator must not emit from this shard.
+    bool cancelled = false;
+  };
+
+  struct PullReply {
+    std::optional<core::StarMatch> match;  ///< nullopt = exhausted/cancelled
+    /// Post-pull upper bound on anything this shard may still emit.
+    double bound = -std::numeric_limits<double>::infinity();
+    bool cancelled = false;
+  };
+
+  struct SessionStats {
+    core::StarSearchStats search;  ///< merged across the session's stars
+    bool truncated = false;        ///< scorer-level cancellation observed
+    size_t pulls = 0;              ///< Pull messages served
+  };
+
+  /// All referenced objects must outlive the worker. `shard_index` is
+  /// null when the cluster serves no-index retrieval semantics (the shard
+  /// then scans its full replicated node table, exactly like the global
+  /// engine scans V). `before_pull` (nullable) runs on the worker thread
+  /// at the start of every Pull — a test hook for slow-shard injection.
+  ShardWorker(size_t shard_id, const graph::KnowledgeGraph& shard_graph,
+              const graph::LabelIndex* shard_index,
+              const std::vector<uint8_t>& owned_mask,
+              const text::SimilarityEnsemble& ensemble,
+              std::function<void(size_t shard)> before_pull = nullptr);
+  /// Drains the mailbox and joins the thread. Any session still open is
+  /// destroyed (normal coordinators always EndQuery first).
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Opens a query session and returns its id. `query`, `cancel` and the
+  /// payloads of every later message must stay valid until the EndQuery
+  /// reply is received. Messages of one session must be issued in
+  /// protocol order (Begin, Scatter*/Seed*, BuildStars, Pull*, End); the
+  /// mailbox is FIFO so ordering is preserved per sender.
+  uint64_t BeginQuery(const query::QueryGraph* query,
+                      const scoring::MatchConfig& config,
+                      core::StarStrategy strategy, const Cancellation* cancel);
+
+  /// Scores this shard's owned slice of `query_node`'s retrieval pool.
+  std::future<ScatterReply> Scatter(uint64_t session, int query_node);
+
+  /// Injects the coordinator-merged candidate list for `query_node` into
+  /// the session's scorer (the exact list Candidates() would compute
+  /// single-process — required before any star touching the node builds).
+  std::future<void> Seed(
+      uint64_t session, int query_node,
+      std::shared_ptr<const std::vector<scoring::ScoredCandidate>> list);
+
+  /// Builds one StarSearch per spec, restricted to this shard's owned
+  /// pivots, and returns their initial upper bounds.
+  std::future<BuildReply> BuildStars(
+      uint64_t session, std::shared_ptr<const std::vector<StarSpec>> stars);
+
+  /// Pulls the next-best owned-pivot match of one star.
+  std::future<PullReply> Pull(uint64_t session, size_t star_index);
+
+  /// Closes the session and returns its merged engine counters.
+  std::future<SessionStats> EndQuery(uint64_t session);
+
+  size_t shard_id() const { return shard_id_; }
+  /// Sessions currently open (0 once every request has been EndQuery'd —
+  /// the "no worker state outlives its request" test reads this).
+  size_t active_sessions() const {
+    return active_sessions_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Session {
+    const query::QueryGraph* query = nullptr;
+    scoring::MatchConfig config;
+    core::StarStrategy strategy = core::StarStrategy::kStard;
+    const Cancellation* cancel = nullptr;
+    size_t pulls = 0;
+    // Destruction order matters: searches reference the scorer, the
+    // scorer references the arena — members are declared in reverse
+    // teardown order.
+    std::unique_ptr<common::MonotonicArena> arena;
+    std::unique_ptr<scoring::QueryScorer> scorer;
+    std::vector<std::unique_ptr<core::StarSearch>> searches;
+  };
+
+  void Enqueue(std::function<void()> task);
+  void Run();
+
+  const size_t shard_id_;
+  const graph::KnowledgeGraph& graph_;
+  const graph::LabelIndex* const index_;  // null = no-index retrieval
+  const std::vector<uint8_t>& owned_mask_;
+  const text::SimilarityEnsemble& ensemble_;
+  const std::function<void(size_t)> before_pull_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> mailbox_;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> next_session_{1};
+  std::atomic<size_t> active_sessions_{0};
+  // Worker-thread-only state.
+  std::unordered_map<uint64_t, Session> sessions_;
+
+  std::thread thread_;
+};
+
+}  // namespace star::shard
+
+#endif  // STAR_SHARD_SHARD_WORKER_H_

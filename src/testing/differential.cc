@@ -21,6 +21,8 @@
 #include "query/query_graph.h"
 #include "scoring/query_scorer.h"
 #include "serve/star_cache.h"
+#include "shard/coordinator.h"
+#include "shard/partitioner.h"
 #include "text/ensemble.h"
 
 namespace star::testing {
@@ -486,6 +488,94 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
       CheckWellFormed(cell, r, c, true, &out);
       CheckBitwiseEqual("layout-diff", cell, base[i].matches, r.matches,
                         &out);
+    }
+  }
+
+  // --- Shard cells: scatter-gather backend, all bitwise vs base ---
+  // A ShardCluster at each count serves every strategy through a
+  // ShardEngine; the distribution is required to be invisible (same
+  // matches, same score bits, same tie order as the single-process base).
+  // Hash partitioning runs at 2 shards and label-range at 4 so both
+  // policies stay under differential coverage; c.shards pins the sweep to
+  // one count for shrinking/replay.
+  if (opts.run_shards) {
+    std::vector<size_t> counts;
+    if (c.shards != 0) {
+      counts.push_back(c.shards);
+    } else {
+      counts = {2, 4};
+    }
+    for (const size_t n_shards : counts) {
+      shard::ShardCluster::Options co;
+      co.partition.shards = n_shards;
+      co.partition.policy = n_shards == 4 && c.shards == 0
+                                ? shard::PartitionPolicy::kLabelRange
+                                : shard::PartitionPolicy::kHash;
+      co.partition.halo_depth = std::max(1, base_spec.config.d);
+      shard::ShardCluster cluster(c.graph, ensemble, index.get(),
+                                  std::move(co));
+
+      for (size_t i = 0; i < 3; ++i) {
+        shard::ShardEngine::Options eo;
+        eo.star.strategy = kStrategies[i].s;
+        eo.star.match = base_spec.config;
+        eo.star.decomposition = base_spec.decomposition;
+        eo.star.alpha = base_spec.alpha;
+        shard::ShardEngine engine(cluster, eo);
+        EngineResult r;
+        r.matches = engine.TopK(c.query, c.k);
+        r.stats = engine.last_stats();
+        ++out.cells_run;
+        const std::string cell =
+            StrPrintf("%s/shards=%zu", kStrategies[i].name, n_shards);
+        CheckWellFormed(cell, r, c, /*expect_complete_run=*/true, &out);
+        CheckBitwiseEqual("shard-diff", cell, base[i].matches, r.matches,
+                          &out);
+      }
+
+      // Coordinator-side scoring at threads=4: the thread bit-identity
+      // contract must survive the scatter-gather split too.
+      {
+        shard::ShardEngine::Options eo;
+        eo.star.strategy = kStrategies[kRefStrategy].s;
+        eo.star.match = base_spec.config;
+        eo.star.match.threads = 4;
+        eo.star.decomposition = base_spec.decomposition;
+        eo.star.alpha = base_spec.alpha;
+        shard::ShardEngine engine(cluster, eo);
+        const auto got = engine.TopK(c.query, c.k);
+        ++out.cells_run;
+        CheckBitwiseEqual("shard-thread-diff",
+                          StrPrintf("stard/shards=%zu/t=4", n_shards),
+                          base[kRefStrategy].matches, got, &out);
+      }
+
+      // Sharded tight deadline: wherever the expiry lands (coordinator
+      // pull loop or a worker), the result must be a correctly ordered
+      // bitwise prefix of the undeadlined single-process run.
+      if (c.tight_deadline_ms > 0.0) {
+        const Cancellation tight{Deadline::AfterMillis(c.tight_deadline_ms)};
+        shard::ShardEngine::Options eo;
+        eo.star.strategy = kStrategies[kRefStrategy].s;
+        eo.star.match = base_spec.config;
+        eo.star.decomposition = base_spec.decomposition;
+        eo.star.alpha = base_spec.alpha;
+        shard::ShardEngine engine(cluster, eo);
+        EngineResult r;
+        r.matches = engine.TopK(c.query, c.k, &tight);
+        r.stats = engine.last_stats();
+        ++out.cells_run;
+        const std::string cell =
+            StrPrintf("stard/shards=%zu/deadline=tight", n_shards);
+        CheckWellFormed(cell, r, c, /*expect_complete_run=*/false, &out);
+        if (r.stats.cancelled) {
+          CheckBitwisePrefix("shard-deadline-prefix", cell,
+                             base[kRefStrategy].matches, r.matches, &out);
+        } else {
+          CheckBitwiseEqual("shard-deadline-complete", cell,
+                            base[kRefStrategy].matches, r.matches, &out);
+        }
+      }
     }
   }
 

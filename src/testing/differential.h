@@ -31,6 +31,10 @@ struct RunnerOptions {
   /// Re-run every strategy over a kCompressed rebuild of the case's graph
   /// and index; results must be bitwise identical to the flat base cells.
   bool run_layout = true;
+  /// Re-run every strategy through the sharded backend (ShardEngine over a
+  /// ShardCluster) at shard counts {2, 4} (or the case's pinned count);
+  /// results must be bitwise identical to the single-process base cells.
+  bool run_shards = true;
   /// Skip the brute-force cell when the product of candidate-list sizes
   /// exceeds this (the oracle is exponential; the generator keeps cases
   /// under the guard, but shrinking intermediates may not be).
@@ -56,6 +60,9 @@ struct CaseOutcome {
 ///    bug injection between cold and warm);
 ///  - deadline cells: pre-expired => empty + cancelled; tight => bitwise
 ///    prefix of the undeadlined run;
+///  - sharded backend at {2, 4} shards (hash and label-range policies)
+///    bitwise identical to the base cells per strategy, plus a threaded
+///    coordinator cell and a sharded tight-deadline prefix cell;
 ///  - metamorphic relations needing no oracle: query node/edge permutation
 ///    invariance, TopK(k) prefix-of TopK(k+3), graph node-id relabeling
 ///    invariance, threshold/lambda/d monotonicity, and star-stream upper

@@ -105,6 +105,10 @@ std::string SerializeReplay(const FuzzCase& c) {
   out << "with_index " << (c.with_index ? 1 : 0) << "\n";
   out << "alpha " << BitsOf(c.alpha) << "\n";
   out << "tight_deadline_ms " << BitsOf(c.tight_deadline_ms) << "\n";
+  // Written only when pinned so pre-shard replay files stay loadable by
+  // this parser and new files stay loadable by strict older parsers
+  // whenever the field is at its default.
+  if (c.shards != 0) out << "shards " << c.shards << "\n";
   const auto& dc = c.decomposition;
   out << "decomp " << static_cast<int>(dc.strategy) << " "
       << BitsOf(dc.lambda_tradeoff) << " " << dc.sample_size << " "
@@ -174,6 +178,10 @@ bool ParseReplay(const std::string& text, FuzzCase* out, std::string* error) {
       if (!ParseBits(rest, &c.tight_deadline_ms)) {
         return fail("bad deadline bits");
       }
+    } else if (key == "shards") {
+      uint64_t s = 0;
+      if (!ParseU64(rest, &s)) return fail("bad shards");
+      c.shards = static_cast<size_t>(s);
     } else if (key == "decomp") {
       const auto f = SplitLine(rest, 6);
       int64_t strategy = 0, max_enum = 0;

@@ -1,0 +1,695 @@
+// Tests for the sharded execution subsystem (src/shard/): partitioner
+// determinism and quality stats, the central bitwise-identity contract
+// (ShardEngine::TopK == StarFramework::TopK on the unsharded graph, same
+// score bits and tie order), reuse-cache interaction, coordinator
+// deadline/cancellation prefixes, the no-leaked-session invariant, and a
+// concurrency suite named *ParallelDeterminism* for the TSan CI filter.
+
+#include "shard/coordinator.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "query/workload.h"
+#include "serve/query_service.h"
+#include "serve/star_cache.h"
+#include "shard/partitioner.h"
+#include "test_helpers.h"
+
+namespace star::shard {
+namespace {
+
+using star::testing::MovieGraph;
+using star::testing::SmallRandomGraph;
+using star::testing::TestConfig;
+
+core::StarOptions MakeOptions(int d, core::StarStrategy strategy,
+                              core::ReuseCache* reuse = nullptr) {
+  core::StarOptions o;
+  o.strategy = strategy;
+  o.match = TestConfig(d);
+  o.alpha = 0.5;
+  o.reuse = reuse;
+  return o;
+}
+
+/// Bitwise match-list identity: same size, same mappings, same score
+/// BITS (memcmp, not epsilon — the sharded backend's contract).
+void ExpectBitwiseIdentical(const std::vector<core::GraphMatch>& got,
+                            const std::vector<core::GraphMatch>& want,
+                            const std::string& ctx) {
+  ASSERT_EQ(got.size(), want.size()) << ctx;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].mapping, want[i].mapping) << ctx << " match " << i;
+    EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(double)), 0)
+        << ctx << " match " << i << " score " << got[i].score
+        << " != " << want[i].score;
+  }
+}
+
+/// True if `prefix` is a bitwise prefix of `full`.
+bool IsBitwisePrefix(const std::vector<core::GraphMatch>& prefix,
+                     const std::vector<core::GraphMatch>& full) {
+  if (prefix.size() > full.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (prefix[i].mapping != full[i].mapping) return false;
+    if (std::memcmp(&prefix[i].score, &full[i].score, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+query::QueryGraph BradAwardQuery() {
+  query::QueryGraph q;
+  const int brad = q.AddNode("Brad");
+  const int maker = q.AddWildcardNode("Director");
+  const int award = q.AddNode("Award");
+  q.AddEdge(brad, maker);
+  q.AddEdge(maker, award);
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner.
+// ---------------------------------------------------------------------------
+
+TEST(ShardPartitionTest, HashAssignmentIsPinned) {
+  // The splitmix64 finalizer is a fixed, platform-independent function of
+  // the node id; these literals are the regression pin. If this test
+  // fails, the hash changed and every persisted placement decision (and
+  // the fuzz corpus's shard cells) silently moved.
+  const auto g = MovieGraph();
+  ASSERT_EQ(g.node_count(), 10u);
+  PartitionOptions po;
+  po.policy = PartitionPolicy::kHash;
+  po.shards = 2;
+  const auto p2 = ShardPartition::Build(g, po);
+  const uint32_t want2[10] = {1, 1, 0, 1, 0, 0, 0, 1, 0, 0};
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(p2.OwnerOf(v), want2[v]) << "node " << v;
+  }
+  po.shards = 4;
+  const auto p4 = ShardPartition::Build(g, po);
+  const uint32_t want4[10] = {3, 1, 2, 1, 2, 2, 0, 3, 2, 0};
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(p4.OwnerOf(v), want4[v]) << "node " << v;
+  }
+}
+
+TEST(ShardPartitionTest, BuildIsDeterministic) {
+  const auto g = SmallRandomGraph(7);
+  for (const auto policy : {PartitionPolicy::kHash, PartitionPolicy::kLabelRange}) {
+    PartitionOptions po;
+    po.policy = policy;
+    po.shards = 3;
+    const auto a = ShardPartition::Build(g, po);
+    const auto b = ShardPartition::Build(g, po);
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      ASSERT_EQ(a.OwnerOf(v), b.OwnerOf(v));
+    }
+    ASSERT_EQ(a.boundary_edges().size(), b.boundary_edges().size());
+    ASSERT_EQ(a.stats().cut_edges, b.stats().cut_edges);
+    ASSERT_EQ(a.stats().balance, b.stats().balance);
+  }
+}
+
+TEST(ShardPartitionTest, StatsAreConsistentForBothPolicies) {
+  const auto g = SmallRandomGraph(11, 30, 64);
+  for (const auto policy : {PartitionPolicy::kHash, PartitionPolicy::kLabelRange}) {
+    PartitionOptions po;
+    po.policy = policy;
+    po.shards = 4;
+    const auto p = ShardPartition::Build(g, po);
+    const auto& st = p.stats();
+    EXPECT_EQ(st.shards, 4u);
+    EXPECT_EQ(st.total_nodes, g.node_count());
+    EXPECT_EQ(st.total_edges, g.edge_count());
+    EXPECT_EQ(st.cut_edges, p.boundary_edges().size());
+    EXPECT_GE(st.edge_cut_fraction, 0.0);
+    EXPECT_LE(st.edge_cut_fraction, 1.0);
+    EXPECT_GE(st.balance, 1.0) << "balance is max/mean, never below 1";
+    size_t owned_sum = 0;
+    for (const size_t c : st.owned_nodes) owned_sum += c;
+    EXPECT_EQ(owned_sum, g.node_count()) << "ownership is a partition";
+    // Every boundary edge's endpoints really live on different shards.
+    for (const auto& be : p.boundary_edges()) {
+      EXPECT_NE(be.src_shard, be.dst_shard);
+      EXPECT_EQ(p.OwnerOf(g.EdgeSrc(be.edge)), be.src_shard);
+      EXPECT_EQ(p.OwnerOf(g.EdgeDst(be.edge)), be.dst_shard);
+    }
+    // Shard graphs replicate the full node table; adjacency is a subset.
+    size_t stored_edges = 0;
+    for (size_t s = 0; s < p.shards(); ++s) {
+      EXPECT_EQ(p.shard_graph(s).node_count(), g.node_count());
+      EXPECT_LE(p.shard_graph(s).edge_count(), g.edge_count());
+      stored_edges += st.shard_edges[s];
+    }
+    EXPECT_GE(stored_edges, g.edge_count())
+        << "every edge is stored on at least its owner shards";
+    const std::string report = FormatPartitionReport(st);
+    EXPECT_NE(report.find("shards=4"), std::string::npos) << report;
+    EXPECT_NE(report.find("shard 3:"), std::string::npos) << report;
+  }
+}
+
+TEST(ShardPartitionTest, LabelRangeKeepsContiguousLabelRuns) {
+  const auto g = MovieGraph();
+  PartitionOptions po;
+  po.policy = PartitionPolicy::kLabelRange;
+  po.shards = 2;
+  const auto p = ShardPartition::Build(g, po);
+  // Counts split 5/5 (10 nodes, equal cuts) and the assignment respects
+  // lexicographic label order: a node on shard 1 never has a label below a
+  // node on shard 0.
+  EXPECT_EQ(p.stats().owned_nodes[0], 5u);
+  EXPECT_EQ(p.stats().owned_nodes[1], 5u);
+  std::string max_s0, min_s1;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string l(g.NodeLabel(v));
+    if (p.OwnerOf(v) == 0) {
+      if (l > max_s0) max_s0 = l;
+    } else if (min_s1.empty() || l < min_s1) {
+      min_s1 = l;
+    }
+  }
+  EXPECT_LE(max_s0, min_s1);
+}
+
+TEST(ShardPartitionTest, ShardGraphNodeTablesReproduceBitwise) {
+  const auto g = SmallRandomGraph(5);
+  PartitionOptions po;
+  po.shards = 3;
+  const auto p = ShardPartition::Build(g, po);
+  for (size_t s = 0; s < p.shards(); ++s) {
+    const auto& sg = p.shard_graph(s);
+    ASSERT_EQ(sg.node_count(), g.node_count());
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(sg.NodeLabel(v), g.NodeLabel(v));
+      EXPECT_EQ(sg.NodeType(v), g.NodeType(v));
+    }
+    ASSERT_EQ(sg.relation_count(), g.relation_count());
+    for (uint32_t r = 0; r < g.relation_count(); ++r) {
+      EXPECT_EQ(sg.RelationName(r), g.RelationName(r));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise identity: ShardEngine vs StarFramework.
+// ---------------------------------------------------------------------------
+
+struct IdentityCase {
+  uint64_t seed;  // 0 = MovieGraph
+  int d;
+  size_t shards;
+  core::StarStrategy strategy;
+  PartitionPolicy policy;
+};
+
+class ShardIdentity : public ::testing::TestWithParam<IdentityCase> {};
+
+TEST_P(ShardIdentity, MatchesSingleProcessBitwise) {
+  const auto p = GetParam();
+  const graph::KnowledgeGraph g =
+      p.seed == 0 ? MovieGraph() : SmallRandomGraph(p.seed, 26, 56);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  const auto options = MakeOptions(p.d, p.strategy);
+
+  core::StarFramework fw(g, ensemble, &index, options);
+
+  ShardCluster::Options co;
+  co.partition.policy = p.policy;
+  co.partition.shards = p.shards;
+  co.partition.halo_depth = p.d;
+  ShardCluster cluster(g, ensemble, &index, co);
+  ShardEngine::Options eo;
+  eo.star = options;
+  ShardEngine engine(cluster, eo);
+
+  // A mixed workload: star, path, and general (cyclic-capable) queries,
+  // with wildcards in the mix.
+  query::WorkloadGenerator wg(g, p.seed * 31 + 7);
+  query::WorkloadOptions wo;
+  std::vector<query::QueryGraph> queries;
+  queries.push_back(BradAwardQuery());
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(wg.RandomStarQuery(3, wo));
+    queries.push_back(wg.RandomPathQuery(3, wo));
+    queries.push_back(wg.RandomGraphQuery(4, 5, wo));
+  }
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto& q = queries[qi];
+    if (!q.IsConnected() || q.node_count() == 0) continue;
+    for (const size_t k : {1u, 4u, 9u}) {
+      const auto want = fw.TopK(q, k);
+      const auto got = engine.TopK(q, k);
+      ExpectBitwiseIdentical(
+          got, want,
+          "seed=" + std::to_string(p.seed) + " d=" + std::to_string(p.d) +
+              " shards=" + std::to_string(p.shards) + " k=" +
+              std::to_string(k) + " q" + std::to_string(qi));
+      EXPECT_FALSE(engine.last_stats().cancelled);
+      EXPECT_EQ(engine.last_stats().shard.shards, p.shards);
+    }
+    ASSERT_EQ(cluster.active_sessions(), 0u)
+        << "no worker session may outlive its request";
+  }
+}
+
+std::vector<IdentityCase> IdentityCases() {
+  std::vector<IdentityCase> cases;
+  const core::StarStrategy strategies[] = {core::StarStrategy::kStark,
+                                           core::StarStrategy::kStard,
+                                           core::StarStrategy::kHybrid};
+  int i = 0;
+  for (const uint64_t seed : {0ull, 3ull, 9ull, 21ull}) {
+    for (const int d : {1, 2}) {
+      for (const size_t shards : {2ul, 4ul}) {
+        cases.push_back({seed, d, shards, strategies[i % 3],
+                         i % 2 == 0 ? PartitionPolicy::kHash
+                                    : PartitionPolicy::kLabelRange});
+        ++i;
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShardIdentity,
+                         ::testing::ValuesIn(IdentityCases()));
+
+TEST(ShardEngineTest, SingleShardDegenerateMatchesFramework) {
+  const auto g = MovieGraph();
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  const auto options = MakeOptions(2, core::StarStrategy::kStard);
+  core::StarFramework fw(g, ensemble, &index, options);
+  ShardCluster::Options co;
+  co.partition.shards = 1;
+  co.partition.halo_depth = 2;
+  ShardCluster cluster(g, ensemble, &index, co);
+  ShardEngine::Options eo;
+  eo.star = options;
+  ShardEngine engine(cluster, eo);
+  const auto q = BradAwardQuery();
+  ExpectBitwiseIdentical(engine.TopK(q, 5), fw.TopK(q, 5), "shards=1");
+}
+
+TEST(ShardEngineTest, NoIndexRetrievalSemanticsArePreserved) {
+  // Without a global LabelIndex the single-process engine scans all of V;
+  // the workers must do the same (their shard indexes stay unused) or the
+  // candidate slices diverge.
+  const auto g = SmallRandomGraph(37, 26, 56);
+  text::SimilarityEnsemble ensemble;
+  const auto options = MakeOptions(1, core::StarStrategy::kStard);
+  core::StarFramework fw(g, ensemble, nullptr, options);
+  ShardCluster::Options co;
+  co.partition.shards = 2;
+  co.partition.halo_depth = 1;
+  ShardCluster cluster(g, ensemble, nullptr, co);
+  ShardEngine::Options eo;
+  eo.star = options;
+  ShardEngine engine(cluster, eo);
+  query::WorkloadGenerator wg(g, 13);
+  for (int i = 0; i < 3; ++i) {
+    const auto q = wg.RandomStarQuery(3, query::WorkloadOptions{});
+    ExpectBitwiseIdentical(engine.TopK(q, 5), fw.TopK(q, 5),
+                           "no-index q" + std::to_string(i));
+  }
+}
+
+TEST(ShardEngineTest, ReuseCacheWarmRunIsBitwiseIdentical) {
+  const auto g = SmallRandomGraph(13, 26, 56);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  serve::StarCache cache(64, 64);
+  const auto options = MakeOptions(1, core::StarStrategy::kStard, &cache);
+
+  core::StarFramework fw(g, ensemble, &index,
+                         MakeOptions(1, core::StarStrategy::kStard));
+
+  ShardCluster::Options co;
+  co.partition.shards = 2;
+  co.partition.halo_depth = 1;
+  ShardCluster cluster(g, ensemble, &index, co);
+  ShardEngine::Options eo;
+  eo.star = options;
+
+  query::QueryGraph q;
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    query::WorkloadGenerator wg(g, seed);
+    q = wg.RandomGraphQuery(4, 4, query::WorkloadOptions{});
+    if (q.IsConnected() && !q.IsStar()) break;
+  }
+  ASSERT_TRUE(q.IsConnected() && !q.IsStar()) << "no usable sample in 32 seeds";
+
+  const auto want = fw.TopK(q, 6);
+  ShardEngine cold(cluster, eo);
+  const auto first = cold.TopK(q, 6);
+  ExpectBitwiseIdentical(first, want, "cold sharded vs framework");
+  EXPECT_GT(cold.last_stats().star_cache_misses, 0u);
+
+  ShardEngine warm(cluster, eo);
+  const auto second = warm.TopK(q, 6);
+  ExpectBitwiseIdentical(second, first, "warm sharded vs cold sharded");
+  EXPECT_GT(warm.last_stats().star_cache_hits, 0u);
+  EXPECT_EQ(cluster.active_sessions(), 0u);
+}
+
+TEST(ShardEngineTest, EagerGatherPullsAtLeastAsMuchAsLazyMerge) {
+  const auto g = SmallRandomGraph(17, 30, 64);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  const auto options = MakeOptions(1, core::StarStrategy::kStark);
+  ShardCluster::Options co;
+  co.partition.shards = 4;
+  co.partition.halo_depth = 1;
+  ShardCluster cluster(g, ensemble, &index, co);
+
+  query::WorkloadGenerator wg(g, 23);
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  const auto q = wg.RandomGraphQuery(4, 4, wo);
+  if (!q.IsConnected()) GTEST_SKIP() << "degenerate sample";
+
+  ShardEngine::Options lazy_opts;
+  lazy_opts.star = options;
+  ShardEngine lazy(cluster, lazy_opts);
+  const auto lazy_out = lazy.TopK(q, 3);
+
+  ShardEngine::Options eager_opts;
+  eager_opts.star = options;
+  eager_opts.eager_gather = true;
+  ShardEngine eager(cluster, eager_opts);
+  const auto eager_out = eager.TopK(q, 3);
+
+  // eager_gather is the full-gather bench baseline: the bound-driven lazy
+  // merge must never pull more than it (and on real workloads pulls
+  // strictly less — the bench asserts the strict version).
+  EXPECT_LE(lazy.last_stats().shard.total_pulls,
+            eager.last_stats().shard.total_pulls);
+  EXPECT_EQ(lazy_out.size(), eager_out.size());
+  EXPECT_EQ(cluster.active_sessions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator deadline / cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(ShardDeadlineTest, PreExpiredDeadlineReturnsEmptyWithoutPulls) {
+  const auto g = MovieGraph();
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  ShardCluster::Options co;
+  co.partition.shards = 2;
+  co.partition.halo_depth = 2;
+  ShardCluster cluster(g, ensemble, &index, co);
+  ShardEngine::Options eo;
+  eo.star = MakeOptions(2, core::StarStrategy::kStard);
+  ShardEngine engine(cluster, eo);
+
+  Cancellation cancel(Deadline::Expired());
+  const auto out = engine.TopK(BradAwardQuery(), 5, &cancel);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(engine.last_stats().cancelled);
+  EXPECT_EQ(engine.last_stats().shard.total_pulls, 0u);
+  EXPECT_EQ(cluster.active_sessions(), 0u);
+}
+
+TEST(ShardDeadlineTest, ExplicitCancelYieldsOrderedPrefix) {
+  const auto g = SmallRandomGraph(29, 30, 64);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  const auto options = MakeOptions(1, core::StarStrategy::kStard);
+
+  core::StarFramework fw(g, ensemble, &index, options);
+  query::WorkloadGenerator wg(g, 3);
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  const auto q = wg.RandomGraphQuery(4, 4, wo);
+  if (!q.IsConnected()) GTEST_SKIP() << "degenerate sample";
+  const auto full = fw.TopK(q, 8);
+
+  // Cancel after the third pull on any shard: whatever comes back must be
+  // a bitwise prefix of the exact answer.
+  std::atomic<int> pulls{0};
+  Cancellation cancel;
+  ShardCluster::Options co;
+  co.partition.shards = 2;
+  co.partition.halo_depth = 1;
+  co.before_pull = [&](size_t) {
+    if (pulls.fetch_add(1) == 3) cancel.Cancel();
+  };
+  ShardCluster cluster(g, ensemble, &index, co);
+  ShardEngine::Options eo;
+  eo.star = options;
+  ShardEngine engine(cluster, eo);
+
+  const auto out = engine.TopK(q, 8, &cancel);
+  EXPECT_TRUE(IsBitwisePrefix(out, full))
+      << "cancelled run returned " << out.size()
+      << " matches that are not a prefix of the exact top-k";
+  if (out.size() < full.size()) {
+    EXPECT_TRUE(engine.last_stats().cancelled);
+  }
+  EXPECT_EQ(cluster.active_sessions(), 0u)
+      << "no worker session may outlive a cancelled request";
+}
+
+TEST(ShardDeadlineTest, OneSlowShardStillYieldsOrderedPrefix) {
+  const auto g = SmallRandomGraph(31, 30, 64);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  const auto options = MakeOptions(1, core::StarStrategy::kStark);
+
+  core::StarFramework fw(g, ensemble, &index, options);
+  query::WorkloadGenerator wg(g, 9);
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  const auto q = wg.RandomGraphQuery(4, 4, wo);
+  if (!q.IsConnected()) GTEST_SKIP() << "degenerate sample";
+  const auto full = fw.TopK(q, 8);
+
+  // Shard 0 sleeps on every pull; the deadline lands mid-query. The
+  // contract is timing-independent: wherever the expiry hits, the result
+  // is a bitwise prefix and all sessions are closed on return.
+  ShardCluster::Options co;
+  co.partition.shards = 2;
+  co.partition.halo_depth = 1;
+  co.before_pull = [](size_t shard) {
+    if (shard == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+  ShardCluster cluster(g, ensemble, &index, co);
+  ShardEngine::Options eo;
+  eo.star = options;
+  ShardEngine engine(cluster, eo);
+
+  Cancellation cancel(Deadline::AfterMillis(5));
+  const auto out = engine.TopK(q, 8, &cancel);
+  EXPECT_TRUE(IsBitwisePrefix(out, full));
+  EXPECT_EQ(cluster.active_sessions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService integration (ServiceOptions::shards).
+// ---------------------------------------------------------------------------
+
+TEST(ShardServiceTest, ShardedBackendMatchesSingleProcessService) {
+  const auto g = MovieGraph();
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+
+  serve::ServiceOptions base;
+  base.star = MakeOptions(2, core::StarStrategy::kStard);
+  serve::QueryService single(g, ensemble, &index, base);
+
+  serve::ServiceOptions sharded_opts = base;
+  sharded_opts.shards = 2;
+  serve::QueryService sharded(g, ensemble, &index, sharded_opts);
+  ASSERT_NE(sharded.shard_cluster(), nullptr);
+  EXPECT_EQ(single.shard_cluster(), nullptr);
+
+  serve::QueryRequest req;
+  req.query = BradAwardQuery();
+  req.k = 5;
+  const auto want = single.Execute(req);
+  const auto got = sharded.Execute(req);
+  ASSERT_TRUE(want.status.ok());
+  ASSERT_TRUE(got.status.ok());
+  ExpectBitwiseIdentical(got.matches, want.matches, "service sharded vs single");
+  EXPECT_EQ(got.framework.shard.shards, 2u);
+
+  // Result-cache semantics are unchanged: the second identical request
+  // hits and returns the same bits without touching the cluster.
+  const auto hit = sharded.Execute(req);
+  EXPECT_TRUE(hit.cache_hit);
+  ExpectBitwiseIdentical(hit.matches, got.matches, "sharded cache hit");
+
+  const serve::ServiceStats stats = sharded.stats();
+  EXPECT_EQ(stats.sharded_queries, 1u) << "cache hit must not re-execute";
+  EXPECT_GT(stats.shard_pulls, 0u);
+  EXPECT_EQ(sharded.shard_cluster()->active_sessions(), 0u);
+}
+
+TEST(ShardServiceTest, ShardsOfOneStaysSingleProcess) {
+  const auto g = MovieGraph();
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  serve::ServiceOptions so;
+  so.star = MakeOptions(1, core::StarStrategy::kStard);
+  so.shards = 1;
+  serve::QueryService service(g, ensemble, &index, so);
+  EXPECT_EQ(service.shard_cluster(), nullptr)
+      << "shards <= 1 keeps the single-process engine";
+}
+
+TEST(ShardServiceTest, LabelRangePolicyServesIdenticalResults) {
+  const auto g = SmallRandomGraph(41, 26, 56);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+
+  serve::ServiceOptions base;
+  base.star = MakeOptions(1, core::StarStrategy::kHybrid);
+  serve::QueryService single(g, ensemble, &index, base);
+
+  serve::ServiceOptions sharded_opts = base;
+  sharded_opts.shards = 4;
+  sharded_opts.partition_policy = PartitionPolicy::kLabelRange;
+  serve::QueryService sharded(g, ensemble, &index, sharded_opts);
+
+  query::WorkloadGenerator wg(g, 4);
+  for (int i = 0; i < 4; ++i) {
+    serve::QueryRequest req;
+    req.query = wg.RandomStarQuery(3, query::WorkloadOptions{});
+    req.k = 4;
+    const auto want = single.Execute(req);
+    const auto got = sharded.Execute(req);
+    ASSERT_EQ(got.status.ok(), want.status.ok());
+    if (!want.status.ok()) continue;
+    ExpectBitwiseIdentical(got.matches, want.matches,
+                           "label-range q" + std::to_string(i));
+  }
+  EXPECT_EQ(sharded.shard_cluster()->active_sessions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency suite. Named *ParallelDeterminism* so it runs under the same
+// TSan CI filter as the thread-pool determinism tests (plus the *Shard*
+// filter entry).
+// ---------------------------------------------------------------------------
+
+TEST(ShardParallelDeterminismTest, ConcurrentEnginesOverOneClusterStayExact) {
+  const auto g = SmallRandomGraph(19, 30, 64);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  const auto options = MakeOptions(1, core::StarStrategy::kStard);
+
+  core::StarFramework fw(g, ensemble, &index, options);
+  query::WorkloadGenerator wg(g, 37);
+  std::vector<query::QueryGraph> queries;
+  std::vector<std::vector<core::GraphMatch>> expected;
+  const size_t k = 4;
+  for (int i = 0; i < 5; ++i) {
+    query::QueryGraph q = wg.RandomStarQuery(3, query::WorkloadOptions{});
+    expected.push_back(fw.TopK(q, k));
+    queries.push_back(std::move(q));
+  }
+
+  ShardCluster::Options co;
+  co.partition.shards = 2;
+  co.partition.halo_depth = 1;
+  ShardCluster cluster(g, ensemble, &index, co);
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const size_t qi = static_cast<size_t>(c + r) % queries.size();
+        ShardEngine::Options eo;
+        eo.star = options;
+        ShardEngine engine(cluster, eo);
+        const auto got = engine.TopK(queries[qi], k);
+        const auto& want = expected[qi];
+        bool same = got.size() == want.size();
+        for (size_t i = 0; same && i < want.size(); ++i) {
+          same = got[i].mapping == want[i].mapping &&
+                 got[i].score == want[i].score;
+        }
+        if (!same) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent sharded requests must stay bitwise exact";
+  EXPECT_EQ(cluster.active_sessions(), 0u);
+}
+
+TEST(ShardParallelDeterminismTest, ConcurrentShardedServiceRequests) {
+  const auto g = SmallRandomGraph(23, 30, 64);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(g);
+  serve::ServiceOptions so;
+  so.star = MakeOptions(1, core::StarStrategy::kStark);
+  so.shards = 2;
+  so.max_inflight = 4;
+  serve::QueryService service(g, ensemble, &index, so);
+
+  core::StarFramework fw(g, ensemble, &index, so.star);
+  query::WorkloadGenerator wg(g, 41);
+  std::vector<query::QueryGraph> queries;
+  std::vector<std::vector<core::GraphMatch>> expected;
+  const size_t k = 4;
+  for (int i = 0; i < 4; ++i) {
+    query::QueryGraph q = wg.RandomStarQuery(3, query::WorkloadOptions{});
+    expected.push_back(fw.TopK(q, k));
+    queries.push_back(std::move(q));
+  }
+
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < 8; ++r) {
+        const size_t qi = static_cast<size_t>(c + r) % queries.size();
+        serve::QueryRequest req;
+        req.query = queries[qi];
+        req.k = k;
+        const auto resp = service.Execute(std::move(req));
+        if (!resp.status.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto& want = expected[qi];
+        bool same = resp.matches.size() == want.size();
+        for (size_t i = 0; same && i < want.size(); ++i) {
+          same = resp.matches[i].mapping == want[i].mapping &&
+                 resp.matches[i].score == want[i].score;
+        }
+        if (!same) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service.shard_cluster()->active_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace star::shard
