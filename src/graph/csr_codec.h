@@ -95,6 +95,17 @@ class PostingsCursor {
   PostingsCursor(const uint8_t* bytes, size_t count)
       : flat_(nullptr), bytes_(bytes), remaining_(count) {}
 
+  /// Compressed layout, resuming MID-LIST: `bytes` points at the varint of
+  /// the first id to read and `prev` is the id encoded just before it (the
+  /// delta base). Lets block-max retrieval decode one block of a list
+  /// without re-walking its prefix; the byte format is unchanged.
+  PostingsCursor(const uint8_t* bytes, size_t count, uint32_t prev)
+      : flat_(nullptr),
+        bytes_(bytes),
+        remaining_(count),
+        prev_(prev),
+        first_(false) {}
+
   /// Total ids left to read (== list size before the first Next()).
   size_t remaining() const { return remaining_; }
 

@@ -90,13 +90,39 @@ size_t LabelIndex::FlatDict::Slack() const {
          VecSlack(probe_);
 }
 
-void LabelIndex::PostingsStore::Append(const std::vector<uint32_t>& ids) {
-  counts_.push_back(counts_.back() + static_cast<uint32_t>(ids.size()));
+void LabelIndex::PostingsStore::Append(const std::vector<uint32_t>& ids,
+                                       const uint32_t* len,
+                                       const uint8_t* numeric) {
+  const size_t n = ids.size();
+  counts_.push_back(counts_.back() + static_cast<uint32_t>(n));
   if (layout_ == GraphLayout::kFlat) {
     ids_.insert(ids_.end(), ids.begin(), ids.end());
-  } else {
-    csr::EncodePostings(ids.data(), ids.size(), &bytes_);
   }
+  // One pass per block: record the resume point (compressed: the byte
+  // offset BEFORE the block's first varint, plus the preceding id), fold
+  // the members' label facts, and — compressed — encode the ids. The
+  // per-block encoding emits exactly the whole-list delta stream
+  // EncodePostings writes (first id absolute, then gap - 1), so
+  // whole-list Cursor()s are unaffected.
+  for (size_t i = 0; i < n; i += kBlockSize) {
+    const size_t end = std::min(n, i + kBlockSize);
+    Block blk;
+    blk.byte_offset = static_cast<uint32_t>(bytes_.size());
+    blk.prev_id = i > 0 ? ids[i - 1] : 0;
+    if (layout_ == GraphLayout::kCompressed) {
+      for (size_t j = i; j < end; ++j) {
+        csr::AppendVarint32(j == 0 ? ids[0] : ids[j] - ids[j - 1] - 1,
+                            &bytes_);
+      }
+    }
+    if (len != nullptr) {
+      for (size_t j = i; j < end; ++j) {
+        blk.stats.AddFacts(len[ids[j]], numeric[ids[j]] != 0);
+      }
+      blocks_.push_back(blk);
+    }
+  }
+  block_start_.push_back(static_cast<uint32_t>(blocks_.size()));
   byte_offsets_.push_back(static_cast<uint32_t>(bytes_.size()));
 }
 
@@ -108,16 +134,18 @@ void LabelIndex::PostingsStore::Finish() {
     byte_offsets_ = {0};  // unused in this layout; keep it empty-sized
   }
   byte_offsets_.shrink_to_fit();
+  blocks_.shrink_to_fit();
+  block_start_.shrink_to_fit();
 }
 
 size_t LabelIndex::PostingsStore::ByteSize() const {
   return VecBytes(counts_) + VecBytes(ids_) + VecBytes(bytes_) +
-         VecBytes(byte_offsets_);
+         VecBytes(byte_offsets_) + VecBytes(blocks_) + VecBytes(block_start_);
 }
 
 size_t LabelIndex::PostingsStore::Slack() const {
   return VecSlack(counts_) + VecSlack(ids_) + VecSlack(bytes_) +
-         VecSlack(byte_offsets_);
+         VecSlack(byte_offsets_) + VecSlack(blocks_) + VecSlack(block_start_);
 }
 
 LabelIndex::LabelIndex(const KnowledgeGraph& g, GraphLayout layout)
@@ -126,6 +154,18 @@ LabelIndex::LabelIndex(const KnowledgeGraph& g, GraphLayout layout)
       type_postings_(layout),
       trigram_postings_(layout),
       node_count_(g.node_count()) {
+  // Pass 0: per-node O(1) label facts — the inputs of the retrieval
+  // bounds, recorded with the SAME predicate the scoring kernel's caps
+  // use (text::LooksNumeric) so a block digest provably dominates its
+  // members' kernel scores.
+  node_len_.reserve(g.node_count());
+  node_numeric_.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string_view label = g.NodeLabel(v);
+    node_len_.push_back(static_cast<uint32_t>(label.size()));
+    node_numeric_.push_back(text::LooksNumeric(label) ? 1 : 0);
+  }
+
   // Pass 1: collect per-token and per-type postings (ascending node ids,
   // adjacent-deduplicated) into transient containers.
   std::unordered_map<std::string, std::vector<NodeId>, TransparentStringHash,
@@ -149,7 +189,8 @@ LabelIndex::LabelIndex(const KnowledgeGraph& g, GraphLayout layout)
   std::sort(terms.begin(), terms.end());
   token_dict_.Build(terms);
   for (const std::string& term : terms) {
-    token_postings_.Append(tok_map.find(std::string_view(term))->second);
+    token_postings_.Append(tok_map.find(std::string_view(term))->second,
+                           node_len_.data(), node_numeric_.data());
   }
   token_postings_.Finish();
 
@@ -176,18 +217,62 @@ LabelIndex::LabelIndex(const KnowledgeGraph& g, GraphLayout layout)
   }
   trigram_postings_.Finish();
 
-  for (const auto& list : type_lists) type_postings_.Append(list);
+  for (const auto& list : type_lists) {
+    type_postings_.Append(list, node_len_.data(), node_numeric_.data());
+  }
   type_postings_.Finish();
+  node_len_.shrink_to_fit();
+  node_numeric_.shrink_to_fit();
+}
+
+std::vector<LabelIndex::ListRef> LabelIndex::RetrievalLists(
+    std::string_view label, int32_t type) const {
+  static thread_local std::string low;
+  static thread_local std::vector<std::string> toks;
+  ToLowerInto(label, &low);
+  SplitTokensInto(low, &toks);
+  std::vector<ListRef> out;
+  for (const auto& token : toks) {
+    const int64_t id = token_dict_.Find(token);
+    if (id >= 0) {
+      out.push_back({false, static_cast<uint32_t>(id)});
+      continue;
+    }
+    for (const uint32_t similar : FuzzyTokenIds(token, 0.5)) {
+      out.push_back({false, similar});
+    }
+  }
+  if (type >= 0 && static_cast<size_t>(type) < type_postings_.lists()) {
+    out.push_back({true, static_cast<uint32_t>(type)});
+  }
+  // Repeated query tokens reference the same list; keep each once. The
+  // order (token lists ascending, then the type list) is a total order,
+  // so downstream cap-sort tie-breaks are deterministic.
+  std::sort(out.begin(), out.end(), [](const ListRef& a, const ListRef& b) {
+    return a.type_store != b.type_store ? !a.type_store : a.list < b.list;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const ListRef& a, const ListRef& b) {
+                          return a.type_store == b.type_store &&
+                                 a.list == b.list;
+                        }),
+            out.end());
+  return out;
 }
 
 std::vector<uint32_t> LabelIndex::FuzzyTokenIds(std::string_view token,
                                                 double min_overlap) const {
+  // All probe scratch is thread_local (the PR 4 pattern): fuzzy expansion
+  // runs on every unknown query token, and per-call map/vector churn was
+  // the remaining allocation in this path.
   static thread_local std::string low;
+  static thread_local std::unordered_map<uint32_t, size_t> hits;
+  static thread_local std::vector<std::pair<size_t, uint32_t>> ranked;
   ToLowerInto(token, &low);
   std::vector<uint32_t> out;
   const size_t gram_count = TrigramCount(low);
   if (gram_count == 0) return out;
-  std::unordered_map<uint32_t, size_t> hits;
+  hits.clear();
   ForEachTrigram(low, [&](std::string_view gram) {
     const int64_t gid = trigram_dict_.Find(gram);
     if (gid < 0) return;
@@ -203,7 +288,7 @@ std::vector<uint32_t> LabelIndex::FuzzyTokenIds(std::string_view token,
   // token id asc (== lexicographic, ids are lex ranks): a total order, so
   // the cap cut is deterministic and layout-independent.
   constexpr size_t kMaxExpansion = 8;
-  std::vector<std::pair<size_t, uint32_t>> ranked;
+  ranked.clear();
   for (const auto& [id, count] : hits) {
     if (count >= needed) ranked.emplace_back(count, id);
   }
@@ -284,9 +369,12 @@ std::vector<NodeId> LabelIndex::RankedCandidates(std::string_view label,
                                                  size_t cap) const {
   static thread_local std::string low;
   static thread_local std::vector<std::string> toks;
+  // Accumulator scratch is thread_local like the probe scratch above —
+  // the weight map is rebuilt per call but its buckets are reused.
+  static thread_local std::unordered_map<NodeId, double> weight;
   ToLowerInto(label, &low);
   SplitTokensInto(low, &toks);
-  std::unordered_map<NodeId, double> weight;
+  weight.clear();
   const double n = static_cast<double>(std::max<size_t>(1, node_count_));
   const auto add_store = [&](const PostingsStore& store, size_t i,
                              double scale) {

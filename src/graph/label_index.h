@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "graph/csr_codec.h"
 #include "graph/knowledge_graph.h"
+#include "text/ensemble.h"
 
 namespace star::graph {
 
@@ -88,6 +89,58 @@ class LabelIndex {
   /// Resident bytes per structure (and unused capacity across them).
   IndexFootprint MemoryFootprint() const;
 
+  // -------------------------------------------------------------------
+  // Block-max retrieval surface (bound-driven candidate generation)
+  // -------------------------------------------------------------------
+  //
+  // The token and type postings arenas carry per-block metadata (an O(1)
+  // LabelSetStats digest of every member's label, plus the compressed
+  // layout's mid-list resume point) at kRetrievalBlockSize granularity.
+  // scoring/query_scorer walks the blocks of the lists Candidates() would
+  // union, in descending score-cap order, skipping whole blocks whose cap
+  // cannot reach the running max_candidates-th score.
+
+  /// Ids per pruning block (the block-max metadata granularity).
+  static constexpr size_t kRetrievalBlockSize = 128;
+
+  /// One postings list reference: the token arena (type_store = false) or
+  /// the per-type arena (type_store = true), by list index within it.
+  struct ListRef {
+    bool type_store = false;
+    uint32_t list = 0;
+  };
+
+  /// The postings lists Candidates(label, type) unions — exact-token
+  /// lists, fuzzy trigram expansions for unknown tokens, and the type
+  /// list when `type` is indexed — deduplicated, in deterministic order
+  /// (token lists by ascending id, then the type list). The union of the
+  /// referenced lists' members is exactly Candidates(label, type).
+  std::vector<ListRef> RetrievalLists(std::string_view label,
+                                      int32_t type) const;
+
+  /// Ids in the referenced list.
+  size_t ListCount(ListRef r) const { return Store(r).Count(r.list); }
+  /// Blocks in the referenced list (ceil(count / kRetrievalBlockSize)).
+  size_t ListBlocks(ListRef r) const { return Store(r).BlockCount(r.list); }
+  /// Ids in one block (kRetrievalBlockSize except the last).
+  size_t BlockSize(ListRef r, size_t b) const {
+    return Store(r).BlockSize(r.list, b);
+  }
+  /// The block's label digest (for SimilarityEnsemble::RetrievalBlockBound).
+  const text::LabelSetStats& BlockStats(ListRef r, size_t b) const {
+    return Store(r).BlockAt(r.list, b).stats;
+  }
+  /// Cursor over one block's ids (both layouts; compressed resumes
+  /// mid-list from the recorded byte offset + preceding id).
+  csr::PostingsCursor BlockCursor(ListRef r, size_t b) const {
+    return Store(r).BlockCursor(r.list, b);
+  }
+
+  /// Byte length of node v's label (the fact the per-node bound needs).
+  uint32_t NodeLabelLength(NodeId v) const { return node_len_[v]; }
+  /// Whether node v's label passes text::LooksNumeric.
+  bool NodeLooksNumeric(NodeId v) const { return node_numeric_[v] != 0; }
+
  private:
   /// Sorted flat term dictionary: unique terms interned into one pool in
   /// lexicographic order (term id == lex rank), with an open-addressing
@@ -120,11 +173,30 @@ class LabelIndex {
   /// byte_offsets_[i] slice of the varint arena, depending on layout.
   class PostingsStore {
    public:
+    static constexpr size_t kBlockSize = kRetrievalBlockSize;
+
+    /// Per-block retrieval metadata: the label digest the block's score
+    /// cap is computed from, and — compressed layout — the byte offset of
+    /// the block's first varint plus the id encoded just before it (the
+    /// mid-list cursor resume point; the byte stream itself is the
+    /// unchanged whole-list delta encoding).
+    struct Block {
+      text::LabelSetStats stats;
+      uint32_t byte_offset = 0;
+      uint32_t prev_id = 0;
+    };
+
     explicit PostingsStore(GraphLayout layout = GraphLayout::kFlat)
         : layout_(layout) {}
 
-    /// Appends one strictly ascending id list.
-    void Append(const std::vector<uint32_t>& ids);
+    /// Appends one strictly ascending id list. When `len` / `numeric`
+    /// are given (facts indexed by id), per-kBlockSize block metadata is
+    /// recorded for block-max retrieval (the token/type stores); the
+    /// trigram store passes null — its ids are token ids, not nodes —
+    /// and carries no block metadata.
+    void Append(const std::vector<uint32_t>& ids,
+                const uint32_t* len = nullptr,
+                const uint8_t* numeric = nullptr);
 
     /// Number of appended lists.
     size_t lists() const { return counts_.size() - 1; }
@@ -136,6 +208,29 @@ class LabelIndex {
         return {ids_.data() + counts_[i], Count(i)};
       }
       return {bytes_.data() + byte_offsets_[i], Count(i)};
+    }
+
+    size_t BlockCount(size_t i) const {
+      return (Count(i) + kBlockSize - 1) / kBlockSize;
+    }
+
+    size_t BlockSize(size_t i, size_t b) const {
+      return std::min(kBlockSize, Count(i) - b * kBlockSize);
+    }
+
+    /// Block metadata (only lists appended WITH facts have any).
+    const Block& BlockAt(size_t i, size_t b) const {
+      return blocks_[block_start_[i] + b];
+    }
+
+    csr::PostingsCursor BlockCursor(size_t i, size_t b) const {
+      const size_t n = BlockSize(i, b);
+      if (layout_ == GraphLayout::kFlat) {
+        return {ids_.data() + counts_[i] + b * kBlockSize, n};
+      }
+      if (b == 0) return {bytes_.data() + byte_offsets_[i], n};
+      const Block& blk = BlockAt(i, b);
+      return {bytes_.data() + blk.byte_offset, n, blk.prev_id};
     }
 
     void Finish();  ///< shrink_to_fit all arrays
@@ -150,12 +245,18 @@ class LabelIndex {
     // 32-bit offsets: the arena is smaller than the flat id array it
     // replaces, which is itself bounded far below 4 GiB here.
     std::vector<uint32_t> byte_offsets_{0};
+    std::vector<Block> blocks_;             // concatenated per-list blocks
+    std::vector<uint32_t> block_start_{0};  // per-list prefix into blocks_
   };
 
   /// Token ids (sorted by overlap desc, id asc, capped) whose trigram
   /// overlap with `token` reaches `min_overlap`.
   std::vector<uint32_t> FuzzyTokenIds(std::string_view token,
                                       double min_overlap) const;
+
+  const PostingsStore& Store(ListRef r) const {
+    return r.type_store ? type_postings_ : token_postings_;
+  }
 
   GraphLayout layout_ = GraphLayout::kFlat;
   FlatDict token_dict_;
@@ -164,6 +265,10 @@ class LabelIndex {
   FlatDict trigram_dict_;
   PostingsStore trigram_postings_;  // token ids per trigram
   size_t node_count_ = 0;
+  // Per-node O(1) label facts, the inputs of the per-node retrieval
+  // bound: byte length and the numeric-guard flag (text::LooksNumeric).
+  std::vector<uint32_t> node_len_;
+  std::vector<uint8_t> node_numeric_;
 };
 
 }  // namespace star::graph

@@ -74,6 +74,16 @@ struct MatchConfig {
   /// scoring"); like use_scoring_kernel it is excluded from
   /// StarOptionsFingerprint.
   bool use_batch_kernel = true;
+
+  /// Bound-driven candidate retrieval (block-max pruning): Candidates()
+  /// walks the postings blocks of the retrieval union in descending
+  /// score-cap order, maintains the running max_candidates-th score as a
+  /// threshold, and skips blocks / nodes whose upper bound cannot reach
+  /// it — instead of scoring the whole union and truncating. Candidate
+  /// lists are bit-identical with the toggle on or off, including the
+  /// deterministic tie cut (see DESIGN.md "Bound-driven retrieval");
+  /// like the kernel toggles it is excluded from StarOptionsFingerprint.
+  bool use_pruned_retrieval = true;
 };
 
 }  // namespace star::scoring

@@ -20,6 +20,32 @@ using graph::NodeId;
 using query::QueryGraph;
 using text::SimilarityEnsemble;
 
+namespace {
+
+/// Skip margin of the retrieval bounds — the kernel's standard 1e-9: a
+/// block/node is skipped only when its cap is strictly below theta by more
+/// than the margin, so sub-ulp rounding of the cap arithmetic can never
+/// drop an entry whose canonical score ties the cut.
+constexpr double kBoundMargin = 1e-9;
+
+/// Nodes scored per retrieval wave. Wave boundaries are where theta
+/// updates, and membership is decided by the deterministic block/pool
+/// order alone — never by thread count — so pruned retrieval is
+/// bit-identical at any MatchConfig::threads. One postings block per
+/// wave: theta tightens as soon as the highest-cap block has been scored,
+/// which is what lets duplicate-heavy exact matches shut down the rest of
+/// the union.
+constexpr size_t kRetrievalWave = graph::LabelIndex::kRetrievalBlockSize;
+
+/// The candidate total order (score desc, node asc) — the same comparator
+/// the unpruned path sorts with.
+inline bool BetterCandidate(const ScoredCandidate& a,
+                            const ScoredCandidate& b) {
+  return a.score > b.score || (a.score == b.score && a.node < b.node);
+}
+
+}  // namespace
+
 QueryScorer::QueryScorer(const KnowledgeGraph& g, const QueryGraph& q,
                          const SimilarityEnsemble& ensemble,
                          const MatchConfig& config, const LabelIndex* index,
@@ -40,7 +66,8 @@ QueryScorer::QueryScorer(const KnowledgeGraph& g, const QueryGraph& q,
       relation_table_ready_(q.edge_count(), false),
       walk_mark_(mem_),
       walk_layer_(mem_),
-      walk_next_(mem_) {
+      walk_next_(mem_),
+      seen_mark_(mem_) {
   // Candidate lists bind to the transient resource individually:
   // fill-construction would copy-construct elements, and pmr container
   // copies take the DEFAULT resource, silently dropping the arena.
@@ -357,11 +384,42 @@ std::vector<NodeId> QueryScorer::RetrievalPool(int query_node) const {
 std::vector<ScoredCandidate> QueryScorer::ScorePool(
     int query_node, const std::vector<NodeId>& pool) const {
   query_node = node_rep_[query_node];
-  const std::vector<double> scores = BulkScore(
-      query_node, pool, ResolveThreads(config_.threads), config_.node_threshold);
+  // A shard worker cannot apply the max_candidates cut (the coordinator
+  // truncates after the cross-shard merge), so the only sound bound here
+  // is node_threshold: a node whose upper bound is already below it can
+  // never pass the filter and is dropped without scoring.
+  const query::QueryNode& qn = query_.node(query_node);
+  const std::vector<NodeId>* scored = &pool;
+  std::vector<NodeId> kept;
+  if (config_.use_pruned_retrieval && !qn.wildcard) {
+    const auto& batch = prepared_store_[prepared_idx_[query_node]];
+    kept.reserve(pool.size());
+    for (const NodeId v : pool) {
+      const double cap =
+          index_ != nullptr
+              ? ensemble_.RetrievalNodeBound(batch, index_->NodeLabelLength(v),
+                                             index_->NodeLooksNumeric(v))
+              : ensemble_.RetrievalNodeBound(
+                    batch, graph_.NodeLabel(v).size(),
+                    text::LooksNumeric(graph_.NodeLabel(v)));
+      if (cap < config_.node_threshold - kBoundMargin) {
+        ++retrieval_stats_.nodes_bound_skipped;
+        continue;
+      }
+      kept.push_back(v);
+    }
+    retrieval_stats_.nodes_considered += pool.size();
+    retrieval_stats_.nodes_scored += kept.size();
+    scored = &kept;
+  }
+  const std::vector<double> scores =
+      BulkScore(query_node, *scored, ResolveThreads(config_.threads),
+                config_.node_threshold);
   std::vector<ScoredCandidate> out;
-  for (size_t i = 0; i < pool.size(); ++i) {
-    if (scores[i] >= config_.node_threshold) out.push_back({pool[i], scores[i]});
+  for (size_t i = 0; i < scored->size(); ++i) {
+    if (scores[i] >= config_.node_threshold) {
+      out.push_back({(*scored)[i], scores[i]});
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const ScoredCandidate& a, const ScoredCandidate& b) {
@@ -369,6 +427,199 @@ std::vector<ScoredCandidate> QueryScorer::ScorePool(
                      (a.score == b.score && a.node < b.node);
             });
   return out;
+}
+
+double QueryScorer::RetrievalTheta(const CandidateList& heap) const {
+  // The heap only admits scores >= node_threshold, so once full its worst
+  // kept score IS the max over both thresholds; theta never decreases.
+  return (config_.max_candidates > 0 && heap.size() == config_.max_candidates)
+             ? heap.front().score
+             : config_.node_threshold;
+}
+
+void QueryScorer::MergeScoredWave(const std::vector<NodeId>& wave,
+                                  const std::vector<double>& scores,
+                                  CandidateList* heap) const {
+  const size_t k = config_.max_candidates;
+  for (size_t i = 0; i < wave.size(); ++i) {
+    const double s = scores[i];
+    // Sub-threshold entries are dropped exactly as the unpruned filter
+    // drops them (kernel values below the wave's theta may be truncated
+    // upper bounds, but those are < theta <= any kept score, so they can
+    // never displace a kept entry either).
+    if (s < config_.node_threshold) continue;
+    const ScoredCandidate c{wave[i], s};
+    if (k == 0 || heap->size() < k) {
+      heap->push_back(c);
+      if (k != 0) std::push_heap(heap->begin(), heap->end(), BetterCandidate);
+      continue;
+    }
+    // Full: the root is the worst kept entry in the total order; replace
+    // it only when c is strictly better (a tie at the cut keeps the
+    // smaller id, matching the deterministic truncation).
+    if (!BetterCandidate(c, heap->front())) continue;
+    std::pop_heap(heap->begin(), heap->end(), BetterCandidate);
+    heap->back() = c;
+    std::push_heap(heap->begin(), heap->end(), BetterCandidate);
+  }
+}
+
+void QueryScorer::PrunedRetrieveBlocks(int query_node,
+                                       CandidateList* out) const {
+  const query::QueryNode& qn = query_.node(query_node);
+  const int32_t gt =
+      qn.type_name.empty() ? -1 : graph_.FindTypeId(qn.type_name);
+  const auto lists = index_->RetrievalLists(qn.label, gt);
+  const auto& batch = prepared_store_[prepared_idx_[query_node]];
+
+  // Cap every block of every list and order them (cap desc, list asc,
+  // block asc — a total order, so the walk is deterministic).
+  struct BlockRef {
+    double cap;
+    uint32_t list;
+    uint32_t block;
+  };
+  std::pmr::vector<BlockRef> blocks(mem_);
+  size_t total_blocks = 0;
+  for (const auto& l : lists) total_blocks += index_->ListBlocks(l);
+  blocks.reserve(total_blocks);
+  for (uint32_t li = 0; li < lists.size(); ++li) {
+    const size_t nb = index_->ListBlocks(lists[li]);
+    for (uint32_t b = 0; b < nb; ++b) {
+      blocks.push_back(
+          {ensemble_.RetrievalBlockBound(batch, index_->BlockStats(lists[li], b)),
+           li, b});
+    }
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const BlockRef& a, const BlockRef& b) {
+              if (a.cap != b.cap) return a.cap > b.cap;
+              if (a.list != b.list) return a.list < b.list;
+              return a.block < b.block;
+            });
+  retrieval_stats_.blocks_considered += blocks.size();
+
+  // Epoch-stamped dedup marks (lists overlap; each member scores once).
+  if (seen_mark_.size() != graph_.node_count()) {
+    seen_mark_.assign(graph_.node_count(), 0);
+    seen_epoch_ = 0;
+  }
+  if (seen_epoch_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(seen_mark_.begin(), seen_mark_.end(), 0);
+    seen_epoch_ = 0;
+  }
+  ++seen_epoch_;
+
+  const int threads = ResolveThreads(config_.threads);
+  std::vector<NodeId> wave;
+  wave.reserve(kRetrievalWave);
+  double theta = RetrievalTheta(*out);
+  const auto flush = [&] {
+    if (wave.empty()) return;
+    retrieval_stats_.nodes_scored += wave.size();
+    const std::vector<double> scores =
+        BulkScore(query_node, wave, threads, theta);
+    MergeScoredWave(wave, scores, out);
+    wave.clear();
+    theta = RetrievalTheta(*out);
+  };
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) {
+      truncated_ = true;
+      break;
+    }
+    if (blocks[bi].cap < theta - kBoundMargin) {
+      // Blocks are cap-ordered and theta never decreases: every remaining
+      // block is bounded below theta too. Stop outright — a member's true
+      // score is <= its block cap < theta, so it can neither enter the
+      // heap nor tie the cut.
+      retrieval_stats_.blocks_skipped += blocks.size() - bi;
+      for (size_t j = bi; j < blocks.size(); ++j) {
+        retrieval_stats_.nodes_bound_skipped +=
+            index_->BlockSize(lists[blocks[j].list], blocks[j].block);
+      }
+      break;
+    }
+    auto cursor = index_->BlockCursor(lists[blocks[bi].list], blocks[bi].block);
+    uint32_t v;
+    while (cursor.Next(&v)) {
+      ++retrieval_stats_.nodes_considered;
+      if (seen_mark_[v] == seen_epoch_) {
+        ++retrieval_stats_.nodes_deduped;
+        continue;
+      }
+      seen_mark_[v] = seen_epoch_;
+      // Per-node refinement from the index's O(1) facts: theta may have
+      // outgrown this node's own cap even though the block cap survived.
+      // (Marking it seen first is sound — theta only rises.)
+      const double cap = ensemble_.RetrievalNodeBound(
+          batch, index_->NodeLabelLength(v), index_->NodeLooksNumeric(v));
+      if (cap < theta - kBoundMargin) {
+        ++retrieval_stats_.nodes_bound_skipped;
+        continue;
+      }
+      wave.push_back(v);
+      if (wave.size() >= kRetrievalWave) flush();
+    }
+  }
+  flush();
+  std::sort(out->begin(), out->end(), BetterCandidate);
+}
+
+void QueryScorer::PrunedRetrievePool(int query_node,
+                                     const std::vector<NodeId>& pool,
+                                     CandidateList* out) const {
+  const auto& batch = prepared_store_[prepared_idx_[query_node]];
+  struct Entry {
+    double cap;
+    NodeId v;
+  };
+  std::pmr::vector<Entry> order(mem_);
+  order.reserve(pool.size());
+  for (const NodeId v : pool) {
+    // Index facts when available (shard workers, ranked pools); otherwise
+    // the no-index fallback derives the same two facts from the label.
+    const double cap =
+        index_ != nullptr
+            ? ensemble_.RetrievalNodeBound(batch, index_->NodeLabelLength(v),
+                                           index_->NodeLooksNumeric(v))
+            : ensemble_.RetrievalNodeBound(batch, graph_.NodeLabel(v).size(),
+                                           text::LooksNumeric(graph_.NodeLabel(v)));
+    order.push_back({cap, v});
+  }
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    return a.cap != b.cap ? a.cap > b.cap : a.v < b.v;
+  });
+  retrieval_stats_.nodes_considered += order.size();
+
+  const int threads = ResolveThreads(config_.threads);
+  std::vector<NodeId> wave;
+  wave.reserve(kRetrievalWave);
+  double theta = RetrievalTheta(*out);
+  const auto flush = [&] {
+    if (wave.empty()) return;
+    retrieval_stats_.nodes_scored += wave.size();
+    const std::vector<double> scores =
+        BulkScore(query_node, wave, threads, theta);
+    MergeScoredWave(wave, scores, out);
+    wave.clear();
+    theta = RetrievalTheta(*out);
+  };
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) {
+      truncated_ = true;
+      break;
+    }
+    if (order[i].cap < theta - kBoundMargin) {
+      // Cap-ordered and theta monotone: the rest can never make the list.
+      retrieval_stats_.nodes_bound_skipped += order.size() - i;
+      break;
+    }
+    wave.push_back(order[i].v);
+    if (wave.size() >= kRetrievalWave) flush();
+  }
+  flush();
+  std::sort(out->begin(), out->end(), BetterCandidate);
 }
 
 const CandidateList& QueryScorer::Candidates(int query_node) const {
@@ -387,6 +638,25 @@ const CandidateList& QueryScorer::Candidates(int query_node) const {
     return out;
   }
   candidates_ready_[query_node] = true;
+
+  // Bound-driven retrieval (DESIGN.md "Bound-driven retrieval"): walk the
+  // retrieval set in descending upper-bound order and skip everything that
+  // provably cannot reach the running max_candidates-th score. Wildcards
+  // have no label bound and stay on the scan path.
+  const query::QueryNode& qn = query_.node(query_node);
+  if (config_.use_pruned_retrieval && !qn.wildcard) {
+    if (index_ != nullptr && config_.max_retrieval == 0) {
+      // Block-max walk over the postings union itself.
+      PrunedRetrieveBlocks(query_node, &out);
+    } else {
+      // Pooled variant: the no-index full scan and the max_retrieval
+      // rarity pre-ranking fix the pool first; bound-order it per node.
+      PrunedRetrievePool(query_node, RetrievalPool(query_node), &out);
+    }
+    out.shrink_to_fit();
+    return out;
+  }
+
   const std::vector<NodeId> pool = RetrievalPool(query_node);
 
   // Bulk F_N scoring — chunked across the pool (serial at threads = 1).
@@ -401,17 +671,19 @@ const CandidateList& QueryScorer::Candidates(int query_node) const {
   }
 
   // (score desc, node asc) is a total order, so the result is identical
-  // for any scoring partition — and partial_sort may replace the full sort
-  // when max_candidates truncates (the no-index O(|V|) scan otherwise pays
-  // a full O(n log n) for entries it immediately drops).
+  // for any scoring partition — and when max_candidates truncates,
+  // nth_element + prefix sort beats partial_sort's heap pass (the no-index
+  // O(|V|) scan otherwise pays O(n log k) heap churn for entries it
+  // immediately drops).
   const auto by_score_then_node = [](const ScoredCandidate& a,
                                      const ScoredCandidate& b) {
     return a.score > b.score || (a.score == b.score && a.node < b.node);
   };
   if (config_.max_candidates > 0 && out.size() > config_.max_candidates) {
-    std::partial_sort(out.begin(),
-                      out.begin() + static_cast<ptrdiff_t>(config_.max_candidates),
-                      out.end(), by_score_then_node);
+    const auto kth =
+        out.begin() + static_cast<ptrdiff_t>(config_.max_candidates);
+    std::nth_element(out.begin(), kth - 1, out.end(), by_score_then_node);
+    std::sort(out.begin(), kth, by_score_then_node);
     out.resize(config_.max_candidates);
   } else {
     std::sort(out.begin(), out.end(), by_score_then_node);

@@ -22,6 +22,28 @@ struct ScoredCandidate {
   double score = 0.0;
 };
 
+/// Counters of bound-driven candidate retrieval (MatchConfig::
+/// use_pruned_retrieval): how much of the retrieval union was skipped by
+/// block/node score caps instead of being fully scored. Accumulated across
+/// every pruned Candidates() / ScorePool() call of the scorer.
+struct RetrievalStats {
+  uint64_t blocks_considered = 0;   ///< postings blocks in cap order
+  uint64_t blocks_skipped = 0;      ///< blocks never decoded (cap < theta)
+  uint64_t nodes_considered = 0;    ///< posting entries / pool nodes seen
+  uint64_t nodes_deduped = 0;       ///< entries already seen this query node
+  uint64_t nodes_bound_skipped = 0; ///< dropped by a bound before scoring
+  uint64_t nodes_scored = 0;        ///< entries handed to bulk scoring
+
+  void Merge(const RetrievalStats& o) {
+    blocks_considered += o.blocks_considered;
+    blocks_skipped += o.blocks_skipped;
+    nodes_considered += o.nodes_considered;
+    nodes_deduped += o.nodes_deduped;
+    nodes_bound_skipped += o.nodes_bound_skipped;
+    nodes_scored += o.nodes_scored;
+  }
+};
+
 /// Memoized candidate list type: pmr so per-query transient storage can
 /// live on a request arena (common/arena.h). A default-constructed
 /// CandidateList uses the global default resource, so code outside the
@@ -230,6 +252,10 @@ class QueryScorer {
   /// serial step after the workers join.
   const text::KernelStats& kernel_stats() const { return kernel_stats_; }
 
+  /// Bound-driven retrieval counters (empty when use_pruned_retrieval is
+  /// off or only wildcard nodes were retrieved). Owning-thread read.
+  const RetrievalStats& retrieval_stats() const { return retrieval_stats_; }
+
   /// Memory resource backing the scorer's per-query transient state (the
   /// request arena when one was given, else the default resource). Engine
   /// code may place OWNING-THREAD transient containers here — never
@@ -263,6 +289,43 @@ class QueryScorer {
   std::vector<double> BulkScore(int query_node,
                                 const std::vector<graph::NodeId>& nodes,
                                 int threads, double threshold) const;
+
+  // --- Bound-driven retrieval (MatchConfig::use_pruned_retrieval) ---
+  //
+  // Candidates() for a non-wildcard query node runs one of two pruned
+  // paths instead of score-everything-then-truncate. Both maintain the
+  // candidate top list as a bounded heap on the total order (score desc,
+  // node asc) whose running max_candidates-th score is the threshold
+  // theta, score survivors in deterministic fixed-size waves through
+  // BulkScore (so thread count never changes which nodes are scored at
+  // which theta), and produce lists bitwise identical to the unpruned
+  // path — see DESIGN.md "Bound-driven retrieval" for the soundness and
+  // tie-safety argument.
+
+  /// Index-backed path (index attached, no max_retrieval cap): walks the
+  /// postings blocks of RetrievalLists in descending RetrievalBlockBound
+  /// order, stops outright once the best remaining cap is below theta,
+  /// dedups members through the epoch-stamped seen-mark array, and
+  /// bound-filters single nodes before waving them into BulkScore.
+  void PrunedRetrieveBlocks(int query_node, CandidateList* out) const;
+
+  /// Pool path (no index, or a RankedCandidates-capped pool): sorts the
+  /// pool by per-node RetrievalNodeBound (cap desc, id asc) and stops at
+  /// the first node whose cap cannot reach theta.
+  void PrunedRetrievePool(int query_node,
+                          const std::vector<graph::NodeId>& pool,
+                          CandidateList* out) const;
+
+  /// The current pruning threshold: the heap's worst kept score once it
+  /// holds max_candidates entries, node_threshold before that (and always,
+  /// when max_candidates is 0).
+  double RetrievalTheta(const CandidateList& heap) const;
+
+  /// Folds one scored wave into the bounded heap (entries below
+  /// node_threshold are dropped; sub-threshold kernel bounds never enter).
+  void MergeScoredWave(const std::vector<graph::NodeId>& wave,
+                       const std::vector<double>& scores,
+                       CandidateList* heap) const;
 
   /// One worker chunk of BulkScore on the batched kernel: gathers memo
   /// misses into kBatchLanes-wide lanes, elides duplicate (label, type)
@@ -347,8 +410,14 @@ class QueryScorer {
   mutable std::pmr::vector<graph::NodeId> walk_layer_;
   mutable std::pmr::vector<graph::NodeId> walk_next_;
   mutable std::vector<std::unordered_map<uint64_t, double>> pair_edge_cache_;
+  // Retrieval dedup scratch: epoch-stamped per-node marks (|V| flat array,
+  // one epoch per pruned retrieval — the walk_mark_ pattern). Owning-thread
+  // only, like Candidates() itself.
+  mutable std::pmr::vector<uint32_t> seen_mark_;
+  mutable uint32_t seen_epoch_ = 0;
   mutable size_t node_evals_ = 0;
   mutable text::KernelStats kernel_stats_;
+  mutable RetrievalStats retrieval_stats_;
   // Sticky truncation flag (see truncated()); written only on the owning
   // thread — parallel sections report via per-chunk flags merged serially.
   mutable bool truncated_ = false;

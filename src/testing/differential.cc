@@ -362,6 +362,7 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
   base_spec.config.threads = 1;
   base_spec.config.use_scoring_kernel = true;
   base_spec.config.use_batch_kernel = true;
+  base_spec.config.use_pruned_retrieval = true;
   base_spec.alpha = c.alpha;
   base_spec.decomposition = c.decomposition;
   base_spec.k = c.k;
@@ -401,12 +402,18 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
       int threads;
       bool kernel;
       bool batch;
+      bool pruned = true;
     };
     constexpr TK kCells[] = {{4, true, true},
                              {1, false, false},
                              {4, false, false},
                              {1, true, false},
-                             {4, true, false}};
+                             {4, true, false},
+                             // Bound-driven retrieval off: the pruned base
+                             // must reproduce the score-everything path
+                             // byte for byte, serial and parallel.
+                             {1, true, true, false},
+                             {4, true, true, false}};
     for (size_t i = 0; i < 3; ++i) {
       for (const TK& tk : kCells) {
         RunSpec spec = base_spec;
@@ -414,14 +421,16 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
         spec.config.threads = tk.threads;
         spec.config.use_scoring_kernel = tk.kernel;
         spec.config.use_batch_kernel = tk.batch;
+        spec.config.use_pruned_retrieval = tk.pruned;
         const EngineResult r = Run(ensemble, spec);
         ++out.cells_run;
-        const std::string cell =
-            StrPrintf("%s/t=%d/kernel=%d/batch=%d", kStrategies[i].name,
-                      tk.threads, tk.kernel ? 1 : 0, tk.batch ? 1 : 0);
+        const std::string cell = StrPrintf(
+            "%s/t=%d/kernel=%d/batch=%d/pruned=%d", kStrategies[i].name,
+            tk.threads, tk.kernel ? 1 : 0, tk.batch ? 1 : 0, tk.pruned ? 1 : 0);
         CheckWellFormed(cell, r, c, true, &out);
-        CheckBitwiseEqual(tk.kernel && !tk.batch ? "batch-kernel-diff"
-                                                 : "thread-kernel-diff",
+        CheckBitwiseEqual(!tk.pruned                  ? "retrieval-diff"
+                          : tk.kernel && !tk.batch    ? "batch-kernel-diff"
+                                                      : "thread-kernel-diff",
                           cell, base[i].matches, r.matches, &out);
       }
     }
@@ -547,6 +556,23 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
         ++out.cells_run;
         CheckBitwiseEqual("shard-thread-diff",
                           StrPrintf("stard/shards=%zu/t=4", n_shards),
+                          base[kRefStrategy].matches, got, &out);
+      }
+
+      // Sharded retrieval off: workers drop their bound pre-filter and
+      // score every pooled node — the merge must still be byte-identical.
+      {
+        shard::ShardEngine::Options eo;
+        eo.star.strategy = kStrategies[kRefStrategy].s;
+        eo.star.match = base_spec.config;
+        eo.star.match.use_pruned_retrieval = false;
+        eo.star.decomposition = base_spec.decomposition;
+        eo.star.alpha = base_spec.alpha;
+        shard::ShardEngine engine(cluster, eo);
+        const auto got = engine.TopK(c.query, c.k);
+        ++out.cells_run;
+        CheckBitwiseEqual("retrieval-diff",
+                          StrPrintf("stard/shards=%zu/pruned=0", n_shards),
                           base[kRefStrategy].matches, got, &out);
       }
 

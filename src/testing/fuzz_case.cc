@@ -67,8 +67,25 @@ FuzzProfile DeadlineProfile() {
   return p;
 }
 
+FuzzProfile TieCutProfile() {
+  FuzzProfile p = TieHeavyProfile();
+  p.name = "tiecut";
+  // Every case gets a small max_candidates cutoff on a tie-saturated
+  // score distribution, so the cut routinely lands inside a run of equal
+  // scores — the adversarial regime for bound-driven retrieval, whose
+  // heap must reproduce the deterministic (score desc, id asc) truncation
+  // byte for byte while skipping blocks.
+  p.cutoff_prob = 1.0;
+  p.with_index_prob = 0.9;  // mostly block-max walks, some pool fallbacks
+  p.retrieval_cutoff_prob = 0.3;
+  p.token_pool_min = 2;
+  p.token_pool_max = 4;
+  return p;
+}
+
 FuzzProfile ProfileByName(const std::string& name) {
   if (name == "ties") return TieHeavyProfile();
+  if (name == "tiecut") return TieCutProfile();
   if (name == "deadline") return DeadlineProfile();
   return SmokeProfile();
 }

@@ -113,6 +113,11 @@ FuzzProfile SmokeProfile();
 /// Tiny token pools and loose thresholds: exact score ties everywhere.
 FuzzProfile TieHeavyProfile();
 
+/// TieHeavy plus a guaranteed max_candidates cutoff: the truncation cut
+/// lands inside tie runs, stressing bound-driven retrieval's tie-exact
+/// heap against the score-everything reference.
+FuzzProfile TieCutProfile();
+
 /// Adds tight-deadline cells on slightly larger graphs so expiries fire
 /// mid-run (prefix-contract coverage).
 FuzzProfile DeadlineProfile();

@@ -11,6 +11,13 @@
 
 namespace star::text {
 
+bool LooksNumeric(std::string_view s) {
+  const std::string_view t = Trim(s);
+  if (t.empty()) return false;
+  const char c = t[0];
+  return (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.';
+}
+
 namespace {
 
 bool EqualIgnoreCase(std::string_view a, std::string_view b) {
@@ -234,13 +241,6 @@ bool ContainsDigit(const std::string& s) {
     if (c >= '0' && c <= '9') return true;
   }
   return false;
-}
-
-bool LooksNumeric(std::string_view s) {
-  const std::string_view t = Trim(s);
-  if (t.empty()) return false;
-  const char c = t[0];
-  return (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.';
 }
 
 // ---------------------------------------------------------------------
@@ -1409,6 +1409,117 @@ void SimilarityEnsemble::ScoreBatchAgainstThreshold(
     for (int i = 0; i < kFeatureCount; ++i) s += weights_[i] * f[i];
     out[l] = s;
   }
+}
+
+double SimilarityEnsemble::RetrievalCapSum(const PreparedLabel& p, double rr,
+                                           double minlen, double gram_len,
+                                           bool any_numeric,
+                                           bool acr_len_match) const {
+  // The rows below are the batched kernel's stage-A caps (see
+  // ScoreBatchAgainstThreshold), evaluated from index-carried facts
+  // instead of per-lane ones. Eq-gated caps are 0 here: callers return
+  // the trivial 1.0 outright whenever byte-length equality is possible.
+  const double qtri = static_cast<double>(p.trigrams.size());
+  const double qbi = static_cast<double>(p.bigrams.size());
+  const double qtok = static_cast<double>(p.tokens.size());
+  const double qnum = static_cast<double>(p.numerals.size());
+  const bool acr_q = p.tokens.size() == 1 && p.lower.size() >= 2;
+  const double qlen = static_cast<double>(p.lower.size());
+  const double tri_max =
+      gram_len >= 3.0 ? gram_len - 2.0 : (gram_len > 0.0 ? 1.0 : 0.0);
+  const double bi_max =
+      gram_len >= 2.0 ? gram_len - 1.0 : (gram_len > 0.0 ? 1.0 : 0.0);
+  const double tok_max = std::floor((gram_len + 1.0) / 2.0);
+
+  double caps[kFeatureCount];
+  caps[kExact] = 0.0;
+  caps[kCaseInsensitive] = 0.0;
+  caps[kHamming] = 0.0;
+  caps[kLevenshtein] = rr;
+  caps[kDamerauLevenshtein] = rr;
+  caps[kLcs] = rr;
+  caps[kLongestCommonSubstring] = rr;
+  caps[kContainment] = rr;
+  caps[kLengthRatio] = rr;
+  const double jb = (2.0 + rr) / 3.0;
+  caps[kJaro] = jb;
+  caps[kJaroWinkler] = 0.6 * jb + 0.4;
+  caps[kAbbreviation] = minlen < 2.0 ? 0.0 : 0.5 * rr + 0.5;
+  caps[kNumeric] = (p.looks_numeric || any_numeric) ? 1.0 : 0.0;
+  caps[kDate] = p.contains_digit ? 1.0 : 0.0;
+  caps[kPhonetic] = p.soundex.empty() ? 0.0 : 1.0;
+  caps[kTfIdfCosine] = (context_.tfidf != nullptr &&
+                        context_.tfidf->finalized() && !p.tfidf.empty())
+                           ? 1.0
+                           : 0.0;
+  caps[kSynonym] = context_.synonyms != nullptr ? 1.0 : 0.0;
+  caps[kTypeOntology] = context_.ontology != nullptr ? 1.0 : 0.0;
+  caps[kNGramJaccard] = qtri > 0.0 ? std::min(qtri, tri_max) / qtri : 1.0;
+  caps[kBigramDice] =
+      (qbi > 0.0 && bi_max < qbi) ? 2.0 * bi_max / (qbi + bi_max) : 1.0;
+  caps[kTokenSequenceEdit] = qtok > tok_max ? tok_max / qtok : 1.0;
+  caps[kNumeralAware] = qnum > tok_max ? 0.0 : 1.0;
+  caps[kAcronym] =
+      ((acr_q && qlen >= 2.0 && qlen <= tok_max) || acr_len_match) ? 1.0 : 0.0;
+  caps[kPrefix] = 1.0;
+  caps[kSuffix] = 1.0;
+  caps[kSmithWaterman] = 1.0;
+  caps[kMongeElkan] = 1.0;
+  caps[kTokenJaccard] = 1.0;
+  caps[kTokenDice] = 1.0;
+  caps[kTokenOverlap] = 1.0;
+
+  double bound = 0.0;
+  for (const int i : batch_order_) bound += weights_[i] * caps[i];
+  return bound;
+}
+
+double SimilarityEnsemble::RetrievalNodeBound(const PreparedLabelBatch& batch,
+                                              size_t data_len,
+                                              bool data_numeric) const {
+  const PreparedLabel& p = batch.prepared;
+  const size_t m = p.label.size();
+  // Equal byte length admits the case-insensitive-equality 1.0 and opens
+  // every length-gated cap; the trivial bound is the only sound one.
+  if (data_len == m) return 1.0;
+  const double rr = static_cast<double>(std::min(data_len, m)) /
+                    static_cast<double>(std::max(data_len, m));
+  const bool acr = p.initials.size() == data_len && data_len >= 2;
+  return RetrievalCapSum(p, rr, static_cast<double>(std::min(data_len, m)),
+                         static_cast<double>(data_len), data_numeric, acr);
+}
+
+double SimilarityEnsemble::RetrievalBlockBound(
+    const PreparedLabelBatch& batch, const LabelSetStats& stats) const {
+  if (stats.empty) return 0.0;
+  const PreparedLabel& p = batch.prepared;
+  const size_t m = p.label.size();
+  const bool m_possible =
+      m < 63 ? ((stats.len_mask >> m) & 1) != 0
+             : ((stats.len_mask >> 63) & 1) != 0 && stats.max_len >= m;
+  if (m_possible) return 1.0;
+  double best = 0.0;
+  // Exact lengths: the per-length bound, maxed over the occurring ones.
+  // (b != m for every remaining bit, so RetrievalNodeBound never takes
+  // its equal-length shortcut here.)
+  for (uint32_t b = 0; b < 63; ++b) {
+    if (((stats.len_mask >> b) & 1) == 0) continue;
+    best = std::max(best, RetrievalNodeBound(batch, b, stats.any_numeric));
+  }
+  // Pooled lengths [63, max_len]: per-feature maxima — the ratio family
+  // at the admitted length closest to m, the gram/token caps at max_len.
+  if (((stats.len_mask >> 63) & 1) != 0) {
+    const size_t hi = stats.max_len;  // >= 63
+    const size_t n_rr = std::clamp(m, size_t{63}, hi);
+    const double rr = static_cast<double>(std::min(n_rr, m)) /
+                      static_cast<double>(std::max(n_rr, m));
+    const size_t qini = p.initials.size();
+    const bool acr = qini >= 63 && qini <= hi;
+    best = std::max(
+        best, RetrievalCapSum(p, rr, static_cast<double>(std::min<size_t>(63, m)),
+                              static_cast<double>(hi), stats.any_numeric, acr));
+  }
+  return best;
 }
 
 const std::vector<std::string>& SimilarityEnsemble::FeatureNames() {
