@@ -1,0 +1,46 @@
+#ifndef STAR_CORE_CERTIFICATE_H_
+#define STAR_CORE_CERTIFICATE_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace star::core {
+
+/// A machine-checkable quality statement attached to a (possibly
+/// truncated or degraded) top-k answer. Both fields are derived from the
+/// live star-stream / rank-join upper bounds (Eq. 4): at any prefix the
+/// pipeline's threshold quantifies exactly "how wrong can rank k+1 be",
+/// and the serving layer folds in the degradation drop bounds (DESIGN.md
+/// "Graceful degradation").
+///
+/// Soundness contract (what the oracle-graded harness verifies):
+///  - every valid match of the query under the service's NOMINAL
+///    configuration that is not among the first `guaranteed_prefix`
+///    returned matches scores <= `score_bound`;
+///  - the first `guaranteed_prefix` returned matches are bitwise equal to
+///    the exact top-`guaranteed_prefix` of the nominal configuration.
+struct QualityCertificate {
+  /// Leading returned matches guaranteed bitwise equal to the exact
+  /// top-k prefix (mapping and score bits). 0 claims nothing.
+  size_t guaranteed_prefix = 0;
+
+  /// Certified upper bound on the score of any valid match not among the
+  /// guaranteed prefix: the max score deficit a consumer can suffer at
+  /// rank guaranteed_prefix+1. -inf when the search space was exhausted
+  /// (the answer is provably complete); +inf when nothing was computed
+  /// (e.g. a request that expired while queued).
+  double score_bound = std::numeric_limits<double>::infinity();
+
+  /// True iff the response is the exact, complete top-k under the nominal
+  /// configuration (level 0, no cancellation anywhere).
+  bool exact = false;
+
+  /// Shedding ladder level the answer was computed at (0 = nominal; see
+  /// serve::DegradePolicy). Recorded so cache layers can refuse to serve
+  /// a degraded answer to a stricter request.
+  int degradation_level = 0;
+};
+
+}  // namespace star::core
+
+#endif  // STAR_CORE_CERTIFICATE_H_

@@ -50,6 +50,10 @@ std::string StarOptionsFingerprint(const StarOptions& o, bool has_index) {
   AppendU64(s, o.match.max_retrieval);
   AppendDouble(s, o.match.wildcard_node_score);
   AppendU64(s, o.match.enforce_injective ? 1 : 0);
+  // Degradation sampling is result-affecting (it shrinks candidate
+  // pools), so degraded and nominal runs must never share cache entries.
+  AppendDouble(s, o.match.sample_rate);
+  AppendU64(s, o.match.sample_seed);
   AppendU64(s, static_cast<uint64_t>(o.decomposition.strategy));
   AppendDouble(s, o.decomposition.lambda_tradeoff);
   AppendU64(s, o.decomposition.sample_size);
@@ -128,6 +132,27 @@ std::string StarCacheKey(const std::string& config_fingerprint,
 
 std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k) {
   return TopK(q, k, nullptr);
+}
+
+std::vector<NodeCandidateInfo> CollectNodeCandidateInfo(
+    const QueryGraph& q, const QueryScorer& scorer) {
+  const scoring::MatchConfig& cfg = scorer.config();
+  std::vector<NodeCandidateInfo> out(q.node_count());
+  for (int u = 0; u < q.node_count(); ++u) {
+    NodeCandidateInfo& info = out[u];
+    info.wildcard = q.node(u).wildcard;
+    info.sampled = cfg.sampling() && !info.wildcard;
+    const auto* list = scorer.CandidatesIfReady(u);
+    if (list == nullptr) continue;
+    info.computed = true;
+    if (!list->empty()) {
+      info.top_score = list->front().score;
+      info.cut_score = list->back().score;
+    }
+    info.cut_applied =
+        cfg.max_candidates > 0 && list->size() == cfg.max_candidates;
+  }
+  return out;
 }
 
 void StarFramework::SeedCandidateLists(const QueryGraph& q,
@@ -230,7 +255,12 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
   }
 
   while (out.size() < k) {
-    if (cancel_check.ShouldStop()) {
+    // scorer.truncated() is a plain bool read, checked unamortized: a
+    // cancellation observed inside a lazy Candidates() call leaves that
+    // list missing arbitrary entries, and the stride-amortized clock
+    // check alone could emit further (possibly misordered) matches from
+    // the incomplete universe before noticing the expiry.
+    if (cancel_check.ShouldStop() || scorer.truncated()) {
       stats_.cancelled = true;
       break;
     }
@@ -238,6 +268,28 @@ std::vector<GraphMatch> StarFramework::TopK(const QueryGraph& q, size_t k,
     if (!m.has_value()) break;
     out.push_back(std::move(*m));
   }
+
+  // Certified residual bound for the anytime-answer certificate. With
+  // complete candidate lists the live pipeline bound is sound even after
+  // a cancellation (StarSearch falls back to its a-priori cap), and the
+  // monotone emission order lets the last emitted score tighten it. A
+  // truncated scorer invalidates both (lists may be missing arbitrary
+  // entries), leaving only the query-wide a-priori cap.
+  if (scorer.truncated()) {
+    stats_.residual_bound = scorer.ScoreUpperBound();
+  } else {
+    // With Prop. 3 pruning active (single-star k_hint), a claimed
+    // exhaustion only means "nothing left could alter the top-k" — the
+    // pruned tail still exists, so the stream's bound is not a bound on
+    // it. Once the answer is full, the k-th score is (anything unemitted
+    // ranks below it by definition).
+    double residual = single && out.size() == k
+                          ? out.back().score
+                          : pipeline->UpperBound();
+    if (!out.empty()) residual = std::min(residual, out.back().score);
+    stats_.residual_bound = residual;
+  }
+  stats_.node_candidates = CollectNodeCandidateInfo(q, scorer);
 
   stats_.star_depths.clear();
   for (CachedStarStream* s : stream_ptrs) {

@@ -2,6 +2,7 @@
 #define STAR_CORE_FRAMEWORK_H_
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -118,12 +119,44 @@ struct ShardStats {
   }
 };
 
+/// Per-query-node candidate-list digest, exported for the serve layer's
+/// degradation drop bounds: when a tightened cutoff or pool sampling may
+/// have excluded candidates, the certificate needs the best/worst KEPT
+/// F_N per node to bound what any excluded candidate could contribute.
+struct NodeCandidateInfo {
+  /// The list was computed (or seeded) during the run. When false the
+  /// caps below are meaningless and readers must assume the worst.
+  bool computed = false;
+  /// Wildcard query node: no list, F_N == wildcard_node_score for all v.
+  bool wildcard = false;
+  /// Best kept F_N (lists are (score desc, node asc); 0 if empty).
+  double top_score = 0.0;
+  /// Worst kept F_N (the cut boundary; 0 if empty).
+  double cut_score = 0.0;
+  /// The list is exactly max_candidates long — the cutoff may have
+  /// dropped candidates above node_threshold.
+  bool cut_applied = false;
+  /// The run's config sampled this node's retrieval pool.
+  bool sampled = false;
+};
+
 /// Per-query execution diagnostics.
 struct FrameworkStats {
   /// True if a cancellation checkpoint fired anywhere in the query: the
   /// returned matches are then a (correctly ordered) prefix of the exact
   /// top-k rather than the complete answer.
   bool cancelled = false;
+  /// Certified residual bound: upper bound on the score of any valid
+  /// match (under THIS run's config) not among the returned matches.
+  /// Sound for complete, cancelled, and truncated runs alike: the live
+  /// pipeline bound (tightened by the last emitted score — streams are
+  /// monotone) when every candidate list is complete, else the scorer's
+  /// a-priori ScoreUpperBound. -inf = search space exhausted; +inf =
+  /// nothing computed (pre-expired request).
+  double residual_bound = std::numeric_limits<double>::infinity();
+  /// Candidate-list digests per query node (index-aligned with the query;
+  /// empty when the run returned before building a scorer).
+  std::vector<NodeCandidateInfo> node_candidates;
   size_t num_stars = 0;
   /// Matches pulled from each star stream (the search depths |L_i|).
   std::vector<size_t> star_depths;
@@ -146,6 +179,12 @@ struct FrameworkStats {
   /// Scatter-gather diagnostics (all zero when run single-process).
   ShardStats shard;
 };
+
+/// Fills one NodeCandidateInfo per query node from the scorer's memoized
+/// candidate lists (never triggers computation). Shared by StarFramework
+/// and the sharded ShardEngine so both backends export identical digests.
+std::vector<NodeCandidateInfo> CollectNodeCandidateInfo(
+    const query::QueryGraph& q, const scoring::QueryScorer& scorer);
 
 /// The STAR top-k query engine (Fig. 4): decomposes a general graph query
 /// into stars, evaluates each star with stark/stard, and assembles

@@ -245,6 +245,16 @@ double RankJoin::Threshold() const {
   if (right_ub != kNegInf && left_top != kNegInf) {
     t = std::max(t, left_top + right_ub);
   }
+  // Unseen x unseen pairs. While both streams are live and monotone this
+  // term is dominated (each side's bound sits at or below its top seen
+  // score), so Eq. 4 is unchanged — but after a cancellation an input's
+  // bound may legitimately jump ABOVE its top (the a-priori fallback in
+  // StarSearch::UpperBound), and with both sides in that state the two
+  // classic terms understate. Certificate readers consume UpperBound()
+  // from cancelled pipelines, so the threshold must stay sound there.
+  if (left_ub != kNegInf && right_ub != kNegInf) {
+    t = std::max(t, left_ub + right_ub);
+  }
   return t;
 }
 

@@ -654,7 +654,11 @@ void StarSearch::ActivateReserve() {
   while (reserve_pos_ < reserve_.size() &&
          (queue_.empty() ||
           reserve_[reserve_pos_].bound >= queue_.top().score)) {
-    if (cancel_check_.ShouldStop()) {
+    // stats_.cancelled is re-read directly: a checkpoint inside the
+    // BuildEnumerator call below sets it through the shared stats struct,
+    // and the amortized ShouldStop alone could keep building for up to
+    // kStride further iterations after the expiry.
+    if (stats_.cancelled || cancel_check_.ShouldStop()) {
       stats_.cancelled = true;
       break;
     }
@@ -673,7 +677,13 @@ void StarSearch::ActivateReserve() {
 
 std::optional<StarMatch> StarSearch::Next() {
   Initialize();
-  if (stats_.cancelled || cancel_check_.ShouldStop()) {
+  // scorer_.truncated() is checked unamortized alongside the cancellation
+  // flags: a cancellation observed inside a lazy Candidates() call leaves
+  // that list missing arbitrary entries (truncation happens mid-bulk-score,
+  // before the canonical sort), so a match emitted afterwards could be
+  // out of global order — the stride-amortized clock check alone can let
+  // up to kStride such emissions slip through.
+  if (stats_.cancelled || scorer_.truncated() || cancel_check_.ShouldStop()) {
     stats_.cancelled = true;
     return std::nullopt;  // already-emitted matches stay a valid prefix
   }
@@ -683,8 +693,12 @@ std::optional<StarMatch> StarSearch::Next() {
   // emitted. stats_.cancelled is read directly — the amortized ShouldStop
   // only consults the clock every kStride calls and can return false right
   // after the checkpoint inside ActivateReserve observed the expiry, which
-  // would break the correctly-ordered-prefix guarantee.
-  if (stats_.cancelled) return std::nullopt;
+  // would break the correctly-ordered-prefix guarantee. Ditto a scorer
+  // truncation inside a leaf list built lazily by BuildEnumerator.
+  if (stats_.cancelled || scorer_.truncated()) {
+    stats_.cancelled = true;
+    return std::nullopt;
+  }
   if (queue_.empty()) return std::nullopt;
   const QueueEntry top = queue_.top();
   queue_.pop();
@@ -694,7 +708,24 @@ std::optional<StarMatch> StarSearch::Next() {
     queue_.push(QueueEntry{*next_score, top.enumerator_index, top.pivot});
   }
   ++stats_.matches_emitted;
+  if (m.has_value()) last_emitted_score_ = m->score;
   return m;
+}
+
+double StarSearch::AprioriBound() {
+  if (apriori_ready_) return apriori_bound_;
+  apriori_ready_ = true;
+  const scoring::MatchConfig& cfg = scorer_.config();
+  const auto node_cap = [&](int u) {
+    return scorer_.query().node(u).wildcard ? cfg.wildcard_node_score : 1.0;
+  };
+  double cap = NodeWeight(star_.pivot) * node_cap(star_.pivot);
+  for (size_t i = 0; i < star_.edges.size(); ++i) {
+    cap += NodeWeight(leaf_nodes_[i]) * node_cap(leaf_nodes_[i]) +
+           scorer_.MaxEdgeScore(star_.edges[i]);
+  }
+  apriori_bound_ = cap;
+  return apriori_bound_;
 }
 
 double StarSearch::UpperBound() {
@@ -703,6 +734,21 @@ double StarSearch::UpperBound() {
   if (!queue_.empty()) ub = queue_.top().score;
   if (reserve_pos_ < reserve_.size()) {
     ub = std::max(ub, reserve_[reserve_pos_].bound);
+  }
+  if (stats_.cancelled || scorer_.truncated()) {
+    // A wound-down build can leave the structural state missing entries:
+    // an interrupted init drops whole pivots from the reserve, and an
+    // interrupted BuildEnumerator stages a partial enumerator whose
+    // PeekScore understates its pivot's true best. The structural maximum
+    // alone may then sit BELOW a real unseen match, so the bound falls
+    // back to the a-priori star cap — tightened by the last emitted score
+    // (the stream is monotone) when the candidate universe is complete.
+    // The bound may jump UP at the moment of cancellation; that is the
+    // safe direction for every consumer (a higher join threshold only
+    // delays emission, a higher shard bound only causes extra pulls).
+    double cap = AprioriBound();
+    if (!scorer_.truncated()) cap = std::min(cap, last_emitted_score_);
+    ub = std::max(ub, cap);
   }
   return ub;
 }

@@ -2,6 +2,7 @@
 #define STAR_CORE_STAR_SEARCH_H_
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <memory_resource>
 #include <optional>
@@ -104,8 +105,12 @@ query::StarQuery CanonicalizeStarEdgeOrder(
 ///
 /// Contract: Next() emits matches in non-increasing score order (ties in
 /// ascending pivot id); UpperBound() between pulls bounds every
-/// not-yet-emitted match and never increases; after a cancellation the
-/// emitted prefix stays valid and stats().cancelled is set.
+/// not-yet-emitted match and never increases while the stream is live.
+/// After a cancellation the emitted prefix stays valid, stats().cancelled
+/// is set, and UpperBound() REMAINS a sound bound on every unseen match —
+/// it may jump UP once at the moment of cancellation (a wound-down build
+/// falls back to an a-priori cap), never down. Certificate readers rely
+/// on this post-cancellation soundness.
 class StarStreamEngine {
  public:
   virtual ~StarStreamEngine() = default;
@@ -211,6 +216,19 @@ class StarSearch final : public StarStreamEngine {
   /// best queued match.
   void ActivateReserve();
 
+  /// A-priori weighted star cap, independent of any candidate list:
+  /// NodeWeight(u) * maxF_N(u) per star node (1.0 for label-scored nodes
+  /// — Eq. 1 is normalized — or wildcard_node_score) plus MaxEdgeScore per
+  /// edge. This bounds every match of the star no matter what a wound-down
+  /// initialization failed to build, which makes UpperBound() sound after
+  /// a cancellation: an interrupted InitializeStark/InitializeStard leaves
+  /// a partial reserve, and an interrupted BuildEnumerator can stage a
+  /// partial enumerator whose PeekScore understates — the structural
+  /// queue/reserve maximum alone can then sit BELOW a real unseen match,
+  /// which a certificate reader (shard coordinator bound aggregation,
+  /// serve-layer QualityCertificate) must never observe.
+  double AprioriBound();
+
   /// Exact per-pivot leaf lists via a depth-(d-1) BFS around the pivot
   /// (each leaf candidate w gets max over incident edges (x,w,r) with
   /// dist(v,x) = delta of NodeScore + RelationScore(r) * lambda^delta).
@@ -237,6 +255,13 @@ class StarSearch final : public StarStreamEngine {
   std::vector<std::unique_ptr<PivotEnumerator>> active_;
   std::priority_queue<QueueEntry> queue_;
   StarSearchStats stats_;
+  /// Score of the last emitted match (+inf before the first emission).
+  /// The stream is monotone, so after a pure search-level cancellation
+  /// (complete candidate lists) this bounds every unseen match and
+  /// tightens the a-priori cap in UpperBound().
+  double last_emitted_score_ = std::numeric_limits<double>::infinity();
+  bool apriori_ready_ = false;
+  double apriori_bound_ = 0.0;
 };
 
 }  // namespace star::core

@@ -260,8 +260,8 @@ std::vector<LabelIndex::ListRef> LabelIndex::RetrievalLists(
   return out;
 }
 
-std::vector<uint32_t> LabelIndex::FuzzyTokenIds(std::string_view token,
-                                                double min_overlap) const {
+std::vector<uint32_t> LabelIndex::RankedFuzzyTokenIds(
+    std::string_view token, double min_overlap) const {
   // All probe scratch is thread_local (the PR 4 pattern): fuzzy expansion
   // runs on every unknown query token, and per-call map/vector churn was
   // the remaining allocation in this path.
@@ -298,6 +298,12 @@ std::vector<uint32_t> LabelIndex::FuzzyTokenIds(std::string_view token,
   if (ranked.size() > kMaxExpansion) ranked.resize(kMaxExpansion);
   out.reserve(ranked.size());
   for (const auto& [count, id] : ranked) out.push_back(id);
+  return out;
+}
+
+std::vector<uint32_t> LabelIndex::FuzzyTokenIds(std::string_view token,
+                                                double min_overlap) const {
+  std::vector<uint32_t> out = RankedFuzzyTokenIds(token, min_overlap);
   // Ascending ids == lexicographic token order; retrieval iterates (and
   // FP-sums) expansions in this order.
   std::sort(out.begin(), out.end());
@@ -311,6 +317,13 @@ std::vector<std::string> LabelIndex::FuzzyTokens(std::string_view token,
     out.emplace_back(token_dict_.Term(id));
   }
   return out;
+}
+
+std::string LabelIndex::BestFuzzyToken(std::string_view token,
+                                       double min_overlap) const {
+  const std::vector<uint32_t> ranked = RankedFuzzyTokenIds(token, min_overlap);
+  if (ranked.empty()) return std::string();
+  return std::string(token_dict_.Term(ranked.front()));
 }
 
 std::vector<NodeId> LabelIndex::CandidatesByLabel(

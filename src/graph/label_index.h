@@ -64,6 +64,20 @@ class LabelIndex {
   std::vector<std::string> FuzzyTokens(std::string_view token,
                                        double min_overlap = 0.5) const;
 
+  /// Whether `token` (already lowercased) has an exact posting.
+  bool HasToken(std::string_view token) const {
+    return token_dict_.Find(token) >= 0;
+  }
+
+  /// The single best fuzzy correction of `token`: the indexed token with
+  /// the highest trigram overlap >= min_overlap, ties broken by ascending
+  /// token id (lexicographic rank — the same total order FuzzyTokens
+  /// caps by, so the correction is deterministic and layout-independent).
+  /// Empty when nothing reaches the floor. Serve-layer typo-tolerant
+  /// query rewriting resolves each unknown query token through this.
+  std::string BestFuzzyToken(std::string_view token,
+                             double min_overlap = 0.5) const;
+
   /// Nodes with exactly the given type id.
   std::vector<NodeId> CandidatesByType(int32_t type) const;
 
@@ -249,8 +263,14 @@ class LabelIndex {
     std::vector<uint32_t> block_start_{0};  // per-list prefix into blocks_
   };
 
-  /// Token ids (sorted by overlap desc, id asc, capped) whose trigram
-  /// overlap with `token` reaches `min_overlap`.
+  /// Token ids in ranked order (overlap desc, id asc, capped at the
+  /// expansion limit) whose trigram overlap with `token` reaches
+  /// `min_overlap`.
+  std::vector<uint32_t> RankedFuzzyTokenIds(std::string_view token,
+                                            double min_overlap) const;
+
+  /// RankedFuzzyTokenIds re-sorted to ascending token id (the retrieval
+  /// iteration / FP-summation order).
   std::vector<uint32_t> FuzzyTokenIds(std::string_view token,
                                       double min_overlap) const;
 

@@ -47,6 +47,12 @@ class QueryGraph {
     nodes_[u].type_name = std::move(type_name);
   }
 
+  /// Replaces node u's content label (used by the serve layer's
+  /// typo-tolerant query rewrite). The wildcard flag is unchanged.
+  void SetNodeLabel(int u, std::string label) {
+    nodes_[u].label = std::move(label);
+  }
+
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int edge_count() const { return static_cast<int>(edges_.size()); }
 

@@ -51,6 +51,22 @@ struct MatchConfig {
   /// false, leaf matches may collide (the paper's simplified exposition).
   bool enforce_injective = true;
 
+  /// Deterministic candidate-pool sampling (serve-layer degradation,
+  /// level 2 of the shedding ladder): when sample_rate < 1, each node id
+  /// in a query node's retrieval pool is kept iff
+  /// splitmix64(sample_seed ^ id) / 2^64 < sample_rate. The predicate is
+  /// a pure function of (seed, id), so the same config produces the same
+  /// pools on every engine, shard, and thread count. Wildcard query
+  /// nodes are never sampled (they have no pool). Both fields are
+  /// result-affecting and included in StarOptionsFingerprint. Sampling
+  /// forces the unpruned retrieval path (block-max thresholds assume the
+  /// full union).
+  double sample_rate = 1.0;
+  uint64_t sample_seed = 0;
+
+  /// True when the sampling predicate is active.
+  bool sampling() const { return sample_rate < 1.0; }
+
   /// Worker threads for the parallel execution paths (bulk F_N candidate
   /// scoring, stark per-pivot enumeration, stard message propagation).
   /// 0 = auto (the STAR_THREADS env var, else hardware concurrency);

@@ -378,7 +378,26 @@ std::vector<NodeId> QueryScorer::RetrievalPool(int query_node) const {
     pool.resize(graph_.node_count());
     std::iota(pool.begin(), pool.end(), NodeId{0});
   }
+  if (config_.sampling() && !qn.wildcard) {
+    pool.erase(std::remove_if(pool.begin(), pool.end(),
+                              [this](NodeId v) {
+                                return !SampleKeep(config_.sample_seed, v,
+                                                   config_.sample_rate);
+                              }),
+               pool.end());
+  }
   return pool;
+}
+
+bool QueryScorer::SampleKeep(uint64_t seed, graph::NodeId v, double rate) {
+  // splitmix64 of (seed ^ id): a pure function of the config and the node
+  // id, so every engine/shard/thread derives the same sampled pool.
+  uint64_t x = seed ^ (0x9e3779b97f4a7c15ull * (uint64_t{v} + 1));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x = x ^ (x >> 31);
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < rate;
 }
 
 std::vector<ScoredCandidate> QueryScorer::ScorePool(
@@ -644,7 +663,7 @@ const CandidateList& QueryScorer::Candidates(int query_node) const {
   // provably cannot reach the running max_candidates-th score. Wildcards
   // have no label bound and stay on the scan path.
   const query::QueryNode& qn = query_.node(query_node);
-  if (config_.use_pruned_retrieval && !qn.wildcard) {
+  if (config_.use_pruned_retrieval && !qn.wildcard && !config_.sampling()) {
     if (index_ != nullptr && config_.max_retrieval == 0) {
       // Block-max walk over the postings union itself.
       PrunedRetrieveBlocks(query_node, &out);

@@ -124,6 +124,12 @@ class QueryScorer {
   /// the identical pool) and intersects with its owned slice.
   std::vector<graph::NodeId> RetrievalPool(int query_node) const;
 
+  /// The MatchConfig::sample_rate pool predicate: whether node v survives
+  /// deterministic seeded sampling. Pure function of (seed, v, rate) —
+  /// exposed so the serve layer's degradation certificate and tests can
+  /// reproduce the sampled universe exactly.
+  static bool SampleKeep(uint64_t seed, graph::NodeId v, double rate);
+
   /// Scores `pool` exactly as Candidates() would (bulk F_N at
   /// node_threshold) and returns the surviving entries in the canonical
   /// (score desc, node asc) order — WITHOUT max_candidates truncation and

@@ -1,0 +1,38 @@
+#include "serve/query_rewrite.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace star::serve {
+
+std::vector<LabelRewrite> RewriteFuzzyLabels(const graph::LabelIndex& index,
+                                             query::QueryGraph* q,
+                                             double min_overlap) {
+  std::vector<LabelRewrite> rewrites;
+  std::string low;
+  std::vector<std::string> tokens;
+  for (int u = 0; u < q->node_count(); ++u) {
+    const query::QueryNode& node = q->node(u);
+    if (node.wildcard || node.label.empty()) continue;
+    ToLowerInto(node.label, &low);
+    SplitTokensInto(low, &tokens);
+    bool changed = false;
+    for (std::string& tok : tokens) {
+      if (tok.empty() || index.HasToken(tok)) continue;
+      std::string best = index.BestFuzzyToken(tok, min_overlap);
+      if (!best.empty() && best != tok) {
+        tok = std::move(best);
+        changed = true;
+      }
+    }
+    if (!changed) continue;
+    std::string rewritten = Join(tokens, " ");
+    if (rewritten == node.label) continue;
+    rewrites.push_back(LabelRewrite{u, node.label, rewritten});
+    q->SetNodeLabel(u, std::move(rewritten));
+  }
+  return rewrites;
+}
+
+}  // namespace star::serve

@@ -1,0 +1,38 @@
+#ifndef STAR_SERVE_QUERY_REWRITE_H_
+#define STAR_SERVE_QUERY_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label_index.h"
+#include "query/query_graph.h"
+
+namespace star::serve {
+
+/// One node-label correction the typo-tolerant rewrite pass applied.
+struct LabelRewrite {
+  int node = -1;
+  std::string from;  ///< the label as submitted
+  std::string to;    ///< the label the query actually ran with
+};
+
+/// Typo-tolerant serving (opt-in via QueryRequest::fuzzy_labels): rewrites
+/// each non-wildcard node label of `q` token by token, replacing every
+/// token with no exact posting in `index` by its best trigram correction
+/// (LabelIndex::BestFuzzyToken; tokens with no correction above the
+/// overlap floor stay as submitted). Labels are lowercased/retokenized in
+/// the index's own normalization, so an unchanged label can still be
+/// rewritten to its normal form — a rewrite is only recorded when the
+/// label text actually changed.
+///
+/// The rewritten query is an ordinary query: it is canonicalized, keyed,
+/// cached, coalesced, degraded and certified exactly like a verbatim one
+/// (the certificate then speaks about the REWRITTEN query's nominal
+/// semantics). Deterministic: pure function of (index, q).
+std::vector<LabelRewrite> RewriteFuzzyLabels(const graph::LabelIndex& index,
+                                             query::QueryGraph* q,
+                                             double min_overlap = 0.5);
+
+}  // namespace star::serve
+
+#endif  // STAR_SERVE_QUERY_REWRITE_H_

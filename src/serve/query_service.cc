@@ -110,7 +110,15 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
   if (req.deadline.infinite() && options_.default_timeout_ms > 0) {
     req.deadline = Deadline::AfterMillis(options_.default_timeout_ms);
   }
+  // Typo-tolerant rewrite BEFORE canonicalization: the rewritten query is
+  // what gets keyed, coalesced, executed and certified, so corrected
+  // requests share cache entries and flights with their verbatim twins.
+  std::vector<LabelRewrite> rewrites;
+  if (req.fuzzy_labels && index_ != nullptr) {
+    rewrites = RewriteFuzzyLabels(*index_, &req.query);
+  }
   auto p = std::make_shared<Pending>(std::move(req));
+  p->rewrites = std::move(rewrites);
   std::future<QueryResponse> fut = p->promise.get_future();
 
   Status reject = Status::Ok();
@@ -149,6 +157,18 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
       reject = Status::Overloaded("service is shutting down");
       ++stats_.rejected_overload;
     } else {
+      // Accuracy-first shedding: the level is fixed by queue occupancy at
+      // admission, BEFORE the key is used for anything — it is part of
+      // the key, so cache entries and coalesced flights never cross
+      // levels (a degraded answer cannot satisfy a stricter request).
+      p->degrade_level = ChooseDegradationLevel(options_.degrade,
+                                                queue_.size(),
+                                                options_.max_queue);
+      if (keyed && p->degrade_level > 0) {
+        p->key += kSep;
+        p->key += static_cast<char>('0' + p->degrade_level);
+      }
+      if (!p->rewrites.empty()) ++stats_.fuzzy_rewritten;
       if (options_.enable_coalescing && keyed) {
         const auto it = flights_.find(p->key);
         if (it != flights_.end()) {
@@ -172,9 +192,12 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
           reject = Status::Overloaded("admission queue full");
           ++stats_.rejected_overload;
         }
-        if (admitted && options_.enable_coalescing && keyed) {
-          p->flight = std::make_shared<Flight>();
-          flights_.emplace(p->key, p->flight);
+        if (admitted) {
+          ++stats_.degraded_at_level[static_cast<size_t>(p->degrade_level)];
+          if (options_.enable_coalescing && keyed) {
+            p->flight = std::make_shared<Flight>();
+            flights_.emplace(p->key, p->flight);
+          }
         }
       }
     }
@@ -222,10 +245,14 @@ void QueryService::WorkerLoop(std::shared_ptr<Pending> p) {
 QueryResponse QueryService::Run(Pending& p) {
   QueryResponse resp;
   resp.queue_ms = p.queued.ElapsedMillis();
+  resp.rewrites = p.rewrites;
+  resp.certificate.degradation_level = p.degrade_level;
   if (options_.before_execute) options_.before_execute();
 
   // A request that expired while queued is answered without touching the
-  // graph: resp.framework stays zeroed (no candidate retrieval, no scan).
+  // graph: resp.framework stays zeroed (no candidate retrieval, no scan)
+  // and the default certificate (+inf bound, empty prefix) honestly
+  // claims nothing.
   CancelChecker entry_check(&p.cancel);
   if (entry_check.ShouldStop()) {
     resp.status = Status::DeadlineExceeded("deadline expired while queued");
@@ -244,6 +271,7 @@ QueryResponse QueryService::Run(Pending& p) {
       // mutex. Verbatim replays take the plain-copy fast path inside.
       resp.matches = RemapMatches(hit->matches, hit->node_rank, p.node_rank);
       resp.cache_hit = true;
+      resp.certificate = hit->certificate;
       resp.status = Status::Ok();
       resp.exec_ms = exec.ElapsedMillis();
       return resp;
@@ -254,6 +282,10 @@ QueryResponse QueryService::Run(Pending& p) {
   if (options_.star_cache_capacity > 0 && p.req.use_cache) {
     star_options.reuse = &star_cache_;
   }
+  // Degraded execution: every knob ApplyDegradation touches is part of
+  // StarOptionsFingerprint, so the star-level reuse cache segregates
+  // degraded prefixes/lists from nominal ones automatically.
+  ApplyDegradation(options_.degrade, p.degrade_level, &star_options);
   // Per-worker request arena: pool threads persist across requests, so
   // after warm-up the largest block absorbs each request's transient
   // state (candidate lists, traversal frontiers, the rank-join heap) with
@@ -283,15 +315,30 @@ QueryResponse QueryService::Run(Pending& p) {
   // result is declared complete — in particular, a possibly-truncated
   // result must never be inserted into the cache, where it would be served
   // as the definitive answer for its key until eviction.
-  if (resp.framework.cancelled || p.cancel.ShouldStop()) {
+  const bool truncated = resp.framework.cancelled || p.cancel.ShouldStop();
+  if (truncated && !resp.framework.cancelled) {
+    // The late expiry above is exactly a cancellation the engine missed;
+    // make the stats (and the certificate derived from them) say so.
+    resp.framework.cancelled = true;
+  }
+  // Every executed response — complete, degraded, or deadline-truncated —
+  // carries its certified quality statement (serve/degrade.h).
+  resp.certificate =
+      BuildCertificate(p.req.query, options_.star, star_options,
+                       p.degrade_level, resp.framework, resp.matches);
+  if (truncated) {
     resp.partial = true;
     resp.status = Status::DeadlineExceeded(
         "deadline expired during execution; matches are a top-k prefix");
   } else {
     resp.status = Status::Ok();
     // Only complete answers enter the cache, and only if no invalidation
-    // happened since the lookup — hits stay bitwise identical to fresh runs.
-    if (use_cache) cache_.Insert(p.key, resp.matches, p.node_rank, generation);
+    // happened since the lookup — hits stay bitwise identical to fresh
+    // runs, certificate included (the key carries the degradation level).
+    if (use_cache) {
+      cache_.Insert(p.key, resp.matches, p.node_rank, generation,
+                    resp.certificate);
+    }
   }
   return resp;
 }
@@ -375,6 +422,10 @@ std::shared_ptr<QueryService::Pending> QueryService::FinishAndSettle(
       fr.matches = RemapMatches(resp.matches, p->node_rank, f->node_rank);
       fr.cache_hit = resp.cache_hit;
       fr.coalesced = true;
+      // Same key => same degradation level: the leader's certificate
+      // describes the follower's answer verbatim (score-based, remap-proof).
+      fr.certificate = resp.certificate;
+      fr.rewrites = f->rewrites;
     } else {
       fr.status = Status::DeadlineExceeded(
           "deadline expired while coalesced with an identical request");

@@ -1,6 +1,7 @@
 #ifndef STAR_SERVE_QUERY_SERVICE_H_
 #define STAR_SERVE_QUERY_SERVICE_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -17,7 +18,10 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/certificate.h"
 #include "core/framework.h"
+#include "serve/degrade.h"
+#include "serve/query_rewrite.h"
 #include "serve/result_cache.h"
 #include "serve/star_cache.h"
 #include "shard/coordinator.h"
@@ -72,6 +76,13 @@ struct ServiceOptions {
   size_t shards = 0;
   /// Node-ownership policy of the sharded backend's partition.
   shard::PartitionPolicy partition_policy = shard::PartitionPolicy::kHash;
+
+  /// Accuracy-first load shedding (see serve/degrade.h): under queue
+  /// pressure, admission picks a degradation level that trades answer
+  /// quality for capacity before anything is rejected with kOverloaded.
+  /// The chosen level is part of the request's cache/coalescing key, so
+  /// degraded answers never serve stricter requests.
+  DegradePolicy degrade;
 };
 
 struct QueryRequest {
@@ -81,6 +92,11 @@ struct QueryRequest {
   Deadline deadline;
   /// Per-request cache opt-out (e.g. for freshness-critical callers).
   bool use_cache = true;
+  /// Opt-in typo tolerance: unknown label tokens are rewritten to their
+  /// best trigram correction before the query is keyed and executed (see
+  /// serve/query_rewrite.h). Applied corrections are reported in
+  /// QueryResponse::rewrites. No-op without a label index.
+  bool fuzzy_labels = false;
 };
 
 struct QueryResponse {
@@ -102,6 +118,15 @@ struct QueryResponse {
   /// (tests use pivot_candidates == 0 to prove an expired request did no
   /// candidate retrieval).
   core::FrameworkStats framework;
+  /// Certified quality statement about `matches` relative to the
+  /// service's NOMINAL configuration (serve/degrade.h): how long a prefix
+  /// is provably the exact top-k prefix, and what any other valid match
+  /// can still score. Present on every response that reached execution —
+  /// complete, deadline-truncated, or degraded; the default (+inf bound,
+  /// empty prefix) honestly describes a response that computed nothing.
+  core::QualityCertificate certificate;
+  /// Typo corrections applied before execution (QueryRequest::fuzzy_labels).
+  std::vector<LabelRewrite> rewrites;
 };
 
 struct ServiceStats {
@@ -114,6 +139,13 @@ struct ServiceStats {
   uint64_t cache_misses = 0;
   /// Requests answered by attaching to an identical in-flight execution.
   uint64_t coalesced_followers = 0;
+  /// Admitted executions per shedding-ladder level (index = level; level
+  /// 0 counts nominal admissions while shedding is enabled AND while it
+  /// is off). Coalesced followers ride their leader's level and are not
+  /// re-counted.
+  std::array<uint64_t, kMaxDegradationLevel + 1> degraded_at_level{};
+  /// Requests whose labels the fuzzy rewrite pass actually changed.
+  uint64_t fuzzy_rewritten = 0;
   /// Followers promoted to leader after their leader's deadline expired.
   uint64_t coalesce_promotions = 0;
   double total_queue_ms = 0.0;
@@ -236,6 +268,12 @@ class QueryService {
     /// `key`: set exactly when the request is keyed). Used to remap
     /// mappings between reordered-equivalent queries that share a key.
     std::vector<int> node_rank;
+    /// Shedding-ladder level chosen at admission (0 = nominal). Fixed for
+    /// the request's lifetime and appended to `key`, so cache entries and
+    /// coalesced flights never cross levels.
+    int degrade_level = 0;
+    /// Label corrections the fuzzy rewrite applied to req.query.
+    std::vector<LabelRewrite> rewrites;
     /// Set on the flight LEADER only (followers are reached through it).
     std::shared_ptr<Flight> flight;
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/certificate.h"
 #include "core/match.h"
 
 namespace star::serve {
@@ -42,6 +43,12 @@ struct CacheStats {
 struct CachedResult {
   std::vector<core::GraphMatch> matches;
   std::vector<int> node_rank;
+  /// The inserter's quality certificate, replayed verbatim on every hit
+  /// (prefix/bound are score-based, so node-order remapping never touches
+  /// them). The cache key embeds the degradation level, so an entry can
+  /// only ever be hit by requests admitted at the SAME level — a degraded
+  /// answer can never satisfy a stricter request.
+  core::QualityCertificate certificate;
 };
 
 /// Thread-safe LRU cache of completed top-k result lists, keyed by the
@@ -98,10 +105,11 @@ class ResultCache {
   /// nodes (see CachedResult); hits on reordered-equivalent queries depend
   /// on it to restore the caller's node order.
   void Insert(std::string_view key, std::vector<core::GraphMatch> value,
-              std::vector<int> node_rank, uint64_t generation) {
+              std::vector<int> node_rank, uint64_t generation,
+              core::QualityCertificate certificate = {}) {
     if (capacity_ == 0) return;
     auto wrapped = std::make_shared<const CachedResult>(
-        CachedResult{std::move(value), std::move(node_rank)});
+        CachedResult{std::move(value), std::move(node_rank), certificate});
     std::lock_guard<std::mutex> lock(mu_);
     if (generation != generation_) {
       ++stats_.stale_drops;

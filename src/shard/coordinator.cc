@@ -396,6 +396,8 @@ std::vector<GraphMatch> ShardEngine::TopK(const QueryGraph& q, size_t k,
       // complete-list contract. Wind the whole query down to the (empty,
       // trivially correct) prefix, exactly what an early expiry yields.
       stats_.cancelled = true;
+      stats_.residual_bound = scorer.ScoreUpperBound();
+      stats_.node_candidates = core::CollectNodeCandidateInfo(q, scorer);
       finish();
       return out;
     }
@@ -509,7 +511,10 @@ std::vector<GraphMatch> ShardEngine::TopK(const QueryGraph& q, size_t k,
   }
 
   while (out.size() < k) {
-    if (cancel_check.ShouldStop()) {
+    // Unamortized truncation check, mirroring StarFramework::TopK: a
+    // coordinator-side list truncated mid-bulk-score must stop emission
+    // before the stride-amortized clock check notices the expiry.
+    if (cancel_check.ShouldStop() || scorer.truncated()) {
       stats_.cancelled = true;
       break;
     }
@@ -517,6 +522,13 @@ std::vector<GraphMatch> ShardEngine::TopK(const QueryGraph& q, size_t k,
     if (!m.has_value()) break;
     out.push_back(std::move(*m));
   }
+
+  // Live pipeline bound, captured before sessions close (the merged
+  // streams answer UpperBound from coordinator-local state, but the value
+  // belongs to this instant of the pull loop). Sound after cancellation:
+  // worker-side StarSearch bounds fall back to their a-priori caps, and
+  // a poisoned merged stream retains each shard's last certified bound.
+  const double live_ub = pipeline->UpperBound();
 
   stats_.star_depths.clear();
   for (CachedStarStream* s : stream_ptrs) {
@@ -530,6 +542,7 @@ std::vector<GraphMatch> ShardEngine::TopK(const QueryGraph& q, size_t k,
   }
 
   // Close every session and fold the workers' engine counters in.
+  bool worker_truncated = false;
   {
     std::vector<std::future<ShardWorker::SessionStats>> end_futs;
     end_futs.reserve(shards);
@@ -540,6 +553,7 @@ std::vector<GraphMatch> ShardEngine::TopK(const QueryGraph& q, size_t k,
       ShardWorker::SessionStats st = f.get();
       stats_.search.Merge(st.search);
       stats_.cancelled |= st.truncated;
+      worker_truncated |= st.truncated;
     }
     closer.harvested = true;
   }
@@ -547,6 +561,29 @@ std::vector<GraphMatch> ShardEngine::TopK(const QueryGraph& q, size_t k,
   stats_.cancelled |= stats_.search.cancelled;
   for (const RankJoin* j : join_ptrs) stats_.cancelled |= j->cancelled();
   stats_.cancelled |= scorer.truncated();
+
+  // Certified residual bound (see StarFramework::TopK). A truncated
+  // coordinator scorer falls back to the query-wide a-priori cap; a
+  // truncated worker keeps the live merged bound (worker-side StarSearch
+  // already degrades its own bound to the a-priori star cap) but forfeits
+  // the last-emitted tightening — that worker's unseen matches are not
+  // bounded by the coordinator's emission order.
+  if (scorer.truncated()) {
+    stats_.residual_bound = scorer.ScoreUpperBound();
+  } else {
+    // Prop. 3 pruning (single-star k_hint, forwarded to every worker)
+    // poisons a claimed exhaustion the same way it does in
+    // StarFramework::TopK: the pruned tail still exists. With a full
+    // answer the k-th score is the sound residual — the ordered-prefix
+    // contract holds across workers, so out.back() is the true k-th score
+    // even under worker truncation.
+    double residual = single && out.size() == k ? out.back().score : live_ub;
+    if (!worker_truncated && !out.empty()) {
+      residual = std::min(residual, out.back().score);
+    }
+    stats_.residual_bound = residual;
+  }
+  stats_.node_candidates = core::CollectNodeCandidateInfo(q, scorer);
 
   // Publish to the reuse cache under the same no-cancellation-anywhere
   // gate as the single-process engine.

@@ -20,6 +20,7 @@
 #include "graph/label_index.h"
 #include "query/query_graph.h"
 #include "scoring/query_scorer.h"
+#include "serve/degrade.h"
 #include "serve/star_cache.h"
 #include "shard/coordinator.h"
 #include "shard/partitioner.h"
@@ -659,37 +660,179 @@ CaseOutcome RunDifferentialCase(const FuzzCase& c, const RunnerOptions& opts) {
   // and the candidate lists double as the oracle cost estimate) ---
   const std::string oracle_reason =
       baseline::BruteForceOracleCheck(c.query, base_spec.config);
-  if ((opts.run_oracle || opts.run_baselines) && oracle_reason.empty()) {
-    scoring::QueryScorer oscorer(c.graph, c.query, ensemble, base_spec.config,
-                                 index.get());
-    double states = 1.0;
+  std::unique_ptr<scoring::QueryScorer> oscorer;
+  double states = std::numeric_limits<double>::infinity();
+  if ((opts.run_oracle || opts.run_baselines || opts.run_certificates) &&
+      oracle_reason.empty()) {
+    oscorer = std::make_unique<scoring::QueryScorer>(
+        c.graph, c.query, ensemble, base_spec.config, index.get());
+    states = 1.0;
     for (int u = 0; u < c.query.node_count(); ++u) {
       states *= UntypedWildcard(c.query, u)
                     ? static_cast<double>(c.graph.node_count())
-                    : static_cast<double>(oscorer.Candidates(u).size());
+                    : static_cast<double>(oscorer->Candidates(u).size());
     }
-    if (opts.run_oracle && states <= opts.max_oracle_states) {
-      const auto oracle = baseline::BruteForceTopK(oscorer, c.k);
-      out.oracle_ran = true;
-      ++out.cells_run;
-      CheckScoresNear("oracle-diff", "oracle", Scores(oracle), ref_scores,
-                      &out);
+  }
+  const bool oracle_feasible =
+      oscorer != nullptr && states <= opts.max_oracle_states;
+  if (opts.run_oracle && oracle_feasible) {
+    const auto oracle = baseline::BruteForceTopK(*oscorer, c.k);
+    out.oracle_ran = true;
+    ++out.cells_run;
+    CheckScoresNear("oracle-diff", "oracle", Scores(oracle), ref_scores,
+                    &out);
+  }
+  if (opts.run_baselines && oracle_feasible) {
+    baseline::GraphTa ta(*oscorer, /*budget_ms=*/0.0);
+    const auto got = ta.TopK(c.k);
+    ++out.cells_run;
+    CheckScoresNear("graphta-diff", "graphta", ref_scores, Scores(got),
+                    &out);
+  }
+  // BP is exact only for acyclic queries without the global injectivity
+  // constraint (its model is pairwise) — its documented exactness domain.
+  if (opts.run_baselines && oracle_feasible && c.query.IsTree() &&
+      !base_spec.config.enforce_injective) {
+    baseline::BeliefPropagation bp(*oscorer, baseline::BpOptions{});
+    const auto got = bp.TopK(c.k);
+    ++out.cells_run;
+    CheckScoresNear("bp-diff", "bp", ref_scores, Scores(got), &out);
+  }
+
+  // --- Certificate cells: every anytime (deadline-truncated) and degraded
+  // (shedding-ladder) answer must carry a sound QualityCertificate ---
+  // Soundness is graded against the brute-force truth: the certified bound
+  // must dominate the true (nominal-semantics) score at rank
+  // guaranteed_prefix+1, and the guaranteed prefix must be bitwise equal
+  // to the exact reference run's prefix. Oracle top-(k+1) covers rank
+  // prefix+1 for every prefix the engine can claim (prefix <= k).
+  if (opts.run_certificates) {
+    std::vector<core::GraphMatch> truth;
+    if (oracle_feasible) {
+      truth = baseline::BruteForceTopK(*oscorer, c.k + 1);
     }
-    if (opts.run_baselines && states <= opts.max_oracle_states) {
-      baseline::GraphTa ta(oscorer, /*budget_ms=*/0.0);
-      const auto got = ta.TopK(c.k);
+    core::StarOptions nominal;
+    nominal.strategy = kStrategies[kRefStrategy].s;
+    nominal.match = base_spec.config;
+    nominal.decomposition = base_spec.decomposition;
+    nominal.alpha = base_spec.alpha;
+
+    const auto check_certificate = [&](const std::string& cell,
+                                       const core::StarOptions& effective,
+                                       int level, const EngineResult& r) {
+      const core::QualityCertificate cert = serve::BuildCertificate(
+          c.query, nominal, effective, level, r.stats, r.matches);
+      if (cert.guaranteed_prefix > r.matches.size()) {
+        AddViolation(&out, "cert-prefix", cell,
+                     StrPrintf("guaranteed prefix %zu longer than the %zu "
+                               "returned matches",
+                               cert.guaranteed_prefix, r.matches.size()));
+        return;
+      }
+      // Guaranteed prefix: bitwise equal to the exact reference run's.
+      const std::vector<core::GraphMatch> prefix(
+          r.matches.begin(), r.matches.begin() + cert.guaranteed_prefix);
+      CheckBitwisePrefix("cert-prefix", cell, base[kRefStrategy].matches,
+                         prefix, &out);
+      // An exact certificate claims the whole list is the true top-k.
+      if (cert.exact) {
+        CheckBitwiseEqual("cert-exact", cell, base[kRefStrategy].matches,
+                          r.matches, &out);
+      }
+      // Bound soundness: nothing outside the guaranteed prefix can beat
+      // the certified bound. truth[prefix] is the best such match.
+      if (oracle_feasible && truth.size() > cert.guaranteed_prefix) {
+        const double next_true = truth[cert.guaranteed_prefix].score;
+        if (cert.score_bound < next_true - kEps) {
+          AddViolation(&out, "cert-bound", cell,
+                       StrPrintf("certified bound %.17g below true rank-%zu "
+                                 "score %.17g",
+                                 cert.score_bound, cert.guaranteed_prefix + 1,
+                                 next_true));
+        }
+      }
+    };
+
+    // Level-0 anytime cells: the base run's certificate is exact, and a
+    // deadline-truncated run's certificate covers what it did not emit.
+    check_certificate("stard/cert=base", nominal, 0, base[kRefStrategy]);
+    if (c.tight_deadline_ms > 0.0) {
+      const Cancellation tight{Deadline::AfterMillis(c.tight_deadline_ms)};
+      RunSpec spec = base_spec;
+      spec.cancel = &tight;
+      const EngineResult r = Run(ensemble, spec);
       ++out.cells_run;
-      CheckScoresNear("graphta-diff", "graphta", ref_scores, Scores(got),
-                      &out);
+      const std::string cell = "stard/cert=deadline";
+      CheckWellFormed(cell, r, c, /*expect_complete_run=*/false, &out);
+      if (r.stats.cancelled) {
+        CheckBitwisePrefix("deadline-prefix", cell,
+                           base[kRefStrategy].matches, r.matches, &out);
+      }
+      check_certificate(cell, nominal, 0, r);
     }
-    // BP is exact only for acyclic queries without the global injectivity
-    // constraint (its model is pairwise) — its documented exactness domain.
-    if (opts.run_baselines && states <= opts.max_oracle_states &&
-        c.query.IsTree() && !base_spec.config.enforce_injective) {
-      baseline::BeliefPropagation bp(oscorer, baseline::BpOptions{});
-      const auto got = bp.TopK(c.k);
+
+    // Degraded cells: the shedding ladder's knobs, same policy values a
+    // saturated QueryService applies. l1_max_candidates is small enough to
+    // actually bite on fuzz-scale graphs.
+    serve::DegradePolicy policy;
+    policy.enable = true;
+    policy.l1_max_candidates = 3;
+    policy.l2_sample_rate = 0.5;
+    policy.sample_seed = c.seed * 0x9E3779B97F4A7C15ULL + 0xC2B2AE3D27D4EB4FULL;
+    std::vector<int> levels;
+    if (c.degrade != 0) {
+      levels.push_back(c.degrade);
+    } else {
+      levels = {1, 2, 3};
+    }
+    core::StarOptions first_effective;
+    EngineResult first_degraded;
+    for (const int level : levels) {
+      core::StarOptions effective = nominal;
+      serve::ApplyDegradation(policy, level, &effective);
+      RunSpec spec = base_spec;
+      spec.config = effective.match;
+      const EngineResult r = Run(ensemble, spec);
       ++out.cells_run;
-      CheckScoresNear("bp-diff", "bp", ref_scores, Scores(got), &out);
+      const std::string cell = StrPrintf("stard/cert=degrade-l%d", level);
+      CheckWellFormed(cell, r, c, /*expect_complete_run=*/true, &out);
+      // Every degraded match must be valid under the EFFECTIVE semantics
+      // (kept candidates only, reduced-d edge scores).
+      {
+        scoring::QueryScorer escorer(c.graph, c.query, ensemble,
+                                     effective.match, index.get());
+        CheckValidity(cell, r.matches, escorer, &out);
+      }
+      check_certificate(cell, effective, level, r);
+      if (level == levels.front()) {
+        first_effective = effective;
+        first_degraded = r;
+      }
+    }
+
+    // Sharded degraded cell: the scatter-gather backend must reproduce the
+    // single-process degraded run byte for byte, and the certificate built
+    // from ITS stats export must be just as sound.
+    if (opts.run_shards) {
+      const int level = levels.front();
+      const size_t n_shards = c.shards != 0 ? c.shards : 2;
+      shard::ShardCluster::Options co;
+      co.partition.shards = n_shards;
+      co.partition.halo_depth = std::max(1, first_effective.match.d);
+      shard::ShardCluster cluster(c.graph, ensemble, index.get(),
+                                  std::move(co));
+      shard::ShardEngine::Options eo;
+      eo.star = first_effective;
+      shard::ShardEngine engine(cluster, eo);
+      EngineResult r;
+      r.matches = engine.TopK(c.query, c.k);
+      r.stats = engine.last_stats();
+      ++out.cells_run;
+      const std::string cell =
+          StrPrintf("stard/shards=%zu/cert=degrade-l%d", n_shards, level);
+      CheckBitwiseEqual("cert-shard-diff", cell, first_degraded.matches,
+                        r.matches, &out);
+      check_certificate(cell, first_effective, level, r);
     }
   }
 

@@ -35,6 +35,13 @@ struct RunnerOptions {
   /// ShardCluster) at shard counts {2, 4} (or the case's pinned count);
   /// results must be bitwise identical to the single-process base cells.
   bool run_shards = true;
+  /// Anytime/degraded certificate cells: re-run the reference strategy at
+  /// degradation levels {1, 2, 3} (or the case's pinned level) plus the
+  /// deadline-truncated level-0 cells, build each run's QualityCertificate,
+  /// and check it against the brute-force truth — the certified bound must
+  /// dominate the true score at rank guaranteed_prefix+1, and the
+  /// guaranteed prefix must be bitwise equal to the exact run's prefix.
+  bool run_certificates = true;
   /// Skip the brute-force cell when the product of candidate-list sizes
   /// exceeds this (the oracle is exponential; the generator keeps cases
   /// under the guard, but shrinking intermediates may not be).
@@ -63,6 +70,10 @@ struct CaseOutcome {
 ///  - sharded backend at {2, 4} shards (hash and label-range policies)
 ///    bitwise identical to the base cells per strategy, plus a threaded
 ///    coordinator cell and a sharded tight-deadline prefix cell;
+///  - certificate cells: degraded runs (shedding-ladder levels) and
+///    deadline-truncated runs carry QualityCertificates whose bound
+///    dominates the oracle's true next-rank score and whose guaranteed
+///    prefix is bitwise exact, single-process and sharded;
 ///  - metamorphic relations needing no oracle: query node/edge permutation
 ///    invariance, TopK(k) prefix-of TopK(k+3), graph node-id relabeling
 ///    invariance, threshold/lambda/d monotonicity, and star-stream upper

@@ -22,13 +22,14 @@ std::string FuzzCase::Describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "seed=%llu |V|=%zu |E|=%zu q=%d/%d k=%zu d=%d nt=%.3f et=%.3f "
-                "lambda=%.3f cut=%zu inj=%d idx=%d dl=%.2fms sh=%zu bug=%s",
+                "lambda=%.3f cut=%zu inj=%d idx=%d dl=%.2fms sh=%zu dg=%d "
+                "bug=%s",
                 static_cast<unsigned long long>(seed), graph.node_count(),
                 graph.edge_count(), query.node_count(), query.edge_count(), k,
                 config.d, config.node_threshold, config.edge_threshold,
                 config.lambda, config.max_candidates,
                 config.enforce_injective ? 1 : 0, with_index ? 1 : 0,
-                tight_deadline_ms, shards, BugInjectionName(inject));
+                tight_deadline_ms, shards, degrade, BugInjectionName(inject));
   return buf;
 }
 
@@ -83,10 +84,32 @@ FuzzProfile TieCutProfile() {
   return p;
 }
 
+FuzzProfile OverloadProfile() {
+  FuzzProfile p;
+  p.name = "overload";
+  // Graph sizes stay in the smoke range so the brute-force oracle is
+  // almost always feasible: the certificate cells' bound-dominance check
+  // needs the true score ladder.
+  p.min_nodes = 18;
+  p.max_nodes = 44;
+  p.edge_factor_min = 1.6;
+  p.edge_factor_max = 2.8;
+  // Nominal cutoffs collide with the degraded (tighter) ones: the drop
+  // bound must stay sound whether the ladder tightens an existing cut or
+  // introduces the first one.
+  p.cutoff_prob = 0.6;
+  p.tight_deadline_prob = 0.5;
+  p.tight_deadline_min_ms = 0.05;
+  p.tight_deadline_max_ms = 1.0;
+  p.forced_degrade_prob = 0.75;
+  return p;
+}
+
 FuzzProfile ProfileByName(const std::string& name) {
   if (name == "ties") return TieHeavyProfile();
   if (name == "tiecut") return TieCutProfile();
   if (name == "deadline") return DeadlineProfile();
+  if (name == "overload") return OverloadProfile();
   return SmokeProfile();
 }
 
@@ -165,6 +188,9 @@ FuzzCase MakeFuzzCase(const FuzzProfile& profile, uint64_t seed) {
     c.tight_deadline_ms = UniformIn(rng, profile.tight_deadline_min_ms,
                                     profile.tight_deadline_max_ms);
   }
+  if (rng.Chance(profile.forced_degrade_prob)) {
+    c.degrade = 1 + static_cast<int>(rng.Below(3));
+  }
   return c;
 }
 
@@ -195,6 +221,7 @@ FuzzCase CopyCase(const FuzzCase& c) {
   out.with_index = c.with_index;
   out.tight_deadline_ms = c.tight_deadline_ms;
   out.shards = c.shards;
+  out.degrade = c.degrade;
   out.inject = c.inject;
   return out;
 }

@@ -54,6 +54,10 @@ struct FuzzCase {
   /// {2, 4} sweep, a nonzero value pins the cells to that one count (the
   /// shrinker narrows to the failing count; replays carry it).
   size_t shards = 0;
+  /// Degradation level for the certificate cells: 0 runs the default
+  /// {1, 2, 3} ladder sweep, a nonzero value pins the cells to that one
+  /// level (the shrinker narrows to the failing level; replays carry it).
+  int degrade = 0;
   BugInjection inject = BugInjection::kNone;
 
   /// One-line human description for logs.
@@ -104,6 +108,10 @@ struct FuzzProfile {
   /// Probability the case gets a tight-deadline cell, and its budget range.
   double tight_deadline_prob = 0.0;
   double tight_deadline_min_ms = 0.05, tight_deadline_max_ms = 1.0;
+  /// Probability the case pins its certificate cells to one forced
+  /// degradation level (uniform in [1, 3]); otherwise the full ladder
+  /// sweep runs.
+  double forced_degrade_prob = 0.0;
 };
 
 /// The default smoke profile: small graphs, mixed query shapes, oracle
@@ -122,7 +130,14 @@ FuzzProfile TieCutProfile();
 /// mid-run (prefix-contract coverage).
 FuzzProfile DeadlineProfile();
 
-/// Profile by name ("smoke", "ties", "deadline"); falls back to smoke.
+/// Tight deadlines plus forced degradation levels on oracle-feasible
+/// graphs: every case exercises the anytime/degraded certificate cells
+/// (bound soundness against the brute-force truth, guaranteed-prefix
+/// bitwise identity) under the exact conditions a shedding service hits.
+FuzzProfile OverloadProfile();
+
+/// Profile by name ("smoke", "ties", "deadline", "overload"); falls back
+/// to smoke.
 FuzzProfile ProfileByName(const std::string& name);
 
 /// Deterministically generates the case for (profile, seed).

@@ -109,6 +109,7 @@ std::string SerializeReplay(const FuzzCase& c) {
   // this parser and new files stay loadable by strict older parsers
   // whenever the field is at its default.
   if (c.shards != 0) out << "shards " << c.shards << "\n";
+  if (c.degrade != 0) out << "degrade " << c.degrade << "\n";
   const auto& dc = c.decomposition;
   out << "decomp " << static_cast<int>(dc.strategy) << " "
       << BitsOf(dc.lambda_tradeoff) << " " << dc.sample_size << " "
@@ -182,6 +183,10 @@ bool ParseReplay(const std::string& text, FuzzCase* out, std::string* error) {
       uint64_t s = 0;
       if (!ParseU64(rest, &s)) return fail("bad shards");
       c.shards = static_cast<size_t>(s);
+    } else if (key == "degrade") {
+      int64_t l = 0;
+      if (!ParseI64(rest, &l) || l < 0 || l > 3) return fail("bad degrade");
+      c.degrade = static_cast<int>(l);
     } else if (key == "decomp") {
       const auto f = SplitLine(rest, 6);
       int64_t strategy = 0, max_enum = 0;

@@ -220,6 +220,15 @@ ShrinkResult ShrinkCase(const FuzzCase& c, const std::string& target_check,
         if (res.minimal.shards != 0) break;
       }
     }
+    // Same narrowing for the degradation-ladder sweep: a pinned level runs
+    // one certificate cell instead of three, and the replay records which
+    // level failed.
+    if (res.minimal.degrade == 0 && target_check.rfind("cert", 0) == 0) {
+      for (const int l : {1, 2, 3}) {
+        try_config([l](FuzzCase& f) { f.degrade = l; });
+        if (res.minimal.degrade != 0) break;
+      }
+    }
     if (res.minimal.config.enforce_injective) {
       try_config([](FuzzCase& f) { f.config.enforce_injective = false; });
     }

@@ -113,6 +113,46 @@ TEST(DifferentialTest, ShardCellsRunAndAPinnedCountNarrowsTheSweep) {
   EXPECT_GT(pin.cells_run, without.cells_run);
 }
 
+TEST(ReplayTest, DegradePinRoundTripsAndDefaultsStayCompatible) {
+  FuzzCase c = MakeFuzzCase(SmokeProfile(), 11);
+  c.degrade = 2;
+  const std::string text = SerializeReplay(c);
+  EXPECT_NE(text.find("\ndegrade 2\n"), std::string::npos);
+  FuzzCase parsed;
+  std::string err;
+  ASSERT_TRUE(ParseReplay(text, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.degrade, 2);
+  EXPECT_EQ(SerializeReplay(parsed), text);
+
+  // Unpinned cases (full ladder sweep) keep the pre-degrade wire format,
+  // so their files remain loadable by strict parsers from before the
+  // field — same convention as `shards`.
+  c.degrade = 0;
+  EXPECT_EQ(SerializeReplay(c).find("degrade"), std::string::npos);
+}
+
+TEST(DifferentialTest, CertificateCellsRunAndAPinnedLevelNarrowsTheSweep) {
+  const FuzzCase c = MakeFuzzCase(SmokeProfile(), 9001);
+  const RunnerOptions all;
+  RunnerOptions no_certs;
+  no_certs.run_certificates = false;
+
+  const CaseOutcome with_cells = RunDifferentialCase(c, all);
+  const CaseOutcome without = RunDifferentialCase(c, no_certs);
+  EXPECT_TRUE(with_cells.ok()) << c.Describe() << "\n  "
+                               << with_cells.Summary();
+  EXPECT_GT(with_cells.cells_run, without.cells_run);
+
+  // Pinning a ladder level runs one degraded certificate cell instead of
+  // three — the same narrowing the shrinker exploits for cert* checks.
+  FuzzCase pinned = CopyCase(c);
+  pinned.degrade = 3;
+  const CaseOutcome pin = RunDifferentialCase(pinned, all);
+  EXPECT_TRUE(pin.ok()) << pin.Summary();
+  EXPECT_LT(pin.cells_run, with_cells.cells_run);
+  EXPECT_GT(pin.cells_run, without.cells_run);
+}
+
 TEST(OracleCheckTest, FlagsUntypedWildcardWithCutoff) {
   query::QueryGraph q;
   q.AddNode("alpha");

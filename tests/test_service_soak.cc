@@ -287,5 +287,225 @@ INSTANTIATE_TEST_SUITE_P(Coalescing, ServiceSoakTest, ::testing::Bool(),
                            return info.param ? "On" : "Off";
                          });
 
+// ---------------------------------------------------------------------------
+// Overload phase: accuracy-first shedding under deterministic saturation.
+// ---------------------------------------------------------------------------
+
+/// Deterministic saturation: one worker slot held at a gate while
+/// submissions stack the queue one by one, so each request's admission
+/// depth — and therefore its shedding-ladder level — is exact. Verifies
+/// the ladder's central promise: NOTHING is rejected with kOverloaded
+/// until the queue has walked through every level including the deepest,
+/// and every degraded answer carries a certificate that is sound against
+/// a direct exact run of the same query.
+TEST(ServiceSoakOverloadTest, ShedsAccuracyThroughEveryLevelBeforeRejecting) {
+  const auto graph = SmallRandomGraph(909, 120, 280);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(graph);
+
+  core::StarOptions star;
+  star.match = TestConfig(2);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+
+  ServiceOptions so;
+  so.star = star;
+  so.max_inflight = 1;
+  so.max_queue = 10;
+  so.cache_capacity = 0;  // every response is a fresh, certifiable run
+  so.enable_coalescing = false;
+  so.degrade.enable = true;
+  so.degrade.l1_max_candidates = 2;  // tight enough to bite on this graph
+  so.degrade.l2_sample_rate = 0.5;
+  so.before_execute = [&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+
+  // Distinct star templates so neither caching nor coalescing could ever
+  // merge two submissions even if misconfigured.
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  query::WorkloadGenerator wg(graph, 777);
+  std::vector<query::QueryGraph> queries;
+  for (int i = 0; i < 12; ++i) queries.push_back(wg.RandomStarQuery(3, wo));
+  constexpr size_t kK = 4;
+
+  // Admission depth -> expected level with max_queue 10 and the default
+  // fractions (.5/.75/.9): the dispatched request and depths 0-4 run
+  // nominal, 5-7 at level 1, 8 at level 2, 9 at level 3.
+  const int expected_level[12] = {0, 0, 0, 0, 0, 0, 1, 1, 1, 2, 3, -1};
+
+  std::vector<std::future<QueryResponse>> futs;
+  {
+    QueryService service(graph, ensemble, &index, so);
+    for (int i = 0; i < 12; ++i) {
+      QueryRequest req;
+      req.query = queries[size_t(i)];
+      req.k = kK;
+      futs.push_back(service.Submit(std::move(req)));
+      if (i == 0) {
+        while (entered.load() == 0) std::this_thread::yield();
+      }
+    }
+
+    // The 12th submission found 1 executing + 10 queued: only now — after
+    // level 3 has already been handed out — may kOverloaded appear.
+    ASSERT_EQ(futs[11].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futs[11].get().status.code(), StatusCode::kOverloaded);
+    {
+      const ServiceStats mid = service.stats();
+      EXPECT_EQ(mid.rejected_overload, 1u);
+      EXPECT_GE(mid.degraded_at_level[3], 1u)
+          << "rejection before the deepest level engaged";
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+
+    for (int i = 0; i < 11; ++i) {
+      const QueryResponse resp = futs[size_t(i)].get();
+      ASSERT_TRUE(resp.status.ok()) << "request " << i << ": "
+                                    << resp.status.ToString();
+      EXPECT_EQ(resp.certificate.degradation_level, expected_level[i])
+          << "request " << i;
+
+      // Oracle grading: the prefix claim is bitwise against a direct
+      // exact run at the SAME k (tie order at the k boundary legitimately
+      // depends on k via Prop. 3 pruning); the bound claim is against the
+      // k+1 run's scores, which are rank-invariant.
+      core::StarFramework fw(graph, ensemble, &index, star);
+      const auto exact = fw.TopK(queries[size_t(i)], kK);
+      core::StarFramework fw_next(graph, ensemble, &index, star);
+      const auto truth = fw_next.TopK(queries[size_t(i)], kK + 1);
+      const size_t p = resp.certificate.guaranteed_prefix;
+      ASSERT_LE(p, resp.matches.size()) << "request " << i;
+      for (size_t r = 0; r < p; ++r) {
+        ASSERT_LT(r, exact.size()) << "request " << i;
+        EXPECT_EQ(resp.matches[r].mapping, exact[r].mapping)
+            << "request " << i << " rank " << r;
+        EXPECT_EQ(resp.matches[r].score, exact[r].score)
+            << "request " << i << " rank " << r;
+      }
+      if (truth.size() > p) {
+        EXPECT_GE(resp.certificate.score_bound, truth[p].score - 1e-9)
+            << "request " << i
+            << ": certified bound below the true rank-" << (p + 1)
+            << " score";
+      }
+      if (expected_level[i] == 0) {
+        EXPECT_TRUE(resp.certificate.exact) << "request " << i;
+        EXPECT_EQ(resp.matches.size(), exact.size()) << "request " << i;
+      }
+    }
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.degraded_at_level[0], 6u);
+    EXPECT_EQ(stats.degraded_at_level[1], 3u);
+    EXPECT_EQ(stats.degraded_at_level[2], 1u);
+    EXPECT_EQ(stats.degraded_at_level[3], 1u);
+    EXPECT_EQ(stats.rejected_overload, 1u);
+  }
+}
+
+/// Cache isolation across ladder levels: a nominal answer cached while
+/// the service was idle must not be returned to a degraded admission of
+/// the same query (its key carries the level), and the degraded entry
+/// must not shadow the nominal one afterwards.
+TEST(ServiceSoakOverloadTest, CacheHitsNeverCrossDegradationLevels) {
+  const auto graph = SmallRandomGraph(911, 120, 280);
+  text::SimilarityEnsemble ensemble;
+  graph::LabelIndex index(graph);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+
+  ServiceOptions so;
+  so.star.match = TestConfig(2);
+  so.max_inflight = 1;
+  so.max_queue = 8;  // level 1 engages at queue depth 4
+  so.degrade.enable = true;
+  so.degrade.l1_max_candidates = 2;
+  so.before_execute = [&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+
+  query::WorkloadOptions wo;
+  wo.variable_fraction = 0.0;
+  query::WorkloadGenerator wg(graph, 333);
+  const query::QueryGraph probe = wg.RandomStarQuery(3, wo);
+
+  QueryService service(graph, ensemble, &index, so);
+  const auto submit = [&](const query::QueryGraph& q) {
+    QueryRequest req;
+    req.query = q;
+    req.k = 3;
+    return service.Submit(req);
+  };
+
+  // Warm the nominal (level-0) cache entry while the service is idle.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  const QueryResponse warm = submit(probe).get();
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_EQ(warm.certificate.degradation_level, 0);
+  EXPECT_TRUE(warm.certificate.exact);
+
+  // Close the gate and stack the queue to depth 4, then submit the probe
+  // again: it is admitted at level 1 and MUST NOT see the level-0 entry.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = false;
+  }
+  std::vector<std::future<QueryResponse>> held;
+  const int before = entered.load();
+  held.push_back(submit(wg.RandomStarQuery(3, wo)));  // takes the worker
+  while (entered.load() == before) std::this_thread::yield();
+  for (int i = 0; i < 4; ++i) {
+    held.push_back(submit(wg.RandomStarQuery(3, wo)));
+  }
+  std::future<QueryResponse> degraded_fut = submit(probe);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  const QueryResponse degraded = degraded_fut.get();
+  ASSERT_TRUE(degraded.status.ok());
+  EXPECT_EQ(degraded.certificate.degradation_level, 1);
+  EXPECT_FALSE(degraded.cache_hit)
+      << "a level-1 admission was served the nominal cache entry";
+  for (auto& f : held) ASSERT_TRUE(f.get().status.ok());
+
+  // Idle again: a nominal re-submit must hit the level-0 entry — exact,
+  // unshadowed by the degraded insert.
+  const QueryResponse again = submit(probe).get();
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.certificate.degradation_level, 0);
+  EXPECT_TRUE(again.certificate.exact);
+  ASSERT_EQ(again.matches.size(), warm.matches.size());
+  for (size_t i = 0; i < again.matches.size(); ++i) {
+    EXPECT_EQ(again.matches[i].mapping, warm.matches[i].mapping);
+    EXPECT_EQ(again.matches[i].score, warm.matches[i].score);
+  }
+}
+
 }  // namespace
 }  // namespace star::serve

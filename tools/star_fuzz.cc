@@ -55,8 +55,8 @@ struct Args {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: star_fuzz [--profile smoke|ties|tiecut|deadline] "
-               "[--cases N]\n"
+               "usage: star_fuzz [--profile "
+               "smoke|ties|tiecut|deadline|overload] [--cases N]\n"
                "                 [--seed S] [--out-dir DIR] [--no-shrink]\n"
                "                 [--max-oracle-states X]\n"
                "                 [--inject-bug toplist|candidates]\n"
